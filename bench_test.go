@@ -1,0 +1,186 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (running the simulated experiment at full paper scale), plus
+// real-execution benchmarks that run the same workloads with actual
+// arithmetic at laptop scale so the engine comparison is also measured in
+// wall-clock time.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package fuseme_test
+
+import (
+	"testing"
+
+	"fuseme"
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/experiments"
+	"fuseme/internal/workloads"
+)
+
+// benchExperiment runs one experiment harness end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkFig12a(b *testing.B)    { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)    { benchExperiment(b, "fig12b") }
+func BenchmarkFig12c(b *testing.B)    { benchExperiment(b, "fig12c") }
+func BenchmarkFig12d(b *testing.B)    { benchExperiment(b, "fig12d") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig13d(b *testing.B)    { benchExperiment(b, "fig13d") }
+func BenchmarkFig14(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkGNMFPlans(b *testing.B) { benchExperiment(b, "plans") }
+
+// realCluster is the laptop-scale cluster used by real-execution benches.
+func realCluster() *cluster.Cluster {
+	return cluster.MustNew(cluster.Config{
+		Nodes: 2, TasksPerNode: 4, TaskMemBytes: 4 << 30,
+		NetBandwidth: 1e9, CompBandwidth: 50e9, BlockSize: 128,
+	})
+}
+
+// BenchmarkRealNMFKernel runs the Figure 12 query with real arithmetic
+// (2000x2000, d=0.01) on each engine.
+func BenchmarkRealNMFKernel(b *testing.B) {
+	const n, k = 2000, 64
+	g := workloads.NMFKernel(n, n, k, 0.01)
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(n, n, 128, 0.01, 1, 5, 1),
+		"U": block.RandomDense(n, k, 128, 0, 1, 2),
+		"V": block.RandomDense(n, k, 128, 0, 1, 3),
+	}
+	for _, e := range []core.Engine{core.FuseME{}, core.SystemDSSim{}, core.DistMESim{}, core.MatFastSim{}} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := realCluster()
+				if _, _, err := core.Run(e, g, cl, inputs); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cl.Stats().TotalCommBytes()), "commBytes")
+			}
+		})
+	}
+}
+
+// BenchmarkRealGNMFIteration runs one GNMF iteration with real arithmetic
+// on each engine (Figure 14 at laptop scale).
+func BenchmarkRealGNMFIteration(b *testing.B) {
+	const users, items, k = 1500, 1000, 32
+	x := block.RandomDense(users, items, 128, 1, 5, 1)
+	u := block.RandomDense(k, items, 128, 0.2, 0.8, 2)
+	v := block.RandomDense(users, k, 128, 0.2, 0.8, 3)
+	for _, e := range []core.Engine{core.FuseME{}, core.SystemDSSim{}, core.DistMESim{}, core.MatFastSim{}} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := workloads.RunGNMF(e, realCluster(), x, u, v, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRealALSLoss measures the sparsity-exploiting fused loss
+// (Figure 1(a)) against its dense evaluation cost.
+func BenchmarkRealALSLoss(b *testing.B) {
+	const n, k = 4000, 64
+	g := workloads.ALSLoss(n, n, k, 0.005)
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(n, n, 128, 0.005, 1, 5, 1),
+		"U": block.RandomDense(n, k, 128, -0.5, 0.5, 2),
+		"V": block.RandomDense(k, n, 128, -0.5, 0.5, 3),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := realCluster()
+		if _, _, err := core.Run(core.FuseME{}, g, cl, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealAutoEncoderEpoch runs one training epoch (Figure 15 at
+// laptop scale) on FuseME and the TensorFlow comparator.
+func BenchmarkRealAutoEncoderEpoch(b *testing.B) {
+	c := workloads.AutoEncoderConfig{Features: 256, Batch: 128, H1: 64, H2: 16}
+	x := block.RandomDense(512, c.Features, 128, 0, 1, 1)
+	for _, e := range []core.Engine{core.FuseME{}, core.TensorFlowSim{}} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				state := workloads.InitAutoEncoder(c, 128, 7)
+				if _, err := workloads.RunAutoEncoderEpoch(e, realCluster(), x, c, 0.1, state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPIQuery measures the full public-API path: parse, plan,
+// optimise and execute.
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	cfg := fuseme.LocalClusterConfig()
+	cfg.BlockSize = 128
+	sess, err := fuseme.NewSession(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.RandomSparse("X", 2000, 2000, 0.01, 1, 5, 1)
+	sess.RandomDense("U", 2000, 64, 0, 1, 2)
+	sess.RandomDense("V", 2000, 64, 0, 1, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Query("O = X * log(U %*% t(V) + 1e-3)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileGNMF isolates planning cost (CFG exploration +
+// exploitation + parameter optimisation) at YahooMusic scale.
+func BenchmarkCompileGNMF(b *testing.B) {
+	g := workloads.GNMF(1_823_179, 136_736, 200, 0.0029)
+	cl := cluster.MustNew(cluster.Default())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.FuseME{}).Compile(g, cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example-style smoke check keeping the benchmarks honest: the simulated
+// experiment tables stay well-formed.
+func TestBenchmarkHarnessSmoke(t *testing.T) {
+	tables, err := experiments.Run("table1", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("table %s empty", tab.ID)
+		}
+		if len(tab.Render()) == 0 {
+			t.Fatal("empty render")
+		}
+	}
+}

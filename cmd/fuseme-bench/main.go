@@ -1,0 +1,40 @@
+// Command fuseme-bench regenerates the tables and figures of the FuseME
+// paper's evaluation (Section 6) on the simulated cluster.
+//
+// Usage:
+//
+//	fuseme-bench -exp all
+//	fuseme-bench -exp fig12a
+//	fuseme-bench -exp fig14 -scale 0.1
+//	fuseme-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fuseme/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run (see -list)")
+	scale := flag.Float64("scale", 1, "dimension scale factor in (0,1]")
+	nodes := flag.Int("nodes", 0, "override worker node count (default: paper's 8)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "), "all")
+		return
+	}
+	tables, err := experiments.Run(*exp, experiments.Options{Scale: *scale, Nodes: *nodes})
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuseme-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,245 @@
+// Command fuseme-repl is an interactive shell for the FuseME engine: declare
+// inputs, run queries, inspect plans and switch engines without recompiling.
+//
+//	$ fuseme-repl
+//	fuseme> \gen X 4000x4000 0.01
+//	fuseme> \gen U 4000x100
+//	fuseme> \gen V 4000x100
+//	fuseme> O = X * log(U %*% t(V) + 1e-3)
+//	fuseme> \plan O = X * log(U %*% t(V) + 1e-3)
+//	fuseme> \engine systemds
+//	fuseme> \stats
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fuseme"
+)
+
+const help = `commands:
+  \gen NAME RxC [density]   bind a random matrix (sparse when density < 1)
+  \load NAME PATH           bind a matrix from an .fme file
+  \save NAME PATH           write a bound or computed matrix to an .fme file
+  \engine NAME              switch engine: fuseme|systemds|distme|matfast|tensorflow
+  \plan QUERY               show the physical plan for a query
+  \stats                    metrics of the last executed query
+  \ls                       list bound matrices
+  \show NAME [n]            print the top-left n x n corner (default 8)
+  \block N                  rebuild the session with block size N
+  \help                     this text
+  \quit                     exit
+anything else is parsed as a query script; results are bound by name.`
+
+type repl struct {
+	sess      *fuseme.Session
+	blockSize int
+	bound     map[string]*fuseme.Matrix
+}
+
+func main() {
+	r := &repl{blockSize: 64, bound: map[string]*fuseme.Matrix{}}
+	if err := r.reset(); err != nil {
+		fmt.Fprintln(os.Stderr, "fuseme-repl:", err)
+		os.Exit(1)
+	}
+	fmt.Println("FuseME interactive shell — \\help for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("fuseme> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			return
+		}
+		if err := r.handle(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func (r *repl) reset() error {
+	cfg := fuseme.LocalClusterConfig()
+	cfg.BlockSize = r.blockSize
+	sess, err := fuseme.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	r.sess = sess
+	r.bound = map[string]*fuseme.Matrix{}
+	return nil
+}
+
+func (r *repl) handle(line string) error {
+	if !strings.HasPrefix(line, `\`) {
+		return r.query(line)
+	}
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\help`:
+		fmt.Println(help)
+	case `\gen`:
+		if len(fields) < 3 {
+			return fmt.Errorf(`usage: \gen NAME RxC [density]`)
+		}
+		return r.gen(fields[1], fields[2], fields[3:])
+	case `\load`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \load NAME PATH`)
+		}
+		m, err := r.sess.LoadMatrix(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		r.bound[fields[1]] = m
+		rr, cc := m.Dims()
+		fmt.Printf("%s: %dx%d, nnz=%d\n", fields[1], rr, cc, m.NNZ())
+	case `\save`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \save NAME PATH`)
+		}
+		m, ok := r.bound[fields[1]]
+		if !ok {
+			return fmt.Errorf("no matrix %q", fields[1])
+		}
+		f, err := os.Create(fields[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return m.Write(f)
+	case `\engine`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \engine NAME`)
+		}
+		if err := r.sess.SetEngine(fuseme.Engine(fields[1])); err != nil {
+			return err
+		}
+		fmt.Println("engine:", r.sess.EngineName())
+	case `\plan`:
+		script := strings.TrimSpace(strings.TrimPrefix(line, `\plan`))
+		if script == "" {
+			return fmt.Errorf(`usage: \plan QUERY`)
+		}
+		desc, err := r.sess.Explain(script)
+		if err != nil {
+			return err
+		}
+		fmt.Print(desc)
+	case `\stats`:
+		fmt.Println(r.sess.LastStats())
+	case `\ls`:
+		names := make([]string, 0, len(r.bound))
+		for n := range r.bound {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			m := r.bound[n]
+			rr, cc := m.Dims()
+			fmt.Printf("%-12s %dx%d nnz=%d density=%.4g\n", n, rr, cc, m.NNZ(), m.Density())
+		}
+	case `\show`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \show NAME [n]`)
+		}
+		m, ok := r.bound[fields[1]]
+		if !ok {
+			return fmt.Errorf("no matrix %q", fields[1])
+		}
+		n := 8
+		if len(fields) == 3 {
+			if v, err := strconv.Atoi(fields[2]); err == nil {
+				n = v
+			}
+		}
+		rr, cc := m.Dims()
+		for i := 0; i < n && i < rr; i++ {
+			for j := 0; j < n && j < cc; j++ {
+				fmt.Printf("%9.4f ", m.At(i, j))
+			}
+			fmt.Println()
+		}
+	case `\block`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \block N`)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad block size %q", fields[1])
+		}
+		r.blockSize = v
+		fmt.Printf("block size %d; session reset (matrices cleared)\n", v)
+		return r.reset()
+	default:
+		return fmt.Errorf("unknown command %s (\\help lists commands)", fields[0])
+	}
+	return nil
+}
+
+func (r *repl) gen(name, dims string, rest []string) error {
+	parts := strings.SplitN(strings.ToLower(dims), "x", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("bad dimensions %q", dims)
+	}
+	rows, err1 := strconv.Atoi(parts[0])
+	cols, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || rows <= 0 || cols <= 0 {
+		return fmt.Errorf("bad dimensions %q", dims)
+	}
+	density := 1.0
+	if len(rest) > 0 {
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad density %q", rest[0])
+		}
+		density = v
+	}
+	seed := int64(len(r.bound)) + 42
+	var m *fuseme.Matrix
+	if density < 1 {
+		m = r.sess.RandomSparse(name, rows, cols, density, 1, 5, seed)
+	} else {
+		m = r.sess.RandomDense(name, rows, cols, 0, 1, seed)
+	}
+	r.bound[name] = m
+	fmt.Printf("%s: %dx%d, nnz=%d\n", name, rows, cols, m.NNZ())
+	return nil
+}
+
+func (r *repl) query(script string) error {
+	out, err := r.sess.Query(script)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := out[n]
+		r.sess.Bind(n, m)
+		r.bound[n] = m
+		rr, cc := m.Dims()
+		if rr*cc == 1 {
+			fmt.Printf("%s = %g\n", n, m.At(0, 0))
+		} else {
+			fmt.Printf("%s: %dx%d, nnz=%d\n", n, rr, cc, m.NNZ())
+		}
+	}
+	fmt.Println(r.sess.LastStats())
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command fuseme-verify checks engine correctness end to end: it runs every
+// paper workload on every engine at laptop scale with real arithmetic and
+// compares the results against the single-node reference evaluator. A clean
+// run prints one OK line per (workload, engine) pair and exits 0.
+//
+//	fuseme-verify            # all workloads, all engines
+//	fuseme-verify -scale 2   # larger matrices (slower, more thorough)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+	"fuseme/internal/ref"
+	"fuseme/internal/workloads"
+)
+
+type verifyCase struct {
+	name  string
+	graph *dag.Graph
+	flats map[string]matrix.Mat
+}
+
+func cases(scale int) []verifyCase {
+	s := func(n int) int { return n * scale }
+	return []verifyCase{
+		{
+			name:  "nmf-kernel",
+			graph: workloads.NMFKernel(s(120), s(100), s(12), 0.03),
+			flats: map[string]matrix.Mat{
+				"X": matrix.RandomSparse(s(120), s(100), 0.03, 1, 5, 1),
+				"U": matrix.RandomDense(s(120), s(12), 0.5, 1.5, 2),
+				"V": matrix.RandomDense(s(100), s(12), 0.5, 1.5, 3),
+			},
+		},
+		{
+			name:  "gnmf",
+			graph: workloads.GNMF(s(60), s(50), s(6), 0.4),
+			flats: map[string]matrix.Mat{
+				"X": matrix.ToDense(matrix.RandomSparse(s(60), s(50), 0.4, 0.5, 1.5, 4)),
+				"U": matrix.RandomDense(s(6), s(50), 0.5, 1.5, 5),
+				"V": matrix.RandomDense(s(60), s(6), 0.5, 1.5, 6),
+			},
+		},
+		{
+			name:  "als-loss",
+			graph: workloads.ALSLoss(s(80), s(70), s(8), 0.05),
+			flats: map[string]matrix.Mat{
+				"X": matrix.RandomSparse(s(80), s(70), 0.05, 1, 5, 7),
+				"U": matrix.RandomDense(s(80), s(8), -0.5, 0.5, 8),
+				"V": matrix.RandomDense(s(8), s(70), -0.5, 0.5, 9),
+			},
+		},
+		{
+			name:  "kl-divergence",
+			graph: workloads.KLDivergence(s(60), s(50), s(6), 0.08),
+			flats: map[string]matrix.Mat{
+				"X": matrix.RandomSparse(s(60), s(50), 0.08, 1, 5, 10),
+				"U": matrix.RandomDense(s(60), s(6), 0.5, 1.5, 11),
+				"V": matrix.RandomDense(s(6), s(50), 0.5, 1.5, 12),
+			},
+		},
+		{
+			name:  "pca",
+			graph: workloads.PCA(s(90), s(40), 5),
+			flats: map[string]matrix.Mat{
+				"X": matrix.RandomDense(s(90), s(40), -1, 1, 13),
+				"S": matrix.RandomDense(s(40), 5, -1, 1, 14),
+			},
+		},
+		{
+			name: "autoencoder-step",
+			graph: workloads.AutoEncoderStep(workloads.AutoEncoderConfig{
+				Features: s(24), Batch: 16, H1: s(8), H2: 4}),
+			flats: map[string]matrix.Mat{
+				"XT": matrix.RandomDense(s(24), 16, 0, 1, 15),
+				"W1": matrix.RandomDense(s(8), s(24), -0.3, 0.3, 16),
+				"b1": matrix.RandomDense(s(8), 1, -0.1, 0.1, 17),
+				"W2": matrix.RandomDense(4, s(8), -0.3, 0.3, 18),
+				"b2": matrix.RandomDense(4, 1, -0.1, 0.1, 19),
+				"W3": matrix.RandomDense(s(8), 4, -0.3, 0.3, 20),
+				"b3": matrix.RandomDense(s(8), 1, -0.1, 0.1, 21),
+				"W4": matrix.RandomDense(s(24), s(8), -0.3, 0.3, 22),
+				"b4": matrix.RandomDense(s(24), 1, -0.1, 0.1, 23),
+			},
+		},
+	}
+}
+
+func main() {
+	scale := flag.Int("scale", 1, "size multiplier for the verification matrices")
+	blockSize := flag.Int("block", 16, "block size")
+	flag.Parse()
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "fuseme-verify: scale must be >= 1")
+		os.Exit(2)
+	}
+
+	engines := []core.Engine{
+		core.FuseME{}, core.FuseME{Balanced: true}, core.FuseME{NoMask: true},
+		core.SystemDSSim{}, core.DistMESim{}, core.MatFastSim{}, core.TensorFlowSim{},
+	}
+	failures := 0
+	for _, tc := range cases(*scale) {
+		want, err := ref.Evaluate(tc.graph, tc.flats)
+		if err != nil {
+			fmt.Printf("FAIL %-18s reference: %v\n", tc.name, err)
+			failures++
+			continue
+		}
+		inputs := map[string]*block.Matrix{}
+		for name, m := range tc.flats {
+			inputs[name] = block.FromMat(m, *blockSize)
+		}
+		for _, e := range engines {
+			cl := cluster.MustNew(cluster.Config{
+				Nodes: 2, TasksPerNode: 4, TaskMemBytes: 8 << 30,
+				NetBandwidth: 1e9, CompBandwidth: 50e9, BlockSize: *blockSize,
+			})
+			got, _, err := core.Run(e, tc.graph, cl, inputs)
+			if err != nil {
+				fmt.Printf("FAIL %-18s %-16s %v\n", tc.name, e.Name(), err)
+				failures++
+				continue
+			}
+			bad := ""
+			for name, w := range want {
+				if !matrix.EqualApprox(got[name].ToMat(), w, 1e-8) {
+					bad = name
+					break
+				}
+			}
+			if bad != "" {
+				fmt.Printf("FAIL %-18s %-16s output %q diverges from reference\n", tc.name, e.Name(), bad)
+				failures++
+				continue
+			}
+			s := cl.Stats()
+			fmt.Printf("OK   %-18s %-16s comm=%s flops=%d stages=%d\n",
+				tc.name, e.Name(), cluster.FormatBytes(s.TotalCommBytes()), s.Flops, s.Stages)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all engines match the reference")
+}

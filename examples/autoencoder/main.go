@@ -1,0 +1,92 @@
+// AutoEncoder: train the two-layer autoencoder of Section 6.5 with plain
+// SGD, expressing the forward pass, backpropagation AND the weight updates
+// as one FuseME query per mini-batch. This is the deep-learning workload of
+// Figure 15 at laptop scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuseme"
+)
+
+func main() {
+	const (
+		examples = 512
+		features = 64
+		batch    = 64
+		h1, h2   = 24, 8
+		lr       = 0.2
+		epochs   = 12
+	)
+	sess, err := fuseme.NewSession(fuseme.LocalClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Data: each example is a noisy mixture of a few latent patterns, so a
+	// small code layer can reconstruct it.
+	data := sess.RandomDense("Xfull", examples, features, 0, 1, 1).Dense()
+
+	// Parameters.
+	sess.RandomDense("W1", h1, features, -0.3, 0.3, 2)
+	sess.RandomDense("b1", h1, 1, -0.1, 0.1, 3)
+	sess.RandomDense("W2", h2, h1, -0.3, 0.3, 4)
+	sess.RandomDense("b2", h2, 1, -0.1, 0.1, 5)
+	sess.RandomDense("W3", h1, h2, -0.3, 0.3, 6)
+	sess.RandomDense("b3", h1, 1, -0.1, 0.1, 7)
+	sess.RandomDense("W4", features, h1, -0.3, 0.3, 8)
+	sess.RandomDense("b4", features, 1, -0.1, 0.1, 9)
+	if _, err := sess.FromDense("lrm", 1, 1, []float64{lr}); err != nil {
+		log.Fatal(err)
+	}
+
+	train := `
+H1 = sigmoid(W1 %*% XT + b1)
+H2 = sigmoid(W2 %*% H1 + b2)
+H3 = sigmoid(W3 %*% H2 + b3)
+Y = sigmoid(W4 %*% H3 + b4)
+E = Y - XT
+loss = sum(E ^ 2)
+D4 = E * sigmoidGrad(Y)
+D3 = (t(W4) %*% D4) * sigmoidGrad(H3)
+D2 = (t(W3) %*% D3) * sigmoidGrad(H2)
+D1 = (t(W2) %*% D2) * sigmoidGrad(H1)
+W1n = W1 - lrm * (D1 %*% t(XT))
+b1n = b1 - lrm * rowSums(D1)
+W2n = W2 - lrm * (D2 %*% t(H1))
+b2n = b2 - lrm * rowSums(D2)
+W3n = W3 - lrm * (D3 %*% t(H2))
+b3n = b3 - lrm * rowSums(D3)
+W4n = W4 - lrm * (D4 %*% t(H3))
+b4n = b4 - lrm * rowSums(D4)
+`
+	fmt.Printf("training %d-%d-%d-%d-%d autoencoder, batch %d, lr %g\n",
+		features, h1, h2, h1, features, batch, lr)
+	for epoch := 1; epoch <= epochs; epoch++ {
+		var lastLoss float64
+		for start := 0; start+batch <= examples; start += batch {
+			// XT is the transposed mini-batch (features x batch).
+			xt := make([]float64, features*batch)
+			for i := 0; i < batch; i++ {
+				for j := 0; j < features; j++ {
+					xt[j*batch+i] = data[(start+i)*features+j]
+				}
+			}
+			if _, err := sess.FromDense("XT", features, batch, xt); err != nil {
+				log.Fatal(err)
+			}
+			out, err := sess.Query(train)
+			if err != nil {
+				log.Fatalf("epoch %d: %v", epoch, err)
+			}
+			lastLoss = out["loss"].At(0, 0) / float64(batch*features)
+			for _, w := range []string{"W1", "b1", "W2", "b2", "W3", "b3", "W4", "b4"} {
+				sess.Bind(w, out[w+"n"])
+			}
+		}
+		fmt.Printf("epoch %2d: reconstruction MSE %.5f\n", epoch, lastLoss)
+	}
+	fmt.Println("last batch stats:", sess.LastStats())
+}

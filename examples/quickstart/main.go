@@ -1,0 +1,56 @@
+// Quickstart: run the paper's running-example query on the FuseME engine,
+// inspect the fusion plan it generates, and compare the communication cost
+// against the SystemDS baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuseme"
+)
+
+func main() {
+	sess, err := fuseme.NewSession(fuseme.LocalClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sparse 4000x4000 rating-like matrix and two dense factors.
+	sess.RandomSparse("X", 4000, 4000, 0.01, 1, 5, 42)
+	sess.RandomDense("U", 4000, 100, 0, 1, 43)
+	sess.RandomDense("V", 4000, 100, 0, 1, 44)
+
+	// The NMF kernel of the paper (Sections 2.2 and 6.2):
+	// the whole expression fuses into a single cuboid-based fused operator
+	// with sparsity exploitation over X's non-zero pattern.
+	const query = `O = X * log(U %*% t(V) + 1e-3)`
+
+	plan, err := sess.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("FuseME physical plan:")
+	fmt.Print(plan)
+
+	out, err := sess.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := out["O"]
+	rows, cols := o.Dims()
+	fmt.Printf("\nO: %dx%d, nnz=%d (pattern of X preserved)\n", rows, cols, o.NNZ())
+	fuseMEStats := sess.LastStats()
+	fmt.Println("FuseME:  ", fuseMEStats)
+
+	// The same query on the SystemDS comparator.
+	if err := sess.SetEngine(fuseme.EngineSystemDS); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Query(query); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SystemDS:", sess.LastStats())
+	fmt.Printf("\ncommunication ratio SystemDS/FuseME: %.1fx\n",
+		float64(sess.LastStats().TotalCommBytes())/float64(fuseMEStats.TotalCommBytes()))
+}

@@ -1,0 +1,406 @@
+// Package fuseme is a distributed matrix computation engine based on
+// cuboid-based fused operators (CFO) and cuboid-based fusion plan generation
+// (CFG), reproducing the system of Han, Lee and Kim, "FuseME: Distributed
+// Matrix Computation Engine based on Cuboid-based Fused Operator and Plan
+// Generation" (SIGMOD 2022).
+//
+// The engine executes matrix queries written in a small DML-like language
+// over blocked matrices on a simulated cluster: local arithmetic is real,
+// while placement, network transfer and per-task memory are metered against
+// a configurable cluster model (nodes, tasks, memory budget, bandwidths).
+// Besides the FuseME engine itself, the comparison engines of the paper —
+// SystemDS (GEN + BFO/RFO), DistME (CuboidMM, no fusion), MatFast (folded
+// operators) and a TensorFlow-XLA approximation — are available for
+// benchmarking.
+//
+// Basic usage:
+//
+//	sess, _ := fuseme.NewSession(fuseme.LocalClusterConfig())
+//	sess.RandomSparse("X", 4000, 4000, 0.01, 1, 5, 42)
+//	sess.RandomDense("U", 4000, 100, 0, 1, 43)
+//	sess.RandomDense("V", 4000, 100, 0, 1, 44)
+//	out, _ := sess.Query(`O = X * log(U %*% t(V) + 1e-3)`)
+//	fmt.Println(out["O"].Dims())
+//	fmt.Println(sess.LastStats())
+package fuseme
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/dag"
+	"fuseme/internal/lang"
+	"fuseme/internal/matrix"
+)
+
+// ClusterConfig describes the simulated cluster a session runs on.
+type ClusterConfig struct {
+	Nodes         int     // worker nodes (paper: 8)
+	TasksPerNode  int     // concurrent tasks per node (paper: 12)
+	TaskMemBytes  int64   // memory budget per task θt (paper: 10 GiB)
+	NetBandwidth  float64 // peak network bandwidth per node, bytes/s (paper: 1 Gbps)
+	CompBandwidth float64 // peak compute bandwidth per node, flop/s (paper: 546 GFLOPS)
+	BlockSize     int     // block width/height (paper: 1000)
+	SimTimeLimit  float64 // simulated-seconds limit before ErrTimeout; 0 = none
+}
+
+// PaperClusterConfig returns the paper's evaluation cluster (Section 6.1).
+func PaperClusterConfig() ClusterConfig {
+	return fromInternal(cluster.Default())
+}
+
+// LocalClusterConfig returns a small configuration suitable for running
+// real computations on one machine: 2 nodes x 4 tasks, 64x64 blocks and no
+// simulated-time limit.
+func LocalClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Nodes:         2,
+		TasksPerNode:  4,
+		TaskMemBytes:  4 << 30,
+		NetBandwidth:  1e9,
+		CompBandwidth: 50e9,
+		BlockSize:     64,
+	}
+}
+
+func fromInternal(c cluster.Config) ClusterConfig {
+	return ClusterConfig{
+		Nodes:         c.Nodes,
+		TasksPerNode:  c.TasksPerNode,
+		TaskMemBytes:  c.TaskMemBytes,
+		NetBandwidth:  c.NetBandwidth,
+		CompBandwidth: c.CompBandwidth,
+		BlockSize:     c.BlockSize,
+		SimTimeLimit:  c.SimTimeLimit,
+	}
+}
+
+func (c ClusterConfig) internal() cluster.Config {
+	return cluster.Config{
+		Nodes:         c.Nodes,
+		TasksPerNode:  c.TasksPerNode,
+		TaskMemBytes:  c.TaskMemBytes,
+		NetBandwidth:  c.NetBandwidth,
+		CompBandwidth: c.CompBandwidth,
+		BlockSize:     c.BlockSize,
+		SimTimeLimit:  c.SimTimeLimit,
+		TaskOverhead:  0.005,
+	}
+}
+
+// Engine selects the planning/execution strategy of a session.
+type Engine string
+
+// Available engines.
+const (
+	EngineFuseME     Engine = "fuseme"     // CFG + CFO (the paper's system)
+	EngineSystemDS   Engine = "systemds"   // GEN fusion + BFO/RFO
+	EngineDistME     Engine = "distme"     // CuboidMM, no fusion
+	EngineMatFast    Engine = "matfast"    // folded element-wise operators
+	EngineTensorFlow Engine = "tensorflow" // XLA-style element-wise fusion
+)
+
+func (e Engine) internal() (core.Engine, error) {
+	switch e {
+	case EngineFuseME, "":
+		return core.FuseME{}, nil
+	case EngineSystemDS:
+		return core.SystemDSSim{}, nil
+	case EngineDistME:
+		return core.DistMESim{}, nil
+	case EngineMatFast:
+		return core.MatFastSim{}, nil
+	case EngineTensorFlow:
+		return core.TensorFlowSim{}, nil
+	}
+	return nil, fmt.Errorf("fuseme: unknown engine %q", string(e))
+}
+
+// Errors surfaced by query execution.
+var (
+	// ErrOutOfMemory reports that an operator's estimated per-task memory
+	// exceeded the cluster's task budget.
+	ErrOutOfMemory = cluster.ErrOutOfMemory
+	// ErrTimeout reports that the simulated time limit was exceeded.
+	ErrTimeout = cluster.ErrTimeout
+)
+
+// Stats summarises one query execution.
+type Stats struct {
+	ConsolidationBytes int64   // input blocks moved to tasks
+	AggregationBytes   int64   // partial results shuffled
+	Flops              int64   // floating-point operations executed
+	Stages             int     // distributed stages launched
+	Tasks              int     // tasks launched
+	SimSeconds         float64 // simulated elapsed time (paper's Eq. 2)
+	WallSeconds        float64 // real wall-clock time of local execution
+	PeakTaskMemBytes   int64   // per-task memory high-water mark
+}
+
+// TotalCommBytes is consolidation plus aggregation traffic — the
+// "communication cost" of the paper's figures.
+func (s Stats) TotalCommBytes() int64 { return s.ConsolidationBytes + s.AggregationBytes }
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("comm=%s flops=%d stages=%d tasks=%d simTime=%.3fs wall=%.3fs peakTaskMem=%s",
+		cluster.FormatBytes(s.TotalCommBytes()), s.Flops, s.Stages, s.Tasks,
+		s.SimSeconds, s.WallSeconds, cluster.FormatBytes(s.PeakTaskMemBytes))
+}
+
+func statsFrom(c cluster.Stats) Stats {
+	return Stats{
+		ConsolidationBytes: c.ConsolidationBytes,
+		AggregationBytes:   c.AggregationBytes,
+		Flops:              c.Flops,
+		Stages:             c.Stages,
+		Tasks:              c.Tasks,
+		SimSeconds:         c.SimSeconds,
+		WallSeconds:        c.WallSeconds,
+		PeakTaskMemBytes:   c.PeakTaskMemBytes,
+	}
+}
+
+// Matrix is a blocked matrix bound to a session.
+type Matrix struct {
+	name string
+	b    *block.Matrix
+}
+
+// Name returns the name the matrix is bound under (empty for results).
+func (m *Matrix) Name() string { return m.name }
+
+// Dims returns rows and columns.
+func (m *Matrix) Dims() (rows, cols int) { return m.b.Rows, m.b.Cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.b.At(i, j) }
+
+// NNZ returns the number of stored non-zero elements.
+func (m *Matrix) NNZ() int { return m.b.NNZ() }
+
+// Density returns NNZ / (rows*cols).
+func (m *Matrix) Density() float64 { return m.b.Density() }
+
+// SizeBytes returns the in-memory footprint.
+func (m *Matrix) SizeBytes() int64 { return m.b.SizeBytes() }
+
+// Dense returns the full contents as a row-major slice (rows*cols values).
+// Intended for small matrices and tests.
+func (m *Matrix) Dense() []float64 {
+	return matrix.ToDense(m.b.ToMat()).Data
+}
+
+// Write serialises the matrix in the engine's binary format.
+func (m *Matrix) Write(w io.Writer) error { return matrix.WriteTo(w, m.b.ToMat()) }
+
+// Session holds bound input matrices, the selected engine and the simulated
+// cluster. Sessions are not safe for concurrent use.
+type Session struct {
+	cfg    ClusterConfig
+	engine core.Engine
+	inputs map[string]*block.Matrix
+	last   Stats
+}
+
+// NewSession creates a session on the given cluster configuration, running
+// the FuseME engine by default.
+func NewSession(cfg ClusterConfig) (*Session, error) {
+	if err := cfg.internal().Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg, engine: core.FuseME{}, inputs: map[string]*block.Matrix{}}, nil
+}
+
+// SetEngine switches the planning/execution engine.
+func (s *Session) SetEngine(e Engine) error {
+	eng, err := e.internal()
+	if err != nil {
+		return err
+	}
+	s.engine = eng
+	return nil
+}
+
+// EngineName returns the active engine's display name.
+func (s *Session) EngineName() string { return s.engine.Name() }
+
+// bindBlock registers a blocked matrix under name.
+func (s *Session) bindBlock(name string, b *block.Matrix) *Matrix {
+	s.inputs[name] = b
+	return &Matrix{name: name, b: b}
+}
+
+// RandomDense binds a uniformly random dense matrix with values in [lo, hi).
+func (s *Session) RandomDense(name string, rows, cols int, lo, hi float64, seed int64) *Matrix {
+	return s.bindBlock(name, block.RandomDense(rows, cols, s.cfg.BlockSize, lo, hi, seed))
+}
+
+// RandomSparse binds a uniformly random sparse matrix at the given density.
+func (s *Session) RandomSparse(name string, rows, cols int, density, lo, hi float64, seed int64) *Matrix {
+	return s.bindBlock(name, block.RandomSparse(rows, cols, s.cfg.BlockSize, density, lo, hi, seed))
+}
+
+// FromDense binds a matrix from a row-major value slice.
+func (s *Session) FromDense(name string, rows, cols int, values []float64) (*Matrix, error) {
+	if len(values) != rows*cols {
+		return nil, fmt.Errorf("fuseme: %d values for a %dx%d matrix", len(values), rows, cols)
+	}
+	flat := matrix.NewDenseData(rows, cols, values)
+	return s.bindBlock(name, block.FromMat(flat, s.cfg.BlockSize)), nil
+}
+
+// ReadMatrix binds a matrix previously serialised with Matrix.WriteTo.
+func (s *Session) ReadMatrix(name string, r io.Reader) (*Matrix, error) {
+	m, err := matrix.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.bindBlock(name, block.FromMat(m, s.cfg.BlockSize)), nil
+}
+
+// LoadMatrix binds a matrix from a file in the engine's binary format.
+func (s *Session) LoadMatrix(name, path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return s.ReadMatrix(name, f)
+}
+
+// Bind re-registers an existing matrix (for example a previous query's
+// result) under a new input name.
+func (s *Session) Bind(name string, m *Matrix) {
+	if m == nil {
+		delete(s.inputs, name)
+		return
+	}
+	s.inputs[name] = m.b
+}
+
+// Unbind removes an input.
+func (s *Session) Unbind(name string) { delete(s.inputs, name) }
+
+// decls derives the language input declarations from the bound matrices.
+func (s *Session) decls() map[string]lang.InputDecl {
+	decls := make(map[string]lang.InputDecl, len(s.inputs))
+	for name, b := range s.inputs {
+		decls[name] = lang.InputDecl{Rows: b.Rows, Cols: b.Cols, Sparsity: clampDensity(b.Density())}
+	}
+	return decls
+}
+
+func clampDensity(d float64) float64 {
+	if d <= 0 {
+		return 1e-9
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// compile parses a script against the session's bound inputs.
+func (s *Session) compile(script string) (*dag.Graph, *core.PhysPlan, *cluster.Cluster, error) {
+	g, err := lang.Parse(script, s.decls())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cl, err := cluster.New(s.cfg.internal())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pp, err := s.engine.Compile(g, cl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, pp, cl, nil
+}
+
+// Query parses and executes a script, returning its named outputs. The
+// execution's metrics are available from LastStats afterwards.
+func (s *Session) Query(script string) (map[string]*Matrix, error) {
+	g, pp, cl, err := s.compile(script)
+	if err != nil {
+		return nil, err
+	}
+	needed := map[string]*block.Matrix{}
+	for _, in := range g.InputNodes() {
+		b, ok := s.inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("fuseme: input %q is not bound", in.Name)
+		}
+		needed[in.Name] = b
+	}
+	out, err := core.Execute(pp, cl, needed)
+	s.last = statsFrom(cl.Stats())
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[string]*Matrix, len(out))
+	for name, b := range out {
+		res[name] = &Matrix{b: b}
+	}
+	return res, nil
+}
+
+// Explain compiles a script and returns the physical plan description —
+// which operators fuse, the strategy (CFO/BFO/RFO/...) and the chosen
+// (P,Q,R) parameters.
+func (s *Session) Explain(script string) (string, error) {
+	_, pp, _, err := s.compile(script)
+	if err != nil {
+		return "", err
+	}
+	return pp.Describe(), nil
+}
+
+// Simulate compiles a script and dry-runs it at full scale without
+// computing any values: inputs need not be bound; their shapes are taken
+// from shapes. Use this to explore cluster behaviour at dimensions that do
+// not fit in local memory.
+func (s *Session) Simulate(script string, shapes map[string]Shape) (Stats, error) {
+	decls := make(map[string]lang.InputDecl, len(shapes))
+	for name, sh := range shapes {
+		sp := sh.Density
+		if sp <= 0 {
+			sp = 1
+		}
+		decls[name] = lang.InputDecl{Rows: sh.Rows, Cols: sh.Cols, Sparsity: sp}
+	}
+	g, err := lang.Parse(script, decls)
+	if err != nil {
+		return Stats{}, err
+	}
+	cl, err := cluster.New(s.cfg.internal())
+	if err != nil {
+		return Stats{}, err
+	}
+	pp, err := s.engine.Compile(g, cl)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := core.Simulate(pp, cl)
+	return statsFrom(st), err
+}
+
+// Shape declares an input for Simulate.
+type Shape struct {
+	Rows, Cols int
+	Density    float64 // estimated non-zero fraction; 0 or 1 for dense
+}
+
+// LastStats returns the metrics of the most recent Query execution.
+func (s *Session) LastStats() Stats { return s.last }
+
+// IsOutOfMemory reports whether err is a task-memory admission failure.
+func IsOutOfMemory(err error) bool { return errors.Is(err, ErrOutOfMemory) }
+
+// IsTimeout reports whether err is a simulated-time overrun.
+func IsTimeout(err error) bool { return errors.Is(err, ErrTimeout) }

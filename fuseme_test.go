@@ -1,0 +1,246 @@
+package fuseme
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSessionQueryNMF(t *testing.T) {
+	sess := newTestSession(t)
+	sess.RandomSparse("X", 80, 70, 0.05, 1, 5, 1)
+	sess.RandomDense("U", 80, 10, 0.5, 1.5, 2)
+	sess.RandomDense("V", 70, 10, 0.5, 1.5, 3)
+	out, err := sess.Query("O = X * log(U %*% t(V) + 1e-3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := out["O"]
+	if o == nil {
+		t.Fatal("missing output O")
+	}
+	if r, c := o.Dims(); r != 80 || c != 70 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if o.NNZ() == 0 {
+		t.Fatal("empty result")
+	}
+	st := sess.LastStats()
+	if st.TotalCommBytes() <= 0 || st.Flops <= 0 || st.Stages <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "comm=") {
+		t.Fatal("Stats.String broken")
+	}
+}
+
+func TestSessionEngines(t *testing.T) {
+	var want []float64
+	for i, e := range []Engine{EngineFuseME, EngineSystemDS, EngineDistME, EngineMatFast, EngineTensorFlow} {
+		sess := newTestSession(t)
+		if err := sess.SetEngine(e); err != nil {
+			t.Fatal(err)
+		}
+		sess.RandomSparse("X", 40, 40, 0.1, 1, 2, 1)
+		sess.RandomDense("U", 40, 6, 0.5, 1.5, 2)
+		sess.RandomDense("V", 6, 40, 0.5, 1.5, 3)
+		out, err := sess.Query("O = (U %*% V) * X")
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		got := out["O"].Dense()
+		if i == 0 {
+			want = got
+			continue
+		}
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-9 {
+				t.Fatalf("%s: result differs at %d", e, j)
+			}
+		}
+	}
+	if err := (&Session{}).SetEngine("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestSessionExplain(t *testing.T) {
+	sess := newTestSession(t)
+	sess.RandomSparse("X", 100, 100, 0.02, 1, 2, 1)
+	sess.RandomDense("U", 100, 8, 0, 1, 2)
+	sess.RandomDense("V", 100, 8, 0, 1, 3)
+	plan, err := sess.Explain("O = X * log(U %*% t(V) + 1e-3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "CFO") {
+		t.Fatalf("plan lacks CFO:\n%s", plan)
+	}
+}
+
+func TestSessionSimulatePaperScale(t *testing.T) {
+	sess, err := NewSession(PaperClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Simulate("O = X * log(U %*% t(V) + 1e-3)", map[string]Shape{
+		"X": {Rows: 100_000, Cols: 100_000, Density: 0.001},
+		"U": {Rows: 100_000, Cols: 2000},
+		"V": {Rows: 100_000, Cols: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimSeconds <= 0 || st.TotalCommBytes() <= 0 {
+		t.Fatalf("degenerate simulation: %+v", st)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	sess := newTestSession(t)
+	if _, err := sess.Query("O = missing + 1"); err == nil {
+		t.Fatal("unbound input accepted")
+	}
+	if _, err := sess.Query("= bad syntax"); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := sess.FromDense("A", 2, 2, []float64{1}); err == nil {
+		t.Fatal("bad FromDense accepted")
+	}
+	if _, err := NewSession(ClusterConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestFromDenseAndAccessors(t *testing.T) {
+	sess := newTestSession(t)
+	m, err := sess.FromDense("A", 2, 3, []float64{1, 0, 2, 0, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "A" {
+		t.Fatalf("name %q", m.Name())
+	}
+	if m.At(1, 1) != 3 {
+		t.Fatal("At wrong")
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ %d", m.NNZ())
+	}
+	if d := m.Density(); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("density %v", d)
+	}
+	vals := m.Dense()
+	if len(vals) != 6 || vals[2] != 2 {
+		t.Fatalf("Dense %v", vals)
+	}
+	out, err := sess.Query("B = A * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["B"].At(1, 1) != 6 {
+		t.Fatal("query over FromDense wrong")
+	}
+}
+
+func TestMatrixIORoundTrip(t *testing.T) {
+	sess := newTestSession(t)
+	m := sess.RandomSparse("X", 30, 20, 0.2, -1, 1, 7)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sess.ReadMatrix("Y", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatal("round trip changed nnz")
+	}
+	out, err := sess.Query("D = sum(X - Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out["D"].At(0, 0)) > 1e-12 {
+		t.Fatal("round trip changed values")
+	}
+}
+
+func TestBindResultAsInput(t *testing.T) {
+	sess := newTestSession(t)
+	sess.RandomDense("A", 20, 20, 0, 1, 1)
+	out, err := sess.Query("B = A + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Bind("B", out["B"])
+	out2, err := sess.Query("C = B * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (sess.inputs["A"].At(3, 4) + 1) * 2
+	if math.Abs(out2["C"].At(3, 4)-want) > 1e-12 {
+		t.Fatal("chained query wrong")
+	}
+	sess.Unbind("B")
+	if _, err := sess.Query("C = B * 2"); err == nil {
+		t.Fatal("unbound name still resolved")
+	}
+}
+
+func TestGNMFViaPublicAPI(t *testing.T) {
+	sess := newTestSession(t)
+	sess.RandomDense("X", 32, 24, 0.5, 1.5, 1)
+	sess.RandomDense("U", 4, 24, 0.2, 0.8, 2)
+	sess.RandomDense("V", 32, 4, 0.2, 0.8, 3)
+	script := `
+U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))
+`
+	for i := 0; i < 3; i++ {
+		out, err := sess.Query(script)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		sess.Bind("U", out["U2"])
+		sess.Bind("V", out["V2"])
+	}
+	loss, err := sess.Query("l = sum((X - V %*% U)^2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss["l"].At(0, 0)) {
+		t.Fatal("NaN loss")
+	}
+}
+
+func TestOOMSurfacedThroughAPI(t *testing.T) {
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 8
+	cfg.TaskMemBytes = 4096
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetEngine(EngineMatFast); err != nil {
+		t.Fatal(err)
+	}
+	sess.RandomDense("U", 64, 64, 0, 1, 1)
+	sess.RandomDense("V", 64, 64, 0, 1, 2)
+	_, err = sess.Query("O = U %*% V")
+	if !IsOutOfMemory(err) {
+		t.Fatalf("err = %v, want O.O.M.", err)
+	}
+}

@@ -1,0 +1,3 @@
+module fuseme
+
+go 1.22

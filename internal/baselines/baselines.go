@@ -1,0 +1,149 @@
+// Package baselines reproduces the fusion plan generators of the systems the
+// paper compares against:
+//
+//   - GEN (SystemDS): template-based fusion — Cell chains, plus Outer
+//     templates that include a matrix multiplication only when sparsity
+//     exploitation applies; large multiplications otherwise stay unfused
+//     (Section 4: "GEN generates a partial fusion plan that includes
+//     large-scale matrix multiplication only when sparsity exploitation is
+//     possible").
+//   - MatFast: folded operators over consecutive element-wise operators
+//     only.
+//   - DistME: no fusion at all — every operator runs standalone (its
+//     contribution is CuboidMM for the multiplications, applied by the
+//     engine layer).
+package baselines
+
+import (
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/matrix"
+)
+
+// GENGenerate builds the SystemDS-style plan set for g.
+func GENGenerate(g *dag.Graph, rule fusion.TermRule) fusion.Set {
+	used := map[int]bool{}
+	var set fusion.Set
+	set.Plans = append(set.Plans, outerTemplates(g, used, rule)...)
+	set.Plans = append(set.Plans, fusion.CellFuse(g, used, rule)...)
+	set.Plans = append(set.Plans, fusion.Singletons(g, used)...)
+	set.Sort()
+	return set
+}
+
+// MatFastGenerate builds the MatFast-style plan set: folded element-wise
+// chains, everything else standalone.
+func MatFastGenerate(g *dag.Graph, rule fusion.TermRule) fusion.Set {
+	used := map[int]bool{}
+	var set fusion.Set
+	set.Plans = append(set.Plans, fusion.CellFuse(g, used, rule)...)
+	set.Plans = append(set.Plans, fusion.Singletons(g, used)...)
+	set.Sort()
+	return set
+}
+
+// DistMEGenerate builds the unfused plan set: one singleton per operator.
+func DistMEGenerate(g *dag.Graph) fusion.Set {
+	var set fusion.Set
+	set.Plans = fusion.Singletons(g, map[int]bool{})
+	set.Sort()
+	return set
+}
+
+// outerTemplates finds GEN's Outer fusion opportunities: a multiplication
+// whose output flows through element-wise operators into a multiply with a
+// sparse driver. The whole chain (multiplication included) becomes one plan,
+// extended upward through further element-wise non-termination operators.
+func outerTemplates(g *dag.Graph, used map[int]bool, rule fusion.TermRule) []*fusion.Plan {
+	var plans []*fusion.Plan
+	reach := g.ReachableFromOutputs()
+	for _, mm := range g.Nodes() {
+		if mm.Op != dag.OpMatMul || used[mm.ID] || !reach[mm.ID] {
+			continue
+		}
+		chain, mul := sparseDriverChain(mm, rule)
+		if mul == nil {
+			continue
+		}
+		members := map[int]*dag.Node{mm.ID: mm}
+		for _, n := range chain {
+			members[n.ID] = n
+		}
+		members[mul.ID] = mul
+		// Include transposes feeding the multiplication's side inputs (the
+		// BFO/RFO examples execute t(V) inside the fused operator).
+		for _, in := range mm.Inputs {
+			if in.Op == dag.OpTranspose && !used[in.ID] && !rule.IsTermination(in) {
+				members[in.ID] = in
+			}
+		}
+		// Grow upward through element-wise, non-termination consumers.
+		top := mul
+		for top.NumConsumers() == 1 && !rule.IsTermination(top) {
+			c := top.Consumers()[0]
+			if used[c.ID] || (c.Op != dag.OpUnary && c.Op != dag.OpBinary) {
+				break
+			}
+			members[c.ID] = c
+			top = c
+		}
+		p, err := fusion.NewPlan(top, members)
+		if err != nil {
+			continue
+		}
+		// The template is only worthwhile when sparsity exploitation
+		// actually applies.
+		if fusion.FindOuterMask(p) == nil {
+			continue
+		}
+		for id := range p.Members {
+			used[id] = true
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// sparseDriverChain walks up from a multiplication through single-consumer
+// element-wise operators looking for a multiply with a sparse external
+// operand of the multiplication's shape. Returns the intermediate chain and
+// the multiply, or nil when the template does not match.
+func sparseDriverChain(mm *dag.Node, rule fusion.TermRule) ([]*dag.Node, *dag.Node) {
+	var chain []*dag.Node
+	cur := mm
+	for {
+		if cur.NumConsumers() != 1 {
+			return nil, nil
+		}
+		c := cur.Consumers()[0]
+		if c.Op == dag.OpBinary && c.BinOp == matrix.Mul {
+			for _, cand := range c.Inputs {
+				if cand.Op == dag.OpInput && cand.Sparsity < fusion.OuterSparsityThreshold &&
+					cand.Rows == c.Rows && cand.Cols == c.Cols {
+					return chain, c
+				}
+			}
+		}
+		switch c.Op {
+		case dag.OpUnary:
+			chain = append(chain, c)
+		case dag.OpBinary:
+			// Continue only when the other operand is scalar-shaped or an
+			// external leaf (keeps the chain a tree).
+			other := c.Inputs[0]
+			if other == cur {
+				other = c.Inputs[1]
+			}
+			if !other.IsLeaf() && !other.IsScalarShaped() {
+				return nil, nil
+			}
+			chain = append(chain, c)
+		default:
+			return nil, nil
+		}
+		if rule.IsTermination(c) {
+			return nil, nil
+		}
+		cur = c
+	}
+}

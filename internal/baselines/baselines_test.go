@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"testing"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/lang"
+)
+
+func mustParse(t testing.TB, src string, inputs map[string]lang.InputDecl) *dag.Graph {
+	t.Helper()
+	g, err := lang.Parse(src, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gnmfGraph(t testing.TB) *dag.Graph {
+	return mustParse(t, `
+U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))
+`, map[string]lang.InputDecl{
+		"X": {Rows: 480_189, Cols: 17_770, Sparsity: 0.0118},
+		"U": {Rows: 200, Cols: 17_770, Sparsity: 1},
+		"V": {Rows: 480_189, Cols: 200, Sparsity: 1},
+	})
+}
+
+func nmfGraph(t testing.TB) *dag.Graph {
+	return mustParse(t, "O = X * log(U %*% t(V) + 1e-3)", map[string]lang.InputDecl{
+		"X": {Rows: 100_000, Cols: 100_000, Sparsity: 0.001},
+		"U": {Rows: 100_000, Cols: 2_000, Sparsity: 1},
+		"V": {Rows: 100_000, Cols: 2_000, Sparsity: 1},
+	})
+}
+
+func TestGENFusesOnlyElementwiseForGNMF(t *testing.T) {
+	// Figure 1(c) / Section 6.4: for GNMF, SystemDS fuses only the two
+	// element-wise operators (* and /) per update; every multiplication runs
+	// standalone because X is not sparse enough for the Outer template
+	// everywhere it would need to be.
+	g := gnmfGraph(t)
+	rule := fusion.RuleFor(g, 10<<30)
+	set := GENGenerate(g, rule)
+	if err := set.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range set.Plans {
+		if p.MainMM != nil && p.Size() > 1 {
+			t.Errorf("GEN fused a multiplication with other operators: %v", p)
+		}
+		if p.MainMM == nil && p.Size() > 2 {
+			t.Errorf("GEN cell chain too large: %v", p)
+		}
+	}
+	// The two-element-wise chains exist.
+	cells := 0
+	for _, p := range set.Plans {
+		if p.MainMM == nil && p.Size() == 2 {
+			cells++
+		}
+	}
+	if cells != 2 {
+		t.Fatalf("found %d two-op cell chains, want 2 (one per factor update)", cells)
+	}
+}
+
+func TestGENOuterTemplateNMF(t *testing.T) {
+	// The NMF kernel has a sparse driver, so GEN fuses the multiplication
+	// via the Outer template — the whole query becomes one fused operator.
+	g := nmfGraph(t)
+	rule := fusion.RuleFor(g, 10<<30)
+	set := GENGenerate(g, rule)
+	if err := set.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Plans) != 1 {
+		for _, p := range set.Plans {
+			t.Logf("plan: %v", p)
+		}
+		t.Fatalf("%d plans, want 1", len(set.Plans))
+	}
+	p := set.Plans[0]
+	if p.Classify() != fusion.Outer {
+		t.Fatalf("classified %v, want Outer", p.Classify())
+	}
+	if fusion.FindOuterMask(p) == nil {
+		t.Fatal("no outer mask on GEN's plan")
+	}
+}
+
+func TestGENOuterRejectedForDenseDriver(t *testing.T) {
+	g := mustParse(t, "O = X * log(U %*% t(V) + 1e-3)", map[string]lang.InputDecl{
+		"X": {Rows: 10_000, Cols: 10_000, Sparsity: 0.9},
+		"U": {Rows: 10_000, Cols: 200, Sparsity: 1},
+		"V": {Rows: 10_000, Cols: 200, Sparsity: 1},
+	})
+	rule := fusion.RuleFor(g, 10<<30)
+	set := GENGenerate(g, rule)
+	for _, p := range set.Plans {
+		if p.MainMM != nil && p.Size() > 1 {
+			t.Fatalf("dense driver must not form an Outer template: %v", p)
+		}
+	}
+}
+
+func TestMatFastFoldsOnlyElementwise(t *testing.T) {
+	g := gnmfGraph(t)
+	rule := fusion.RuleFor(g, 10<<30)
+	set := MatFastGenerate(g, rule)
+	if err := set.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range set.Plans {
+		if p.MainMM != nil && p.Size() > 1 {
+			t.Errorf("MatFast fused a multiplication: %v", p)
+		}
+	}
+}
+
+func TestDistMENoFusion(t *testing.T) {
+	g := gnmfGraph(t)
+	set := DistMEGenerate(g)
+	if err := set.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range set.Plans {
+		if p.Size() != 1 {
+			t.Errorf("DistME plan has %d members, want 1", p.Size())
+		}
+	}
+}
+
+func TestSetsAreTopologicallySorted(t *testing.T) {
+	g := gnmfGraph(t)
+	rule := fusion.RuleFor(g, 10<<30)
+	for name, set := range map[string]fusion.Set{
+		"gen":     GENGenerate(g, rule),
+		"matfast": MatFastGenerate(g, rule),
+		"distme":  DistMEGenerate(g),
+	} {
+		produced := map[int]bool{}
+		for _, in := range g.InputNodes() {
+			produced[in.ID] = true
+		}
+		for _, p := range set.Plans {
+			for _, in := range p.ExternalInputs() {
+				if in.Op == dag.OpScalar || in.Op == dag.OpInput {
+					continue
+				}
+				if !produced[in.ID] {
+					t.Errorf("%s: plan %v consumes node %d before it is produced", name, p, in.ID)
+				}
+			}
+			produced[p.Root.ID] = true
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package cfg
+
+import (
+	"testing"
+
+	"fuseme/internal/cost"
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/lang"
+)
+
+// Local graph builders (the workloads package cannot be imported here: it
+// depends on the engine layer, which depends on this package).
+
+func mustParse(t testing.TB, src string, inputs map[string]lang.InputDecl) *dag.Graph {
+	t.Helper()
+	g, err := lang.Parse(src, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gnmfGraph(t testing.TB, users, items, k int, density float64) *dag.Graph {
+	return mustParse(t, `
+U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))
+`, map[string]lang.InputDecl{
+		"X": {Rows: users, Cols: items, Sparsity: density},
+		"U": {Rows: k, Cols: items, Sparsity: 1},
+		"V": {Rows: users, Cols: k, Sparsity: 1},
+	})
+}
+
+func nmfGraph(t testing.TB, rows, cols, k int, density float64) *dag.Graph {
+	return mustParse(t, "O = X * log(U %*% t(V) + 1e-3)", map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: k, Sparsity: 1},
+		"V": {Rows: cols, Cols: k, Sparsity: 1},
+	})
+}
+
+func paperModel() cost.Model {
+	return cost.Model{Nodes: 8, NetBW: 125e6, CompBW: 546e9, TaskMemBytes: 10 << 30, MinTasks: 96}
+}
+
+// gnmfStructure finds, per output, the generated plan sizes for the GNMF
+// graph (Figure 10).
+func TestExplorationPhaseGNMF(t *testing.T) {
+	// YahooMusic-scale GNMF with k=200.
+	g := gnmfGraph(t, 1_823_179, 136_736, 200, 0.0029)
+	rule := fusion.RuleFor(g, 10<<30)
+	candidates := ExplorationPhase(g, rule)
+	// Two candidate mm-plans, one per factor update (the transposes are
+	// materialisation points and stay outside, exactly as in Figure 10(a)).
+	if len(candidates) != 2 {
+		for _, p := range candidates {
+			t.Logf("candidate: %v", p)
+		}
+		t.Fatalf("%d candidates, want 2", len(candidates))
+	}
+	for _, p := range candidates {
+		// Each candidate holds the three multiplications and two
+		// element-wise operators of one update: {v1..v5} of Figure 10(a).
+		if got := len(p.MatMuls()); got != 3 {
+			t.Errorf("candidate %v has %d matmuls, want 3", p, got)
+		}
+		if p.Size() != 5 {
+			t.Errorf("candidate %v has %d members, want 5", p, p.Size())
+		}
+		if p.Root.NumConsumers() != 0 {
+			t.Errorf("candidate root %s is not a query root", p.Root.Label())
+		}
+	}
+}
+
+func TestExploitationPhaseSplitsDistantMM(t *testing.T) {
+	// At YahooMusic scale the doubly nested t(V) x V chain replicates enough
+	// that splitting it out wins (Figure 10(b): F1 -> F'1 + v2).
+	g := gnmfGraph(t, 1_823_179, 136_736, 200, 0.0029)
+	rule := fusion.RuleFor(g, 10<<30)
+	candidates := ExplorationPhase(g, rule)
+	final, params := ExploitationPhase(candidates, paperModel(), 1000)
+	if len(final) <= len(candidates) {
+		t.Fatalf("exploitation did not split: %d plans from %d candidates", len(final), len(candidates))
+	}
+	// Every mm-plan received feasible parameters.
+	for _, p := range final {
+		if p.MainMM == nil {
+			continue
+		}
+		res, ok := params[p]
+		if !ok {
+			t.Errorf("plan %v has no parameters", p)
+			continue
+		}
+		if !res.Feasible {
+			t.Errorf("plan %v infeasible after exploitation", p)
+		}
+	}
+	// The split-off plans are rooted at multiplications (the k x k chains).
+	var splitRoots int
+	for _, p := range final {
+		if p.Root.Op == dag.OpMatMul {
+			splitRoots++
+		}
+	}
+	if splitRoots == 0 {
+		t.Fatal("no split plan rooted at a multiplication")
+	}
+}
+
+func TestGenerateCoversWholeGraph(t *testing.T) {
+	graphs := map[string]*dag.Graph{
+		"gnmf": gnmfGraph(t, 100_000, 50_000, 200, 0.001),
+		"nmf":  nmfGraph(t, 100_000, 100_000, 2000, 0.001),
+		"als": mustParse(t, "loss = sum((X != 0) * (X - U %*% V)^2)", map[string]lang.InputDecl{
+			"X": {Rows: 100_000, Cols: 100_000, Sparsity: 0.001},
+			"U": {Rows: 100_000, Cols: 100, Sparsity: 1},
+			"V": {Rows: 100, Cols: 100_000, Sparsity: 1},
+		}),
+		"pca": mustParse(t, "O = t(X %*% S) %*% X", map[string]lang.InputDecl{
+			"X": {Rows: 100_000, Cols: 1000, Sparsity: 1},
+			"S": {Rows: 1000, Cols: 10, Sparsity: 1},
+		}),
+		"outer": mustParse(t, "O = (U %*% V) * X", map[string]lang.InputDecl{
+			"X": {Rows: 100_000, Cols: 100_000, Sparsity: 0.001},
+			"U": {Rows: 100_000, Cols: 100, Sparsity: 1},
+			"V": {Rows: 100, Cols: 100_000, Sparsity: 1},
+		}),
+		"multiagg": mustParse(t, "s1 = sum(U * X); s2 = sum(X * V)", map[string]lang.InputDecl{
+			"X": {Rows: 10_000, Cols: 10_000, Sparsity: 0.01},
+			"U": {Rows: 10_000, Cols: 10_000, Sparsity: 1},
+			"V": {Rows: 10_000, Cols: 10_000, Sparsity: 1},
+		}),
+	}
+	for name, g := range graphs {
+		res, err := Generate(g, paperModel(), 1000)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := res.Set.Validate(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateNMFSinglePlan(t *testing.T) {
+	// The NMF kernel fuses into exactly one CFO ("the entire query is
+	// executed as a single fused operator", Section 6.2).
+	g := nmfGraph(t, 100_000, 100_000, 2000, 0.001)
+	res, err := Generate(g, paperModel(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set.Plans) != 1 {
+		for _, p := range res.Set.Plans {
+			t.Logf("plan: %v", p)
+		}
+		t.Fatalf("%d plans, want 1", len(res.Set.Plans))
+	}
+	p := res.Set.Plans[0]
+	if p.Classify() != fusion.Outer {
+		t.Fatalf("classified %v, want Outer", p.Classify())
+	}
+	if !res.Params[p].Feasible {
+		t.Fatal("single plan infeasible")
+	}
+}
+
+func TestCFGFusesLargeMatMulUnlikeGEN(t *testing.T) {
+	// The headline difference (Figure 1(c)): for (X x t(V) * U) / (t(V) x V
+	// x U)-style queries CFG keeps the large multiplication inside the
+	// fusion plan.
+	g := gnmfGraph(t, 1_823_179, 136_736, 1000, 0.0029)
+	res, err := Generate(g, paperModel(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLargeFused := false
+	for _, p := range res.Set.Plans {
+		if p.MainMM != nil && p.Size() > 1 {
+			vox := int64(p.MainMM.Rows) * int64(p.MainMM.Cols) * int64(p.MainMM.Inputs[0].Cols)
+			if vox > 1e12 {
+				foundLargeFused = true
+			}
+		}
+	}
+	if !foundLargeFused {
+		t.Fatal("CFG fused no large matmul")
+	}
+}
+
+func TestSplitPreservesSemantics(t *testing.T) {
+	// split() must partition members and leave both plans valid.
+	g := gnmfGraph(t, 10_000, 8_000, 200, 0.01)
+	rule := fusion.RuleFor(g, 10<<30)
+	for _, f := range ExplorationPhase(g, rule) {
+		for _, vi := range secondaryMatMuls(f) {
+			fm, fi, err := split(f, vi)
+			if err != nil {
+				t.Fatalf("split: %v", err)
+			}
+			if fm.Size()+fi.Size() != f.Size() {
+				t.Fatalf("split lost members: %d + %d != %d", fm.Size(), fi.Size(), f.Size())
+			}
+			if fi.Root != vi {
+				t.Fatal("split subtree not rooted at vi")
+			}
+			if err := fm.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fi.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSecondaryMatMulsSortedByDistance(t *testing.T) {
+	g := gnmfGraph(t, 1_823_179, 136_736, 200, 0.0029)
+	rule := fusion.RuleFor(g, 10<<30)
+	for _, f := range ExplorationPhase(g, rule) {
+		sp := secondaryMatMuls(f)
+		if len(sp) != 2 {
+			t.Fatalf("%d secondary matmuls, want 2", len(sp))
+		}
+		d := hopDistances(f)
+		if d[sp[0].ID] < d[sp[1].ID] {
+			t.Fatal("secondary matmuls not sorted by descending distance")
+		}
+		// Figure 11's observation: the doubly nested k x k multiplication is
+		// the most distant.
+		if d[sp[0].ID] != 4 || d[sp[1].ID] != 3 {
+			t.Fatalf("distances %d,%d; want 4,3", d[sp[0].ID], d[sp[1].ID])
+		}
+	}
+}

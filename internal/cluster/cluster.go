@@ -1,0 +1,360 @@
+// Package cluster implements the simulated distributed runtime the engines
+// execute on. It stands in for the paper's Spark cluster (one coordinator +
+// eight workers, 12 tasks per node, 1 Gbps Ethernet): tasks run as goroutines
+// on a bounded pool, every block that moves between storage, the driver and a
+// task is metered in bytes, per-task memory is tracked against the budget θt,
+// and a simulated clock advances per execution stage by the paper's Eq. 2:
+//
+//	stageTime = max(stageBytes / (N * B̂n), stageFlops / (N * B̂c))
+//
+// because computation and communication overlap within a stage. Real local
+// arithmetic still runs (and is verified against references in tests); only
+// placement and the clock are simulated.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuseme/internal/matrix"
+)
+
+// ErrOutOfMemory is returned (wrapped) when an operator's estimated per-task
+// memory exceeds the task budget. This is the O.O.M. of the paper's figures.
+var ErrOutOfMemory = errors.New("task memory budget exceeded (O.O.M.)")
+
+// ErrTimeout is returned (wrapped) when the simulated clock passes the
+// configured limit. This is the T.O. (12 h in the paper) of the figures.
+var ErrTimeout = errors.New("simulated time limit exceeded (T.O.)")
+
+// errInjectedFailure marks failures produced by Config.InjectTaskFailure.
+var errInjectedFailure = errors.New("injected task failure")
+
+// Config describes the simulated cluster.
+type Config struct {
+	Nodes         int     // N: number of worker nodes
+	TasksPerNode  int     // Tc: concurrent tasks per node
+	TaskMemBytes  int64   // θt: memory budget per task
+	NetBandwidth  float64 // B̂n: peak network bandwidth per node, bytes/s
+	CompBandwidth float64 // B̂c: peak computation bandwidth per node, flop/s
+	BlockSize     int     // block width/height in elements
+	SimTimeLimit  float64 // simulated seconds before ErrTimeout; 0 disables
+	TaskOverhead  float64 // simulated seconds of scheduling overhead per task wave
+
+	// MaxTaskRetries is how many times a failed task is re-attempted before
+	// the stage fails (Spark's task retry). Zero means no retries.
+	MaxTaskRetries int
+	// InjectTaskFailure, when non-nil, is consulted before each task
+	// attempt; returning true makes the attempt fail with a transient
+	// error. Used by failure-injection tests to exercise retry paths.
+	InjectTaskFailure func(taskID, attempt int) bool
+}
+
+// Default returns the paper's cluster shape (Section 6.1): 8 worker nodes,
+// 12 tasks per node, 10 GB per task, 1 Gbps Ethernet (125 MB/s) and
+// 546 GFLOPS per node, 1000x1000 blocks.
+func Default() Config {
+	return Config{
+		Nodes:         8,
+		TasksPerNode:  12,
+		TaskMemBytes:  10 << 30,
+		NetBandwidth:  125e6,
+		CompBandwidth: 546e9,
+		BlockSize:     1000,
+		SimTimeLimit:  12 * 3600,
+		// Spark launches one job per distributed operator; scheduling,
+		// serialisation and shuffle setup cost on the order of a second per
+		// task wave. Fusion's stage-count reduction is visible through this
+		// constant (most prominently in the AutoEncoder comparison).
+		TaskOverhead: 1.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes = %d, must be positive", c.Nodes)
+	case c.TasksPerNode <= 0:
+		return fmt.Errorf("cluster: TasksPerNode = %d, must be positive", c.TasksPerNode)
+	case c.TaskMemBytes <= 0:
+		return fmt.Errorf("cluster: TaskMemBytes = %d, must be positive", c.TaskMemBytes)
+	case c.NetBandwidth <= 0 || c.CompBandwidth <= 0:
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	case c.BlockSize <= 0:
+		return fmt.Errorf("cluster: BlockSize = %d, must be positive", c.BlockSize)
+	}
+	return nil
+}
+
+// TotalSlots returns N * Tc, the maximum parallelism of the cluster.
+func (c Config) TotalSlots() int { return c.Nodes * c.TasksPerNode }
+
+// Stats accumulates execution metrics across stages. All byte counts are the
+// "amount of transferred data" the paper reports as communication cost.
+type Stats struct {
+	ConsolidationBytes int64   // matrix consolidation step: inputs to tasks
+	AggregationBytes   int64   // matrix aggregation step: shuffled partials
+	Flops              int64   // floating-point operations executed
+	Stages             int     // distributed stages launched
+	Tasks              int     // tasks launched across all stages
+	SimSeconds         float64 // simulated elapsed time (Eq. 2 per stage)
+	WallSeconds        float64 // real wall-clock time of local execution
+	PeakTaskMemBytes   int64   // max per-task memory high-water mark
+	MaxTaskFlops       int64   // heaviest single task (load-balance metric)
+}
+
+// TotalCommBytes is consolidation plus aggregation traffic.
+func (s Stats) TotalCommBytes() int64 { return s.ConsolidationBytes + s.AggregationBytes }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ConsolidationBytes += other.ConsolidationBytes
+	s.AggregationBytes += other.AggregationBytes
+	s.Flops += other.Flops
+	s.Stages += other.Stages
+	s.Tasks += other.Tasks
+	s.SimSeconds += other.SimSeconds
+	s.WallSeconds += other.WallSeconds
+	if other.PeakTaskMemBytes > s.PeakTaskMemBytes {
+		s.PeakTaskMemBytes = other.PeakTaskMemBytes
+	}
+	if other.MaxTaskFlops > s.MaxTaskFlops {
+		s.MaxTaskFlops = other.MaxTaskFlops
+	}
+}
+
+// Cluster is a simulated cluster instance. It is safe for use by one
+// execution at a time; stats reads are safe concurrently with stages.
+type Cluster struct {
+	cfg Config
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configs (tests, examples).
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of accumulated metrics.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats clears accumulated metrics (between experiments).
+func (c *Cluster) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// CheckAdmission rejects an operator whose estimated per-task memory exceeds
+// the budget, wrapping ErrOutOfMemory. Engines with no partitioning knob
+// (BFO, MatFast's folded operators) fail here, as in the paper.
+func (c *Cluster) CheckAdmission(estTaskMemBytes int64, what string) error {
+	if estTaskMemBytes > c.cfg.TaskMemBytes {
+		return fmt.Errorf("%s needs %s per task, budget %s: %w",
+			what, FormatBytes(estTaskMemBytes), FormatBytes(c.cfg.TaskMemBytes), ErrOutOfMemory)
+	}
+	return nil
+}
+
+// Task is the handle a stage function uses to meter its data movement,
+// computation and memory. Not safe for concurrent use (each task owns one).
+type Task struct {
+	ID int
+
+	consolidationBytes int64
+	aggregationBytes   int64
+	flops              int64
+	memBytes           int64
+	memPeak            int64
+}
+
+// FetchBlock meters a block moved to this task during matrix consolidation
+// and counts it against the task's live memory.
+func (t *Task) FetchBlock(m matrix.Mat) {
+	if m == nil {
+		return
+	}
+	n := m.SizeBytes()
+	t.consolidationBytes += n
+	t.GrowMem(n)
+}
+
+// FetchBytes meters raw consolidation traffic (for metadata or pre-sized
+// estimates) without a concrete block.
+func (t *Task) FetchBytes(n int64) {
+	t.consolidationBytes += n
+	t.GrowMem(n)
+}
+
+// SendBlock meters a partial-result block shuffled out of this task during
+// matrix aggregation.
+func (t *Task) SendBlock(m matrix.Mat) {
+	if m == nil {
+		return
+	}
+	t.aggregationBytes += m.SizeBytes()
+}
+
+// SendBytes meters raw aggregation traffic.
+func (t *Task) SendBytes(n int64) { t.aggregationBytes += n }
+
+// AddFlops meters floating-point work executed by this task.
+func (t *Task) AddFlops(n int64) { t.flops += n }
+
+// GrowMem increases the task's live-memory estimate and updates its peak.
+func (t *Task) GrowMem(n int64) {
+	t.memBytes += n
+	if t.memBytes > t.memPeak {
+		t.memPeak = t.memBytes
+	}
+}
+
+// ShrinkMem decreases the live-memory estimate (a block was released).
+func (t *Task) ShrinkMem(n int64) { t.memBytes -= n }
+
+// RunStage executes numTasks tasks as one distributed stage. fn runs once
+// per task (possibly concurrently, bounded by GOMAXPROCS and the cluster's
+// slot count); task metrics are folded into the cluster stats and the
+// simulated clock advances per Eq. 2. The first task error aborts the stage.
+// A simulated-time overrun returns a wrapped ErrTimeout.
+func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) error {
+	if numTasks < 0 {
+		return fmt.Errorf("cluster: stage %q: negative task count", name)
+	}
+	start := time.Now()
+	workers := c.cfg.TotalSlots()
+	if n := runtime.GOMAXPROCS(0); n < workers {
+		workers = n
+	}
+	if workers > numTasks {
+		workers = numTasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := make([]Task, numTasks)
+	var nextIdx atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= numTasks {
+					return
+				}
+				var err error
+				for attempt := 0; ; attempt++ {
+					// A retried task restarts with clean metering: the
+					// failed attempt's partial work is discarded, exactly
+					// as a re-executed Spark task recomputes its partition.
+					tasks[i] = Task{ID: i}
+					if c.cfg.InjectTaskFailure != nil && c.cfg.InjectTaskFailure(i, attempt) {
+						err = errInjectedFailure
+					} else {
+						err = fn(&tasks[i])
+					}
+					if err == nil || attempt >= c.cfg.MaxTaskRetries {
+						break
+					}
+				}
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("stage %q task %d: %w", name, i, err):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	var stage Stats
+	stage.Stages = 1
+	stage.Tasks = numTasks
+	for i := range tasks {
+		stage.ConsolidationBytes += tasks[i].consolidationBytes
+		stage.AggregationBytes += tasks[i].aggregationBytes
+		stage.Flops += tasks[i].flops
+		if tasks[i].memPeak > stage.PeakTaskMemBytes {
+			stage.PeakTaskMemBytes = tasks[i].memPeak
+		}
+		if tasks[i].flops > stage.MaxTaskFlops {
+			stage.MaxTaskFlops = tasks[i].flops
+		}
+	}
+	bytes := float64(stage.ConsolidationBytes + stage.AggregationBytes)
+	n := float64(c.cfg.Nodes)
+	stage.SimSeconds = maxf(bytes/(n*c.cfg.NetBandwidth), float64(stage.Flops)/(n*c.cfg.CompBandwidth))
+	if c.cfg.TaskOverhead > 0 && numTasks > 0 {
+		waves := (numTasks + c.cfg.TotalSlots() - 1) / c.cfg.TotalSlots()
+		stage.SimSeconds += float64(waves) * c.cfg.TaskOverhead
+	}
+	stage.WallSeconds = time.Since(start).Seconds()
+
+	c.mu.Lock()
+	c.stats.Add(stage)
+	over := c.cfg.SimTimeLimit > 0 && c.stats.SimSeconds > c.cfg.SimTimeLimit
+	total := c.stats.SimSeconds
+	c.mu.Unlock()
+	if over {
+		return fmt.Errorf("stage %q: simulated time %.1fs exceeds limit %.1fs: %w",
+			name, total, c.cfg.SimTimeLimit, ErrTimeout)
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

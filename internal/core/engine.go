@@ -1,0 +1,156 @@
+// Package core is the engine layer of FuseME: it turns a logical query DAG
+// into a physical plan (an ordered list of fused operators with their
+// strategies and partitioning parameters), runs it on the simulated cluster,
+// and implements the five engines the paper evaluates — FuseME (CFG + CFO)
+// and the simulated comparators SystemDS (GEN + BFO/RFO), DistME (CuboidMM,
+// no fusion), MatFast (folded operators) and TensorFlow-XLA.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/dag"
+	"fuseme/internal/exec"
+	"fuseme/internal/fusion"
+)
+
+// PhysOp is one physical fused operator of a compiled plan.
+type PhysOp struct {
+	Plan     *fusion.Plan
+	Strategy exec.Strategy
+	P, Q, R  int
+	Kind     string // display label: CFO, RFO, BFO, CuboidMM, Map, ...
+	Balance  bool   // sparsity-aware load balancing
+	NoMask   bool   // disable sparsity exploitation (ablation)
+
+	// Group, when non-empty, makes this a Multi-aggregation fused operator
+	// (Figure 2(d)): Plan is Group[0], and all grouped aggregation plans
+	// execute as one distributed operator sharing their input scan.
+	Group []*fusion.Plan
+
+	// Compile-time estimates, used for admission control and plan display.
+	EstNetBytes   int64
+	EstComFlops   int64
+	EstMemPerTask int64
+}
+
+// PhysPlan is a compiled query: fused operators in execution (topological)
+// order.
+type PhysPlan struct {
+	Graph *dag.Graph
+	Ops   []*PhysOp
+}
+
+// Describe renders the physical plan for humans: one line per fused
+// operator with its member operators, strategy and parameters.
+func (pp *PhysPlan) Describe() string {
+	var b strings.Builder
+	for i, op := range pp.Ops {
+		labels := make([]string, 0, op.Plan.Size())
+		for _, id := range op.Plan.MemberIDs() {
+			labels = append(labels, fmt.Sprintf("%s#%d", op.Plan.Members[id].Label(), id))
+		}
+		fmt.Fprintf(&b, "[%d] %-8s {%s}", i, op.Kind, strings.Join(labels, " "))
+		if op.Strategy == exec.Cuboid && op.Plan.MainMM != nil {
+			fmt.Fprintf(&b, " (P=%d,Q=%d,R=%d)", op.P, op.Q, op.R)
+		}
+		fmt.Fprintf(&b, " type=%s estNet=%s estMem=%s\n",
+			op.Plan.Classify(), cluster.FormatBytes(op.EstNetBytes), cluster.FormatBytes(op.EstMemPerTask))
+	}
+	return b.String()
+}
+
+// Engine compiles logical plans for a particular system.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// Compile lowers the query DAG to a physical plan for the cluster.
+	Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error)
+}
+
+// Execute runs a compiled plan: fused operators execute in order, each
+// materialising its root's value, which later operators consume as external
+// inputs. Admission control rejects operators whose estimated per-task
+// memory exceeds the budget (the O.O.M. of the paper's figures).
+func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix) (map[string]*block.Matrix, error) {
+	values := map[int]*block.Matrix{}
+	for _, in := range pp.Graph.InputNodes() {
+		m, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: missing input %q", in.Name)
+		}
+		if m.Rows != in.Rows || m.Cols != in.Cols {
+			return nil, fmt.Errorf("core: input %q is %dx%d, query declares %dx%d",
+				in.Name, m.Rows, m.Cols, in.Rows, in.Cols)
+		}
+		values[in.ID] = m
+	}
+	for _, op := range pp.Ops {
+		desc := fmt.Sprintf("%s %s", op.Kind, op.Plan)
+		if err := cl.CheckAdmission(op.EstMemPerTask, desc); err != nil {
+			return nil, err
+		}
+		bind := exec.Bindings{}
+		plans := op.Group
+		if len(plans) == 0 {
+			plans = []*fusion.Plan{op.Plan}
+		}
+		for _, p := range plans {
+			for _, in := range p.ExternalInputs() {
+				if in.Op == dag.OpScalar {
+					continue
+				}
+				v, ok := values[in.ID]
+				if !ok {
+					return nil, fmt.Errorf("core: operator %s needs unmaterialised value of node %d (%s)",
+						op.Kind, in.ID, in.Label())
+				}
+				bind[in.ID] = v
+			}
+		}
+		if len(op.Group) > 0 {
+			multi := &exec.MultiAggOp{Plans: op.Group}
+			outs, err := multi.Execute(cl, bind)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s failed: %w", desc, err)
+			}
+			for i, p := range op.Group {
+				values[p.Root.ID] = outs[i]
+			}
+			continue
+		}
+		fused := &exec.FusedOp{Plan: op.Plan, P: op.P, Q: op.Q, R: op.R,
+			Strategy: op.Strategy, Balance: op.Balance, NoMask: op.NoMask}
+		out, err := fused.Execute(cl, bind)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s failed: %w", desc, err)
+		}
+		values[op.Plan.Root.ID] = out
+	}
+	outputs := make(map[string]*block.Matrix, len(pp.Graph.Outputs()))
+	for name, n := range pp.Graph.Outputs() {
+		v, ok := values[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("core: output %q (node %d) was never materialised", name, n.ID)
+		}
+		outputs[name] = v
+	}
+	return outputs, nil
+}
+
+// Run compiles and executes a query with the given engine, returning the
+// outputs and the cluster stats accumulated during execution.
+func Run(e Engine, g *dag.Graph, cl *cluster.Cluster, inputs map[string]*block.Matrix) (map[string]*block.Matrix, cluster.Stats, error) {
+	pp, err := e.Compile(g, cl)
+	if err != nil {
+		return nil, cl.Stats(), fmt.Errorf("%s: compile: %w", e.Name(), err)
+	}
+	out, err := Execute(pp, cl, inputs)
+	if err != nil {
+		return nil, cl.Stats(), fmt.Errorf("%s: %w", e.Name(), err)
+	}
+	return out, cl.Stats(), nil
+}

@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+	"fuseme/internal/ref"
+)
+
+// The differential fuzzer: build random well-typed query DAGs, run them
+// through every engine and compare against the single-node reference. This
+// exercises plan generation, space trees, cuboid execution, masking and
+// aggregation across shapes no hand-written test would cover.
+
+// fuzzDims is the dimension vocabulary; small enough that random matmul
+// pairings are frequent.
+var fuzzDims = []int{3, 5, 8, 12, 17}
+
+// safe element-wise functions: defined and finite for all inputs in [-2, 2].
+var fuzzUnary = []string{"sq", "abs", "sigmoid", "tanh", "relu", "neg", "sin", "cos"}
+
+var fuzzBinary = []matrix.BinOp{matrix.Add, matrix.Sub, matrix.Mul, matrix.MinOp, matrix.MaxOp}
+
+// buildFuzzGraph constructs a random DAG with the given seed, returning the
+// graph and concrete inputs.
+func buildFuzzGraph(seed int64) (*dag.Graph, map[string]matrix.Mat) {
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.NewGraph()
+	flats := map[string]matrix.Mat{}
+
+	newInput := func(rows, cols int) *dag.Node {
+		name := fmt.Sprintf("I%d", len(flats))
+		var m matrix.Mat
+		if rng.Intn(3) == 0 {
+			m = matrix.RandomSparse(rows, cols, 0.05+rng.Float64()*0.3, -1, 1, rng.Int63())
+		} else {
+			m = matrix.RandomDense(rows, cols, -1, 1, rng.Int63())
+		}
+		n := g.Input(name, rows, cols, matrix.Density(m))
+		flats[name] = m
+		return n
+	}
+
+	pool := []*dag.Node{}
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		rows := fuzzDims[rng.Intn(len(fuzzDims))]
+		cols := fuzzDims[rng.Intn(len(fuzzDims))]
+		pool = append(pool, newInput(rows, cols))
+	}
+
+	pick := func() *dag.Node { return pool[rng.Intn(len(pool))] }
+
+	steps := 3 + rng.Intn(8)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			pool = append(pool, g.Unary(fuzzUnary[rng.Intn(len(fuzzUnary))], pick()))
+		case 2, 3, 4:
+			a := pick()
+			// Find or make a shape-compatible operand.
+			b := pick()
+			if b.Rows != a.Rows || b.Cols != a.Cols {
+				if rng.Intn(2) == 0 {
+					b = newInput(a.Rows, a.Cols)
+				} else {
+					b = g.Scalar(float64(rng.Intn(5)) - 2)
+				}
+			}
+			op := fuzzBinary[rng.Intn(len(fuzzBinary))]
+			pool = append(pool, g.Binary(op, a, b))
+		case 5, 6, 7:
+			a := pick()
+			// Find a matmul-compatible right operand; make one if needed.
+			var b *dag.Node
+			for _, cand := range pool {
+				if cand.Rows == a.Cols && cand != a {
+					b = cand
+					break
+				}
+			}
+			if b == nil {
+				b = newInput(a.Cols, fuzzDims[rng.Intn(len(fuzzDims))])
+			}
+			pool = append(pool, g.MatMul(a, b))
+		case 8:
+			pool = append(pool, g.Transpose(pick()))
+		case 9:
+			aggs := []matrix.AggFunc{matrix.SumAll, matrix.RowSum, matrix.ColSum}
+			pool = append(pool, g.Agg(aggs[rng.Intn(len(aggs))], pick()))
+		}
+	}
+
+	// Outputs: every root (otherwise parts of the pool dangle unused, which
+	// is fine — reachability pruning handles them).
+	outs := 0
+	for _, n := range pool {
+		if n.NumConsumers() == 0 && !n.IsLeaf() {
+			g.SetOutput(fmt.Sprintf("out%d", outs), n)
+			outs++
+		}
+	}
+	if outs == 0 {
+		root := g.Unary("sq", pick())
+		g.SetOutput("out0", root)
+	}
+	return g, flats
+}
+
+func TestFuzzEnginesAgainstReference(t *testing.T) {
+	engines := []core.Engine{core.FuseME{}, core.SystemDSSim{}, core.DistMESim{}, core.MatFastSim{}}
+	const rounds = 120
+	for seed := int64(0); seed < rounds; seed++ {
+		g, flats := buildFuzzGraph(seed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		want, err := ref.Evaluate(g, flats)
+		if err != nil {
+			t.Fatalf("seed %d: ref: %v", seed, err)
+		}
+		for _, bs := range []int{4, 7} {
+			inputs := map[string]*block.Matrix{}
+			for name, m := range flats {
+				inputs[name] = block.FromMat(m, bs)
+			}
+			for _, e := range engines {
+				cl := testCluster(bs)
+				got, _, err := core.Run(e, g, cl, inputs)
+				if err != nil {
+					t.Fatalf("seed %d/%s/bs=%d: %v\nDAG:\n%s", seed, e.Name(), bs, err, g.DOT(nil))
+				}
+				for name, w := range want {
+					if !matrix.EqualApprox(got[name].ToMat(), w, 1e-8) {
+						t.Fatalf("seed %d/%s/bs=%d: output %q diverges\nDAG:\n%s",
+							seed, e.Name(), bs, name, g.DOT(nil))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzCFOPartitionings runs random graphs on clusters of different
+// shapes: the parallelism floor changes the optimizer's (P,Q,R) and the
+// number of tasks, and results must be partitioning-invariant.
+func TestFuzzCFOPartitionings(t *testing.T) {
+	shapes := []cluster.Config{
+		{Nodes: 1, TasksPerNode: 1, TaskMemBytes: 1 << 40, NetBandwidth: 1e9, CompBandwidth: 1e12, BlockSize: 5},
+		{Nodes: 2, TasksPerNode: 3, TaskMemBytes: 1 << 40, NetBandwidth: 1e9, CompBandwidth: 1e12, BlockSize: 5},
+		{Nodes: 4, TasksPerNode: 8, TaskMemBytes: 1 << 40, NetBandwidth: 1e9, CompBandwidth: 1e12, BlockSize: 5},
+	}
+	for seed := int64(200); seed < 240; seed++ {
+		g, flats := buildFuzzGraph(seed)
+		want, err := ref.Evaluate(g, flats)
+		if err != nil {
+			t.Fatalf("seed %d: ref: %v", seed, err)
+		}
+		inputs := map[string]*block.Matrix{}
+		for name, m := range flats {
+			inputs[name] = block.FromMat(m, 5)
+		}
+		for _, cfg := range shapes {
+			cl := cluster.MustNew(cfg)
+			got, _, err := core.Run(core.FuseME{}, g, cl, inputs)
+			if err != nil {
+				t.Fatalf("seed %d (%d slots): %v", seed, cfg.TotalSlots(), err)
+			}
+			for name, w := range want {
+				if !matrix.EqualApprox(got[name].ToMat(), w, 1e-8) {
+					t.Fatalf("seed %d (%d slots): output %q diverges", seed, cfg.TotalSlots(), name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format, for debugging and for the
+// CLI's -plan output. Nodes in the optional highlight sets are drawn in the
+// matching colour, which is how fusion plans are visualised (the orange and
+// blue dotted boxes of the paper's Figure 1 and 10).
+func (g *Graph) DOT(highlight map[int]string) string {
+	var b strings.Builder
+	b.WriteString("digraph query {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range g.nodes {
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%d: %s\\n%dx%d s=%.3g", n.ID, n.Label(), n.Rows, n.Cols, n.Sparsity))
+		if n.IsLeaf() {
+			attrs += ", style=filled, fillcolor=lightgray"
+		}
+		if c, ok := highlight[n.ID]; ok {
+			attrs += fmt.Sprintf(", color=%q, penwidth=2", c)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	for name, out := range g.outputs {
+		fmt.Fprintf(&b, "  out_%s [label=%q, shape=ellipse];\n  n%d -> out_%s;\n", sanitize(name), name, out.ID, sanitize(name))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fuseme/internal/block"
+	"fuseme/internal/matrix"
+)
+
+// Triplet text format: the row-column-value lists the real rating datasets
+// ship as (MovieLens's `userId,movieId,rating`, Netflix's per-movie lists,
+// YahooMusic's tab-separated ratings). One record per line,
+//
+//	row <sep> col <sep> value
+//
+// with <sep> any of comma, tab or spaces. Lines starting with '#' or '%'
+// (MatrixMarket-style comments) and blank lines are skipped. Indices are
+// 0-based; a leading "%%MatrixMarket"-style header with explicit dimensions
+// is accepted as "# rows cols".
+
+// WriteTriplets streams the non-zeros of m as "row,col,value" lines with a
+// leading "# rows cols" header.
+func WriteTriplets(w io.Writer, m *block.Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", m.Rows, m.Cols); err != nil {
+		return err
+	}
+	var err error
+	m.ForEach(func(k block.Key, blk matrix.Mat) {
+		if err != nil {
+			return
+		}
+		baseR := k.Row * m.BlockSize
+		baseC := k.Col * m.BlockSize
+		rows, cols := blk.Dims()
+		switch b := blk.(type) {
+		case *matrix.CSR:
+			for i := 0; i < rows; i++ {
+				cs, vals := b.RowNNZ(i)
+				for p, j := range cs {
+					if _, e := fmt.Fprintf(bw, "%d,%d,%g\n", baseR+i, baseC+j, vals[p]); e != nil {
+						err = e
+						return
+					}
+				}
+			}
+		case *matrix.Dense:
+			for i := 0; i < rows; i++ {
+				row := b.Row(i)
+				for j := 0; j < cols; j++ {
+					if row[j] == 0 {
+						continue
+					}
+					if _, e := fmt.Fprintf(bw, "%d,%d,%g\n", baseR+i, baseC+j, row[j]); e != nil {
+						err = e
+						return
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTriplets parses a triplet stream into a blocked matrix. When the
+// stream carries no dimension header, rows/cols default to one past the
+// largest index seen; explicit dims (pass rows, cols > 0) override.
+func ReadTriplets(r io.Reader, rows, cols, blockSize int) (*block.Matrix, error) {
+	type trip struct {
+		r, c int
+		v    float64
+	}
+	var trips []trip
+	maxR, maxC := -1, -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Optional "# rows cols" header.
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) == 2 && rows <= 0 {
+				hr, err1 := strconv.Atoi(fields[0])
+				hc, err2 := strconv.Atoi(fields[1])
+				if err1 == nil && err2 == nil {
+					rows, cols = hr, hc
+				}
+			}
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == '\t' || r == ' ' || r == ';'
+		})
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("data: line %d: want row,col,value, got %q", lineNo, line)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad row %q", lineNo, fields[0])
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad col %q", lineNo, fields[1])
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: bad value %q", lineNo, fields[2])
+		}
+		if ri < 0 || ci < 0 {
+			return nil, fmt.Errorf("data: line %d: negative index", lineNo)
+		}
+		if ri > maxR {
+			maxR = ri
+		}
+		if ci > maxC {
+			maxC = ci
+		}
+		trips = append(trips, trip{ri, ci, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		rows, cols = maxR+1, maxC+1
+	}
+	if maxR >= rows || maxC >= cols {
+		return nil, fmt.Errorf("data: index (%d,%d) outside declared %dx%d", maxR, maxC, rows, cols)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("data: empty triplet stream and no dimensions")
+	}
+
+	// Bucket triplets per block, then build CSR blocks.
+	out := block.New(rows, cols, blockSize)
+	buckets := map[block.Key][]trip{}
+	for _, t := range trips {
+		k := block.Key{Row: t.r / blockSize, Col: t.c / blockSize}
+		buckets[k] = append(buckets[k], trip{t.r % blockSize, t.c % blockSize, t.v})
+	}
+	for k, ts := range buckets {
+		br := blockSize
+		if (k.Row+1)*blockSize > rows {
+			br = rows - k.Row*blockSize
+		}
+		bc := blockSize
+		if (k.Col+1)*blockSize > cols {
+			bc = cols - k.Col*blockSize
+		}
+		d := matrix.NewDense(br, bc)
+		for _, t := range ts {
+			d.Set(t.r, t.c, t.v)
+		}
+		out.SetBlock(k.Row, k.Col, matrix.MaybeCompress(d, matrix.SparseResultThreshold))
+	}
+	return out, nil
+}

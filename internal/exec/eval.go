@@ -1,0 +1,385 @@
+package exec
+
+import (
+	"fmt"
+
+	"fuseme/internal/cluster"
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/matrix"
+)
+
+// execPanic wraps an error raised deep in the recursive evaluator; the task
+// boundary recovers it and returns the error. Structural panics (nil
+// dereferences, shape bugs) are not wrapped and propagate as real panics.
+type execPanic struct{ err error }
+
+// evaluator computes blocks of the fused sub-DAG for one task. It is not
+// safe for concurrent use; every task builds its own.
+type evaluator struct {
+	op        *FusedOp
+	bind      Bindings
+	task      *cluster.Task
+	spaces    map[int]fusion.Space // nil for plans without matmul
+	mask      *fusion.OuterMask    // outer-fusion pattern, if detected
+	hasMM     map[int]bool         // member IDs whose subtree contains MainMM
+	kLo, kHi  int                  // main multiplication k-block range
+	blockSize int
+
+	memo      map[memoKey]matrix.Mat
+	fetched   map[memoKey]bool
+	colocated map[int]bool // inputs co-partitioned with the output: no fetch cost
+}
+
+type memoKey struct {
+	node   int
+	bi, bj int
+}
+
+func newEvaluator(op *FusedOp, task *cluster.Task, bind Bindings, cl *cluster.Cluster, kLo, kHi int) *evaluator {
+	ev := &evaluator{
+		op:        op,
+		bind:      bind,
+		task:      task,
+		spaces:    op.Plan.NodeSpaces(),
+		mask:      opMask(op),
+		kLo:       kLo,
+		kHi:       kHi,
+		blockSize: cl.Config().BlockSize,
+		memo:      make(map[memoKey]matrix.Mat),
+		fetched:   make(map[memoKey]bool),
+	}
+	if op.Plan.MainMM != nil {
+		ev.hasMM = make(map[int]bool)
+		ev.computeHasMM(op.Plan.Root)
+	}
+	return ev
+}
+
+// opMask resolves the plan's outer mask unless ablated away.
+func opMask(op *FusedOp) *fusion.OuterMask {
+	if op.NoMask {
+		return nil
+	}
+	return fusion.FindOuterMask(op.Plan)
+}
+
+// computeHasMM marks member nodes whose member subtree contains the main mm.
+func (ev *evaluator) computeHasMM(n *dag.Node) bool {
+	if !ev.op.Plan.Contains(n) {
+		return false
+	}
+	has := n == ev.op.Plan.MainMM
+	for _, in := range n.Inputs {
+		if ev.computeHasMM(in) {
+			has = true
+		}
+	}
+	ev.hasMM[n.ID] = has
+	return has
+}
+
+// fail aborts the evaluation with err (recovered at the task boundary).
+func (ev *evaluator) fail(err error) {
+	panic(execPanic{err})
+}
+
+// trackMem accounts bytes against the task budget, failing with a wrapped
+// cluster.ErrOutOfMemory when the working set exceeds θt. This is the
+// runtime safety net behind the planners' admission estimates.
+func (ev *evaluator) trackMem(n int64) {
+	ev.task.GrowMem(n)
+}
+
+// blockDims returns the element dimensions of node n's block (bi, bj).
+func (ev *evaluator) blockDims(n *dag.Node, bi, bj int) (rows, cols int) {
+	bs := ev.blockSize
+	rows = min(bs, n.Rows-bi*bs)
+	cols = min(bs, n.Cols-bj*bs)
+	if rows <= 0 || cols <= 0 {
+		ev.fail(fmt.Errorf("exec: block (%d,%d) outside %dx%d node %s", bi, bj, n.Rows, n.Cols, n.Label()))
+	}
+	return rows, cols
+}
+
+// shouldMemo reports whether the node's block values are retained for reuse
+// within the task: external inputs always; L/R-space results (reused across
+// the task's output blocks); never O-space intermediates, which stream
+// through one kernel at a time (the fused, no-materialisation property).
+func (ev *evaluator) shouldMemo(n *dag.Node) bool {
+	if !ev.op.Plan.Contains(n) {
+		return true
+	}
+	if ev.spaces == nil {
+		return false
+	}
+	s, ok := ev.spaces[n.ID]
+	return ok && (s == fusion.SpaceL || s == fusion.SpaceR)
+}
+
+// pin pre-seeds a node's block value (used by stage two to inject aggregated
+// main-multiplication results).
+func (ev *evaluator) pin(n *dag.Node, bi, bj int, blk matrix.Mat) {
+	ev.memo[memoKey{n.ID, bi, bj}] = blk
+}
+
+// evalBlock computes block (bi, bj) of node n. A nil return is an all-zero
+// block.
+func (ev *evaluator) evalBlock(n *dag.Node, bi, bj int) matrix.Mat {
+	key := memoKey{n.ID, bi, bj}
+	if blk, ok := ev.memo[key]; ok {
+		return blk
+	}
+	blk := ev.computeBlock(n, bi, bj)
+	if ev.shouldMemo(n) && !n.IsLeaf() {
+		// Leaves are memoised by fetchExternal itself.
+		ev.memo[key] = blk
+		if blk != nil {
+			ev.trackMem(blk.SizeBytes())
+		}
+	}
+	return blk
+}
+
+func (ev *evaluator) computeBlock(n *dag.Node, bi, bj int) matrix.Mat {
+	if !ev.op.Plan.Contains(n) {
+		return ev.fetchExternal(n, bi, bj)
+	}
+	switch n.Op {
+	case dag.OpUnary:
+		child := ev.evalBlock(n.Inputs[0], bi, bj)
+		return ev.applyUnary(n, child, bi, bj)
+	case dag.OpBinary:
+		if ev.mask != nil && n == ev.mask.Mul {
+			return ev.evalMaskedMul(n, bi, bj)
+		}
+		return ev.evalBinary(n, bi, bj)
+	case dag.OpTranspose:
+		child := ev.evalBlock(n.Inputs[0], bj, bi)
+		if child == nil {
+			return nil
+		}
+		ev.task.AddFlops(int64(child.NNZ()))
+		return matrix.Transpose(child)
+	case dag.OpMatMul:
+		return ev.evalMatMul(n, bi, bj)
+	}
+	ev.fail(fmt.Errorf("exec: operator %s cannot appear inside a fused kernel", n.Label()))
+	return nil
+}
+
+// fetchExternal meters and returns an input block, deduplicating fetches
+// within the task (each distinct block is consolidated once per task).
+func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
+	if n.Op == dag.OpScalar {
+		return matrix.NewDenseData(1, 1, []float64{n.Scalar})
+	}
+	m, ok := ev.bind[n.ID]
+	if !ok {
+		ev.fail(fmt.Errorf("exec: missing binding for node %d (%s)", n.ID, n.Label()))
+	}
+	blk := m.Block(bi, bj)
+	key := memoKey{n.ID, bi, bj}
+	if !ev.fetched[key] {
+		ev.fetched[key] = true
+		if ev.colocated[n.ID] {
+			// Co-partitioned input: the task already owns the block; it
+			// occupies memory but moves no bytes.
+			if blk != nil {
+				ev.task.GrowMem(blk.SizeBytes())
+			}
+		} else {
+			ev.task.FetchBlock(blk) // nil-safe: zero blocks cost nothing
+		}
+	}
+	return blk
+}
+
+// applyUnary applies a unary function to a (possibly nil) child block.
+func (ev *evaluator) applyUnary(n *dag.Node, child matrix.Mat, bi, bj int) matrix.Mat {
+	f, _ := matrix.UnaryFunc(n.Func)
+	if child == nil {
+		if f(0) == 0 {
+			return nil
+		}
+		rows, cols := ev.blockDims(n, bi, bj)
+		ev.task.AddFlops(int64(rows*cols) * matrix.UnaryFlops(n.Func))
+		return constDense(rows, cols, f(0))
+	}
+	out := matrix.Apply(f, child)
+	ev.task.AddFlops(workOf(out) * matrix.UnaryFlops(n.Func))
+	return out
+}
+
+// operandCoords maps the output block coordinate of an element-wise operator
+// to the coordinate of an operand, handling scalar (1x1), row-vector and
+// column-vector broadcasting.
+func operandCoords(operand, out *dag.Node, bi, bj int) (int, int) {
+	switch {
+	case operand.Rows == out.Rows && operand.Cols == out.Cols:
+		return bi, bj
+	case operand.IsScalarShaped():
+		return 0, 0
+	case operand.Rows == 1:
+		return 0, bj
+	case operand.Cols == 1:
+		return bi, 0
+	}
+	return bi, bj
+}
+
+func (ev *evaluator) evalBinary(n *dag.Node, bi, bj int) matrix.Mat {
+	a, b := n.Inputs[0], n.Inputs[1]
+	// Scalar operands use the scalar kernel.
+	if b.IsScalarShaped() && !a.IsScalarShaped() {
+		ai, aj := operandCoords(a, n, bi, bj)
+		return ev.scalarCombine(n, ev.evalBlock(a, ai, aj), ev.scalarValue(b), false, bi, bj)
+	}
+	if a.IsScalarShaped() && !b.IsScalarShaped() {
+		bi2, bj2 := operandCoords(b, n, bi, bj)
+		return ev.scalarCombine(n, ev.evalBlock(b, bi2, bj2), ev.scalarValue(a), true, bi, bj)
+	}
+	ai, aj := operandCoords(a, n, bi, bj)
+	bi2, bj2 := operandCoords(b, n, bi, bj)
+	av := ev.evalBlock(a, ai, aj)
+	bv := ev.evalBlock(b, bi2, bj2)
+	return ev.combine(n, a, b, av, bv, bi, bj)
+}
+
+// scalarValue resolves a scalar-shaped operand to its float value.
+func (ev *evaluator) scalarValue(n *dag.Node) float64 {
+	if n.Op == dag.OpScalar {
+		return n.Scalar
+	}
+	blk := ev.evalBlock(n, 0, 0)
+	if blk == nil {
+		return 0
+	}
+	return blk.At(0, 0)
+}
+
+func (ev *evaluator) scalarCombine(n *dag.Node, blk matrix.Mat, s float64, scalarOnLeft bool, bi, bj int) matrix.Mat {
+	op := n.BinOp
+	if blk == nil {
+		var v float64
+		if scalarOnLeft {
+			v = op.Eval(s, 0)
+		} else {
+			v = op.Eval(0, s)
+		}
+		if v == 0 {
+			return nil
+		}
+		rows, cols := ev.blockDims(n, bi, bj)
+		ev.task.AddFlops(int64(rows*cols) * op.Flops())
+		return constDense(rows, cols, v)
+	}
+	out := matrix.BinaryScalar(op, blk, s, scalarOnLeft)
+	ev.task.AddFlops(workOf(out) * op.Flops())
+	return out
+}
+
+// combine applies an element-wise operator to two (possibly nil) blocks.
+func (ev *evaluator) combine(n *dag.Node, aNode, bNode *dag.Node, av, bv matrix.Mat, bi, bj int) matrix.Mat {
+	op := n.BinOp
+	switch {
+	case av == nil && bv == nil:
+		if op.Eval(0, 0) == 0 {
+			return nil
+		}
+		rows, cols := ev.blockDims(n, bi, bj)
+		ev.task.AddFlops(int64(rows*cols) * op.Flops())
+		return constDense(rows, cols, op.Eval(0, 0))
+	case av == nil:
+		switch op {
+		case matrix.Mul, matrix.Div:
+			return nil // 0*y == 0; 0/y == 0 (positive denominators by contract)
+		case matrix.Add:
+			return ev.broadcastIfNeeded(n, bNode, bv, bi, bj)
+		case matrix.Sub:
+			out := matrix.Scale(ev.broadcastIfNeeded(n, bNode, bv, bi, bj), -1)
+			ev.task.AddFlops(workOf(out))
+			return out
+		}
+		ar, ac := ev.operandBlockDims(aNode, n, bi, bj)
+		av = matrix.NewCSR(ar, ac)
+	case bv == nil:
+		switch op {
+		case matrix.Mul:
+			return nil
+		case matrix.Add, matrix.Sub:
+			return ev.broadcastIfNeeded(n, aNode, av, bi, bj)
+		}
+		br, bc := ev.operandBlockDims(bNode, n, bi, bj)
+		bv = matrix.NewCSR(br, bc)
+	}
+	out := matrix.Binary(op, av, bv)
+	ev.task.AddFlops(workOf(out) * op.Flops())
+	return out
+}
+
+// broadcastIfNeeded expands a surviving vector operand to the full block
+// shape when the other operand vanished (a zero block plus a row vector is
+// still a full block of that vector's values).
+func (ev *evaluator) broadcastIfNeeded(n, operand *dag.Node, blk matrix.Mat, bi, bj int) matrix.Mat {
+	rows, cols := ev.blockDims(n, bi, bj)
+	br, bc := blk.Dims()
+	if br == rows && bc == cols {
+		return blk
+	}
+	zero := matrix.NewCSR(rows, cols)
+	return matrix.Binary(matrix.Add, zero, blk)
+}
+
+// operandBlockDims returns the dims of operand's block for output block
+// (bi,bj) of n.
+func (ev *evaluator) operandBlockDims(operand, n *dag.Node, bi, bj int) (int, int) {
+	oi, oj := operandCoords(operand, n, bi, bj)
+	return ev.blockDims(operand, oi, oj)
+}
+
+// evalMatMul computes one block of a multiplication. The main mm sums only
+// the task's k-range (partial when R > 1); nested multiplications use their
+// full inner dimension.
+func (ev *evaluator) evalMatMul(n *dag.Node, bi, bj int) matrix.Mat {
+	lo, hi := 0, (n.Inputs[0].Cols+ev.blockSize-1)/ev.blockSize
+	if n == ev.op.Plan.MainMM {
+		lo, hi = ev.kLo, ev.kHi
+	}
+	var acc matrix.Mat
+	for bk := lo; bk < hi; bk++ {
+		la := ev.evalBlock(n.Inputs[0], bi, bk)
+		rb := ev.evalBlock(n.Inputs[1], bk, bj)
+		if la == nil || rb == nil {
+			continue
+		}
+		ev.task.AddFlops(matrix.MatMulFlops(la, rb))
+		prod := matrix.MatMul(la, rb)
+		if acc == nil {
+			acc = prod
+		} else {
+			acc = matrix.Binary(matrix.Add, acc, prod)
+		}
+	}
+	return acc
+}
+
+// workOf estimates the cells an operator touched to produce out.
+func workOf(out matrix.Mat) int64 {
+	if out == nil {
+		return 0
+	}
+	if out.IsSparse() {
+		return int64(out.NNZ())
+	}
+	r, c := out.Dims()
+	return int64(r) * int64(c)
+}
+
+func constDense(rows, cols int, v float64) *matrix.Dense {
+	d := matrix.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = v
+	}
+	return d
+}

@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"fmt"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+)
+
+// Masked (outer-fusion) evaluation: when a sparse driver X element-wise
+// multiplies a chain that reaches the main multiplication, every node on the
+// chain — and crucially the multiplication itself — is evaluated only at the
+// non-zero positions of X's block (Section 2.1, "sparsity exploitation").
+// The result of evalMasked is always a CSR block with exactly the driver
+// pattern; values elsewhere are irrelevant because the driver multiply zeroes
+// them.
+
+// evalMaskedMul evaluates the outer-fusion b(*) node: driver .* inner, where
+// inner is computed in masked form.
+func (ev *evaluator) evalMaskedMul(n *dag.Node, bi, bj int) matrix.Mat {
+	driverBlk := ev.evalBlock(ev.mask.Driver, bi, bj)
+	if driverBlk == nil {
+		return nil // 0 .* anything == 0
+	}
+	pattern := matrix.ToCSR(driverBlk)
+	inner := ev.evalMasked(ev.mask.Inner, bi, bj, pattern)
+	out := inner.Clone().(*matrix.CSR)
+	for p := range out.Val {
+		out.Val[p] *= pattern.Val[p]
+	}
+	ev.task.AddFlops(int64(len(out.Val)))
+	return out
+}
+
+// evalMasked computes node n's block (bi, bj) restricted to pattern.
+func (ev *evaluator) evalMasked(n *dag.Node, bi, bj int, pattern *matrix.CSR) *matrix.CSR {
+	if n == ev.op.Plan.MainMM {
+		return ev.evalMaskedMM(n, bi, bj, pattern)
+	}
+	if !ev.op.Plan.Contains(n) || !ev.hasMM[n.ID] {
+		// Off the multiplication path: evaluate fully, sample the pattern.
+		return gather(pattern, ev.evalBlock(n, bi, bj))
+	}
+	switch n.Op {
+	case dag.OpUnary:
+		child := ev.evalMasked(n.Inputs[0], bi, bj, pattern)
+		f, _ := matrix.UnaryFunc(n.Func)
+		out := child.Clone().(*matrix.CSR)
+		for p := range out.Val {
+			out.Val[p] = f(out.Val[p])
+		}
+		ev.task.AddFlops(int64(len(out.Val)) * matrix.UnaryFlops(n.Func))
+		return out
+	case dag.OpBinary:
+		a, b := n.Inputs[0], n.Inputs[1]
+		var inner, other *dag.Node
+		innerOnLeft := true
+		if ev.op.Plan.Contains(a) && ev.hasMM[a.ID] {
+			inner, other = a, b
+		} else {
+			inner, other, innerOnLeft = b, a, false
+		}
+		innerVals := ev.evalMasked(inner, bi, bj, pattern)
+		if other.IsScalarShaped() {
+			s := ev.scalarValue(other)
+			out := innerVals.Clone().(*matrix.CSR)
+			for p := range out.Val {
+				if innerOnLeft {
+					out.Val[p] = n.BinOp.Eval(out.Val[p], s)
+				} else {
+					out.Val[p] = n.BinOp.Eval(s, out.Val[p])
+				}
+			}
+			ev.task.AddFlops(int64(len(out.Val)) * n.BinOp.Flops())
+			return out
+		}
+		oi, oj := operandCoords(other, n, bi, bj)
+		otherBlk := ev.evalBlock(other, oi, oj)
+		return ev.combineGather(n, innerVals, other, otherBlk, innerOnLeft, pattern)
+	default:
+		// Transposes or nested multiplications on a masked path are rejected
+		// by FindOuterMask; reaching here is a planner bug.
+		ev.fail(fmt.Errorf("exec: unsupported %s on masked path", n.Label()))
+		return nil
+	}
+}
+
+// evalMaskedMM sums the task's k-range of masked partial products.
+func (ev *evaluator) evalMaskedMM(n *dag.Node, bi, bj int, pattern *matrix.CSR) *matrix.CSR {
+	if blk, ok := ev.memo[memoKey{n.ID, bi, bj}]; ok {
+		return gather(pattern, blk) // stage two: aggregated partials pinned
+	}
+	acc := pattern.Clone().(*matrix.CSR)
+	for p := range acc.Val {
+		acc.Val[p] = 0
+	}
+	for bk := ev.kLo; bk < ev.kHi; bk++ {
+		la := ev.evalBlock(n.Inputs[0], bi, bk)
+		rb := ev.evalBlock(n.Inputs[1], bk, bj)
+		if la == nil || rb == nil {
+			continue
+		}
+		_, inner := la.Dims()
+		ev.task.AddFlops(matrix.MaskedMatMulFlops(pattern, inner))
+		part := matrix.MaskedMatMul(pattern, la, rb)
+		for p := range acc.Val {
+			acc.Val[p] += part.Val[p]
+		}
+	}
+	return acc
+}
+
+// combineGather applies an element-wise operator between masked values and a
+// full block, sampling the full block at the pattern positions. A nil other
+// block contributes zeros. Row/column-vector operands are indexed by the
+// appropriate single coordinate.
+func (ev *evaluator) combineGather(n *dag.Node, inner *matrix.CSR, otherNode *dag.Node, other matrix.Mat, innerOnLeft bool, pattern *matrix.CSR) *matrix.CSR {
+	out := inner.Clone().(*matrix.CSR)
+	var or, oc int
+	if other != nil {
+		or, oc = other.Dims()
+	}
+	at := func(i, j int) float64 {
+		if other == nil {
+			return 0
+		}
+		// Broadcast semantics for vector operands.
+		if or == 1 {
+			i = 0
+		}
+		if oc == 1 {
+			j = 0
+		}
+		return other.At(i, j)
+	}
+	for i := 0; i < pattern.Rows; i++ {
+		lo, hi := pattern.RowPtr[i], pattern.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			o := at(i, pattern.Col[p])
+			if innerOnLeft {
+				out.Val[p] = n.BinOp.Eval(out.Val[p], o)
+			} else {
+				out.Val[p] = n.BinOp.Eval(o, out.Val[p])
+			}
+		}
+	}
+	ev.task.AddFlops(int64(len(out.Val)) * n.BinOp.Flops())
+	return out
+}
+
+// gather samples blk at pattern's non-zero positions.
+func gather(pattern *matrix.CSR, blk matrix.Mat) *matrix.CSR {
+	out := pattern.Clone().(*matrix.CSR)
+	if blk == nil {
+		for p := range out.Val {
+			out.Val[p] = 0
+		}
+		return out
+	}
+	for i := 0; i < pattern.Rows; i++ {
+		lo, hi := pattern.RowPtr[i], pattern.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			out.Val[p] = blk.At(i, pattern.Col[p])
+		}
+	}
+	return out
+}

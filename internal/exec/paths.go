@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"fmt"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/cost"
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/matrix"
+)
+
+// runTask wraps a task body, converting evaluator failures (raised as
+// execPanic) into errors.
+func runTask(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ep, ok := r.(execPanic); ok {
+				err = ep.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// executeCuboid runs the plan under (P,Q,R) cuboid partitioning: the CFO
+// (optimised parameters) and the RFO ((I,J,1)).
+func (op *FusedOp) executeCuboid(cl *cluster.Cluster, bind Bindings) (*block.Matrix, error) {
+	bs := cl.Config().BlockSize
+	gi, gj, gk := op.Plan.BlockGridDims(bs)
+	p := clamp(op.P, 1, gi)
+	q := clamp(op.Q, 1, gj)
+	r := clamp(op.R, 1, gk)
+
+	root, rootAgg := op.effectiveRoot()
+	swapped := op.rootPlaneSwapped(root)
+	mask := opMask(op)
+	colocated := colocatedOInputs(op.Plan)
+
+	iRanges := equalRanges(gi, p)
+	jRanges := equalRanges(gj, q)
+	kRanges := equalRanges(gk, r)
+	if op.Balance && mask != nil {
+		if rw, cw := driverWeights(op.Plan, mask, bind); rw != nil {
+			iRanges = weightedRanges(rw, p)
+			jRanges = weightedRanges(cw, q)
+			p, q = len(iRanges), len(jRanges)
+		}
+	}
+
+	var out *block.Matrix
+	var agg *aggSink
+	if rootAgg != nil {
+		agg = &aggSink{agg: rootAgg.Agg, out: block.New(rootAgg.Rows, rootAgg.Cols, bs)}
+	} else {
+		out = block.New(root.Rows, root.Cols, bs)
+	}
+	sink := &resultSink{out: out}
+
+	// evalOutputs evaluates every output block of partition (pi, qi) with ev
+	// and routes results to the sink or the task-local aggregate.
+	evalOutputs := func(ev *evaluator, task *cluster.Task, pi, qi int) error {
+		var partial *block.Matrix
+		if rootAgg != nil {
+			partial = block.New(rootAgg.Rows, rootAgg.Cols, bs)
+		}
+		ri, rj := iRanges[pi], jRanges[qi]
+		for bi := ri.lo; bi < ri.hi; bi++ {
+			for bj := rj.lo; bj < rj.hi; bj++ {
+				oi, oj := bi, bj
+				if swapped {
+					oi, oj = bj, bi
+				}
+				blk := ev.evalBlock(root, oi, oj)
+				if rootAgg != nil {
+					aggregateLocal(task, partial, rootAgg.Agg, oi, oj, blk)
+				} else {
+					sink.put(oi, oj, blk)
+				}
+			}
+		}
+		if rootAgg != nil {
+			partial.ForEach(func(k block.Key, blk matrix.Mat) {
+				task.SendBlock(blk)
+				agg.combine(k.Row, k.Col, blk)
+			})
+		}
+		return nil
+	}
+
+	if r == 1 {
+		err := cl.RunStage(stageName(op, "local"), p*q, func(task *cluster.Task) error {
+			return runTask(func() error {
+				pi, qi := task.ID/q, task.ID%q
+				ev := newEvaluator(op, task, bind, cl, 0, gk)
+				ev.colocated = colocated
+				return evalOutputs(ev, task, pi, qi)
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return op.finish(out, agg)
+	}
+
+	// Stage one: partial main-multiplication results per cuboid, shuffled to
+	// their (p,q) owners (the matrix aggregation step).
+	partials := &mmPartialSink{blocks: make(map[block.Key]matrix.Mat)}
+	err := cl.RunStage(stageName(op, "partial"), p*q*r, func(task *cluster.Task) error {
+		return runTask(func() error {
+			pi := task.ID / (q * r)
+			qi := (task.ID / r) % q
+			ri := task.ID % r
+			kr := kRanges[ri]
+			ev := newEvaluator(op, task, bind, cl, kr.lo, kr.hi)
+			ev.colocated = colocated
+			rowsp, colsp := iRanges[pi], jRanges[qi]
+			for bi := rowsp.lo; bi < rowsp.hi; bi++ {
+				for bj := colsp.lo; bj < colsp.hi; bj++ {
+					var part matrix.Mat
+					if mask != nil {
+						driver := ev.evalBlock(mask.Driver, bi, bj)
+						if driver == nil {
+							continue // sparsity exploitation: nothing to do
+						}
+						part = ev.evalMaskedMM(op.Plan.MainMM, bi, bj, matrix.ToCSR(driver))
+					} else {
+						part = ev.evalBlock(op.Plan.MainMM, bi, bj)
+					}
+					if part == nil {
+						continue
+					}
+					task.SendBlock(part)
+					partials.add(bi, bj, part)
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage two: owners apply the O-space chain once over aggregated
+	// multiplication results.
+	err = cl.RunStage(stageName(op, "fuse"), p*q, func(task *cluster.Task) error {
+		return runTask(func() error {
+			pi, qi := task.ID/q, task.ID%q
+			ev := newEvaluator(op, task, bind, cl, 0, gk)
+			ev.colocated = colocated
+			ri, rj := iRanges[pi], jRanges[qi]
+			for bi := ri.lo; bi < ri.hi; bi++ {
+				for bj := rj.lo; bj < rj.hi; bj++ {
+					blk := partials.blocks[block.Key{Row: bi, Col: bj}]
+					ev.pin(op.Plan.MainMM, bi, bj, blk)
+					if blk != nil {
+						task.GrowMem(blk.SizeBytes())
+					}
+				}
+			}
+			return evalOutputs(ev, task, pi, qi)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return op.finish(out, agg)
+}
+
+// executeGrid runs plans without matrix multiplication, and BFO executions,
+// as a partitioned map over the output block grid. Under Broadcast, side
+// matrices are shipped whole to every task and the main multiplication (if
+// any) runs with its full inner dimension inside each kernel.
+func (op *FusedOp) executeGrid(cl *cluster.Cluster, bind Bindings) (*block.Matrix, error) {
+	bs := cl.Config().BlockSize
+	root, rootAgg := op.effectiveRoot()
+	gi := (root.Rows + bs - 1) / bs
+	gj := (root.Cols + bs - 1) / bs
+	totalBlocks := gi * gj
+	numTasks := min(cl.Config().TotalSlots(), totalBlocks)
+	if numTasks < 1 {
+		numTasks = 1
+	}
+	fullK := 0
+	if op.Plan.MainMM != nil {
+		_, _, fullK = op.Plan.BlockGridDims(bs)
+	}
+	var mainIn *dag.Node
+	if op.Strategy == Broadcast {
+		mainIn = cost.MainInput(op.Plan)
+	}
+
+	// Pure element-wise plans run as a map over co-partitioned data: inputs
+	// shaped like the output plane pipeline without network transfer, as
+	// they do in a Spark map stage. Reorganised or broadcast-shaped inputs
+	// still consolidate.
+	colocated := map[int]bool{}
+	if op.Strategy != Broadcast && op.Plan.MainMM == nil {
+		for _, in := range op.Plan.ExternalInputs() {
+			if in.Rows == root.Rows && in.Cols == root.Cols {
+				colocated[in.ID] = true
+			}
+		}
+	}
+
+	var out *block.Matrix
+	var agg *aggSink
+	if rootAgg != nil {
+		agg = &aggSink{agg: rootAgg.Agg, out: block.New(rootAgg.Rows, rootAgg.Cols, bs)}
+	} else {
+		out = block.New(root.Rows, root.Cols, bs)
+	}
+	sink := &resultSink{out: out}
+
+	err := cl.RunStage(stageName(op, "map"), numTasks, func(task *cluster.Task) error {
+		return runTask(func() error {
+			ev := newEvaluator(op, task, bind, cl, 0, fullK)
+			ev.colocated = colocated
+			if op.Strategy == Broadcast {
+				broadcastSides(op.Plan, mainIn, bind, ev, task)
+			}
+			var partial *block.Matrix
+			if rootAgg != nil {
+				partial = block.New(rootAgg.Rows, rootAgg.Cols, bs)
+			}
+			for l := task.ID; l < totalBlocks; l += numTasks {
+				bi, bj := l/gj, l%gj
+				blk := ev.evalBlock(root, bi, bj)
+				if rootAgg != nil {
+					aggregateLocal(task, partial, rootAgg.Agg, bi, bj, blk)
+				} else {
+					sink.put(bi, bj, blk)
+				}
+			}
+			if rootAgg != nil {
+				partial.ForEach(func(k block.Key, blk matrix.Mat) {
+					task.SendBlock(blk)
+					agg.combine(k.Row, k.Col, blk)
+				})
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return op.finish(out, agg)
+}
+
+// driverWeights derives per-block-row and per-block-column non-zero counts
+// of the plan's sparse driver, resolved to the underlying bound input (the
+// driver may be a pattern operator like X != 0 over an input X). Returns
+// nils when no bound input backs the driver.
+func driverWeights(p *fusion.Plan, mask *fusion.OuterMask, bind Bindings) (rowW, colW []int64) {
+	src := driverInput(p, mask.Driver)
+	if src == nil {
+		return nil, nil
+	}
+	m, ok := bind[src.ID]
+	if !ok {
+		return nil, nil
+	}
+	rowW = make([]int64, m.BlockRows())
+	colW = make([]int64, m.BlockCols())
+	m.ForEach(func(k block.Key, blk matrix.Mat) {
+		n := int64(blk.NNZ())
+		rowW[k.Row] += n
+		colW[k.Col] += n
+	})
+	return rowW, colW
+}
+
+// driverInput finds the input matrix backing a driver node: the node itself
+// when external, otherwise the unique same-shaped input inside the driver's
+// member subtree.
+func driverInput(p *fusion.Plan, driver *dag.Node) *dag.Node {
+	if driver.Op == dag.OpInput {
+		return driver
+	}
+	if !p.Contains(driver) {
+		return nil
+	}
+	var found *dag.Node
+	var walk func(n *dag.Node)
+	walk = func(n *dag.Node) {
+		if n.Op == dag.OpInput && n.Rows == driver.Rows && n.Cols == driver.Cols {
+			found = n
+			return
+		}
+		if !p.Contains(n) {
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(driver)
+	return found
+}
+
+// colocatedOInputs returns the external inputs of the plan's top-level
+// O-space that are shaped like the main multiplication's output plane: they
+// are consumed pre-partitioned on the (p,q) grid and move no bytes, matching
+// the paper's measured CFO communication (see the cost package).
+func colocatedOInputs(p *fusion.Plan) map[int]bool {
+	tree := p.Spaces()
+	if tree == nil {
+		return nil
+	}
+	out := map[int]bool{}
+	for _, n := range tree.O.Nodes {
+		for _, in := range n.Inputs {
+			if !p.Contains(in) && in.Rows == tree.MM.Rows && in.Cols == tree.MM.Cols {
+				out[in.ID] = true
+			}
+		}
+	}
+	return out
+}
+
+// broadcastSides meters a full copy of every side matrix to the task, as the
+// BFO's matrix consolidation step does, and marks their blocks fetched so
+// evaluation does not double-count them.
+func broadcastSides(p *fusion.Plan, mainIn *dag.Node, bind Bindings, ev *evaluator, task *cluster.Task) {
+	for _, in := range p.ExternalInputs() {
+		if in == mainIn || in.Op == dag.OpScalar {
+			continue
+		}
+		m := bind[in.ID]
+		gi, gj := m.BlockRows(), m.BlockCols()
+		for bi := 0; bi < gi; bi++ {
+			for bj := 0; bj < gj; bj++ {
+				task.FetchBlock(m.Block(bi, bj))
+				ev.fetched[memoKey{in.ID, bi, bj}] = true
+			}
+		}
+	}
+}
+
+func (op *FusedOp) finish(out *block.Matrix, agg *aggSink) (*block.Matrix, error) {
+	if agg != nil {
+		return agg.out, nil
+	}
+	return out, nil
+}
+
+func stageName(op *FusedOp, phase string) string {
+	return fmt.Sprintf("%s:%s#%d", phase, op.Plan.Root.Label(), op.Plan.Root.ID)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/data"
+	"fuseme/internal/workloads"
+)
+
+// Fig14 reproduces Figure 14: GNMF over the three real datasets (Table 2)
+// for factor dimensions k = 200 and k = 1000 — accumulated elapsed time over
+// ten iterations (a-c, e-g) and per-iteration shuffled data (d, h).
+func Fig14(opts Options) ([]*Table, error) {
+	engines := []core.Engine{core.MatFastSim{}, core.SystemDSSim{}, core.DistMESim{}, core.FuseME{}}
+	cfg := opts.paperCluster()
+	var tables []*Table
+	for _, k := range []int{200, 1000} {
+		commT := &Table{
+			ID:      fmt.Sprintf("fig14-comm-k%d", k),
+			Title:   fmt.Sprintf("GNMF per-iteration shuffled data, k=%d (GB)", k),
+			Columns: []string{"dataset", "MatFast", "SystemDS", "DistME", "FuseME"},
+		}
+		for _, ds := range data.Real() {
+			timeT := &Table{
+				ID:      fmt.Sprintf("fig14-%s-k%d", ds.Name, k),
+				Title:   fmt.Sprintf("GNMF accumulated elapsed time on %s, k=%d (s)", ds.Name, k),
+				Columns: []string{"iteration", "MatFast", "SystemDS", "DistME", "FuseME"},
+			}
+			g := workloads.GNMF(opts.dim(ds.Rows), opts.dim(ds.Cols), opts.dim(k), ds.Density())
+			perIter := make([]string, len(engines))
+			comms := make([]string, len(engines))
+			var stats []cluster.Stats
+			var errs []error
+			for i, e := range engines {
+				s, err := simulate(e, g, cfg)
+				stats = append(stats, s)
+				errs = append(errs, err)
+				perIter[i] = fmtTime(s, err)
+				comms[i] = fmtGB(s, err)
+			}
+			// One simulated execution covers one GNMF iteration; the
+			// accumulated curve is linear in the iteration count, like the
+			// paper's per-iteration lines.
+			for it := 1; it <= 10; it++ {
+				row := []string{fmt.Sprintf("%d", it)}
+				for i := range engines {
+					if m := failMarker(errs[i]); m != "" {
+						row = append(row, m)
+						continue
+					}
+					row = append(row, formatF(stats[i].SimSeconds*float64(it)))
+				}
+				timeT.Rows = append(timeT.Rows, row)
+			}
+			tables = append(tables, timeT)
+			commT.AddRow(ds.Name, comms[0], comms[1], comms[2], comms[3])
+		}
+		tables = append(tables, commT)
+	}
+	return tables, nil
+}
+
+// Plans renders the physical plans the generators produce for GNMF
+// (Figure 10): what FuseME fuses versus what SystemDS fuses.
+func Plans(opts Options) ([]*Table, error) {
+	cfg := opts.paperCluster()
+	ds := data.YahooMusic
+	g := workloads.GNMF(opts.dim(ds.Rows), opts.dim(ds.Cols), opts.dim(200), ds.Density())
+	tab := &Table{ID: "plans",
+		Title:   "GNMF physical plans (YahooMusic, k=200)",
+		Columns: []string{"engine", "op", "detail"},
+	}
+	for _, e := range []core.Engine{core.FuseME{}, core.SystemDSSim{}, core.MatFastSim{}, core.DistMESim{}} {
+		cl := cluster.MustNew(cfg)
+		pp, err := e.Compile(g, cl)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		for i, op := range pp.Ops {
+			labels := ""
+			for _, id := range op.Plan.MemberIDs() {
+				labels += op.Plan.Members[id].Label() + " "
+			}
+			detail := fmt.Sprintf("{%s} type=%s", labels[:len(labels)-1], op.Plan.Classify())
+			if op.Plan.MainMM != nil && op.P > 0 {
+				detail += fmt.Sprintf(" (P=%d,Q=%d,R=%d)", op.P, op.Q, op.R)
+			}
+			tab.AddRow(e.Name(), fmt.Sprintf("%d:%s", i, op.Kind), detail)
+		}
+	}
+	return []*Table{tab}, nil
+}

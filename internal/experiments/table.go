@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment compiles the paper's workload at
+// its original dimensions and dry-runs it on the simulated cluster
+// (core.Simulate), reporting the same rows and series the paper reports:
+// elapsed time, transferred data, chosen parameters, O.O.M. and T.O.
+// markers. Absolute numbers reflect the analytic substrate, not the
+// authors' testbed; EXPERIMENTS.md records paper-vs-measured per figure.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure series.
+type Table struct {
+	ID      string // e.g. "fig12a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatF(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+)
+
+func planOf(t testing.TB, root *dag.Node, members ...*dag.Node) *Plan {
+	t.Helper()
+	m := map[int]*dag.Node{}
+	for _, n := range members {
+		m[n.ID] = n
+	}
+	m[root.ID] = root
+	p, err := NewPlan(root, m)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	return p
+}
+
+// nmfDAG builds X * log(U x t(V) + eps): Figure 3/8's running query.
+func nmfDAG(t testing.TB) (g *dag.Graph, x, u, v, tr, mm, add, lg, mul *dag.Node) {
+	t.Helper()
+	g = dag.NewGraph()
+	x = g.Input("X", 5000, 5000, 0.001)
+	u = g.Input("U", 5000, 300, 1)
+	v = g.Input("V", 5000, 300, 1)
+	tr = g.Transpose(v)
+	mm = g.MatMul(u, tr)
+	add = g.Binary(matrix.Add, mm, g.Scalar(1e-3))
+	lg = g.Unary("log", add)
+	mul = g.Binary(matrix.Mul, x, lg)
+	g.SetOutput("O", mul)
+	return
+}
+
+func TestPlanBasics(t *testing.T) {
+	_, _, _, _, tr, mm, add, lg, mul := nmfDAG(t)
+	p := planOf(t, mul, tr, mm, add, lg)
+	if p.Size() != 5 {
+		t.Fatalf("size %d", p.Size())
+	}
+	if p.MainMM != mm {
+		t.Fatalf("main mm = %v", p.MainMM)
+	}
+	ins := p.ExternalInputs()
+	// X, U, V, and the eps scalar.
+	if len(ins) != 4 {
+		t.Fatalf("%d external inputs", len(ins))
+	}
+	if got := p.MatMuls(); len(got) != 1 || got[0] != mm {
+		t.Fatalf("MatMuls = %v", got)
+	}
+	if !p.Contains(mm) || p.Contains(ins[0]) {
+		t.Fatal("Contains wrong")
+	}
+	if s := p.String(); !strings.Contains(s, "5 ops") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPlanClassifyOuter(t *testing.T) {
+	_, _, _, _, tr, mm, add, lg, mul := nmfDAG(t)
+	p := planOf(t, mul, tr, mm, add, lg)
+	if got := p.Classify(); got != Outer {
+		t.Fatalf("Classify = %v, want Outer", got)
+	}
+	mask := FindOuterMask(p)
+	if mask == nil {
+		t.Fatal("no outer mask found")
+	}
+	if mask.Mul != mul || mask.Driver.Name != "X" || mask.Inner != lg {
+		t.Fatalf("mask = %+v", mask)
+	}
+}
+
+func TestClassifyCellRowMultiAgg(t *testing.T) {
+	g := dag.NewGraph()
+	a := g.Input("A", 100, 100, 1)
+	b := g.Input("B", 100, 100, 1)
+	add := g.Binary(matrix.Add, a, b)
+	mul := g.Binary(matrix.Mul, add, b)
+	g.SetOutput("O", mul)
+	p := planOf(t, mul, add)
+	if got := p.Classify(); got != Cell {
+		t.Fatalf("cell chain classified %v", got)
+	}
+
+	g2 := dag.NewGraph()
+	x := g2.Input("X", 1000, 100, 1)
+	s := g2.Input("S", 100, 1, 1)
+	mm1 := g2.MatMul(x, s)
+	tr := g2.Transpose(mm1)
+	mm2 := g2.MatMul(tr, x)
+	g2.SetOutput("O", mm2)
+	p2 := planOf(t, mm2, mm1, tr)
+	if got := p2.Classify(); got != Row {
+		t.Fatalf("PCA pattern classified %v", got)
+	}
+	// Main mm is the larger one: mm2 is (1 x 1000 x 100)=1e5... mm1 is
+	// (1000 x 1 x 100)=1e5. Equal voxels: first encountered kept.
+	if p2.MainMM == nil {
+		t.Fatal("no main mm")
+	}
+
+	g3 := dag.NewGraph()
+	u := g3.Input("U", 500, 500, 1)
+	x3 := g3.Input("X", 500, 500, 0.01)
+	sum := g3.Agg(matrix.SumAll, g3.Binary(matrix.Mul, u, x3))
+	g3.SetOutput("s", sum)
+	p3 := planOf(t, sum, sum.Inputs[0])
+	if got := p3.Classify(); got != MultiAgg {
+		t.Fatalf("agg plan classified %v", got)
+	}
+}
+
+func TestChooseMainMMPicksLargestVoxels(t *testing.T) {
+	g := dag.NewGraph()
+	// v1 = t(V) x X : (200x10000) x (10000x8000) -> voxels 200*8000*10000
+	// v2 = t(V) x V : voxels 200*200*10000 (smaller)
+	v := g.Input("V", 10000, 200, 1)
+	w := g.Input("W", 10000, 200, 1)
+	x := g.Input("X", 10000, 8000, 0.01)
+	u := g.Input("U", 200, 8000, 1)
+	vt := g.Transpose(v)
+	v1 := g.MatMul(vt, x)
+	vt2 := g.Transpose(w)
+	v2 := g.MatMul(vt2, w)
+	v4 := g.MatMul(v2, u)
+	v3 := g.Binary(matrix.Mul, u, v1)
+	v5 := g.Binary(matrix.Div, v3, v4)
+	g.SetOutput("U2", v5)
+	p := planOf(t, v5, vt, v1, vt2, v2, v4, v3)
+	if p.MainMM != v1 {
+		t.Fatalf("main mm = #%d, want #%d (largest voxels)", p.MainMM.ID, v1.ID)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	g := dag.NewGraph()
+	a := g.Input("A", 10, 10, 1)
+	u1 := g.Unary("sq", a)
+	u2 := g.Unary("log", u1)
+	u3 := g.Unary("exp", u1) // u1 now has two consumers
+	g.SetOutput("O1", u2)
+	g.SetOutput("O2", u3)
+
+	// Multi-consumer member that is not the root.
+	if _, err := NewPlan(u2, map[int]*dag.Node{u1.ID: u1, u2.ID: u2}); err == nil {
+		t.Fatal("plan with multi-consumer member validated")
+	}
+	// Leaf as member.
+	if _, err := NewPlan(u2, map[int]*dag.Node{a.ID: a, u2.ID: u2}); err == nil {
+		t.Fatal("plan with leaf member validated")
+	}
+	// Root not in members.
+	if _, err := NewPlan(u2, map[int]*dag.Node{u3.ID: u3}); err == nil {
+		t.Fatal("plan without root validated")
+	}
+	// Disconnected members.
+	g2 := dag.NewGraph()
+	b := g2.Input("B", 10, 10, 1)
+	c1 := g2.Unary("sq", b)
+	c2 := g2.Unary("log", b)
+	g2.SetOutput("O", g2.Binary(matrix.Add, c1, c2))
+	if _, err := NewPlan(c1, map[int]*dag.Node{c1.ID: c1, c2.ID: c2}); err == nil {
+		t.Fatal("disconnected plan validated")
+	}
+	// Aggregation not at root.
+	g3 := dag.NewGraph()
+	d := g3.Input("D", 10, 10, 1)
+	ag := g3.Agg(matrix.SumAll, d)
+	sq := g3.Unary("sq", ag)
+	g3.SetOutput("O", sq)
+	if _, err := NewPlan(sq, map[int]*dag.Node{ag.ID: ag, sq.ID: sq}); err == nil {
+		t.Fatal("inner aggregation validated")
+	}
+}
+
+func TestIsTermination(t *testing.T) {
+	g := dag.NewGraph()
+	a := g.Input("A", 10000, 10000, 1)
+	shared := g.Unary("sq", a)
+	g.Unary("log", shared)
+	g.Unary("exp", shared)
+	if !IsTermination(shared, 1<<40) {
+		t.Fatal("multi-consumer node not termination")
+	}
+	bigAgg := g.Agg(matrix.SumAll, a)
+	if !IsTermination(bigAgg, 1000) {
+		t.Fatal("large aggregation not termination")
+	}
+	if IsTermination(bigAgg, 1<<40) {
+		t.Fatal("small aggregation misflagged")
+	}
+	single := g.Unary("abs", a)
+	if IsTermination(single, 0) {
+		t.Fatal("plain unary flagged as termination")
+	}
+}
+
+func TestSpaceTreeNMF(t *testing.T) {
+	_, _, _, _, tr, mm, add, lg, mul := nmfDAG(t)
+	p := planOf(t, mul, tr, mm, add, lg)
+	st := p.Spaces()
+	if st == nil || st.MM != mm {
+		t.Fatal("space tree missing or wrong mm")
+	}
+	// L-space: empty (U is external). R-space: the transpose.
+	if len(st.L.Nodes) != 0 || len(st.L.Nested) != 0 {
+		t.Fatalf("L-space %v", st.L.Nodes)
+	}
+	if len(st.R.Nodes) != 1 || st.R.Nodes[0] != tr {
+		t.Fatalf("R-space %v", st.R.Nodes)
+	}
+	// O-space: add, log, mul.
+	if len(st.O.Nodes) != 3 {
+		t.Fatalf("O-space has %d nodes", len(st.O.Nodes))
+	}
+	spaces := p.NodeSpaces()
+	if spaces[mm.ID] != SpaceMM || spaces[tr.ID] != SpaceR ||
+		spaces[add.ID] != SpaceO || spaces[lg.ID] != SpaceO || spaces[mul.ID] != SpaceO {
+		t.Fatalf("NodeSpaces = %v", spaces)
+	}
+}
+
+func TestSpaceTreeNestedMM(t *testing.T) {
+	// GNMF U-update F1: root b(/), main mm = t(V) x X, O-space contains a
+	// nested chain t(V) x V -> x U.
+	g := dag.NewGraph()
+	v := g.Input("V", 10000, 200, 1)
+	w := g.Input("W", 10000, 200, 1)
+	x := g.Input("X", 10000, 8000, 0.01)
+	u := g.Input("U", 200, 8000, 1)
+	vt1 := g.Transpose(v)
+	v1 := g.MatMul(vt1, x) // main (largest)
+	vt2 := g.Transpose(w)
+	v2 := g.MatMul(vt2, w)
+	v4 := g.MatMul(v2, u)
+	v3 := g.Binary(matrix.Mul, u, v1)
+	v5 := g.Binary(matrix.Div, v3, v4)
+	g.SetOutput("U2", v5)
+	p := planOf(t, v5, vt1, v1, vt2, v2, v4, v3)
+	st := p.Spaces()
+	if st.MM != v1 {
+		t.Fatalf("main mm #%d", st.MM.ID)
+	}
+	if len(st.L.Nodes) != 1 || st.L.Nodes[0] != vt1 {
+		t.Fatalf("L-space %v", st.L.Nodes)
+	}
+	if len(st.R.Nodes) != 0 {
+		t.Fatalf("R-space %v", st.R.Nodes)
+	}
+	// O-space: v3, v5 element-wise plus nested tree at v4.
+	if len(st.O.Nodes) != 2 {
+		t.Fatalf("O-space nodes %d", len(st.O.Nodes))
+	}
+	if len(st.O.Nested) != 1 || st.O.Nested[0].MM != v4 {
+		t.Fatal("nested v4 tree missing")
+	}
+	nested := st.O.Nested[0]
+	// v4's L side is another nested tree at v2.
+	if len(nested.L.Nested) != 1 || nested.L.Nested[0].MM != v2 {
+		t.Fatal("doubly nested v2 tree missing")
+	}
+	if len(nested.L.Nested[0].L.Nodes) != 1 || nested.L.Nested[0].L.Nodes[0] != vt2 {
+		t.Fatal("v2's transpose not in its L side")
+	}
+	// Space tagging: nested nodes inherit the enclosing side.
+	spaces := p.NodeSpaces()
+	if spaces[v4.ID] != SpaceO || spaces[v2.ID] != SpaceO || spaces[vt2.ID] != SpaceO {
+		t.Fatalf("nested tagging %v", spaces)
+	}
+	if spaces[vt1.ID] != SpaceL {
+		t.Fatal("vt1 should be L")
+	}
+	// Count all nodes via ForEachNode.
+	count := 0
+	st.ForEachNode(func(n *dag.Node) { count++ })
+	if count != p.Size() {
+		t.Fatalf("ForEachNode visited %d of %d", count, p.Size())
+	}
+}
+
+func TestBlockGridDims(t *testing.T) {
+	_, _, _, _, tr, mm, add, lg, mul := nmfDAG(t)
+	p := planOf(t, mul, tr, mm, add, lg)
+	i, j, k := p.BlockGridDims(1000)
+	if i != 5 || j != 5 || k != 1 {
+		t.Fatalf("grid %d,%d,%d; want 5,5,1", i, j, k)
+	}
+	i, j, k = p.BlockGridDims(300)
+	if i != 17 || j != 17 || k != 1 {
+		t.Fatalf("grid %d,%d,%d; want 17,17,1", i, j, k)
+	}
+}
+
+func TestFindOuterMaskRejectsDenseDriver(t *testing.T) {
+	g := dag.NewGraph()
+	xDense := g.Input("X", 1000, 1000, 0.9)
+	u := g.Input("U", 1000, 50, 1)
+	v := g.Input("V", 50, 1000, 1)
+	mm := g.MatMul(u, v)
+	mul := g.Binary(matrix.Mul, xDense, mm)
+	g.SetOutput("O", mul)
+	p := planOf(t, mul, mm)
+	if FindOuterMask(p) != nil {
+		t.Fatal("dense driver accepted as outer mask")
+	}
+	if p.Classify() != Row {
+		t.Fatal("should classify Row without sparse driver")
+	}
+}
+
+func TestFindOuterMaskRejectsTransposeOnPath(t *testing.T) {
+	g := dag.NewGraph()
+	x := g.Input("X", 1000, 1000, 0.01)
+	u := g.Input("U", 1000, 50, 1)
+	v := g.Input("V", 50, 1000, 1)
+	mm := g.MatMul(u, v)
+	tr := g.Transpose(mm) // transpose between mask and mm
+	mul := g.Binary(matrix.Mul, x, tr)
+	g.SetOutput("O", mul)
+	p := planOf(t, mul, mm, tr)
+	if FindOuterMask(p) != nil {
+		t.Fatal("transpose on masked path accepted")
+	}
+}

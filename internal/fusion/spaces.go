@@ -1,0 +1,179 @@
+package fusion
+
+import (
+	"fmt"
+
+	"fuseme/internal/dag"
+)
+
+// Space identifies which subspace of the 3-dimensional model a node belongs
+// to (Section 3.1): the main matrix multiplication spans MM-space; the
+// operators feeding its left and right inputs live in L-space and R-space;
+// the operators consuming its output live in O-space.
+type Space int
+
+// Subspaces of the 3-dimensional model.
+const (
+	SpaceMM Space = iota
+	SpaceL
+	SpaceR
+	SpaceO
+)
+
+// String names the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceMM:
+		return "MM"
+	case SpaceL:
+		return "L"
+	case SpaceR:
+		return "R"
+	case SpaceO:
+		return "O"
+	}
+	return fmt.Sprintf("Space(%d)", int(s))
+}
+
+// Side holds the member operators of one subspace: its element-wise /
+// transpose nodes plus one nested SpaceTree per matrix multiplication that
+// occurs inside the subspace (the recursive model spaces of Algorithm 1 and
+// Figure 11).
+type Side struct {
+	Nodes  []*dag.Node
+	Nested []*SpaceTree
+}
+
+// ForEachNode calls fn for every operator in the side, including all nodes
+// of nested trees (and their matmuls).
+func (s *Side) ForEachNode(fn func(n *dag.Node)) {
+	for _, n := range s.Nodes {
+		fn(n)
+	}
+	for _, t := range s.Nested {
+		t.ForEachNode(fn)
+	}
+}
+
+// SpaceTree is the 3-dimensional model of a fused operator containing matrix
+// multiplication: the main multiplication plus its L-, R- and O-space sides,
+// each of which may recursively contain further multiplications.
+type SpaceTree struct {
+	MM      *dag.Node
+	L, R, O Side
+}
+
+// ForEachNode calls fn for every operator in the tree, including MM itself.
+func (t *SpaceTree) ForEachNode(fn func(n *dag.Node)) {
+	fn(t.MM)
+	t.L.ForEachNode(fn)
+	t.R.ForEachNode(fn)
+	t.O.ForEachNode(fn)
+}
+
+// Spaces returns (building lazily) the space tree of the plan, or nil for a
+// plan without matrix multiplication.
+func (p *Plan) Spaces() *SpaceTree {
+	if p.MainMM == nil {
+		return nil
+	}
+	if p.spaces == nil {
+		p.spaces = buildSpaceTree(p, p.Root, p.MainMM)
+	}
+	return p.spaces
+}
+
+// buildSpaceTree constructs the model space for the sub-plan rooted at root
+// whose main multiplication is mm.
+func buildSpaceTree(p *Plan, root, mm *dag.Node) *SpaceTree {
+	t := &SpaceTree{MM: mm}
+	t.L = collectSide(p, mm.Inputs[0])
+	t.R = collectSide(p, mm.Inputs[1])
+	// O-space: members on the path(s) from root down, stopping at mm.
+	var walkO func(n *dag.Node)
+	walkO = func(n *dag.Node) {
+		if !p.Contains(n) || n == mm {
+			return
+		}
+		if n.Op == dag.OpMatMul {
+			t.O.Nested = append(t.O.Nested, nestedTree(p, n, mm))
+			return
+		}
+		t.O.Nodes = append(t.O.Nodes, n)
+		for _, in := range n.Inputs {
+			walkO(in)
+		}
+	}
+	if root != mm {
+		walkO(root)
+	}
+	return t
+}
+
+// collectSide gathers the member operators feeding one input of a
+// multiplication, creating nested trees at further multiplications.
+func collectSide(p *Plan, n *dag.Node) Side {
+	var s Side
+	var walk func(n *dag.Node)
+	walk = func(n *dag.Node) {
+		if !p.Contains(n) {
+			return // external input: consolidated, not computed
+		}
+		if n.Op == dag.OpMatMul {
+			s.Nested = append(s.Nested, nestedTree(p, n, nil))
+			return
+		}
+		s.Nodes = append(s.Nodes, n)
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(n)
+	return s
+}
+
+// nestedTree builds the recursive model space of a non-main multiplication.
+// Its O side is empty: the chain between it and its consumer belongs to the
+// enclosing space. stopAt guards against descending into the main mm from an
+// O-space walk (it cannot occur structurally, but is cheap to assert).
+func nestedTree(p *Plan, mm, stopAt *dag.Node) *SpaceTree {
+	if mm == stopAt {
+		panic("fusion: nested tree rooted at the main matmul")
+	}
+	return &SpaceTree{
+		MM: mm,
+		L:  collectSide(p, mm.Inputs[0]),
+		R:  collectSide(p, mm.Inputs[1]),
+	}
+}
+
+// NodeSpaces returns a map from member node ID to the subspace it occupies
+// in the top-level model. Nodes inside nested trees are tagged with the
+// space of the side the nested multiplication occurs in; the main matmul is
+// tagged SpaceMM. Returns nil for plans without matrix multiplication.
+func (p *Plan) NodeSpaces() map[int]Space {
+	t := p.Spaces()
+	if t == nil {
+		return nil
+	}
+	m := make(map[int]Space, len(p.Members))
+	m[t.MM.ID] = SpaceMM
+	tag := func(side *Side, s Space) {
+		side.ForEachNode(func(n *dag.Node) { m[n.ID] = s })
+	}
+	tag(&t.L, SpaceL)
+	tag(&t.R, SpaceR)
+	tag(&t.O, SpaceO)
+	return m
+}
+
+// BlockGridDims returns the block-grid dimensions (I, J, K) of the plan's
+// main multiplication for the given block size: I and J are the output block
+// grid, K the inner dimension's block count. Panics if the plan has no mm.
+func (p *Plan) BlockGridDims(blockSize int) (i, j, k int) {
+	if p.MainMM == nil {
+		panic("fusion: BlockGridDims on a plan without matmul")
+	}
+	ceil := func(a int) int { return (a + blockSize - 1) / blockSize }
+	return ceil(p.MainMM.Rows), ceil(p.MainMM.Cols), ceil(p.MainMM.Inputs[0].Cols)
+}

@@ -1,0 +1,71 @@
+package lang
+
+import (
+	"math"
+
+	"fuseme/internal/dag"
+)
+
+// Matrix-chain ordering: a run of `%*%` operators (A %*% B %*% C %*% ...)
+// is associative, and the parenthesisation changes the flop count by orders
+// of magnitude — e.g. V %*% U %*% t(U) evaluated left to right materialises
+// a users x items dense product, while V %*% (U %*% t(U)) stays k x k.
+// Like SystemML's optimizer, the parser collects each chain and builds the
+// cheapest tree by the classic O(n^3) dynamic program, using sparse-aware
+// flop estimates. Explicit parentheses in the source break chains and are
+// honoured.
+
+// buildChain constructs the optimal multiplication tree over operands.
+func (p *parser) buildChain(operands []*dag.Node) *dag.Node {
+	n := len(operands)
+	if n == 1 {
+		return operands[0]
+	}
+	if n == 2 {
+		return p.g.MatMul(operands[0], operands[1])
+	}
+	// cost[i][j]: minimal flops to compute the product of operands[i..j];
+	// split[i][j]: the k achieving it. Sparsity propagates through the DP
+	// with the same estimator the DAG uses.
+	type entry struct {
+		cost     float64
+		split    int
+		sparsity float64
+	}
+	tab := make([][]entry, n)
+	for i := range tab {
+		tab[i] = make([]entry, n)
+		tab[i][i] = entry{sparsity: operands[i].Sparsity}
+	}
+	for length := 2; length <= n; length++ {
+		for i := 0; i+length-1 < n; i++ {
+			j := i + length - 1
+			best := entry{cost: math.Inf(1)}
+			for k := i; k < j; k++ {
+				left, right := tab[i][k], tab[k][j]
+				rows := float64(operands[i].Rows)
+				inner := float64(operands[k].Cols)
+				cols := float64(operands[j].Cols)
+				mul := 2 * rows * inner * cols * left.sparsity * right.sparsity
+				total := left.cost + right.cost + mul
+				if total < best.cost {
+					sp := 1 - math.Pow(1-left.sparsity*right.sparsity, inner)
+					if sp < 0 {
+						sp = 0
+					}
+					best = entry{cost: total, split: k, sparsity: sp}
+				}
+			}
+			tab[i][j] = best
+		}
+	}
+	var build func(i, j int) *dag.Node
+	build = func(i, j int) *dag.Node {
+		if i == j {
+			return operands[i]
+		}
+		k := tab[i][j].split
+		return p.g.MatMul(build(i, k), build(k+1, j))
+	}
+	return build(0, n-1)
+}

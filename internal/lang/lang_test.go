@@ -1,0 +1,380 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+)
+
+var nmfInputs = map[string]InputDecl{
+	"X": {3000, 3000, 0.001},
+	"U": {3000, 200, 1},
+	"V": {3000, 200, 1},
+}
+
+func mustParse(t *testing.T, src string, inputs map[string]InputDecl) *dag.Graph {
+	t.Helper()
+	g, err := Parse(src, inputs)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return g
+}
+
+func TestParseNMFKernel(t *testing.T) {
+	g := mustParse(t, "O = X * log(U %*% t(V) + 0.001)", nmfInputs)
+	out := g.Outputs()["O"]
+	if out == nil {
+		t.Fatal("output O missing")
+	}
+	if out.Rows != 3000 || out.Cols != 3000 {
+		t.Fatalf("output shape %dx%d", out.Rows, out.Cols)
+	}
+	if out.Op != dag.OpBinary || out.BinOp != matrix.Mul {
+		t.Fatalf("root op %v", out.Label())
+	}
+	// Count one matmul and one transpose.
+	var mm, tr int
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case dag.OpMatMul:
+			mm++
+		case dag.OpTranspose:
+			tr++
+		}
+	}
+	if mm != 1 || tr != 1 {
+		t.Fatalf("mm=%d tr=%d", mm, tr)
+	}
+}
+
+func TestParseGNMF(t *testing.T) {
+	// Eq. 6 of the paper: both factor updates.
+	src := `
+# GNMF multiplicative updates
+U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))
+`
+	inputs := map[string]InputDecl{
+		"X": {10000, 8000, 0.01},
+		"U": {200, 8000, 1},
+		"V": {10000, 200, 1},
+	}
+	g := mustParse(t, src, inputs)
+	if len(g.Outputs()) != 2 {
+		t.Fatalf("%d outputs, want 2", len(g.Outputs()))
+	}
+	u2 := g.Outputs()["U2"]
+	if u2.Rows != 200 || u2.Cols != 8000 {
+		t.Fatalf("U2 shape %dx%d", u2.Rows, u2.Cols)
+	}
+	v2 := g.Outputs()["V2"]
+	if v2.Rows != 10000 || v2.Cols != 200 {
+		t.Fatalf("V2 shape %dx%d", v2.Rows, v2.Cols)
+	}
+}
+
+func TestParseALSLoss(t *testing.T) {
+	src := "loss = sum((X != 0) * (X - U %*% V)^2)"
+	inputs := map[string]InputDecl{
+		"X": {1000, 1000, 0.01},
+		"U": {1000, 50, 1},
+		"V": {50, 1000, 1},
+	}
+	g := mustParse(t, src, inputs)
+	out := g.Outputs()["loss"]
+	if out.Rows != 1 || out.Cols != 1 {
+		t.Fatalf("loss shape %dx%d", out.Rows, out.Cols)
+	}
+	if out.Op != dag.OpUnaryAgg || out.Agg != matrix.SumAll {
+		t.Fatalf("root %v", out.Label())
+	}
+	// ^2 must lower to the cheap sq kernel.
+	foundSq := false
+	for _, n := range g.Nodes() {
+		if n.Op == dag.OpUnary && n.Func == "sq" {
+			foundSq = true
+		}
+	}
+	if !foundSq {
+		t.Fatal("^2 did not lower to u(sq)")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	inputs := map[string]InputDecl{"A": {4, 4, 1}, "B": {4, 4, 1}, "C": {4, 4, 1}}
+	// A + B * C parses as A + (B * C).
+	g := mustParse(t, "O = A + B * C", inputs)
+	root := g.Outputs()["O"]
+	if root.BinOp != matrix.Add {
+		t.Fatalf("root should be +, got %v", root.Label())
+	}
+	if root.Inputs[1].BinOp != matrix.Mul {
+		t.Fatal("* should bind tighter than +")
+	}
+	// %*% binds tighter than *.
+	g = mustParse(t, "O = A * B %*% C", inputs)
+	root = g.Outputs()["O"]
+	if root.BinOp != matrix.Mul || root.Inputs[1].Op != dag.OpMatMul {
+		t.Fatal("%*% should bind tighter than *")
+	}
+	// Unary minus.
+	g = mustParse(t, "O = -A + B", inputs)
+	root = g.Outputs()["O"]
+	if root.BinOp != matrix.Add || root.Inputs[0].Func != "neg" {
+		t.Fatal("unary minus mis-parsed")
+	}
+	// Comparisons bind loosest.
+	g = mustParse(t, "O = A + B > C", inputs)
+	if g.Outputs()["O"].BinOp != matrix.Gt {
+		t.Fatal("comparison should bind loosest")
+	}
+}
+
+func TestScientificNumbers(t *testing.T) {
+	g := mustParse(t, "O = A + 1e-3", map[string]InputDecl{"A": {2, 2, 1}})
+	root := g.Outputs()["O"]
+	if root.Inputs[1].Scalar != 1e-3 {
+		t.Fatalf("scalar = %v", root.Inputs[1].Scalar)
+	}
+	g = mustParse(t, "O = A * 2.5E2", map[string]InputDecl{"A": {2, 2, 1}})
+	if g.Outputs()["O"].Inputs[1].Scalar != 250 {
+		t.Fatal("2.5E2 mis-lexed")
+	}
+}
+
+func TestAggregationsAndFunctions(t *testing.T) {
+	inputs := map[string]InputDecl{"A": {6, 4, 1}}
+	cases := map[string]struct{ rows, cols int }{
+		"O = sum(A)":     {1, 1},
+		"O = rowSums(A)": {6, 1},
+		"O = colSums(A)": {1, 4},
+		"O = mean(A)":    {1, 1},
+		"O = min(A)":     {1, 1},
+		"O = t(A)":       {4, 6},
+		"O = sigmoid(A)": {6, 4},
+	}
+	for src, want := range cases {
+		g := mustParse(t, src, inputs)
+		out := g.Outputs()["O"]
+		if out.Rows != want.rows || out.Cols != want.cols {
+			t.Errorf("%s: shape %dx%d, want %dx%d", src, out.Rows, out.Cols, want.rows, want.cols)
+		}
+	}
+	// Two-argument min is element-wise.
+	g := mustParse(t, "O = min(A, A + 1)", inputs)
+	if g.Outputs()["O"].Op != dag.OpBinary {
+		t.Fatal("min(a,b) should be element-wise")
+	}
+}
+
+func TestMultiStatementBindings(t *testing.T) {
+	src := "tmp = A %*% B; O = tmp * tmp"
+	inputs := map[string]InputDecl{"A": {3, 5, 1}, "B": {5, 3, 1}}
+	g := mustParse(t, src, inputs)
+	if len(g.Outputs()) != 1 {
+		t.Fatalf("outputs %v; consumed temp should not be an output", g.OutputNames())
+	}
+	if g.Outputs()["O"] == nil {
+		t.Fatal("O missing")
+	}
+	// tmp used twice must be a single node with two consumers.
+	for _, n := range g.Nodes() {
+		if n.Op == dag.OpMatMul && n.NumConsumers() != 2 {
+			t.Fatalf("shared temp consumers = %d", n.NumConsumers())
+		}
+	}
+}
+
+func TestRebinding(t *testing.T) {
+	src := "x = A + 1\nx = x * 2\nO = x"
+	g := mustParse(t, src, map[string]InputDecl{"A": {2, 2, 1}})
+	// x rebinding: O aliases final x; both names refer to one root, and
+	// outputs include whichever names remain unconsumed.
+	if len(g.Outputs()) == 0 {
+		t.Fatal("no outputs")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	inputs := map[string]InputDecl{"A": {3, 3, 1}, "B": {4, 4, 1}}
+	cases := []string{
+		"O = A +",                 // dangling operator
+		"O = undefined_var",       // unknown variable
+		"O = A %*",                // broken %*%
+		"O = foo(A)",              // unknown function
+		"O = t(A, A)",             // wrong arity
+		"O = (A + A",              // unbalanced paren
+		"= A",                     // missing name
+		"O A",                     // missing '='
+		"O = A $ B",               // bad character
+		"O = A + B",               // shape mismatch via dag panic
+		"tmp = A; O = tmp; Z = O", // fine... but listed to ensure no error
+	}
+	for _, src := range cases[:10] {
+		if _, err := Parse(src, inputs); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	if _, err := Parse(cases[10], inputs); err != nil {
+		t.Errorf("chained aliases failed: %v", err)
+	}
+}
+
+func TestNoOutputsError(t *testing.T) {
+	if _, err := Parse("", nil); err == nil {
+		t.Fatal("empty script parsed")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# leading comment
+O = A + 1   # trailing comment
+
+`
+	g := mustParse(t, src, map[string]InputDecl{"A": {2, 2, 1}})
+	if g.Outputs()["O"] == nil {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestErrorMessagesCarryLineNumbers(t *testing.T) {
+	src := "O = A + 1\nP = nope"
+	_, err := Parse(src, map[string]InputDecl{"A": {2, 2, 1}})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v should mention line 2", err)
+	}
+}
+
+func TestPowerRightAssociative(t *testing.T) {
+	g := mustParse(t, "O = A ^ 3 ^ 2", map[string]InputDecl{"A": {2, 2, 1}})
+	// A ^ (3 ^ 2): the exponent subtree constant-folds to the scalar 9 —
+	// right associativity is visible through the folded value (left
+	// association would square A^3 instead).
+	root := g.Outputs()["O"]
+	if root.Op != dag.OpBinary || root.BinOp != matrix.Pow {
+		t.Fatalf("root %v", root.Label())
+	}
+	exp := root.Inputs[1]
+	if exp.Op != dag.OpScalar || exp.Scalar != 9 {
+		t.Fatalf("exponent %v, want folded scalar 9", exp.Label())
+	}
+}
+
+// TestParserRobustness feeds mangled scripts to the parser: it must return
+// errors, never panic, and never accept garbage silently.
+func TestParserRobustness(t *testing.T) {
+	inputs := map[string]InputDecl{"A": {8, 8, 1}, "B": {8, 8, 1}}
+	base := "O = A * log(B %*% t(A) + 1e-3)"
+	junk := []byte("()%*=+-/^ \t\nABO13.e#,<>!")
+	rng := int64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng>>33) % n
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for round := 0; round < 500; round++ {
+		b := []byte(base)
+		for m := 0; m <= next(4); m++ {
+			switch next(3) {
+			case 0: // mutate a byte
+				b[next(len(b))] = junk[next(len(junk))]
+			case 1: // delete a byte
+				i := next(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 2: // insert a byte
+				i := next(len(b))
+				b = append(b[:i], append([]byte{junk[next(len(junk))]}, b[i:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b, r)
+				}
+			}()
+			g, err := Parse(string(b), inputs)
+			if err == nil && g == nil {
+				t.Fatalf("nil graph without error for %q", b)
+			}
+			if err == nil {
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("accepted %q but graph invalid: %v", b, verr)
+				}
+			}
+		}()
+	}
+}
+
+func TestMatrixChainReordering(t *testing.T) {
+	// A(1000x10) %*% B(10x1000) %*% C(1000x10): left-associative evaluation
+	// materialises a 1000x1000 intermediate; the optimizer must choose
+	// A %*% (B %*% C), whose intermediate is 10x10.
+	inputs := map[string]InputDecl{
+		"A": {1000, 10, 1}, "B": {10, 1000, 1}, "C": {1000, 10, 1},
+	}
+	g := mustParse(t, "O = A %*% B %*% C", inputs)
+	root := g.Outputs()["O"]
+	if root.Op != dag.OpMatMul {
+		t.Fatalf("root %v", root.Label())
+	}
+	if root.Inputs[0].Op != dag.OpInput || root.Inputs[0].Name != "A" {
+		t.Fatalf("left operand should be A, got %s", root.Inputs[0].Label())
+	}
+	inner := root.Inputs[1]
+	if inner.Op != dag.OpMatMul || inner.Rows != 10 || inner.Cols != 10 {
+		t.Fatalf("inner product should be B %%*%% C (10x10), got %s %dx%d",
+			inner.Label(), inner.Rows, inner.Cols)
+	}
+	// Explicit parentheses are honoured even when suboptimal.
+	g = mustParse(t, "O = (A %*% B) %*% C", inputs)
+	root = g.Outputs()["O"]
+	if root.Inputs[0].Op != dag.OpMatMul || root.Inputs[0].Rows != 1000 || root.Inputs[0].Cols != 1000 {
+		t.Fatal("explicit parenthesisation was overridden")
+	}
+}
+
+func TestMatrixChainSparseAware(t *testing.T) {
+	// t(V) %*% X %*% D with sparse X: the DP must keep the cheap ordering
+	// and estimate sparsity through the chain without error.
+	inputs := map[string]InputDecl{
+		"V": {100_000, 200, 1},
+		"X": {100_000, 50_000, 0.001},
+		"D": {50_000, 200, 1},
+	}
+	g := mustParse(t, "O = t(V) %*% X %*% D", inputs)
+	root := g.Outputs()["O"]
+	if root.Rows != 200 || root.Cols != 200 {
+		t.Fatalf("shape %dx%d", root.Rows, root.Cols)
+	}
+}
+
+func TestMatrixChainGNMFDenominator(t *testing.T) {
+	// The headline case: V %*% U %*% t(U) must become V %*% (U %*% t(U)),
+	// never materialising the users x items product.
+	inputs := map[string]InputDecl{
+		"V": {100_000, 200, 1},
+		"U": {200, 50_000, 1},
+	}
+	g := mustParse(t, "O = V %*% U %*% t(U)", inputs)
+	root := g.Outputs()["O"]
+	if root.Inputs[0].Name != "V" {
+		t.Fatalf("left operand %s, want V", root.Inputs[0].Label())
+	}
+	if inner := root.Inputs[1]; inner.Rows != 200 || inner.Cols != 200 {
+		t.Fatalf("inner %dx%d, want 200x200", inner.Rows, inner.Cols)
+	}
+}
+
+func TestMatrixChainMismatchError(t *testing.T) {
+	inputs := map[string]InputDecl{"A": {4, 5, 1}, "B": {6, 4, 1}}
+	if _, err := Parse("O = A %*% B", inputs); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package lang implements the small DML-like matrix expression language the
+// engine accepts, mirroring the declarative front end of SystemML/SystemDS
+// that the paper's implementation reuses. A script is a sequence of
+// assignments:
+//
+//	O = X * log(U %*% t(V) + 0.001)
+//	U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+//
+// Operators: + - * / ^ (element-wise), %*% (matrix multiplication),
+// comparison operators (==, !=, >, <, >=, <=), unary minus. Functions: t()
+// (transpose), sum(), rowSums(), colSums(), mean(), min()/max() (aggregation
+// with one argument, element-wise with two) and every unary function
+// registered in the matrix package (log, exp, sqrt, sigmoid, ...).
+// Comments run from '#' to end of line.
+//
+// Assignments bind names; every final binding that no other expression
+// consumes becomes a named output of the resulting DAG.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokOp // + - * / ^ %*% == != > < >= <= =
+	tokLParen
+	tokRParen
+	tokComma
+	tokNewline // statement separator: newline or ';'
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokOp:
+		return "operator"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokNewline:
+		return "end of statement"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex tokenises src, reporting the first lexical error encountered.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokenKind, text string) { toks = append(toks, token{k, text, line}) }
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\n':
+			emit(tokNewline, "\n")
+			line++
+			i++
+		case c == ';':
+			emit(tokNewline, ";")
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case c == ',':
+			emit(tokComma, ",")
+			i++
+		case c == '%':
+			if strings.HasPrefix(src[i:], "%*%") {
+				emit(tokOp, "%*%")
+				i += 3
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected %q (did you mean %%*%%?)", line, c)
+			}
+		case strings.ContainsRune("+-*/^", rune(c)):
+			emit(tokOp, string(c))
+			i++
+		case strings.ContainsRune("=!<>", rune(c)):
+			if i+1 < len(src) && src[i+1] == '=' {
+				emit(tokOp, src[i:i+2])
+				i += 2
+			} else if c == '=' {
+				emit(tokOp, "=")
+				i++
+			} else if c == '<' || c == '>' {
+				emit(tokOp, string(c))
+				i++
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected %q", line, c)
+			}
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			// Scientific notation.
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < len(src) && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					i = j
+					for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			emit(tokNumber, src[start:i])
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			emit(tokIdent, src[start:i])
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}

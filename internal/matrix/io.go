@@ -1,0 +1,131 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary matrix container format (the role Parquet-on-HDFS plays in the
+// paper's implementation): a little-endian header followed by the payload.
+//
+//	magic  uint32  0x464d4531 ("FME1")
+//	kind   uint8   0 = dense, 1 = CSR
+//	rows   int64
+//	cols   int64
+//	dense payload: rows*cols float64
+//	csr payload:   nnz int64, rowptr (rows+1) int64, col (nnz) int64, val (nnz) float64
+const ioMagic uint32 = 0x464d4531
+
+// WriteTo serialises m to w in the FME1 binary format.
+func WriteTo(w io.Writer, m Mat) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, ioMagic); err != nil {
+		return err
+	}
+	rows, cols := m.Dims()
+	switch x := m.(type) {
+	case *Dense:
+		if err := writeHeader(bw, 0, rows, cols); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, x.Data); err != nil {
+			return err
+		}
+	case *CSR:
+		if err := writeHeader(bw, 1, rows, cols); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int64(len(x.Val))); err != nil {
+			return err
+		}
+		for _, arr := range [][]int{x.RowPtr, x.Col} {
+			tmp := make([]int64, len(arr))
+			for i, v := range arr {
+				tmp[i] = int64(v)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, tmp); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, x.Val); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("matrix: unsupported Mat implementation %T", m)
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, kind uint8, rows, cols int) error {
+	if err := binary.Write(w, binary.LittleEndian, kind); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(rows)); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, int64(cols))
+}
+
+// ReadFrom deserialises a matrix written by WriteTo.
+func ReadFrom(r io.Reader) (Mat, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("matrix: bad magic %#x", magic)
+	}
+	var kind uint8
+	if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+		return nil, err
+	}
+	var rows64, cols64 int64
+	if err := binary.Read(br, binary.LittleEndian, &rows64); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cols64); err != nil {
+		return nil, err
+	}
+	rows, cols := int(rows64), int(cols64)
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative dimension %dx%d", rows, cols)
+	}
+	switch kind {
+	case 0:
+		d := NewDense(rows, cols)
+		if err := binary.Read(br, binary.LittleEndian, d.Data); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case 1:
+		var nnz int64
+		if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+			return nil, err
+		}
+		if nnz < 0 {
+			return nil, fmt.Errorf("matrix: negative nnz %d", nnz)
+		}
+		s := &CSR{Rows: rows, Cols: cols,
+			RowPtr: make([]int, rows+1),
+			Col:    make([]int, nnz),
+			Val:    make([]float64, nnz),
+		}
+		for _, arr := range []*[]int{&s.RowPtr, &s.Col} {
+			tmp := make([]int64, len(*arr))
+			if err := binary.Read(br, binary.LittleEndian, tmp); err != nil {
+				return nil, err
+			}
+			for i, v := range tmp {
+				(*arr)[i] = int(v)
+			}
+		}
+		if err := binary.Read(br, binary.LittleEndian, s.Val); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("matrix: unknown kind %d", kind)
+}

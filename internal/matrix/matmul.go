@@ -1,0 +1,240 @@
+package matrix
+
+import "fmt"
+
+// MatMul computes a x b, dispatching on representations:
+// dense x dense, CSR x dense, dense x CSR and CSR x CSR all have dedicated
+// kernels. The result is dense except for CSR x CSR, which is compressed
+// when the result density stays below SparseResultThreshold.
+func MatMul(a, b Mat) Mat {
+	ar, ak := a.Dims()
+	bk, bc := b.Dims()
+	if ak != bk {
+		panic(fmt.Sprintf("matrix: matmul inner dimension mismatch %dx%d x %dx%d", ar, ak, bk, bc))
+	}
+	switch x := a.(type) {
+	case *Dense:
+		switch y := b.(type) {
+		case *Dense:
+			return matMulDD(x, y)
+		case *CSR:
+			return matMulDS(x, y)
+		}
+	case *CSR:
+		switch y := b.(type) {
+		case *Dense:
+			return matMulSD(x, y)
+		case *CSR:
+			return matMulSS(x, y)
+		}
+	}
+	panic("matrix: unsupported Mat implementation")
+}
+
+// SparseResultThreshold is the density below which sparse x sparse products
+// are stored in CSR form.
+const SparseResultThreshold = 0.25
+
+// matMulDD is a cache-friendly i-k-j dense kernel.
+func matMulDD(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// matMulSD multiplies CSR a by dense b.
+func matMulSD(a *CSR, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowNNZ(i)
+		orow := out.Row(i)
+		for p, k := range cols {
+			av := vals[p]
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// matMulDS multiplies dense a by CSR b by scattering b's rows.
+func matMulDS(a *Dense, b *CSR) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			cols, vals := b.RowNNZ(k)
+			for p, j := range cols {
+				orow[j] += av * vals[p]
+			}
+		}
+	}
+	return out
+}
+
+// matMulSS multiplies two CSR matrices with a dense row accumulator,
+// compressing the result when it stays sparse.
+func matMulSS(a, b *CSR) Mat {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := a.RowNNZ(i)
+		orow := out.Row(i)
+		for p, k := range acols {
+			av := avals[p]
+			bcols, bvals := b.RowNNZ(k)
+			for q, j := range bcols {
+				orow[j] += av * bvals[q]
+			}
+		}
+	}
+	return MaybeCompress(out, SparseResultThreshold)
+}
+
+// MatMulFlops returns the flop count charged for a x b: 2*nnz(a)*cols(b) for
+// a sparse left operand, otherwise 2*rows*inner*cols.
+func MatMulFlops(a, b Mat) int64 {
+	ar, ak := a.Dims()
+	_, bc := b.Dims()
+	if a.IsSparse() {
+		return 2 * int64(a.NNZ()) * int64(bc)
+	}
+	return 2 * int64(ar) * int64(ak) * int64(bc)
+}
+
+// MaskedMatMul computes (a x b) restricted to the non-zero pattern of mask:
+// for every stored (i,j) of mask the full dot product a[i,:] . b[:,j] is
+// evaluated; everything else is skipped. This is the sparsity-exploitation
+// kernel of outer fusion (Section 2.1 of the paper): for sparse mask X, only
+// nnz(X) dot products are computed instead of rows x cols.
+//
+// The result has exactly mask's pattern (values may be zero).
+func MaskedMatMul(mask *CSR, a, b Mat) *CSR {
+	ar, ak := a.Dims()
+	bk, bc := b.Dims()
+	if ak != bk || mask.Rows != ar || mask.Cols != bc {
+		panic(fmt.Sprintf("matrix: masked matmul shape mismatch mask %dx%d, a %dx%d, b %dx%d",
+			mask.Rows, mask.Cols, ar, ak, bk, bc))
+	}
+	out := &CSR{Rows: mask.Rows, Cols: mask.Cols,
+		RowPtr: make([]int, len(mask.RowPtr)),
+		Col:    make([]int, len(mask.Col)),
+		Val:    make([]float64, len(mask.Col)),
+	}
+	copy(out.RowPtr, mask.RowPtr)
+	copy(out.Col, mask.Col)
+
+	da, denseA := a.(*Dense)
+	db, denseB := b.(*Dense)
+	// bT caches the dense transpose of b so dot products walk contiguous
+	// memory; built lazily only when b is dense and the mask is non-trivial.
+	var bT *Dense
+	if denseB && len(mask.Col) > 0 {
+		bT = ToDense(Transpose(db)).Clone().(*Dense)
+	}
+	for i := 0; i < mask.Rows; i++ {
+		cols, _ := mask.RowNNZ(i)
+		if len(cols) == 0 {
+			continue
+		}
+		base := mask.RowPtr[i]
+		switch {
+		case denseA && denseB:
+			arow := da.Row(i)
+			for p, j := range cols {
+				brow := bT.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				out.Val[base+p] = s
+			}
+		case denseA:
+			arow := da.Row(i)
+			for p, j := range cols {
+				var s float64
+				for k := 0; k < ak; k++ {
+					s += arow[k] * b.At(k, j)
+				}
+				out.Val[base+p] = s
+			}
+		default:
+			for p, j := range cols {
+				var s float64
+				for k := 0; k < ak; k++ {
+					s += a.At(i, k) * b.At(k, j)
+				}
+				out.Val[base+p] = s
+			}
+		}
+	}
+	return out
+}
+
+// MaskedMatMulFlops returns the flop count charged for a masked product:
+// 2 * nnz(mask) * inner.
+func MaskedMatMulFlops(mask *CSR, inner int) int64 {
+	return 2 * int64(mask.NNZ()) * int64(inner)
+}
+
+// Transpose returns the transpose of a, preserving representation.
+func Transpose(a Mat) Mat {
+	switch x := a.(type) {
+	case *Dense:
+		out := NewDense(x.Cols, x.Rows)
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				out.Data[j*x.Rows+i] = v
+			}
+		}
+		return out
+	case *CSR:
+		return transposeCSR(x)
+	}
+	panic("matrix: unsupported Mat implementation")
+}
+
+func transposeCSR(a *CSR) *CSR {
+	out := NewCSR(a.Cols, a.Rows)
+	out.Col = make([]int, len(a.Col))
+	out.Val = make([]float64, len(a.Val))
+	// Counting sort by column index.
+	counts := make([]int, a.Cols+1)
+	for _, j := range a.Col {
+		counts[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		counts[j+1] += counts[j]
+	}
+	copy(out.RowPtr, counts[:a.Cols+1])
+	next := make([]int, a.Cols)
+	copy(next, counts[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowNNZ(i)
+		for p, j := range cols {
+			dst := next[j]
+			out.Col[dst] = i
+			out.Val[dst] = vals[p]
+			next[j]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package matrix provides the local linear-algebra kernels used by the
+// FuseME engine: dense (row-major) and CSR sparse matrices, element-wise
+// operations, matrix multiplication (including the masked, sparsity-exploiting
+// variant used by outer fusion), transposition and aggregations.
+//
+// It plays the role that Breeze plays in the paper's Scala implementation:
+// everything a single task computes locally on its blocks goes through this
+// package. All kernels are deterministic and allocation-conscious; none of
+// them spawn goroutines (parallelism lives in the cluster layer).
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a two-dimensional matrix of float64 values. Implementations are
+// *Dense and *CSR. A nil Mat is treated by callers as an all-zero block.
+type Mat interface {
+	// Dims returns the number of rows and columns.
+	Dims() (rows, cols int)
+	// At returns the element at row i, column j. Indices must be in range.
+	At(i, j int) float64
+	// NNZ returns the number of explicitly stored non-zero elements.
+	NNZ() int
+	// IsSparse reports whether the receiver uses a sparse representation.
+	IsSparse() bool
+	// SizeBytes returns the in-memory footprint of the stored data in bytes.
+	// It is the quantity metered by the simulated cluster when a block moves
+	// across the (simulated) network.
+	SizeBytes() int64
+	// Clone returns a deep copy.
+	Clone() Mat
+}
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[i*Cols+j] == element (i,j)
+}
+
+// NewDense returns a zero-initialised dense matrix of the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseData wraps data (not copied) as a rows x cols dense matrix.
+func NewDenseData(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Dims implements Mat.
+func (d *Dense) Dims() (int, int) { return d.Rows, d.Cols }
+
+// At implements Mat.
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// NNZ implements Mat; it counts non-zero entries by scanning.
+func (d *Dense) NNZ() int {
+	n := 0
+	for _, v := range d.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsSparse implements Mat.
+func (d *Dense) IsSparse() bool { return false }
+
+// SizeBytes implements Mat.
+func (d *Dense) SizeBytes() int64 { return int64(len(d.Data)) * 8 }
+
+// Clone implements Mat.
+func (d *Dense) Clone() Mat {
+	data := make([]float64, len(d.Data))
+	copy(data, d.Data)
+	return &Dense{Rows: d.Rows, Cols: d.Cols, Data: data}
+}
+
+// Row returns a view of row i (the backing slice, not a copy).
+func (d *Dense) Row(i int) []float64 { return d.Data[i*d.Cols : (i+1)*d.Cols] }
+
+// CSR is a compressed-sparse-row matrix. Column indices within a row are
+// strictly increasing. Explicit zeros are permitted but generators never
+// produce them.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len == Rows+1
+	Col        []int // len == NNZ
+	Val        []float64
+}
+
+// NewCSR returns an empty (all-zero) CSR matrix of the given shape.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+}
+
+// Dims implements Mat.
+func (s *CSR) Dims() (int, int) { return s.Rows, s.Cols }
+
+// At implements Mat using a binary search within the row.
+func (s *CSR) At(i, j int) float64 {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.Col[mid] == j:
+			return s.Val[mid]
+		case s.Col[mid] < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// NNZ implements Mat.
+func (s *CSR) NNZ() int { return len(s.Val) }
+
+// IsSparse implements Mat.
+func (s *CSR) IsSparse() bool { return true }
+
+// SizeBytes implements Mat. Each stored element carries a value (8 bytes)
+// and a column index (8 bytes) plus the row-pointer array.
+func (s *CSR) SizeBytes() int64 {
+	return int64(len(s.Val))*16 + int64(len(s.RowPtr))*8
+}
+
+// Clone implements Mat.
+func (s *CSR) Clone() Mat {
+	c := &CSR{Rows: s.Rows, Cols: s.Cols,
+		RowPtr: make([]int, len(s.RowPtr)),
+		Col:    make([]int, len(s.Col)),
+		Val:    make([]float64, len(s.Val)),
+	}
+	copy(c.RowPtr, s.RowPtr)
+	copy(c.Col, s.Col)
+	copy(c.Val, s.Val)
+	return c
+}
+
+// RowNNZ returns the column indices and values of row i as views.
+func (s *CSR) RowNNZ(i int) (cols []int, vals []float64) {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	return s.Col[lo:hi], s.Val[lo:hi]
+}
+
+// Density returns NNZ / (rows*cols), or 0 for an empty shape.
+func Density(m Mat) float64 {
+	r, c := m.Dims()
+	if r == 0 || c == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(r) * float64(c))
+}
+
+// ToDense converts any Mat to a dense matrix (copying).
+func ToDense(m Mat) *Dense {
+	if d, ok := m.(*Dense); ok {
+		return d.Clone().(*Dense)
+	}
+	s := m.(*CSR)
+	d := NewDense(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		cols, vals := s.RowNNZ(i)
+		row := d.Row(i)
+		for p, j := range cols {
+			row[j] = vals[p]
+		}
+	}
+	return d
+}
+
+// ToCSR converts any Mat to CSR form (copying), dropping zeros.
+func ToCSR(m Mat) *CSR {
+	if s, ok := m.(*CSR); ok {
+		return s.Clone().(*CSR)
+	}
+	d := m.(*Dense)
+	out := NewCSR(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				out.Col = append(out.Col, j)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// MaybeCompress returns a CSR copy of m when its density is below threshold
+// and m is dense; otherwise it returns m unchanged. It is used by kernels
+// that produce dense accumulators for logically sparse results.
+func MaybeCompress(m Mat, threshold float64) Mat {
+	d, ok := m.(*Dense)
+	if !ok {
+		return m
+	}
+	if Density(d) < threshold {
+		return ToCSR(d)
+	}
+	return m
+}
+
+// Zeros returns an all-zero matrix in the representation suggested by sparse.
+func Zeros(rows, cols int, sparse bool) Mat {
+	if sparse {
+		return NewCSR(rows, cols)
+	}
+	return NewDense(rows, cols)
+}
+
+// Equal reports whether a and b have the same shape and identical elements.
+func Equal(a, b Mat) bool { return EqualApprox(a, b, 0) }
+
+// EqualApprox reports whether a and b have the same shape and elements equal
+// within tol (absolute or relative, whichever is looser).
+func EqualApprox(a, b Mat, tol float64) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			x, y := a.At(i, j), b.At(i, j)
+			if x == y {
+				continue
+			}
+			diff := math.Abs(x - y)
+			if diff > tol && diff > tol*math.Max(math.Abs(x), math.Abs(y)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkSameShape panics unless a and b share dimensions.
+func checkSameShape(op string, a, b Mat) (rows, cols int) {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, ar, ac, br, bc))
+	}
+	return ar, ac
+}

@@ -1,0 +1,376 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinOp identifies an element-wise binary operation.
+type BinOp int
+
+// Supported element-wise binary operations.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Pow
+	MinOp
+	MaxOp
+	Neq
+	Eq
+	Gt
+	Lt
+	Ge
+	Le
+)
+
+var binOpNames = map[BinOp]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Pow: "^",
+	MinOp: "min", MaxOp: "max",
+	Neq: "!=", Eq: "==", Gt: ">", Lt: "<", Ge: ">=", Le: "<=",
+}
+
+// String returns the surface syntax of the operation.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// ParseBinOp maps surface syntax (e.g. "*", "min", "!=") to a BinOp.
+func ParseBinOp(s string) (BinOp, bool) {
+	for op, name := range binOpNames {
+		if name == s {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval applies the operation to a single pair of values.
+func (op BinOp) Eval(x, y float64) float64 {
+	switch op {
+	case Add:
+		return x + y
+	case Sub:
+		return x - y
+	case Mul:
+		return x * y
+	case Div:
+		return x / y
+	case Pow:
+		return math.Pow(x, y)
+	case MinOp:
+		return math.Min(x, y)
+	case MaxOp:
+		return math.Max(x, y)
+	case Neq:
+		return boolToF(x != y)
+	case Eq:
+		return boolToF(x == y)
+	case Gt:
+		return boolToF(x > y)
+	case Lt:
+		return boolToF(x < y)
+	case Ge:
+		return boolToF(x >= y)
+	case Le:
+		return boolToF(x <= y)
+	}
+	panic(fmt.Sprintf("matrix: unknown BinOp %d", int(op)))
+}
+
+// Flops returns the floating-point operation count charged for one
+// application of the operation (used by the computation-cost meter).
+func (op BinOp) Flops() int64 {
+	if op == Pow {
+		return 10 // pow is far more expensive than an add/mul
+	}
+	return 1
+}
+
+// Binary applies op element-wise to a and b. Shapes must either match
+// exactly, or one operand may be a broadcastable vector: a 1xC row vector, an
+// Rx1 column vector, or a 1x1 matrix (treated as a scalar). Sparse operands
+// take fast paths when the result is provably sparse.
+func Binary(op BinOp, a, b Mat) Mat {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	switch {
+	case ar == br && ac == bc:
+		return binarySame(op, a, b)
+	case br == 1 && bc == 1:
+		return BinaryScalar(op, a, b.At(0, 0), false)
+	case ar == 1 && ac == 1:
+		return BinaryScalar(op, b, a.At(0, 0), true)
+	case (br == 1 && bc == ac) || (bc == 1 && br == ar):
+		return binaryBroadcast(op, a, b, false)
+	case (ar == 1 && ac == bc) || (ac == 1 && ar == br):
+		return binaryBroadcast(op, b, a, true)
+	}
+	panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, ar, ac, br, bc))
+}
+
+func binarySame(op BinOp, a, b Mat) Mat {
+	// Sparse fast paths. Multiplication by a sparse operand yields a result
+	// at most as dense as that operand; this is the kernel-level form of the
+	// paper's "sparsity exploitation".
+	if op == Mul {
+		if sa, ok := a.(*CSR); ok {
+			return mulSparseAny(sa, b, false)
+		}
+		if sb, ok := b.(*CSR); ok {
+			return mulSparseAny(sb, a, false)
+		}
+	}
+	if op == Div {
+		// 0/y == 0 for y != 0; the engine only divides by strictly positive
+		// denominators (GNMF multiplicative updates), so a sparse numerator
+		// keeps its pattern.
+		if sa, ok := a.(*CSR); ok {
+			return mulSparseAny(sa, b, true)
+		}
+	}
+	if (op == Add || op == Sub) && a.IsSparse() && b.IsSparse() {
+		return addSubSparse(op, a.(*CSR), b.(*CSR))
+	}
+	da, db := ToDense(a), ToDense(b)
+	out := NewDense(da.Rows, da.Cols)
+	for i := range out.Data {
+		out.Data[i] = op.Eval(da.Data[i], db.Data[i])
+	}
+	return out
+}
+
+// mulSparseAny computes s .* other (or s ./ other when div is true), where
+// the iteration order follows the sparse operand's pattern. When the sparse
+// operand is on the right of a subtraction-like op this is invalid; callers
+// guarantee commutativity (Mul) or left-sparsity (Div).
+func mulSparseAny(s *CSR, other Mat, div bool) *CSR {
+	out := NewCSR(s.Rows, s.Cols)
+	out.Col = make([]int, 0, len(s.Col))
+	out.Val = make([]float64, 0, len(s.Val))
+	od, odOK := other.(*Dense)
+	for i := 0; i < s.Rows; i++ {
+		cols, vals := s.RowNNZ(i)
+		var orow []float64
+		if odOK {
+			orow = od.Row(i)
+		}
+		for p, j := range cols {
+			var y float64
+			if odOK {
+				y = orow[j]
+			} else {
+				y = other.At(i, j)
+			}
+			var v float64
+			if div {
+				v = vals[p] / y
+			} else {
+				v = vals[p] * y
+			}
+			if v != 0 {
+				out.Col = append(out.Col, j)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+func addSubSparse(op BinOp, a, b *CSR) *CSR {
+	out := NewCSR(a.Rows, a.Cols)
+	out.Col = make([]int, 0, len(a.Col)+len(b.Col))
+	out.Val = make([]float64, 0, len(a.Val)+len(b.Val))
+	sign := 1.0
+	if op == Sub {
+		sign = -1.0
+	}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.RowNNZ(i)
+		bc, bv := b.RowNNZ(i)
+		pa, pb := 0, 0
+		for pa < len(ac) || pb < len(bc) {
+			switch {
+			case pb >= len(bc) || (pa < len(ac) && ac[pa] < bc[pb]):
+				out.Col = append(out.Col, ac[pa])
+				out.Val = append(out.Val, av[pa])
+				pa++
+			case pa >= len(ac) || bc[pb] < ac[pa]:
+				out.Col = append(out.Col, bc[pb])
+				out.Val = append(out.Val, sign*bv[pb])
+				pb++
+			default:
+				v := av[pa] + sign*bv[pb]
+				if v != 0 {
+					out.Col = append(out.Col, ac[pa])
+					out.Val = append(out.Val, v)
+				}
+				pa++
+				pb++
+			}
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// BinaryScalar applies op between every element of a and the scalar s.
+// When scalarOnLeft is true the scalar is the left operand: op(s, x).
+// If the operation preserves zeros (op(0,s) == 0) a sparse operand keeps its
+// pattern.
+func BinaryScalar(op BinOp, a Mat, s float64, scalarOnLeft bool) Mat {
+	eval := func(x float64) float64 {
+		if scalarOnLeft {
+			return op.Eval(s, x)
+		}
+		return op.Eval(x, s)
+	}
+	if sa, ok := a.(*CSR); ok && eval(0) == 0 {
+		out := sa.Clone().(*CSR)
+		w := 0
+		for i := 0; i < out.Rows; i++ {
+			lo, hi := sa.RowPtr[i], sa.RowPtr[i+1]
+			for p := lo; p < hi; p++ {
+				v := eval(sa.Val[p])
+				if v != 0 {
+					out.Col[w] = sa.Col[p]
+					out.Val[w] = v
+					w++
+				}
+			}
+			out.RowPtr[i+1] = w
+		}
+		out.Col = out.Col[:w]
+		out.Val = out.Val[:w]
+		return out
+	}
+	da := ToDense(a)
+	out := NewDense(da.Rows, da.Cols)
+	for i, x := range da.Data {
+		out.Data[i] = eval(x)
+	}
+	return out
+}
+
+// binaryBroadcast applies op between the full matrix full and vector vec
+// (1xC row vector or Rx1 column vector). When vecOnLeft is true the vector is
+// the left operand of op.
+func binaryBroadcast(op BinOp, full, vec Mat, vecOnLeft bool) Mat {
+	fr, fc := full.Dims()
+	vr, vc := vec.Dims()
+	rowVec := vr == 1
+	if (rowVec && vc != fc) || (!rowVec && vr != fr) {
+		panic(fmt.Sprintf("matrix: %s broadcast mismatch %dx%d vs %dx%d", op, fr, fc, vr, vc))
+	}
+	df, dv := ToDense(full), ToDense(vec)
+	out := NewDense(fr, fc)
+	for i := 0; i < fr; i++ {
+		frow := df.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < fc; j++ {
+			var v float64
+			if rowVec {
+				v = dv.Data[j]
+			} else {
+				v = dv.Data[i]
+			}
+			if vecOnLeft {
+				orow[j] = op.Eval(v, frow[j])
+			} else {
+				orow[j] = op.Eval(frow[j], v)
+			}
+		}
+	}
+	return out
+}
+
+// unaryFuncs maps surface names to element-wise functions. "sq" is the ^2 of
+// the paper's weighted-squared-loss examples; "sigmoid" and "sigmoidGrad"
+// serve the AutoEncoder workload.
+var unaryFuncs = map[string]func(float64) float64{
+	"log":   math.Log,
+	"exp":   math.Exp,
+	"sqrt":  math.Sqrt,
+	"abs":   math.Abs,
+	"sin":   math.Sin,
+	"cos":   math.Cos,
+	"tanh":  math.Tanh,
+	"round": math.Round,
+	"floor": math.Floor,
+	"ceil":  math.Ceil,
+	"sq":    func(x float64) float64 { return x * x },
+	"neg":   func(x float64) float64 { return -x },
+	"recip": func(x float64) float64 { return 1 / x },
+	"sign": func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		}
+		return 0
+	},
+	"relu":    func(x float64) float64 { return math.Max(0, x) },
+	"sigmoid": func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+	// sigmoidGrad computes s*(1-s) for an already-activated value s.
+	"sigmoidGrad": func(s float64) float64 { return s * (1 - s) },
+}
+
+// UnaryFunc returns the element-wise function registered under name.
+func UnaryFunc(name string) (func(float64) float64, bool) {
+	f, ok := unaryFuncs[name]
+	return f, ok
+}
+
+// UnaryFlops returns the flop cost charged per element for the named unary
+// function by the computation-cost meter.
+func UnaryFlops(name string) int64 {
+	switch name {
+	case "sq", "neg", "abs", "sign", "relu":
+		return 1
+	default:
+		return 10 // transcendental
+	}
+}
+
+// Apply evaluates f element-wise. If f preserves zero (f(0) == 0) a sparse
+// input keeps its sparse pattern; otherwise the result is dense.
+func Apply(f func(float64) float64, a Mat) Mat {
+	if sa, ok := a.(*CSR); ok && f(0) == 0 {
+		out := sa.Clone().(*CSR)
+		for p, v := range sa.Val {
+			out.Val[p] = f(v)
+		}
+		return out
+	}
+	da := ToDense(a)
+	out := NewDense(da.Rows, da.Cols)
+	for i, x := range da.Data {
+		out.Data[i] = f(x)
+	}
+	return out
+}
+
+// ApplyNamed evaluates the registered unary function name element-wise.
+func ApplyNamed(name string, a Mat) Mat {
+	f, ok := UnaryFunc(name)
+	if !ok {
+		panic(fmt.Sprintf("matrix: unknown unary function %q", name))
+	}
+	return Apply(f, a)
+}
+
+// Scale returns s * a, preserving sparsity.
+func Scale(a Mat, s float64) Mat { return BinaryScalar(Mul, a, s, false) }

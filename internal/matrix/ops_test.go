@@ -1,0 +1,353 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinOpEval(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		x, y float64
+		want float64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, 2, 3, 6},
+		{Div, 6, 3, 2},
+		{Pow, 2, 3, 8},
+		{MinOp, 2, 3, 2},
+		{MaxOp, 2, 3, 3},
+		{Neq, 2, 3, 1},
+		{Neq, 2, 2, 0},
+		{Eq, 2, 2, 1},
+		{Gt, 3, 2, 1},
+		{Lt, 3, 2, 0},
+		{Ge, 2, 2, 1},
+		{Le, 3, 2, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.x, c.y); got != c.want {
+			t.Errorf("%v.Eval(%v,%v) = %v, want %v", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestParseBinOpRoundTrip(t *testing.T) {
+	for op := Add; op <= Le; op++ {
+		got, ok := ParseBinOp(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseBinOp(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := ParseBinOp("@@"); ok {
+		t.Fatal("parsed invalid operator")
+	}
+}
+
+// refBinary is the elementwise reference implementation used to validate all
+// fast paths.
+func refBinary(op BinOp, a, b Mat) *Dense {
+	r, c := a.Dims()
+	out := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Set(i, j, op.Eval(a.At(i, j), b.At(i, j)))
+		}
+	}
+	return out
+}
+
+func TestBinarySameShapeAllRepresentations(t *testing.T) {
+	d1 := randDense(t, 15, 9, 1)
+	d2 := RandomDense(15, 9, 1, 2, 2) // strictly positive, safe divisor
+	s1 := randSparse(t, 15, 9, 0.25, 3)
+	s2 := randSparse(t, 15, 9, 0.25, 4)
+	for _, op := range []BinOp{Add, Sub, Mul, MinOp, MaxOp} {
+		combos := []struct {
+			name string
+			a, b Mat
+		}{
+			{"dd", d1, d2}, {"sd", s1, d2}, {"ds", d1, s2}, {"ss", s1, s2},
+		}
+		for _, cb := range combos {
+			got := Binary(op, cb.a, cb.b)
+			want := refBinary(op, cb.a, cb.b)
+			if !EqualApprox(got, want, 1e-14) {
+				t.Errorf("op %v combo %s mismatch", op, cb.name)
+			}
+		}
+	}
+	// Division with a strictly positive dense denominator.
+	for _, a := range []Mat{d1, s1} {
+		got := Binary(Div, a, d2)
+		want := refBinary(Div, a, d2)
+		if !EqualApprox(got, want, 1e-14) {
+			t.Errorf("division mismatch for %T", a)
+		}
+	}
+}
+
+func TestBinarySparseMulKeepsSparse(t *testing.T) {
+	s := randSparse(t, 40, 40, 0.05, 5)
+	d := randDense(t, 40, 40, 6)
+	got := Binary(Mul, s, d)
+	if !got.IsSparse() {
+		t.Fatal("sparse * dense should stay sparse")
+	}
+	if got.NNZ() > s.NNZ() {
+		t.Fatalf("result nnz %d exceeds pattern nnz %d", got.NNZ(), s.NNZ())
+	}
+	got2 := Binary(Mul, d, s)
+	if !got2.IsSparse() {
+		t.Fatal("dense * sparse should stay sparse")
+	}
+	if !EqualApprox(got, got2, 1e-15) {
+		t.Fatal("multiplication not commutative across representations")
+	}
+}
+
+func TestBinaryScalar(t *testing.T) {
+	s := randSparse(t, 20, 20, 0.1, 7)
+	// Zero-preserving: x * 2 keeps pattern.
+	got := BinaryScalar(Mul, s, 2, false)
+	if !got.IsSparse() {
+		t.Fatal("x*2 should stay sparse")
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if got.At(i, j) != s.At(i, j)*2 {
+				t.Fatalf("(%d,%d): %v != %v*2", i, j, got.At(i, j), s.At(i, j))
+			}
+		}
+	}
+	// Non-zero-preserving: x + 1 densifies.
+	got = BinaryScalar(Add, s, 1, false)
+	if got.IsSparse() {
+		t.Fatal("x+1 should densify")
+	}
+	if got.At(0, 0) != s.At(0, 0)+1 {
+		t.Fatal("x+1 wrong value")
+	}
+	// Scalar on left: 10 / x.
+	d := RandomDense(4, 4, 1, 2, 8)
+	got = BinaryScalar(Div, d, 10, true)
+	if math.Abs(got.At(1, 1)-10/d.At(1, 1)) > 1e-15 {
+		t.Fatal("scalar-on-left division wrong")
+	}
+}
+
+func TestBinaryNeqZeroPattern(t *testing.T) {
+	// (X != 0) is the ALS weighting pattern; it must stay sparse with all
+	// stored values equal to 1.
+	s := randSparse(t, 30, 30, 0.1, 9)
+	got := BinaryScalar(Neq, s, 0, false)
+	if !got.IsSparse() {
+		t.Fatal("(X != 0) should stay sparse")
+	}
+	cs := got.(*CSR)
+	if cs.NNZ() != s.NNZ() {
+		t.Fatalf("pattern nnz %d, want %d", cs.NNZ(), s.NNZ())
+	}
+	for _, v := range cs.Val {
+		if v != 1 {
+			t.Fatalf("pattern value %v, want 1", v)
+		}
+	}
+}
+
+func TestBinaryScalarMatrixOperand(t *testing.T) {
+	d := randDense(t, 5, 5, 10)
+	one := NewDenseData(1, 1, []float64{3})
+	got := Binary(Mul, d, one)
+	want := BinaryScalar(Mul, d, 3, false)
+	if !Equal(got, want) {
+		t.Fatal("1x1 right operand not treated as scalar")
+	}
+	got = Binary(Sub, one, d)
+	want = BinaryScalar(Sub, d, 3, true)
+	if !Equal(got, want) {
+		t.Fatal("1x1 left operand not treated as scalar")
+	}
+}
+
+func TestBinaryBroadcastRowAndCol(t *testing.T) {
+	d := randDense(t, 6, 4, 11)
+	row := randDense(t, 1, 4, 12)
+	col := randDense(t, 6, 1, 13)
+	got := Binary(Add, d, row)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != d.At(i, j)+row.At(0, j) {
+				t.Fatalf("row broadcast wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	got = Binary(Sub, d, col)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != d.At(i, j)-col.At(i, 0) {
+				t.Fatalf("col broadcast wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Vector on the left of a non-commutative op.
+	got = Binary(Sub, row, d)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != row.At(0, j)-d.At(i, j) {
+				t.Fatalf("left row broadcast wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBinaryShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Binary(Add, NewDense(3, 3), NewDense(4, 4))
+}
+
+func TestAddSubSparseMerge(t *testing.T) {
+	a := randSparse(t, 25, 25, 0.15, 20)
+	b := randSparse(t, 25, 25, 0.15, 21)
+	sum := Binary(Add, a, b)
+	if !sum.IsSparse() {
+		t.Fatal("sparse + sparse should stay sparse")
+	}
+	if !EqualApprox(sum, refBinary(Add, a, b), 1e-15) {
+		t.Fatal("sparse add mismatch")
+	}
+	diff := Binary(Sub, a, b)
+	if !EqualApprox(diff, refBinary(Sub, a, b), 1e-15) {
+		t.Fatal("sparse sub mismatch")
+	}
+	// a - a must cancel to an empty matrix, with zeros dropped.
+	z := Binary(Sub, a, a).(*CSR)
+	if z.NNZ() != 0 {
+		t.Fatalf("a-a has %d stored entries", z.NNZ())
+	}
+}
+
+func TestApplyZeroPreserving(t *testing.T) {
+	s := randSparse(t, 12, 12, 0.2, 30)
+	sq := ApplyNamed("sq", s)
+	if !sq.IsSparse() {
+		t.Fatal("x^2 should preserve sparsity")
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			want := s.At(i, j) * s.At(i, j)
+			if math.Abs(sq.At(i, j)-want) > 1e-15 {
+				t.Fatalf("sq mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	lg := ApplyNamed("exp", s)
+	if lg.IsSparse() {
+		t.Fatal("exp(0)=1 must densify")
+	}
+}
+
+func TestUnaryFuncRegistry(t *testing.T) {
+	for _, name := range []string{"log", "exp", "sqrt", "abs", "sin", "cos", "tanh", "sq", "neg", "sign", "relu", "sigmoid", "sigmoidGrad", "recip", "round", "floor", "ceil"} {
+		if _, ok := UnaryFunc(name); !ok {
+			t.Errorf("missing unary function %q", name)
+		}
+	}
+	if _, ok := UnaryFunc("nope"); ok {
+		t.Fatal("unknown function resolved")
+	}
+	sig, _ := UnaryFunc("sigmoid")
+	if math.Abs(sig(0)-0.5) > 1e-15 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	if UnaryFlops("sq") != 1 || UnaryFlops("log") != 10 {
+		t.Fatal("unexpected unary flop charges")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := randSparse(t, 10, 10, 0.2, 40)
+	got := Scale(s, -2)
+	if !got.IsSparse() {
+		t.Fatal("scale should preserve sparsity")
+	}
+	if got.At(0, 0) != -2*s.At(0, 0) {
+		t.Fatal("scale wrong value")
+	}
+}
+
+// Property: for every op and random dense matrices, Binary agrees with the
+// scalar evaluation at every coordinate.
+func TestQuickBinaryAgreesWithEval(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := RandomDense(8, 8, -2, 2, seedA)
+		b := RandomDense(8, 8, 1, 3, seedB)
+		for _, op := range []BinOp{Add, Sub, Mul, Div, MinOp, MaxOp, Gt, Le} {
+			if !EqualApprox(Binary(op, a, b), refBinary(op, a, b), 1e-14) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse representations never change numeric results.
+func TestQuickSparseDenseEquivalence(t *testing.T) {
+	f := func(seed int64, densityRaw uint8) bool {
+		density := float64(densityRaw%90)/100 + 0.05
+		s := RandomSparse(10, 10, density, -1, 1, seed)
+		d := ToDense(s)
+		other := RandomDense(10, 10, 1, 2, seed+1)
+		for _, op := range []BinOp{Add, Sub, Mul, Div} {
+			sparseRes := Binary(op, s, other)
+			denseRes := Binary(op, d, other)
+			if !EqualApprox(sparseRes, denseRes, 1e-14) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add and Mul are commutative across representations.
+func TestQuickCommutativity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandomSparse(9, 9, 0.3, -1, 1, seed)
+		b := RandomDense(9, 9, -1, 1, seed+7)
+		return EqualApprox(Binary(Add, a, b), Binary(Add, b, a), 1e-15) &&
+			EqualApprox(Binary(Mul, a, b), Binary(Mul, b, a), 1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinaryMulSparseDense(b *testing.B) {
+	s := RandomSparse(1000, 1000, 0.01, -1, 1, 1)
+	d := RandomDense(1000, 1000, -1, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkMat = Binary(Mul, s, d)
+	}
+}
+
+func BenchmarkBinaryAddDenseDense(b *testing.B) {
+	x := RandomDense(1000, 1000, -1, 1, 1)
+	y := RandomDense(1000, 1000, -1, 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkMat = Binary(Add, x, y)
+	}
+}

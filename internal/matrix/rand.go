@@ -1,0 +1,139 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RandomDense returns a rows x cols dense matrix with entries drawn uniformly
+// from [lo, hi), using the deterministic seed.
+func RandomDense(rows, cols int, lo, hi float64, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewDense(rows, cols)
+	for i := range out.Data {
+		out.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+// RandomSparse returns a rows x cols CSR matrix with approximately
+// density*rows*cols uniformly distributed non-zeros drawn from [lo, hi).
+// This mirrors the synthetic data generation of SystemDS and DistME used in
+// the paper ("randomly and uniformly distributed non-zero elements").
+//
+// Each row receives a binomially distributed number of non-zeros
+// (approximated by per-cell Bernoulli for small rows, and by expected count
+// with jitter for large rows, to avoid O(rows*cols) work at low densities).
+func RandomSparse(rows, cols int, density float64, lo, hi float64, seed int64) *CSR {
+	if density >= 0.5 {
+		// Dense-ish pattern: per-cell Bernoulli is affordable and exact.
+		rng := rand.New(rand.NewSource(seed))
+		out := NewCSR(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < density {
+					out.Col = append(out.Col, j)
+					out.Val = append(out.Val, lo+rng.Float64()*(hi-lo))
+				}
+			}
+			out.RowPtr[i+1] = len(out.Val)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := NewCSR(rows, cols)
+	expected := density * float64(cols)
+	scratch := make([]int, 0, int(expected*2)+4)
+	for i := 0; i < rows; i++ {
+		// Poisson-like count around the expectation.
+		n := poissonish(rng, expected)
+		if n > cols {
+			n = cols
+		}
+		scratch = scratch[:0]
+		seen := make(map[int]struct{}, n)
+		for len(scratch) < n {
+			j := rng.Intn(cols)
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			scratch = append(scratch, j)
+		}
+		sort.Ints(scratch)
+		for _, j := range scratch {
+			out.Col = append(out.Col, j)
+			out.Val = append(out.Val, lo+rng.Float64()*(hi-lo))
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// poissonish samples a non-negative integer with mean lambda using Knuth's
+// method for small lambda and a normal approximation for large lambda.
+func poissonish(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := 1.0
+		limit := math.Exp(-lambda)
+		k := 0
+		for {
+			l *= rng.Float64()
+			if l <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + rng.NormFloat64()*math.Sqrt(lambda)
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// RandomSparseRowDensities returns a rows x cols CSR matrix where row i has
+// approximately rowDensity[i]*cols uniformly placed non-zeros. It is the
+// building block for skewed (power-law) matrices used by the load-balancing
+// extension.
+func RandomSparseRowDensities(rows, cols int, rowDensity []float64, lo, hi float64, seed int64) *CSR {
+	if len(rowDensity) != rows {
+		panic("matrix: rowDensity length mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := NewCSR(rows, cols)
+	for i := 0; i < rows; i++ {
+		d := rowDensity[i]
+		if d < 0 {
+			d = 0
+		}
+		if d > 1 {
+			d = 1
+		}
+		n := poissonish(rng, d*float64(cols))
+		if n > cols {
+			n = cols
+		}
+		seen := make(map[int]struct{}, n)
+		idx := make([]int, 0, n)
+		for len(idx) < n {
+			j := rng.Intn(cols)
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			idx = append(idx, j)
+		}
+		sort.Ints(idx)
+		for _, j := range idx {
+			out.Col = append(out.Col, j)
+			out.Val = append(out.Val, lo+rng.Float64()*(hi-lo))
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package ref is the single-node reference evaluator: it executes a query
+// DAG directly with the local matrix kernels, materialising every
+// intermediate. It serves as the correctness oracle every distributed engine
+// is tested against, and as a convenient local execution mode for small
+// problems.
+package ref
+
+import (
+	"fmt"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+)
+
+// Evaluate computes all outputs of g given the named input matrices.
+func Evaluate(g *dag.Graph, inputs map[string]matrix.Mat) (map[string]matrix.Mat, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	vals := make(map[int]matrix.Mat, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		v, err := evalNode(n, vals, inputs)
+		if err != nil {
+			return nil, err
+		}
+		vals[n.ID] = v
+	}
+	out := make(map[string]matrix.Mat, len(g.Outputs()))
+	for name, n := range g.Outputs() {
+		out[name] = vals[n.ID]
+	}
+	return out, nil
+}
+
+func evalNode(n *dag.Node, vals map[int]matrix.Mat, inputs map[string]matrix.Mat) (matrix.Mat, error) {
+	switch n.Op {
+	case dag.OpInput:
+		m, ok := inputs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("ref: missing input %q", n.Name)
+		}
+		r, c := m.Dims()
+		if r != n.Rows || c != n.Cols {
+			return nil, fmt.Errorf("ref: input %q is %dx%d, declared %dx%d", n.Name, r, c, n.Rows, n.Cols)
+		}
+		return m, nil
+	case dag.OpScalar:
+		return matrix.NewDenseData(1, 1, []float64{n.Scalar}), nil
+	case dag.OpUnary:
+		return matrix.ApplyNamed(n.Func, vals[n.Inputs[0].ID]), nil
+	case dag.OpBinary:
+		return matrix.Binary(n.BinOp, vals[n.Inputs[0].ID], vals[n.Inputs[1].ID]), nil
+	case dag.OpMatMul:
+		return matrix.MatMul(vals[n.Inputs[0].ID], vals[n.Inputs[1].ID]), nil
+	case dag.OpTranspose:
+		return matrix.Transpose(vals[n.Inputs[0].ID]), nil
+	case dag.OpUnaryAgg:
+		return matrix.Aggregate(n.Agg, vals[n.Inputs[0].ID]), nil
+	}
+	return nil, fmt.Errorf("ref: unknown operator %v", n.Op)
+}

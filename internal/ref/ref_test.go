@@ -1,0 +1,82 @@
+package ref
+
+import (
+	"math"
+	"testing"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/matrix"
+)
+
+func TestEvaluateAllOperatorKinds(t *testing.T) {
+	g := dag.NewGraph()
+	a := g.Input("A", 4, 3, 1)
+	b := g.Input("B", 3, 5, 1)
+	mm := g.MatMul(a, b)    // 4x5
+	tr := g.Transpose(mm)   // 5x4
+	sq := g.Unary("sq", tr) // 5x4
+	sc := g.Binary(matrix.Mul, sq, g.Scalar(2))
+	g.SetOutput("O", sc)
+	g.SetOutput("S", g.Agg(matrix.SumAll, sc))
+
+	am := matrix.RandomDense(4, 3, -1, 1, 1)
+	bm := matrix.RandomDense(3, 5, -1, 1, 2)
+	out, err := Evaluate(g, map[string]matrix.Mat{"A": am, "B": bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := matrix.MatMul(am, bm)
+	want := 0.0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			v := prod.At(i, j)
+			want += 2 * v * v
+			got := out["O"].At(j, i)
+			if math.Abs(got-2*v*v) > 1e-12 {
+				t.Fatalf("O(%d,%d) = %v, want %v", j, i, got, 2*v*v)
+			}
+		}
+	}
+	if got := out["S"].At(0, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("S = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := dag.NewGraph()
+	a := g.Input("A", 4, 3, 1)
+	g.SetOutput("O", g.Unary("sq", a))
+
+	if _, err := Evaluate(g, map[string]matrix.Mat{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if _, err := Evaluate(g, map[string]matrix.Mat{"A": matrix.NewDense(2, 2)}); err == nil {
+		t.Fatal("wrong-shape input accepted")
+	}
+	empty := dag.NewGraph()
+	if _, err := Evaluate(empty, nil); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+func TestEvaluateSharesSubexpressions(t *testing.T) {
+	// With hash-consing, t(V) appears once; evaluation must handle the
+	// shared node and produce consistent outputs.
+	g := dag.NewGraph()
+	v := g.Input("V", 6, 3, 1)
+	t1 := g.Transpose(v)
+	t2 := g.Transpose(v) // same node as t1
+	if t1 != t2 {
+		t.Fatal("hash-consing broken")
+	}
+	g.SetOutput("O", g.MatMul(t1, v)) // 3x3
+	vm := matrix.RandomDense(6, 3, -1, 1, 3)
+	out, err := Evaluate(g, map[string]matrix.Mat{"V": vm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MatMul(matrix.Transpose(vm), vm)
+	if !matrix.EqualApprox(out["O"], want, 1e-12) {
+		t.Fatal("shared-node evaluation wrong")
+	}
+}

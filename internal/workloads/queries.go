@@ -1,0 +1,150 @@
+// Package workloads builds the query DAGs the paper evaluates — the fused
+// NMF kernel, GNMF (Eq. 6), the ALS weighted squared loss, the PCA pattern,
+// outer products and multi-aggregations, and the two-layer AutoEncoder — and
+// provides drivers that iterate them (GNMF iterations, AutoEncoder epochs)
+// on any engine.
+package workloads
+
+import (
+	"fmt"
+
+	"fuseme/internal/dag"
+	"fuseme/internal/lang"
+)
+
+func mustParse(src string, inputs map[string]lang.InputDecl) *dag.Graph {
+	g, err := lang.Parse(src, inputs)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %v", err))
+	}
+	return g
+}
+
+// NMFKernel is the paper's running example O = X * log(U %*% t(V) + eps)
+// (Section 2.2, Figure 3/8, and the Section 6.2 comparison query), with
+// X: rows x cols at the given density, U: rows x k, V: cols x k.
+func NMFKernel(rows, cols, k int, density float64) *dag.Graph {
+	return mustParse("O = X * log(U %*% t(V) + 1e-3)", map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: k, Sparsity: 1},
+		"V": {Rows: cols, Cols: k, Sparsity: 1},
+	})
+}
+
+// GNMF is Eq. 6: both multiplicative updates of Gaussian NMF for a rating
+// matrix X (users x items), factors V (users x k) and U (k x items).
+func GNMF(users, items, k int, density float64) *dag.Graph {
+	src := `
+U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)
+V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))
+`
+	return mustParse(src, map[string]lang.InputDecl{
+		"X": {Rows: users, Cols: items, Sparsity: density},
+		"U": {Rows: k, Cols: items, Sparsity: 1},
+		"V": {Rows: users, Cols: k, Sparsity: 1},
+	})
+}
+
+// ALSLoss is the weighted squared loss sum((X != 0) * (X - U %*% V)^2) of
+// Figure 1(a), with U: rows x k and V: k x cols.
+func ALSLoss(rows, cols, k int, density float64) *dag.Graph {
+	return mustParse("loss = sum((X != 0) * (X - U %*% V)^2)", map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: k, Sparsity: 1},
+		"V": {Rows: k, Cols: cols, Sparsity: 1},
+	})
+}
+
+// KLDivergence is the generalized KL-divergence loss of NMF (the paper's
+// reference [27], cited for Outer fusion): sum over non-zeros of
+// X * log(X / (U %*% V)) - X + U %*% V, with the product evaluated only at
+// X's pattern for the first term (sparsity exploitation).
+func KLDivergence(rows, cols, k int, density float64) *dag.Graph {
+	src := `
+P = U %*% V
+loss = sum(X * log(X / P)) - sum(X) + sum(P)
+`
+	return mustParse(src, map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: k, Sparsity: 1},
+		"V": {Rows: k, Cols: cols, Sparsity: 1},
+	})
+}
+
+// PCA is the Row-fusion pattern t(X %*% S) %*% X of Figure 2(b).
+func PCA(rows, cols, comps int) *dag.Graph {
+	return mustParse("O = t(X %*% S) %*% X", map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: 1},
+		"S": {Rows: cols, Cols: comps, Sparsity: 1},
+	})
+}
+
+// Outer is the Outer-fusion pattern (U %*% V) * X of Figure 2(c).
+func Outer(rows, cols, k int, density float64) *dag.Graph {
+	return mustParse("O = (U %*% V) * X", map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: k, Sparsity: 1},
+		"V": {Rows: k, Cols: cols, Sparsity: 1},
+	})
+}
+
+// MultiAgg is the Multi-aggregation pattern of Figure 2(d): two sums over
+// element-wise products sharing the input X.
+func MultiAgg(rows, cols int, density float64) *dag.Graph {
+	src := `
+s1 = sum(U * X)
+s2 = sum(X * V)
+`
+	return mustParse(src, map[string]lang.InputDecl{
+		"X": {Rows: rows, Cols: cols, Sparsity: density},
+		"U": {Rows: rows, Cols: cols, Sparsity: 1},
+		"V": {Rows: rows, Cols: cols, Sparsity: 1},
+	})
+}
+
+// AutoEncoderConfig shapes the two-layer AutoEncoder of Section 6.5
+// (following SystemDS's autoencoder_2layer.dml): encoder W1 (h1 x features),
+// W2 (h2 x h1); decoder W3 (h1 x h2), W4 (features x h1); sigmoid
+// activations; squared reconstruction loss.
+type AutoEncoderConfig struct {
+	Features int
+	Batch    int
+	H1, H2   int
+}
+
+// AutoEncoderStep builds the forward + backward pass for one mini-batch.
+// Input XT is the transposed batch (features x batch). Outputs are the loss
+// and the eight weight/bias gradients.
+func AutoEncoderStep(c AutoEncoderConfig) *dag.Graph {
+	src := `
+H1 = sigmoid(W1 %*% XT + b1)
+H2 = sigmoid(W2 %*% H1 + b2)
+H3 = sigmoid(W3 %*% H2 + b3)
+Y = sigmoid(W4 %*% H3 + b4)
+E = Y - XT
+loss = sum(E ^ 2)
+D4 = E * sigmoidGrad(Y)
+gW4 = D4 %*% t(H3)
+gb4 = rowSums(D4)
+D3 = (t(W4) %*% D4) * sigmoidGrad(H3)
+gW3 = D3 %*% t(H2)
+gb3 = rowSums(D3)
+D2 = (t(W3) %*% D3) * sigmoidGrad(H2)
+gW2 = D2 %*% t(H1)
+gb2 = rowSums(D2)
+D1 = (t(W2) %*% D2) * sigmoidGrad(H1)
+gW1 = D1 %*% t(XT)
+gb1 = rowSums(D1)
+`
+	return mustParse(src, map[string]lang.InputDecl{
+		"XT": {Rows: c.Features, Cols: c.Batch, Sparsity: 1},
+		"W1": {Rows: c.H1, Cols: c.Features, Sparsity: 1},
+		"b1": {Rows: c.H1, Cols: 1, Sparsity: 1},
+		"W2": {Rows: c.H2, Cols: c.H1, Sparsity: 1},
+		"b2": {Rows: c.H2, Cols: 1, Sparsity: 1},
+		"W3": {Rows: c.H1, Cols: c.H2, Sparsity: 1},
+		"b3": {Rows: c.H1, Cols: 1, Sparsity: 1},
+		"W4": {Rows: c.Features, Cols: c.H1, Sparsity: 1},
+		"b4": {Rows: c.Features, Cols: 1, Sparsity: 1},
+	})
+}

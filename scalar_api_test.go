@@ -1,0 +1,24 @@
+package fuseme
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregationAsScalarInLaterExpression(t *testing.T) {
+	sess := newTestSession(t)
+	sess.RandomDense("A", 30, 30, 0.5, 1.5, 1)
+	out, err := sess.Query("s = mean(A); O = A / s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean(O) must be 1.
+	sess.Bind("O", out["O"])
+	chk, err := sess.Query("m = mean(O)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chk["m"].At(0, 0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mean of normalised matrix = %v, want 1", got)
+	}
+}
