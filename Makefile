@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bins clean
+
+## check: full verification gate — vet, build, race-enabled tests
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run NONE ./...
+
+## bins: build the command-line binaries into ./bin
+bins:
+	mkdir -p bin
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

@@ -17,6 +17,8 @@ import (
 	"fuseme/internal/cluster"
 	"fuseme/internal/core"
 	"fuseme/internal/experiments"
+	"fuseme/internal/matrix"
+	"fuseme/internal/rt/spec"
 	"fuseme/internal/workloads"
 )
 
@@ -162,10 +164,63 @@ func BenchmarkCompileGNMF(b *testing.B) {
 	cl := cluster.MustNew(cluster.Default())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := (core.FuseME{}).Compile(g, cl); err != nil {
+		if _, err := (core.FuseME{}).Compile(g, cl.Config()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBlockWire measures FME1 encode+decode throughput for the block
+// shapes the TCP runtime ships: dense and CSR at typical block sizes.
+// b.SetBytes reports MB/s of in-memory block data moved through the format.
+func BenchmarkBlockWire(b *testing.B) {
+	cases := []struct {
+		name string
+		m    matrix.Mat
+	}{
+		{"dense-128", denseBlock(128, 128)},
+		{"dense-512", denseBlock(512, 512)},
+		{"csr-128-d01", csrBlock(128, 128, 0.01)},
+		{"csr-512-d01", csrBlock(512, 512, 0.01)},
+		{"csr-512-d20", csrBlock(512, 512, 0.2)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			enc, err := spec.EncodeBlock(c.m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(c.m.SizeBytes())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := spec.EncodeBlock(c.m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := spec.DecodeBlock(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(enc)), "wire-bytes")
+		})
+	}
+}
+
+func denseBlock(rows, cols int) matrix.Mat {
+	d := matrix.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = float64(i%97) * 0.113
+	}
+	return d
+}
+
+func csrBlock(rows, cols int, density float64) matrix.Mat {
+	d := matrix.NewDense(rows, cols)
+	step := int(1 / density)
+	for i := 0; i < len(d.Data); i += step {
+		d.Data[i] = float64(i%89) + 0.5
+	}
+	return matrix.ToCSR(d)
 }
 
 // Example-style smoke check keeping the benchmarks honest: the simulated

@@ -22,8 +22,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment ID to run (see -list)")
 	scale := flag.Float64("scale", 1, "dimension scale factor in (0,1]")
 	nodes := flag.Int("nodes", 0, "override worker node count (default: paper's 8)")
+	runtime := flag.String("runtime", "sim", "execution backend; experiments model the paper's cluster, so only sim is valid")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
+
+	if *runtime != "sim" {
+		fmt.Fprintf(os.Stderr, "fuseme-bench: -runtime=%s is not supported: the experiments reproduce the paper's "+
+			"simulated 8-node cluster (Eq. 2 time model); use cmd/fuseme or the examples with -runtime=tcp for "+
+			"real distributed execution\n", *runtime)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "), "all")

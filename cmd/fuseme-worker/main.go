@@ -1,0 +1,40 @@
+// Command fuseme-worker runs one worker process of the TCP runtime backend.
+// A coordinator (a session created with ClusterConfig.Runtime = "tcp", or
+// the -runtime=tcp flag of cmd/fuseme and the examples) connects to the
+// worker's address, ships stage task descriptors, serves the worker's input
+// block fetches, and collects result blocks. Workers are stateless between
+// tasks and can serve successive coordinators; kill them with SIGINT.
+//
+// Run a two-worker cluster on one machine:
+//
+//	fuseme-worker -addr 127.0.0.1:7070 &
+//	fuseme-worker -addr 127.0.0.1:7071 &
+//	FUSEME_WORKERS=127.0.0.1:7070,127.0.0.1:7071 gnmf -runtime tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"fuseme/internal/rt/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on (host:port; port 0 for ephemeral)")
+	flag.Parse()
+
+	w, err := remote.NewWorker(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuseme-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fuseme-worker listening on", w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	w.Close()
+	w.Wait()
+}

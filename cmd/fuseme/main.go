@@ -44,6 +44,8 @@ func run() error {
 	plan := flag.Bool("plan", false, "print the physical plan instead of executing")
 	sim := flag.Bool("sim", false, "simulate at full scale on the paper's cluster (no data materialised)")
 	blockSize := flag.Int("block", 64, "block size for real execution")
+	runtime := flag.String("runtime", "sim", "execution backend: sim (in-process) or tcp (fuseme-worker processes)")
+	workers := flag.String("workers", "", "comma-separated worker addresses for -runtime=tcp (default: $FUSEME_WORKERS)")
 	seed := flag.Int64("seed", 42, "random seed for generated inputs")
 	verbose := flag.Bool("v", false, "print result matrices (small outputs only)")
 	flag.Var(&inputs, "in", "input declaration name:ROWSxCOLS[:density]; repeatable")
@@ -67,10 +69,15 @@ func run() error {
 
 	cfg := fuseme.LocalClusterConfig()
 	cfg.BlockSize = *blockSize
+	cfg.Runtime = *runtime
+	if *workers != "" {
+		cfg.Workers = strings.Split(*workers, ",")
+	}
 	sess, err := fuseme.NewSession(cfg)
 	if err != nil {
 		return err
 	}
+	defer sess.Close()
 	if err := sess.SetEngine(fuseme.Engine(*engine)); err != nil {
 		return err
 	}

@@ -7,23 +7,35 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"fuseme"
 )
 
 func main() {
+	runtime := flag.String("runtime", "sim", "execution backend: sim (in-process) or tcp (fuseme-worker processes)")
+	workers := flag.String("workers", "", "comma-separated worker addresses for -runtime=tcp (default: $FUSEME_WORKERS)")
+	iters := flag.Int("iters", 8, "GNMF iterations")
+	flag.Parse()
+
 	const (
 		users, items = 1200, 800
 		k            = 16
-		iterations   = 8
 	)
+	iterations := *iters
 	cfg := fuseme.LocalClusterConfig()
+	cfg.Runtime = *runtime
+	if *workers != "" {
+		cfg.Workers = strings.Split(*workers, ",")
+	}
 	sess, err := fuseme.NewSession(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 
 	// Rating matrix (dense synthetic ratings in [1,5)) and random factors.
 	sess.RandomDense("X", users, items, 1, 5, 1)
@@ -35,7 +47,7 @@ func main() {
 	// which reads better in a demo.
 	const updateU = `U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)`
 	const updateV = `V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))`
-	fmt.Printf("GNMF on %dx%d ratings, k=%d, engine %s\n", users, items, k, sess.EngineName())
+	fmt.Printf("GNMF on %dx%d ratings, k=%d, engine %s, runtime %s\n", users, items, k, sess.EngineName(), *runtime)
 	for it := 1; it <= iterations; it++ {
 		out, err := sess.Query(updateU)
 		if err != nil {

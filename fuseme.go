@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
@@ -36,6 +37,8 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/lang"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/remote"
 )
 
 // ClusterConfig describes the simulated cluster a session runs on.
@@ -47,6 +50,15 @@ type ClusterConfig struct {
 	CompBandwidth float64 // peak compute bandwidth per node, flop/s (paper: 546 GFLOPS)
 	BlockSize     int     // block width/height (paper: 1000)
 	SimTimeLimit  float64 // simulated-seconds limit before ErrTimeout; 0 = none
+
+	// Runtime selects the execution backend: "sim" (default) runs stages
+	// in-process on the simulated cluster; "tcp" distributes them over
+	// fuseme-worker processes.
+	Runtime string
+	// Workers lists worker addresses (host:port) for the "tcp" runtime.
+	// When empty, the FUSEME_WORKERS environment variable (comma-separated)
+	// is consulted.
+	Workers []string
 }
 
 // PaperClusterConfig returns the paper's evaluation cluster (Section 6.1).
@@ -82,15 +94,34 @@ func fromInternal(c cluster.Config) ClusterConfig {
 
 func (c ClusterConfig) internal() cluster.Config {
 	return cluster.Config{
-		Nodes:         c.Nodes,
-		TasksPerNode:  c.TasksPerNode,
-		TaskMemBytes:  c.TaskMemBytes,
-		NetBandwidth:  c.NetBandwidth,
-		CompBandwidth: c.CompBandwidth,
-		BlockSize:     c.BlockSize,
-		SimTimeLimit:  c.SimTimeLimit,
-		TaskOverhead:  0.005,
+		Nodes:          c.Nodes,
+		TasksPerNode:   c.TasksPerNode,
+		TaskMemBytes:   c.TaskMemBytes,
+		NetBandwidth:   c.NetBandwidth,
+		CompBandwidth:  c.CompBandwidth,
+		BlockSize:      c.BlockSize,
+		SimTimeLimit:   c.SimTimeLimit,
+		TaskOverhead:   0.005,
+		MaxTaskRetries: 2,
 	}
+}
+
+// workerList resolves the TCP runtime's worker addresses.
+func (c ClusterConfig) workerList() []string {
+	if len(c.Workers) > 0 {
+		return c.Workers
+	}
+	env := os.Getenv("FUSEME_WORKERS")
+	if env == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(env, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Engine selects the planning/execution strategy of a session.
@@ -134,6 +165,7 @@ var (
 type Stats struct {
 	ConsolidationBytes int64   // input blocks moved to tasks
 	AggregationBytes   int64   // partial results shuffled
+	ExtraWireBytes     int64   // TCP runtime traffic with no simulated counterpart
 	Flops              int64   // floating-point operations executed
 	Stages             int     // distributed stages launched
 	Tasks              int     // tasks launched
@@ -157,6 +189,7 @@ func statsFrom(c cluster.Stats) Stats {
 	return Stats{
 		ConsolidationBytes: c.ConsolidationBytes,
 		AggregationBytes:   c.AggregationBytes,
+		ExtraWireBytes:     c.ExtraWireBytes,
 		Flops:              c.Flops,
 		Stages:             c.Stages,
 		Tasks:              c.Tasks,
@@ -206,6 +239,7 @@ type Session struct {
 	engine core.Engine
 	inputs map[string]*block.Matrix
 	last   Stats
+	rtm    rt.Runtime // lazily constructed execution backend
 }
 
 // NewSession creates a session on the given cluster configuration, running
@@ -306,27 +340,69 @@ func clampDensity(d float64) float64 {
 	return d
 }
 
+// runtime returns the session's execution backend, constructing it on first
+// use: the in-process simulated cluster, or a TCP coordinator connected to
+// the configured workers.
+func (s *Session) runtime() (rt.Runtime, error) {
+	if s.rtm != nil {
+		return s.rtm, nil
+	}
+	switch s.cfg.Runtime {
+	case "", "sim":
+		cl, err := cluster.New(s.cfg.internal())
+		if err != nil {
+			return nil, err
+		}
+		s.rtm = cl
+	case "tcp":
+		workers := s.cfg.workerList()
+		if len(workers) == 0 {
+			return nil, errors.New("fuseme: tcp runtime needs worker addresses (ClusterConfig.Workers or FUSEME_WORKERS)")
+		}
+		co, err := remote.NewCoordinator(s.cfg.internal(), workers)
+		if err != nil {
+			return nil, err
+		}
+		s.rtm = co
+	default:
+		return nil, fmt.Errorf("fuseme: unknown runtime %q (want \"sim\" or \"tcp\")", s.cfg.Runtime)
+	}
+	return s.rtm, nil
+}
+
+// Close releases the session's execution backend (worker connections under
+// the TCP runtime). The session can be used again afterwards; the backend is
+// reconstructed on demand.
+func (s *Session) Close() error {
+	if s.rtm == nil {
+		return nil
+	}
+	err := s.rtm.Close()
+	s.rtm = nil
+	return err
+}
+
 // compile parses a script against the session's bound inputs.
-func (s *Session) compile(script string) (*dag.Graph, *core.PhysPlan, *cluster.Cluster, error) {
+func (s *Session) compile(script string) (*dag.Graph, *core.PhysPlan, rt.Runtime, error) {
 	g, err := lang.Parse(script, s.decls())
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	cl, err := cluster.New(s.cfg.internal())
+	rtm, err := s.runtime()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	pp, err := s.engine.Compile(g, cl)
+	pp, err := s.engine.Compile(g, rtm.Config())
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return g, pp, cl, nil
+	return g, pp, rtm, nil
 }
 
 // Query parses and executes a script, returning its named outputs. The
 // execution's metrics are available from LastStats afterwards.
 func (s *Session) Query(script string) (map[string]*Matrix, error) {
-	g, pp, cl, err := s.compile(script)
+	g, pp, rtm, err := s.compile(script)
 	if err != nil {
 		return nil, err
 	}
@@ -338,8 +414,9 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 		}
 		needed[in.Name] = b
 	}
-	out, err := core.Execute(pp, cl, needed)
-	s.last = statsFrom(cl.Stats())
+	rtm.ResetStats()
+	out, err := core.Execute(pp, rtm, needed)
+	s.last = statsFrom(rtm.Stats())
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +459,7 @@ func (s *Session) Simulate(script string, shapes map[string]Shape) (Stats, error
 	if err != nil {
 		return Stats{}, err
 	}
-	pp, err := s.engine.Compile(g, cl)
+	pp, err := s.engine.Compile(g, cl.Config())
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,0 +1,142 @@
+package fuseme
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"fuseme/internal/rt/remote"
+)
+
+// startWorkers launches n in-process TCP workers and returns their addresses.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := remote.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+func bindTestInputs(s *Session) {
+	s.RandomSparse("X", 80, 70, 0.05, 1, 5, 1)
+	s.RandomDense("U", 80, 10, 0.5, 1.5, 2)
+	s.RandomDense("V", 70, 10, 0.5, 1.5, 3)
+}
+
+// TestSessionTCPRuntime runs the same query on a sim session and a TCP
+// session backed by two local workers and requires matching results, real
+// wire traffic, and a Close/reuse cycle that reconnects transparently.
+func TestSessionTCPRuntime(t *testing.T) {
+	const script = "O = X * log(U %*% t(V) + 1e-3)"
+
+	sim := newTestSession(t)
+	bindTestInputs(sim)
+	simOut, err := sim.Query(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simComm := sim.LastStats().TotalCommBytes()
+
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	cfg.Runtime = "tcp"
+	cfg.Workers = startWorkers(t, 2)
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	bindTestInputs(sess)
+
+	out, err := sess.Query(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := simOut["O"].Dense(), out["O"].Dense()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("tcp result differs from sim at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	remComm := sess.LastStats().TotalCommBytes()
+	if remComm == 0 {
+		t.Fatal("tcp run reported zero wire bytes")
+	}
+	if simComm > 0 && (remComm > 2*simComm || simComm > 2*remComm) {
+		t.Errorf("wire bytes %d not within 2x of simulated %d", remComm, simComm)
+	}
+
+	// Close tears down the coordinator; the next query reconnects.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(script); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}
+
+// TestSessionTCPWorkersFromEnv exercises the FUSEME_WORKERS fallback.
+func TestSessionTCPWorkersFromEnv(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	os.Setenv("FUSEME_WORKERS", addrs[0]+", "+addrs[1])
+	defer os.Unsetenv("FUSEME_WORKERS")
+
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	cfg.Runtime = "tcp"
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	bindTestInputs(sess)
+	out, err := sess.Query("l = sum((X - U %*% t(V))^2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["l"] == nil {
+		t.Fatal("missing output l")
+	}
+}
+
+// TestSessionTCPConfigErrors covers the failure modes of runtime selection:
+// no workers configured, an unreachable worker, and an unknown runtime name.
+func TestSessionTCPConfigErrors(t *testing.T) {
+	cfg := LocalClusterConfig()
+	cfg.Runtime = "tcp"
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.RandomDense("A", 8, 8, 0, 1, 1)
+	if _, err := sess.Query("B = A + 1"); err == nil {
+		t.Fatal("tcp runtime with no workers accepted")
+	}
+
+	cfg.Workers = []string{"127.0.0.1:1"} // reserved port, nothing listening
+	sess2, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2.RandomDense("A", 8, 8, 0, 1, 1)
+	if _, err := sess2.Query("B = A + 1"); err == nil {
+		t.Fatal("unreachable worker accepted")
+	}
+
+	cfg3 := LocalClusterConfig()
+	cfg3.Runtime = "bogus"
+	sess3, err := NewSession(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess3.RandomDense("A", 8, 8, 0, 1, 1)
+	if _, err := sess3.Query("B = A + 1"); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+}

@@ -106,6 +106,13 @@ type Stats struct {
 	WallSeconds        float64 // real wall-clock time of local execution
 	PeakTaskMemBytes   int64   // max per-task memory high-water mark
 	MaxTaskFlops       int64   // heaviest single task (load-balance metric)
+
+	// ExtraWireBytes is traffic measured by a real (remote) backend that has
+	// no counterpart in the simulated communication model: co-partitioned
+	// input blocks shipped to workers (local reads in a real deployment),
+	// aggregated partials re-delivered through the coordinator, and final
+	// result blocks returned to the driver. Always zero under simulation.
+	ExtraWireBytes int64
 }
 
 // TotalCommBytes is consolidation plus aggregation traffic.
@@ -120,6 +127,7 @@ func (s *Stats) Add(other Stats) {
 	s.Tasks += other.Tasks
 	s.SimSeconds += other.SimSeconds
 	s.WallSeconds += other.WallSeconds
+	s.ExtraWireBytes += other.ExtraWireBytes
 	if other.PeakTaskMemBytes > s.PeakTaskMemBytes {
 		s.PeakTaskMemBytes = other.PeakTaskMemBytes
 	}
@@ -169,6 +177,18 @@ func (c *Cluster) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats = Stats{}
+}
+
+// Close releases runtime resources. The simulated cluster holds none; the
+// method exists so *Cluster satisfies the rt.Runtime interface.
+func (c *Cluster) Close() error { return nil }
+
+// AddStats folds externally measured metrics (for example a remote backend's
+// wire accounting) into the cluster's totals.
+func (c *Cluster) AddStats(s Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Add(s)
 }
 
 // CheckAdmission rejects an operator whose estimated per-task memory exceeds
@@ -237,6 +257,13 @@ func (t *Task) GrowMem(n int64) {
 
 // ShrinkMem decreases the live-memory estimate (a block was released).
 func (t *Task) ShrinkMem(n int64) { t.memBytes -= n }
+
+// Counters returns the task's accumulated metering, for backends that fold
+// task metrics into stage statistics outside RunStage (the remote runtime's
+// workers report these back to their coordinator).
+func (t *Task) Counters() (consolidationBytes, aggregationBytes, flops, memPeakBytes int64) {
+	return t.consolidationBytes, t.aggregationBytes, t.flops, t.memPeak
+}
 
 // RunStage executes numTasks tasks as one distributed stage. fn runs once
 // per task (possibly concurrently, bounded by GOMAXPROCS and the cluster's

@@ -15,6 +15,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/exec"
 	"fuseme/internal/fusion"
+	"fuseme/internal/rt"
 )
 
 // PhysOp is one physical fused operator of a compiled plan.
@@ -67,15 +68,17 @@ func (pp *PhysPlan) Describe() string {
 type Engine interface {
 	// Name identifies the engine in experiment output.
 	Name() string
-	// Compile lowers the query DAG to a physical plan for the cluster.
-	Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error)
+	// Compile lowers the query DAG to a physical plan for a cluster of the
+	// given shape.
+	Compile(g *dag.Graph, cfg cluster.Config) (*PhysPlan, error)
 }
 
-// Execute runs a compiled plan: fused operators execute in order, each
+// Execute runs a compiled plan on a runtime (the in-process simulated
+// cluster or a remote coordinator): fused operators execute in order, each
 // materialising its root's value, which later operators consume as external
 // inputs. Admission control rejects operators whose estimated per-task
 // memory exceeds the budget (the O.O.M. of the paper's figures).
-func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix) (map[string]*block.Matrix, error) {
+func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map[string]*block.Matrix, error) {
 	values := map[int]*block.Matrix{}
 	for _, in := range pp.Graph.InputNodes() {
 		m, ok := inputs[in.Name]
@@ -90,7 +93,7 @@ func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix)
 	}
 	for _, op := range pp.Ops {
 		desc := fmt.Sprintf("%s %s", op.Kind, op.Plan)
-		if err := cl.CheckAdmission(op.EstMemPerTask, desc); err != nil {
+		if err := rtm.CheckAdmission(op.EstMemPerTask, desc); err != nil {
 			return nil, err
 		}
 		bind := exec.Bindings{}
@@ -113,7 +116,7 @@ func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix)
 		}
 		if len(op.Group) > 0 {
 			multi := &exec.MultiAggOp{Plans: op.Group}
-			outs, err := multi.Execute(cl, bind)
+			outs, err := multi.Execute(rtm, bind)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s failed: %w", desc, err)
 			}
@@ -124,7 +127,7 @@ func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix)
 		}
 		fused := &exec.FusedOp{Plan: op.Plan, P: op.P, Q: op.Q, R: op.R,
 			Strategy: op.Strategy, Balance: op.Balance, NoMask: op.NoMask}
-		out, err := fused.Execute(cl, bind)
+		out, err := fused.Execute(rtm, bind)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s failed: %w", desc, err)
 		}
@@ -142,15 +145,15 @@ func Execute(pp *PhysPlan, cl *cluster.Cluster, inputs map[string]*block.Matrix)
 }
 
 // Run compiles and executes a query with the given engine, returning the
-// outputs and the cluster stats accumulated during execution.
-func Run(e Engine, g *dag.Graph, cl *cluster.Cluster, inputs map[string]*block.Matrix) (map[string]*block.Matrix, cluster.Stats, error) {
-	pp, err := e.Compile(g, cl)
+// outputs and the runtime stats accumulated during execution.
+func Run(e Engine, g *dag.Graph, rtm rt.Runtime, inputs map[string]*block.Matrix) (map[string]*block.Matrix, cluster.Stats, error) {
+	pp, err := e.Compile(g, rtm.Config())
 	if err != nil {
-		return nil, cl.Stats(), fmt.Errorf("%s: compile: %w", e.Name(), err)
+		return nil, rtm.Stats(), fmt.Errorf("%s: compile: %w", e.Name(), err)
 	}
-	out, err := Execute(pp, cl, inputs)
+	out, err := Execute(pp, rtm, inputs)
 	if err != nil {
-		return nil, cl.Stats(), fmt.Errorf("%s: %w", e.Name(), err)
+		return nil, rtm.Stats(), fmt.Errorf("%s: %w", e.Name(), err)
 	}
-	return out, cl.Stats(), nil
+	return out, rtm.Stats(), nil
 }

@@ -171,7 +171,7 @@ func TestFuseMEFewerStagesThanDistME(t *testing.T) {
 func TestPhysPlanDescribe(t *testing.T) {
 	tc := smallWorkloads(t)[0]
 	cl := testCluster(5)
-	pp, err := (core.FuseME{}).Compile(tc.graph, cl)
+	pp, err := (core.FuseME{}).Compile(tc.graph, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestAdmissionControlOOM(t *testing.T) {
 func TestExecuteInputValidation(t *testing.T) {
 	tc := smallWorkloads(t)[0]
 	cl := testCluster(5)
-	pp, err := (core.FuseME{}).Compile(tc.graph, cl)
+	pp, err := (core.FuseME{}).Compile(tc.graph, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestSimulateMatchesAdmission(t *testing.T) {
 	// blow the 10 GB budget and report O.O.M. without computing anything.
 	g := workloads.NMFKernel(750_000, 750_000, 2_000, 0.001)
 	cl := cluster.MustNew(cluster.Default())
-	ppF, err := (core.FuseME{}).Compile(g, cl)
+	ppF, err := (core.FuseME{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestSimulateMatchesAdmission(t *testing.T) {
 		t.Fatalf("degenerate stats: %+v", stats)
 	}
 
-	ppB, err := (core.SystemDSSim{}).Compile(g, cl)
+	ppB, err := (core.SystemDSSim{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestSimulateTimeout(t *testing.T) {
 	cfg := cluster.Default()
 	cfg.SimTimeLimit = 0.001
 	cl := cluster.MustNew(cfg)
-	pp, err := (core.FuseME{}).Compile(g, cl)
+	pp, err := (core.FuseME{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestSimulatedCFOBeatsBaselinesAtScale(t *testing.T) {
 	g := workloads.NMFKernel(100_000, 100_000, 2_000, 0.001)
 	cl := cluster.MustNew(cluster.Default())
 
-	ppF, err := (core.FuseME{}).Compile(g, cl)
+	ppF, err := (core.FuseME{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestSimulatedCFOBeatsBaselinesAtScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ppS, err := (core.SystemDSSim{}).Compile(g, cl)
+	ppS, err := (core.SystemDSSim{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestMultiAggFusion(t *testing.T) {
 	}
 	for _, e := range []core.Engine{core.FuseME{}, core.SystemDSSim{}} {
 		cl := testCluster(8)
-		pp, err := e.Compile(g, cl)
+		pp, err := e.Compile(g, cl.Config())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -341,7 +341,7 @@ func TestMultiAggFusion(t *testing.T) {
 	}
 	// DistME runs the aggregations separately: more stages.
 	clD := testCluster(8)
-	ppD, err := (core.DistMESim{}).Compile(g, clD)
+	ppD, err := (core.DistMESim{}).Compile(g, clD.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestMultiAggNotGroupedWhenUnrelated(t *testing.T) {
 	g.SetOutput("sa", g.Agg(matrix.SumAll, g.Unary("sq", a)))
 	g.SetOutput("sb", g.Agg(matrix.SumAll, g.Unary("sq", b)))
 	cl := testCluster(8)
-	pp, err := (core.FuseME{}).Compile(g, cl)
+	pp, err := (core.FuseME{}).Compile(g, cl.Config())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,8 +14,8 @@ import (
 )
 
 // modelFor derives the cost-model constants from the cluster configuration.
-func modelFor(cl *cluster.Cluster) cost.Model {
-	c := cl.Config()
+func modelFor(cc cluster.Config) cost.Model {
+	c := cc
 	return cost.Model{
 		Nodes:        c.Nodes,
 		NetBW:        c.NetBandwidth,
@@ -27,8 +27,8 @@ func modelFor(cl *cluster.Cluster) cost.Model {
 
 // gridOp builds the physical operator for a plan without matrix
 // multiplication (or any plan executed as a partitioned map).
-func gridOp(p *fusion.Plan, cl *cluster.Cluster, kind string) *PhysOp {
-	net, com, mem := cost.ElementwiseEstimates(p, cl.Config().TotalSlots())
+func gridOp(p *fusion.Plan, cc cluster.Config, kind string) *PhysOp {
+	net, com, mem := cost.ElementwiseEstimates(p, cc.TotalSlots())
 	return &PhysOp{Plan: p, Strategy: exec.Cuboid, Kind: kind,
 		EstNetBytes: net, EstComFlops: com, EstMemPerTask: mem}
 }
@@ -57,21 +57,21 @@ func (f FuseME) Name() string {
 }
 
 // Compile implements Engine.
-func (f FuseME) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
-	model := modelFor(cl)
-	res, err := cfg.Generate(g, model, cl.Config().BlockSize)
+func (f FuseME) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
+	model := modelFor(cc)
+	res, err := cfg.Generate(g, model, cc.BlockSize)
 	if err != nil {
 		return nil, err
 	}
 	pp := &PhysPlan{Graph: g}
 	for _, p := range res.Set.Plans {
 		if p.MainMM == nil {
-			pp.Ops = append(pp.Ops, gridOp(p, cl, "Map"))
+			pp.Ops = append(pp.Ops, gridOp(p, cc, "Map"))
 			continue
 		}
 		params, ok := res.Params[p]
 		if !ok {
-			params = opt.Optimize(model, cost.Analyze(p, cl.Config().BlockSize))
+			params = opt.Optimize(model, cost.Analyze(p, cc.BlockSize))
 		}
 		pp.Ops = append(pp.Ops, &PhysOp{
 			Plan: p, Strategy: exec.Cuboid, Kind: "CFO",
@@ -81,7 +81,7 @@ func (f FuseME) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
 			EstMemPerTask: params.MemPerTask,
 		})
 	}
-	pp.Ops = groupMultiAgg(pp.Ops, cl)
+	pp.Ops = groupMultiAgg(pp.Ops, cc)
 	return pp, nil
 }
 
@@ -94,32 +94,32 @@ type SystemDSSim struct{}
 func (SystemDSSim) Name() string { return "SystemDS" }
 
 // Compile implements Engine.
-func (SystemDSSim) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
-	rule := fusion.RuleFor(g, cl.Config().TaskMemBytes)
+func (SystemDSSim) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
+	rule := fusion.RuleFor(g, cc.TaskMemBytes)
 	set := baselines.GENGenerate(g, rule)
 	if err := set.Validate(g); err != nil {
 		return nil, fmt.Errorf("gen: %w", err)
 	}
 	pp := &PhysPlan{Graph: g}
-	slots := cl.Config().TotalSlots()
+	slots := cc.TotalSlots()
 	for _, p := range set.Plans {
 		if p.MainMM == nil {
-			pp.Ops = append(pp.Ops, gridOp(p, cl, "Map"))
+			pp.Ops = append(pp.Ops, gridOp(p, cc, "Map"))
 			continue
 		}
-		gi, gj, _ := p.BlockGridDims(cl.Config().BlockSize)
+		gi, gj, _ := p.BlockGridDims(cc.BlockSize)
 		if useBFO(p, gi, gj) {
 			net, com, mem := cost.BFOEstimates(p, slots)
 			pp.Ops = append(pp.Ops, &PhysOp{Plan: p, Strategy: exec.Broadcast, Kind: "BFO",
 				EstNetBytes: net, EstComFlops: com, EstMemPerTask: mem})
 		} else {
-			net, com, mem := cost.RFOEstimates(p, cl.Config().BlockSize)
+			net, com, mem := cost.RFOEstimates(p, cc.BlockSize)
 			pp.Ops = append(pp.Ops, &PhysOp{Plan: p, Strategy: exec.Cuboid, Kind: "RFO",
 				P: gi, Q: gj, R: 1,
 				EstNetBytes: net, EstComFlops: com, EstMemPerTask: mem})
 		}
 	}
-	pp.Ops = groupMultiAgg(pp.Ops, cl)
+	pp.Ops = groupMultiAgg(pp.Ops, cc)
 	return pp, nil
 }
 
@@ -159,19 +159,19 @@ type DistMESim struct{}
 func (DistMESim) Name() string { return "DistME" }
 
 // Compile implements Engine.
-func (DistMESim) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
+func (DistMESim) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
 	set := baselines.DistMEGenerate(g)
 	if err := set.Validate(g); err != nil {
 		return nil, fmt.Errorf("distme: %w", err)
 	}
-	model := modelFor(cl)
+	model := modelFor(cc)
 	pp := &PhysPlan{Graph: g}
 	for _, p := range set.Plans {
 		if p.MainMM == nil {
-			pp.Ops = append(pp.Ops, gridOp(p, cl, "Map"))
+			pp.Ops = append(pp.Ops, gridOp(p, cc, "Map"))
 			continue
 		}
-		params := opt.Optimize(model, cost.Analyze(p, cl.Config().BlockSize))
+		params := opt.Optimize(model, cost.Analyze(p, cc.BlockSize))
 		pp.Ops = append(pp.Ops, &PhysOp{Plan: p, Strategy: exec.Cuboid, Kind: "CuboidMM",
 			P: params.P, Q: params.Q, R: params.R,
 			EstNetBytes: params.NetBytes, EstComFlops: params.ComFlops,
@@ -189,8 +189,8 @@ type MatFastSim struct{}
 func (MatFastSim) Name() string { return "MatFast" }
 
 // Compile implements Engine.
-func (MatFastSim) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
-	return compileElementwiseFusedBroadcast(g, cl, "MatFast")
+func (MatFastSim) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
+	return compileElementwiseFusedBroadcast(g, cc, "MatFast")
 }
 
 // TensorFlowSim approximates TensorFlow XLA for the AutoEncoder comparison:
@@ -203,21 +203,21 @@ type TensorFlowSim struct{}
 func (TensorFlowSim) Name() string { return "TensorFlow" }
 
 // Compile implements Engine.
-func (TensorFlowSim) Compile(g *dag.Graph, cl *cluster.Cluster) (*PhysPlan, error) {
-	return compileElementwiseFusedBroadcast(g, cl, "XLA")
+func (TensorFlowSim) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
+	return compileElementwiseFusedBroadcast(g, cc, "XLA")
 }
 
-func compileElementwiseFusedBroadcast(g *dag.Graph, cl *cluster.Cluster, mmKind string) (*PhysPlan, error) {
-	rule := fusion.RuleFor(g, cl.Config().TaskMemBytes)
+func compileElementwiseFusedBroadcast(g *dag.Graph, cc cluster.Config, mmKind string) (*PhysPlan, error) {
+	rule := fusion.RuleFor(g, cc.TaskMemBytes)
 	set := baselines.MatFastGenerate(g, rule)
 	if err := set.Validate(g); err != nil {
 		return nil, fmt.Errorf("%s: %w", mmKind, err)
 	}
 	pp := &PhysPlan{Graph: g}
-	slots := cl.Config().TotalSlots()
+	slots := cc.TotalSlots()
 	for _, p := range set.Plans {
 		if p.MainMM == nil {
-			pp.Ops = append(pp.Ops, gridOp(p, cl, "Fold"))
+			pp.Ops = append(pp.Ops, gridOp(p, cc, "Fold"))
 			continue
 		}
 		net, com, mem := cost.BFOEstimates(p, slots)
@@ -233,7 +233,7 @@ func compileElementwiseFusedBroadcast(g *dag.Graph, cl *cluster.Cluster, mmKind 
 // input matrix and depend only on query inputs execute as one distributed
 // operator with multiple outputs, scanning the shared inputs once. Both
 // FuseME (CFG) and SystemDS (GEN) support this fusion type.
-func groupMultiAgg(ops []*PhysOp, cl *cluster.Cluster) []*PhysOp {
+func groupMultiAgg(ops []*PhysOp, cc cluster.Config) []*PhysOp {
 	type bucketKey struct{ rows, cols int }
 	buckets := map[bucketKey][]*PhysOp{}
 	for _, op := range ops {
@@ -295,7 +295,7 @@ func groupMultiAgg(ops []*PhysOp, cl *cluster.Cluster) []*PhysOp {
 				plans[k] = g.Plan
 				comFlops += g.EstComFlops
 			}
-			net, mem := multiAggEstimates(plans, cl)
+			net, mem := multiAggEstimates(plans, cc)
 			merged := &PhysOp{Plan: plans[0], Group: plans, Strategy: exec.Cuboid,
 				Kind: "MultiAgg", EstNetBytes: net, EstComFlops: comFlops, EstMemPerTask: mem}
 			replacement[group[0]] = merged
@@ -343,7 +343,7 @@ func sharesInput(inputs map[int]bool, p *fusion.Plan) bool {
 // multiAggEstimates charges the union of the group's inputs once:
 // plane-shaped inputs are co-partitioned (free), others transfer once; the
 // per-task working set is one partition's share of the distinct inputs.
-func multiAggEstimates(plans []*fusion.Plan, cl *cluster.Cluster) (netBytes, memPerTask int64) {
+func multiAggEstimates(plans []*fusion.Plan, cc cluster.Config) (netBytes, memPerTask int64) {
 	child := plans[0].Root.Inputs[0]
 	seen := map[int]bool{}
 	var inBytes int64
@@ -359,7 +359,7 @@ func multiAggEstimates(plans []*fusion.Plan, cl *cluster.Cluster) (netBytes, mem
 			}
 		}
 	}
-	tasks := int64(cl.Config().TotalSlots())
+	tasks := int64(cc.TotalSlots())
 	for _, p := range plans {
 		netBytes += p.Root.EstSizeBytes() * tasks // partial-aggregate shuffle
 	}

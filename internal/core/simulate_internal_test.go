@@ -112,7 +112,7 @@ func TestEstTasks(t *testing.T) {
 func TestModelForMirrorsCluster(t *testing.T) {
 	cfg := cluster.Default()
 	cl := cluster.MustNew(cfg)
-	m := modelFor(cl)
+	m := modelFor(cl.Config())
 	if m.Nodes != cfg.Nodes || m.TaskMemBytes != cfg.TaskMemBytes || m.MinTasks != cfg.TotalSlots() {
 		t.Fatalf("modelFor mismatch: %+v", m)
 	}

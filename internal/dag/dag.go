@@ -71,6 +71,16 @@ type Node struct {
 // Consumers returns the nodes that take this node as input.
 func (n *Node) Consumers() []*Node { return n.consumers }
 
+// LinkConsumers records n as a consumer of each of its inputs. The Graph
+// builder maintains consumer links automatically; this is needed when a
+// sub-DAG is reconstructed outside the builder (for example from a shipped
+// task descriptor), so fusion-plan queries see the original structure.
+func (n *Node) LinkConsumers() {
+	for _, in := range n.Inputs {
+		in.consumers = append(in.consumers, n)
+	}
+}
+
 // NumConsumers returns the out-degree of the node in the DAG.
 func (n *Node) NumConsumers() int { return len(n.consumers) }
 

@@ -7,6 +7,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt/spec"
 )
 
 // execPanic wraps an error raised deep in the recursive evaluator; the task
@@ -18,7 +19,7 @@ type execPanic struct{ err error }
 // safe for concurrent use; every task builds its own.
 type evaluator struct {
 	op        *FusedOp
-	bind      Bindings
+	src       blockSource // external input (and pinned-partial) blocks
 	task      *cluster.Task
 	spaces    map[int]fusion.Space // nil for plans without matmul
 	mask      *fusion.OuterMask    // outer-fusion pattern, if detected
@@ -36,16 +37,16 @@ type memoKey struct {
 	bi, bj int
 }
 
-func newEvaluator(op *FusedOp, task *cluster.Task, bind Bindings, cl *cluster.Cluster, kLo, kHi int) *evaluator {
+func newEvaluator(op *FusedOp, task *cluster.Task, src blockSource, blockSize, kLo, kHi int) *evaluator {
 	ev := &evaluator{
 		op:        op,
-		bind:      bind,
+		src:       src,
 		task:      task,
 		spaces:    op.Plan.NodeSpaces(),
 		mask:      opMask(op),
 		kLo:       kLo,
 		kHi:       kHi,
-		blockSize: cl.Config().BlockSize,
+		blockSize: blockSize,
 		memo:      make(map[memoKey]matrix.Mat),
 		fetched:   make(map[memoKey]bool),
 	}
@@ -169,17 +170,24 @@ func (ev *evaluator) computeBlock(n *dag.Node, bi, bj int) matrix.Mat {
 }
 
 // fetchExternal meters and returns an input block, deduplicating fetches
-// within the task (each distinct block is consolidated once per task).
+// within the task (each distinct block is consolidated once per task). The
+// block comes from the task's blockSource — the coordinator's bindings when
+// running in-process, or a network pull on a remote worker — and is retained
+// in the memo so remote tasks move each block at most once.
 func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
 	if n.Op == dag.OpScalar {
 		return matrix.NewDenseData(1, 1, []float64{n.Scalar})
 	}
-	m, ok := ev.bind[n.ID]
-	if !ok {
-		ev.fail(fmt.Errorf("exec: missing binding for node %d (%s)", n.ID, n.Label()))
-	}
-	blk := m.Block(bi, bj)
 	key := memoKey{n.ID, bi, bj}
+	if ev.fetched[key] {
+		if blk, ok := ev.memo[key]; ok {
+			return blk
+		}
+	}
+	blk, err := ev.src.fetch(spec.BlockRef{Kind: spec.RefInput, Node: n.ID, BI: bi, BJ: bj})
+	if err != nil {
+		ev.fail(fmt.Errorf("exec: input %d (%s) block (%d,%d): %w", n.ID, n.Label(), bi, bj, err))
+	}
 	if !ev.fetched[key] {
 		ev.fetched[key] = true
 		if ev.colocated[n.ID] {
@@ -192,6 +200,7 @@ func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
 			ev.task.FetchBlock(blk) // nil-safe: zero blocks cost nothing
 		}
 	}
+	ev.memo[key] = blk
 	return blk
 }
 

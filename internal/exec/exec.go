@@ -38,6 +38,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt"
 )
 
 // Bindings maps external node IDs to their materialised blocked matrices.
@@ -69,26 +70,27 @@ type FusedOp struct {
 	NoMask bool
 }
 
-// Execute runs the fused operator on the cluster, reading inputs from bind
-// and returning the materialised result of the plan root.
-func (op *FusedOp) Execute(cl *cluster.Cluster, bind Bindings) (*block.Matrix, error) {
-	if err := op.validate(cl, bind); err != nil {
+// Execute runs the fused operator on the runtime — the in-process simulated
+// cluster or a remote coordinator — reading inputs from bind and returning
+// the materialised result of the plan root.
+func (op *FusedOp) Execute(rtm rt.Runtime, bind Bindings) (*block.Matrix, error) {
+	if err := op.validate(rtm.Config(), bind); err != nil {
 		return nil, err
 	}
 	if op.Plan.MainMM == nil || op.Strategy == Broadcast {
-		return op.executeGrid(cl, bind)
+		return op.executeGrid(rtm, bind)
 	}
-	return op.executeCuboid(cl, bind)
+	return op.executeCuboid(rtm, bind)
 }
 
-func (op *FusedOp) validate(cl *cluster.Cluster, bind Bindings) error {
+func (op *FusedOp) validate(cfg cluster.Config, bind Bindings) error {
 	if op.Plan == nil {
 		return errors.New("exec: nil plan")
 	}
 	if err := op.Plan.Validate(); err != nil {
 		return err
 	}
-	bs := cl.Config().BlockSize
+	bs := cfg.BlockSize
 	for _, in := range op.Plan.ExternalInputs() {
 		if in.Op == dag.OpScalar {
 			continue
@@ -290,6 +292,14 @@ func (s *mmPartialSink) add(bi, bj int, blk matrix.Mat) {
 	} else {
 		s.blocks[k] = blk
 	}
+}
+
+// get returns the aggregated partial for output block (bi, bj); nil means
+// the block is all-zero.
+func (s *mmPartialSink) get(bi, bj int) matrix.Mat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks[block.Key{Row: bi, Col: bj}]
 }
 
 // aggregateLocal folds a computed block into a task-local partial aggregate,

@@ -8,6 +8,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt"
 )
 
 // MultiAggOp executes several aggregation-rooted plans over the same input
@@ -50,17 +51,19 @@ func (op *MultiAggOp) Validate() error {
 }
 
 // Execute runs the fused multi-aggregation; results are returned in plan
-// order.
-func (op *MultiAggOp) Execute(cl *cluster.Cluster, bind Bindings) ([]*block.Matrix, error) {
+// order. Multi-aggregation stages always run in-process on the coordinator:
+// their plane scan is cheap relative to shipping several plans, so the
+// descriptor path is not used.
+func (op *MultiAggOp) Execute(rtm rt.Runtime, bind Bindings) ([]*block.Matrix, error) {
 	if err := op.Validate(); err != nil {
 		return nil, err
 	}
-	bs := cl.Config().BlockSize
+	bs := rtm.Config().BlockSize
 	child := op.Plans[0].Root.Inputs[0]
 	gi := (child.Rows + bs - 1) / bs
 	gj := (child.Cols + bs - 1) / bs
 	totalBlocks := gi * gj
-	numTasks := min(cl.Config().TotalSlots(), totalBlocks)
+	numTasks := min(rtm.Config().TotalSlots(), totalBlocks)
 	if numTasks < 1 {
 		numTasks = 1
 	}
@@ -80,7 +83,7 @@ func (op *MultiAggOp) Execute(cl *cluster.Cluster, bind Bindings) ([]*block.Matr
 		sinks[i] = &aggSink{agg: p.Root.Agg, out: block.New(p.Root.Rows, p.Root.Cols, bs)}
 	}
 
-	err := cl.RunStage(fmt.Sprintf("multiagg:%d-plans", len(op.Plans)), numTasks, func(task *cluster.Task) error {
+	err := rtm.RunStage(fmt.Sprintf("multiagg:%d-plans", len(op.Plans)), numTasks, func(task *cluster.Task) error {
 		return runTask(func() error {
 			// One evaluator per plan, all sharing the fetch-dedup map so a
 			// block consumed by several aggregations moves (and is held)
@@ -90,7 +93,7 @@ func (op *MultiAggOp) Execute(cl *cluster.Cluster, bind Bindings) ([]*block.Matr
 			partials := make([]*block.Matrix, len(op.Plans))
 			for i, p := range op.Plans {
 				fo := &FusedOp{Plan: p}
-				evs[i] = newEvaluator(fo, task, bind, cl, 0, 0)
+				evs[i] = newEvaluator(fo, task, bindSource{bind: bind}, bs, 0, 0)
 				evs[i].fetched = sharedFetched
 				evs[i].colocated = colocated
 				partials[i] = block.New(p.Root.Rows, p.Root.Cols, bs)

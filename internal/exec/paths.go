@@ -2,13 +2,15 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
-	"fuseme/internal/cost"
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/spec"
 )
 
 // runTask wraps a task body, converting evaluator failures (raised as
@@ -26,10 +28,35 @@ func runTask(fn func() error) (err error) {
 	return fn()
 }
 
+// dispatch hands one stage to the runtime: the closure runs runStageTask
+// in-process; descriptor-capable runtimes ship the spec to workers and feed
+// results back through Collect. Both paths route results the same way.
+func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route emitFn) error {
+	return rt.RunStage(rtm, &rt.Stage{
+		Name:     name,
+		NumTasks: ctx.sp.NumTasks,
+		Fn: func(task *cluster.Task) error {
+			return runStageTask(ctx, task.ID, task, src, route)
+		},
+		Spec:  ctx.sp,
+		Fetch: src.fetch,
+		Collect: func(taskID int, blocks []spec.OutBlock) error {
+			for _, ob := range blocks {
+				blk, err := spec.DecodeBlock(ob.Data)
+				if err != nil {
+					return fmt.Errorf("exec: decoding task %d result block (%d,%d): %w", taskID, ob.BI, ob.BJ, err)
+				}
+				route(ob.Kind, ob.BI, ob.BJ, blk)
+			}
+			return nil
+		},
+	})
+}
+
 // executeCuboid runs the plan under (P,Q,R) cuboid partitioning: the CFO
 // (optimised parameters) and the RFO ((I,J,1)).
-func (op *FusedOp) executeCuboid(cl *cluster.Cluster, bind Bindings) (*block.Matrix, error) {
-	bs := cl.Config().BlockSize
+func (op *FusedOp) executeCuboid(rtm rt.Runtime, bind Bindings) (*block.Matrix, error) {
+	bs := rtm.Config().BlockSize
 	gi, gj, gk := op.Plan.BlockGridDims(bs)
 	p := clamp(op.P, 1, gi)
 	q := clamp(op.Q, 1, gj)
@@ -60,47 +87,28 @@ func (op *FusedOp) executeCuboid(cl *cluster.Cluster, bind Bindings) (*block.Mat
 	}
 	sink := &resultSink{out: out}
 
-	// evalOutputs evaluates every output block of partition (pi, qi) with ev
-	// and routes results to the sink or the task-local aggregate.
-	evalOutputs := func(ev *evaluator, task *cluster.Task, pi, qi int) error {
-		var partial *block.Matrix
-		if rootAgg != nil {
-			partial = block.New(rootAgg.Rows, rootAgg.Cols, bs)
-		}
-		ri, rj := iRanges[pi], jRanges[qi]
-		for bi := ri.lo; bi < ri.hi; bi++ {
-			for bj := rj.lo; bj < rj.hi; bj++ {
-				oi, oj := bi, bj
-				if swapped {
-					oi, oj = bj, bi
-				}
-				blk := ev.evalBlock(root, oi, oj)
-				if rootAgg != nil {
-					aggregateLocal(task, partial, rootAgg.Agg, oi, oj, blk)
-				} else {
-					sink.put(oi, oj, blk)
-				}
-			}
-		}
-		if rootAgg != nil {
-			partial.ForEach(func(k block.Key, blk matrix.Mat) {
-				task.SendBlock(blk)
-				agg.combine(k.Row, k.Col, blk)
-			})
-		}
-		return nil
+	planSpec := spec.FromPlan(op.Plan)
+	base := spec.Stage{
+		BlockSize: bs,
+		Plan:      planSpec,
+		NoMask:    op.NoMask,
+		Swapped:   swapped,
+		IRanges:   toSpans(iRanges),
+		JRanges:   toSpans(jRanges),
+		GI:        gi,
+		GJ:        gj,
+		GK:        gk,
+		Colocated: colocatedList(colocated),
 	}
 
 	if r == 1 {
-		err := cl.RunStage(stageName(op, "local"), p*q, func(task *cluster.Task) error {
-			return runTask(func() error {
-				pi, qi := task.ID/q, task.ID%q
-				ev := newEvaluator(op, task, bind, cl, 0, gk)
-				ev.colocated = colocated
-				return evalOutputs(ev, task, pi, qi)
-			})
-		})
-		if err != nil {
+		sp := base
+		sp.Name = stageName(op, "local")
+		sp.Phase = spec.PhaseCuboid
+		sp.NumTasks = p * q
+		src := bindSource{bind: bind}
+		route := routeTo(sink, agg, nil)
+		if err := dispatch(rtm, sp.Name, newStageCtx(op, &sp), src, route); err != nil {
 			return nil, err
 		}
 		return op.finish(out, agg)
@@ -109,62 +117,24 @@ func (op *FusedOp) executeCuboid(cl *cluster.Cluster, bind Bindings) (*block.Mat
 	// Stage one: partial main-multiplication results per cuboid, shuffled to
 	// their (p,q) owners (the matrix aggregation step).
 	partials := &mmPartialSink{blocks: make(map[block.Key]matrix.Mat)}
-	err := cl.RunStage(stageName(op, "partial"), p*q*r, func(task *cluster.Task) error {
-		return runTask(func() error {
-			pi := task.ID / (q * r)
-			qi := (task.ID / r) % q
-			ri := task.ID % r
-			kr := kRanges[ri]
-			ev := newEvaluator(op, task, bind, cl, kr.lo, kr.hi)
-			ev.colocated = colocated
-			rowsp, colsp := iRanges[pi], jRanges[qi]
-			for bi := rowsp.lo; bi < rowsp.hi; bi++ {
-				for bj := colsp.lo; bj < colsp.hi; bj++ {
-					var part matrix.Mat
-					if mask != nil {
-						driver := ev.evalBlock(mask.Driver, bi, bj)
-						if driver == nil {
-							continue // sparsity exploitation: nothing to do
-						}
-						part = ev.evalMaskedMM(op.Plan.MainMM, bi, bj, matrix.ToCSR(driver))
-					} else {
-						part = ev.evalBlock(op.Plan.MainMM, bi, bj)
-					}
-					if part == nil {
-						continue
-					}
-					task.SendBlock(part)
-					partials.add(bi, bj, part)
-				}
-			}
-			return nil
-		})
-	})
-	if err != nil {
+	sp1 := base
+	sp1.Name = stageName(op, "partial")
+	sp1.Phase = spec.PhasePartial
+	sp1.NumTasks = p * q * r
+	sp1.KRanges = toSpans(kRanges)
+	src1 := bindSource{bind: bind}
+	if err := dispatch(rtm, sp1.Name, newStageCtx(op, &sp1), src1, routeTo(sink, agg, partials)); err != nil {
 		return nil, err
 	}
 
 	// Stage two: owners apply the O-space chain once over aggregated
 	// multiplication results.
-	err = cl.RunStage(stageName(op, "fuse"), p*q, func(task *cluster.Task) error {
-		return runTask(func() error {
-			pi, qi := task.ID/q, task.ID%q
-			ev := newEvaluator(op, task, bind, cl, 0, gk)
-			ev.colocated = colocated
-			ri, rj := iRanges[pi], jRanges[qi]
-			for bi := ri.lo; bi < ri.hi; bi++ {
-				for bj := rj.lo; bj < rj.hi; bj++ {
-					blk := partials.blocks[block.Key{Row: bi, Col: bj}]
-					ev.pin(op.Plan.MainMM, bi, bj, blk)
-					if blk != nil {
-						task.GrowMem(blk.SizeBytes())
-					}
-				}
-			}
-			return evalOutputs(ev, task, pi, qi)
-		})
-	})
-	if err != nil {
+	sp2 := base
+	sp2.Name = stageName(op, "fuse")
+	sp2.Phase = spec.PhaseFuse
+	sp2.NumTasks = p * q
+	src2 := bindSource{bind: bind, partials: partials}
+	if err := dispatch(rtm, sp2.Name, newStageCtx(op, &sp2), src2, routeTo(sink, agg, partials)); err != nil {
 		return nil, err
 	}
 	return op.finish(out, agg)
@@ -174,23 +144,19 @@ func (op *FusedOp) executeCuboid(cl *cluster.Cluster, bind Bindings) (*block.Mat
 // as a partitioned map over the output block grid. Under Broadcast, side
 // matrices are shipped whole to every task and the main multiplication (if
 // any) runs with its full inner dimension inside each kernel.
-func (op *FusedOp) executeGrid(cl *cluster.Cluster, bind Bindings) (*block.Matrix, error) {
-	bs := cl.Config().BlockSize
+func (op *FusedOp) executeGrid(rtm rt.Runtime, bind Bindings) (*block.Matrix, error) {
+	bs := rtm.Config().BlockSize
 	root, rootAgg := op.effectiveRoot()
 	gi := (root.Rows + bs - 1) / bs
 	gj := (root.Cols + bs - 1) / bs
 	totalBlocks := gi * gj
-	numTasks := min(cl.Config().TotalSlots(), totalBlocks)
+	numTasks := min(rtm.Config().TotalSlots(), totalBlocks)
 	if numTasks < 1 {
 		numTasks = 1
 	}
 	fullK := 0
 	if op.Plan.MainMM != nil {
 		_, _, fullK = op.Plan.BlockGridDims(bs)
-	}
-	var mainIn *dag.Node
-	if op.Strategy == Broadcast {
-		mainIn = cost.MainInput(op.Plan)
 	}
 
 	// Pure element-wise plans run as a map over co-partitioned data: inputs
@@ -215,39 +181,59 @@ func (op *FusedOp) executeGrid(cl *cluster.Cluster, bind Bindings) (*block.Matri
 	}
 	sink := &resultSink{out: out}
 
-	err := cl.RunStage(stageName(op, "map"), numTasks, func(task *cluster.Task) error {
-		return runTask(func() error {
-			ev := newEvaluator(op, task, bind, cl, 0, fullK)
-			ev.colocated = colocated
-			if op.Strategy == Broadcast {
-				broadcastSides(op.Plan, mainIn, bind, ev, task)
-			}
-			var partial *block.Matrix
-			if rootAgg != nil {
-				partial = block.New(rootAgg.Rows, rootAgg.Cols, bs)
-			}
-			for l := task.ID; l < totalBlocks; l += numTasks {
-				bi, bj := l/gj, l%gj
-				blk := ev.evalBlock(root, bi, bj)
-				if rootAgg != nil {
-					aggregateLocal(task, partial, rootAgg.Agg, bi, bj, blk)
-				} else {
-					sink.put(bi, bj, blk)
-				}
-			}
-			if rootAgg != nil {
-				partial.ForEach(func(k block.Key, blk matrix.Mat) {
-					task.SendBlock(blk)
-					agg.combine(k.Row, k.Col, blk)
-				})
-			}
-			return nil
-		})
-	})
-	if err != nil {
+	sp := spec.Stage{
+		Name:      stageName(op, "map"),
+		Phase:     spec.PhaseGrid,
+		NumTasks:  numTasks,
+		BlockSize: bs,
+		Plan:      spec.FromPlan(op.Plan),
+		Broadcast: op.Strategy == Broadcast,
+		NoMask:    op.NoMask,
+		GI:        gi,
+		GJ:        gj,
+		GK:        fullK,
+		Colocated: colocatedList(colocated),
+	}
+	src := bindSource{bind: bind}
+	if err := dispatch(rtm, sp.Name, newStageCtx(op, &sp), src, routeTo(sink, agg, nil)); err != nil {
 		return nil, err
 	}
 	return op.finish(out, agg)
+}
+
+// routeTo builds the emit routing for a stage's result blocks: final blocks
+// land in the result sink, task aggregates fold into the aggregation sink,
+// and partial main-multiplication blocks accumulate in the shuffle sink.
+func routeTo(sink *resultSink, agg *aggSink, partials *mmPartialSink) emitFn {
+	return func(kind uint8, bi, bj int, blk matrix.Mat) {
+		switch kind {
+		case spec.OutFinal:
+			sink.put(bi, bj, blk)
+		case spec.OutAgg:
+			agg.combine(bi, bj, blk)
+		case spec.OutPartial:
+			partials.add(bi, bj, blk)
+		}
+	}
+}
+
+// toSpans converts internal spans to their wire representation.
+func toSpans(ss []span) []spec.Span {
+	out := make([]spec.Span, len(ss))
+	for i, s := range ss {
+		out[i] = spec.Span{Lo: s.lo, Hi: s.hi}
+	}
+	return out
+}
+
+// colocatedList flattens a colocated-input set into a deterministic list.
+func colocatedList(m map[int]bool) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // driverWeights derives per-block-row and per-block-column non-zero counts
@@ -319,25 +305,6 @@ func colocatedOInputs(p *fusion.Plan) map[int]bool {
 		}
 	}
 	return out
-}
-
-// broadcastSides meters a full copy of every side matrix to the task, as the
-// BFO's matrix consolidation step does, and marks their blocks fetched so
-// evaluation does not double-count them.
-func broadcastSides(p *fusion.Plan, mainIn *dag.Node, bind Bindings, ev *evaluator, task *cluster.Task) {
-	for _, in := range p.ExternalInputs() {
-		if in == mainIn || in.Op == dag.OpScalar {
-			continue
-		}
-		m := bind[in.ID]
-		gi, gj := m.BlockRows(), m.BlockCols()
-		for bi := 0; bi < gi; bi++ {
-			for bj := 0; bj < gj; bj++ {
-				task.FetchBlock(m.Block(bi, bj))
-				ev.fetched[memoKey{in.ID, bi, bj}] = true
-			}
-		}
-	}
 }
 
 func (op *FusedOp) finish(out *block.Matrix, agg *aggSink) (*block.Matrix, error) {

@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"fmt"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/cost"
+	"fuseme/internal/dag"
+	"fuseme/internal/fusion"
+	"fuseme/internal/matrix"
+	"fuseme/internal/rt/spec"
+)
+
+// This file is the descriptor-driven half of the executor. Every distributed
+// stage is described by a spec.Stage, and runStageTask executes one task of
+// it against a blockSource. The in-process backend calls runStageTask from
+// the stage closure in paths.go; a remote worker calls it through
+// ExecuteSpecTask after rebuilding the plan from the shipped descriptor.
+// Both paths run the same arithmetic and the same metering.
+
+// blockSource resolves a task's external block references: bound input
+// blocks and, in the fuse phase, aggregated main-multiplication partials.
+// A nil matrix with nil error is an all-zero block.
+type blockSource interface {
+	fetch(ref spec.BlockRef) (matrix.Mat, error)
+}
+
+// bindSource serves blocks from coordinator-side state: the operator's
+// bindings and (when R > 1) the partial-result sink filled by stage one.
+type bindSource struct {
+	bind     Bindings
+	partials *mmPartialSink
+}
+
+func (s bindSource) fetch(ref spec.BlockRef) (matrix.Mat, error) {
+	switch ref.Kind {
+	case spec.RefPartial:
+		if s.partials == nil {
+			return nil, fmt.Errorf("exec: no partial sink for this stage")
+		}
+		return s.partials.get(ref.BI, ref.BJ), nil
+	case spec.RefInput:
+		m, ok := s.bind[ref.Node]
+		if !ok {
+			return nil, fmt.Errorf("exec: missing binding for node %d", ref.Node)
+		}
+		return m.Block(ref.BI, ref.BJ), nil
+	}
+	return nil, fmt.Errorf("exec: unknown block reference kind %d", ref.Kind)
+}
+
+// fetchSource adapts a remote fetch callback (a network pull on a worker).
+type fetchSource struct {
+	fn func(ref spec.BlockRef) (matrix.Mat, error)
+}
+
+func (s fetchSource) fetch(ref spec.BlockRef) (matrix.Mat, error) { return s.fn(ref) }
+
+// emitFn receives a task's result blocks: final output blocks, task-local
+// aggregation partials, or partial main-multiplication blocks.
+type emitFn func(kind uint8, bi, bj int, blk matrix.Mat)
+
+// stageCtx is the per-stage execution context shared by all tasks: the fused
+// operator plus everything derived deterministically from the descriptor, so
+// coordinator and workers agree on it without shipping more than the spec.
+type stageCtx struct {
+	op        *FusedOp
+	sp        *spec.Stage
+	root      *dag.Node
+	rootAgg   *dag.Node
+	colocated map[int]bool
+	mainIn    *dag.Node // BFO: the co-partitioned main input (not broadcast)
+}
+
+func newStageCtx(op *FusedOp, sp *spec.Stage) *stageCtx {
+	root, rootAgg := op.effectiveRoot()
+	colocated := make(map[int]bool, len(sp.Colocated))
+	for _, id := range sp.Colocated {
+		colocated[id] = true
+	}
+	ctx := &stageCtx{op: op, sp: sp, root: root, rootAgg: rootAgg, colocated: colocated}
+	if sp.Broadcast {
+		ctx.mainIn = cost.MainInput(op.Plan)
+	}
+	return ctx
+}
+
+// runStageTask executes task taskID of the stage: the single task body both
+// backends share. Results leave through emit; metering lands on task.
+func runStageTask(ctx *stageCtx, taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+	return runTask(func() error {
+		switch ctx.sp.Phase {
+		case spec.PhaseCuboid:
+			return ctx.runCuboidTask(taskID, task, src, emit)
+		case spec.PhasePartial:
+			return ctx.runPartialTask(taskID, task, src, emit)
+		case spec.PhaseFuse:
+			return ctx.runFuseTask(taskID, task, src, emit)
+		case spec.PhaseGrid:
+			return ctx.runGridTask(taskID, task, src, emit)
+		}
+		return fmt.Errorf("exec: unknown stage phase %q", ctx.sp.Phase)
+	})
+}
+
+// runCuboidTask handles the single-stage (R == 1) cuboid execution: the task
+// computes final output blocks of its (p, q) partition.
+func (ctx *stageCtx) runCuboidTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+	q := len(ctx.sp.JRanges)
+	pi, qi := taskID/q, taskID%q
+	ev := newEvaluator(ctx.op, task, src, ctx.sp.BlockSize, 0, ctx.sp.GK)
+	ev.colocated = ctx.colocated
+	return ctx.evalOutputs(ev, task, pi, qi, emit)
+}
+
+// runPartialTask handles stage one of an R > 1 execution: partial
+// main-multiplication results over the task's k-range, shuffled out.
+func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+	sp := ctx.sp
+	q, r := len(sp.JRanges), len(sp.KRanges)
+	pi := taskID / (q * r)
+	qi := (taskID / r) % q
+	ri := taskID % r
+	kr := sp.KRanges[ri]
+	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, kr.Lo, kr.Hi)
+	ev.colocated = ctx.colocated
+	rowsp, colsp := sp.IRanges[pi], sp.JRanges[qi]
+	for bi := rowsp.Lo; bi < rowsp.Hi; bi++ {
+		for bj := colsp.Lo; bj < colsp.Hi; bj++ {
+			var part matrix.Mat
+			if ev.mask != nil {
+				driver := ev.evalBlock(ev.mask.Driver, bi, bj)
+				if driver == nil {
+					continue // sparsity exploitation: nothing to do
+				}
+				part = ev.evalMaskedMM(ctx.op.Plan.MainMM, bi, bj, matrix.ToCSR(driver))
+			} else {
+				part = ev.evalBlock(ctx.op.Plan.MainMM, bi, bj)
+			}
+			if part == nil {
+				continue
+			}
+			task.SendBlock(part)
+			emit(spec.OutPartial, bi, bj, part)
+		}
+	}
+	return nil
+}
+
+// runFuseTask handles stage two of an R > 1 execution: the task pins the
+// aggregated multiplication results of its partition and applies the O-space
+// chain once.
+func (ctx *stageCtx) runFuseTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+	sp := ctx.sp
+	q := len(sp.JRanges)
+	pi, qi := taskID/q, taskID%q
+	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, 0, sp.GK)
+	ev.colocated = ctx.colocated
+	ri, rj := sp.IRanges[pi], sp.JRanges[qi]
+	for bi := ri.Lo; bi < ri.Hi; bi++ {
+		for bj := rj.Lo; bj < rj.Hi; bj++ {
+			blk, err := src.fetch(spec.BlockRef{Kind: spec.RefPartial, BI: bi, BJ: bj})
+			if err != nil {
+				return fmt.Errorf("exec: partial block (%d,%d): %w", bi, bj, err)
+			}
+			ev.pin(ctx.op.Plan.MainMM, bi, bj, blk)
+			if blk != nil {
+				task.GrowMem(blk.SizeBytes())
+			}
+		}
+	}
+	return ctx.evalOutputs(ev, task, pi, qi, emit)
+}
+
+// runGridTask handles matmul-free plans and BFO executions: a strided map
+// over the output block grid.
+func (ctx *stageCtx) runGridTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+	sp := ctx.sp
+	totalBlocks := sp.GI * sp.GJ
+	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, 0, sp.GK)
+	ev.colocated = ctx.colocated
+	if sp.Broadcast {
+		broadcastSides(ctx.op.Plan, ctx.mainIn, src, ev, task)
+	}
+	var partial *block.Matrix
+	if ctx.rootAgg != nil {
+		partial = block.New(ctx.rootAgg.Rows, ctx.rootAgg.Cols, sp.BlockSize)
+	}
+	for l := taskID; l < totalBlocks; l += sp.NumTasks {
+		bi, bj := l/sp.GJ, l%sp.GJ
+		blk := ev.evalBlock(ctx.root, bi, bj)
+		if ctx.rootAgg != nil {
+			aggregateLocal(task, partial, ctx.rootAgg.Agg, bi, bj, blk)
+		} else if blk != nil {
+			emit(spec.OutFinal, bi, bj, blk)
+		}
+	}
+	if ctx.rootAgg != nil {
+		partial.ForEach(func(k block.Key, blk matrix.Mat) {
+			task.SendBlock(blk)
+			emit(spec.OutAgg, k.Row, k.Col, blk)
+		})
+	}
+	return nil
+}
+
+// evalOutputs evaluates every output block of partition (pi, qi) with ev and
+// emits final blocks, or task-local aggregates when the plan roots in an
+// aggregation.
+func (ctx *stageCtx) evalOutputs(ev *evaluator, task *cluster.Task, pi, qi int, emit emitFn) error {
+	sp := ctx.sp
+	var partial *block.Matrix
+	if ctx.rootAgg != nil {
+		partial = block.New(ctx.rootAgg.Rows, ctx.rootAgg.Cols, sp.BlockSize)
+	}
+	ri, rj := sp.IRanges[pi], sp.JRanges[qi]
+	for bi := ri.Lo; bi < ri.Hi; bi++ {
+		for bj := rj.Lo; bj < rj.Hi; bj++ {
+			oi, oj := bi, bj
+			if sp.Swapped {
+				oi, oj = bj, bi
+			}
+			blk := ev.evalBlock(ctx.root, oi, oj)
+			if ctx.rootAgg != nil {
+				aggregateLocal(task, partial, ctx.rootAgg.Agg, oi, oj, blk)
+			} else if blk != nil {
+				emit(spec.OutFinal, oi, oj, blk)
+			}
+		}
+	}
+	if ctx.rootAgg != nil {
+		partial.ForEach(func(k block.Key, blk matrix.Mat) {
+			task.SendBlock(blk)
+			emit(spec.OutAgg, k.Row, k.Col, blk)
+		})
+	}
+	return nil
+}
+
+// broadcastSides meters a full copy of every side matrix to the task, as the
+// BFO's matrix consolidation step does, and seeds the evaluator's fetch memo
+// so evaluation neither double-counts nor re-pulls them.
+func broadcastSides(p *fusion.Plan, mainIn *dag.Node, src blockSource, ev *evaluator, task *cluster.Task) {
+	bs := ev.blockSize
+	for _, in := range p.ExternalInputs() {
+		if in == mainIn || in.Op == dag.OpScalar {
+			continue
+		}
+		gi := (in.Rows + bs - 1) / bs
+		gj := (in.Cols + bs - 1) / bs
+		for bi := 0; bi < gi; bi++ {
+			for bj := 0; bj < gj; bj++ {
+				blk, err := src.fetch(spec.BlockRef{Kind: spec.RefInput, Node: in.ID, BI: bi, BJ: bj})
+				if err != nil {
+					ev.fail(fmt.Errorf("exec: broadcast input %d block (%d,%d): %w", in.ID, bi, bj, err))
+				}
+				task.FetchBlock(blk)
+				key := memoKey{in.ID, bi, bj}
+				ev.fetched[key] = true
+				ev.memo[key] = blk
+			}
+		}
+	}
+}
+
+// ExecuteSpecTask runs one task of a shipped stage descriptor on a worker:
+// the plan is rebuilt from the descriptor, blocks are pulled through fetch,
+// and result blocks are encoded through emit. Metering lands on task and is
+// reported back to the coordinator by the caller.
+func ExecuteSpecTask(sp *spec.Stage, taskID int, task *cluster.Task, fetch func(spec.BlockRef) (matrix.Mat, error), emit func(spec.OutBlock)) error {
+	if taskID < 0 || taskID >= sp.NumTasks {
+		return fmt.Errorf("exec: task %d outside stage %q (%d tasks)", taskID, sp.Name, sp.NumTasks)
+	}
+	plan, err := sp.Plan.Build()
+	if err != nil {
+		return err
+	}
+	op := &FusedOp{Plan: plan, NoMask: sp.NoMask}
+	if sp.Broadcast {
+		op.Strategy = Broadcast
+	}
+	ctx := newStageCtx(op, sp)
+	return runStageTask(ctx, taskID, task, fetchSource{fetch}, func(kind uint8, bi, bj int, blk matrix.Mat) {
+		data, err := spec.EncodeBlock(blk)
+		if err != nil {
+			panic(execPanic{fmt.Errorf("exec: encoding result block (%d,%d): %w", bi, bj, err)})
+		}
+		emit(spec.OutBlock{Kind: kind, BI: bi, BJ: bj, Data: data})
+	})
+}

@@ -59,7 +59,7 @@ func tfCluster(cfg cluster.Config) cluster.Config {
 // simulated-time budget as T.O. (the markers of Figures 12, 14 and 15).
 func simulate(e core.Engine, g *dag.Graph, cfg cluster.Config) (cluster.Stats, error) {
 	cl := cluster.MustNew(cfg)
-	pp, err := e.Compile(g, cl)
+	pp, err := e.Compile(g, cl.Config())
 	if err != nil {
 		return cluster.Stats{}, err
 	}

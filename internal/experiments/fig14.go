@@ -74,7 +74,7 @@ func Plans(opts Options) ([]*Table, error) {
 	}
 	for _, e := range []core.Engine{core.FuseME{}, core.SystemDSSim{}, core.MatFastSim{}, core.DistMESim{}} {
 		cl := cluster.MustNew(cfg)
-		pp, err := e.Compile(g, cl)
+		pp, err := e.Compile(g, cl.Config())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.Name(), err)
 		}

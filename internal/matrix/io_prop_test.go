@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the FME1 wire format: every matrix the executor can
+// produce must survive WriteTo → ReadFrom bit-exactly, because the TCP
+// runtime moves all blocks through this format and the backends are required
+// to stay bit-close.
+
+// wireRandDense builds a dense matrix with pseudo-random values, including exact
+// zeros (which must be preserved as stored values, not sparsified away).
+func wireRandDense(r *rand.Rand, rows, cols int) *Dense {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		switch r.Intn(4) {
+		case 0:
+			d.Data[i] = 0
+		case 1:
+			d.Data[i] = -r.Float64() * 1e6
+		default:
+			d.Data[i] = r.NormFloat64()
+		}
+	}
+	return d
+}
+
+// wireRandCSR builds a sparse matrix at the given density.
+func wireRandCSR(r *rand.Rand, rows, cols int, density float64) *CSR {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		if r.Float64() < density {
+			d.Data[i] = r.NormFloat64()
+		}
+	}
+	return ToCSR(d)
+}
+
+func wireRoundTrip(t *testing.T, m Mat) Mat {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, m); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after ReadFrom", buf.Len())
+	}
+	return got
+}
+
+// wireCheckEqual requires identical dims, kind, nnz and values.
+func wireCheckEqual(t *testing.T, got, want Mat) {
+	t.Helper()
+	gr, gc := got.Dims()
+	wr, wc := want.Dims()
+	if gr != wr || gc != wc {
+		t.Fatalf("dims: got %dx%d, want %dx%d", gr, gc, wr, wc)
+	}
+	if got.IsSparse() != want.IsSparse() {
+		t.Fatalf("kind: got sparse=%v, want sparse=%v", got.IsSparse(), want.IsSparse())
+	}
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("nnz: got %d, want %d", got.NNZ(), want.NNZ())
+	}
+	for i := 0; i < wr; i++ {
+		for j := 0; j < wc; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("(%d,%d): got %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestWireRoundTripDense round-trips dense matrices across shapes, including
+// the non-square tail blocks a blocked matrix produces at its edges.
+func TestWireRoundTripDense(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	shapes := [][2]int{{1, 1}, {1, 17}, {17, 1}, {16, 16}, {16, 7}, {5, 16}, {13, 29}, {64, 64}}
+	for _, sh := range shapes {
+		m := wireRandDense(r, sh[0], sh[1])
+		wireCheckEqual(t, wireRoundTrip(t, m), m)
+	}
+}
+
+// TestWireRoundTripCSR round-trips sparse matrices across shapes and
+// densities, including fully empty ones.
+func TestWireRoundTripCSR(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	shapes := [][2]int{{1, 1}, {1, 17}, {17, 1}, {16, 16}, {16, 7}, {5, 16}, {13, 29}, {64, 64}}
+	densities := []float64{0, 0.01, 0.2, 0.9, 1}
+	for _, sh := range shapes {
+		for _, d := range densities {
+			m := wireRandCSR(r, sh[0], sh[1], d)
+			wireCheckEqual(t, wireRoundTrip(t, m), m)
+		}
+	}
+}
+
+// TestWireRoundTripEmpty covers structurally empty blocks: a zero dense
+// matrix and a CSR with no stored entries.
+func TestWireRoundTripEmpty(t *testing.T) {
+	wireCheckEqual(t, wireRoundTrip(t, NewDense(9, 11)), NewDense(9, 11))
+	wireCheckEqual(t, wireRoundTrip(t, NewCSR(9, 11)), NewCSR(9, 11))
+}
+
+// TestWireKindPreserved checks that the format does not silently convert
+// between dense and sparse: a dense matrix of zeros stays dense, a dense
+// CSR stays sparse.
+func TestWireKindPreserved(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if got := wireRoundTrip(t, NewDense(8, 8)); got.IsSparse() {
+		t.Error("zero dense came back sparse")
+	}
+	full := wireRandCSR(r, 8, 8, 1)
+	if got := wireRoundTrip(t, full); !got.IsSparse() {
+		t.Error("full CSR came back dense")
+	}
+}
+
+// TestWireCrossKindValues round-trips the same values through both kinds and
+// requires element-wise agreement: the format must not perturb values when
+// the executor converts between representations around a wire hop.
+func TestWireCrossKindValues(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+r.Intn(30), 1+r.Intn(30)
+		sp := wireRandCSR(r, rows, cols, 0.3)
+		dn := ToDense(sp)
+		gotSp := wireRoundTrip(t, sp)
+		gotDn := wireRoundTrip(t, dn)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if gotSp.At(i, j) != gotDn.At(i, j) {
+					t.Fatalf("(%d,%d): CSR %v vs dense %v", i, j, gotSp.At(i, j), gotDn.At(i, j))
+				}
+			}
+		}
+	}
+}

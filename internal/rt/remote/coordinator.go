@@ -1,0 +1,394 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuseme/internal/cluster"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/spec"
+)
+
+// heartbeatInterval is how often the coordinator pings each worker;
+// heartbeatTimeout bounds each ping round-trip and task-dial attempt.
+const (
+	heartbeatInterval = 500 * time.Millisecond
+	heartbeatTimeout  = 2 * time.Second
+	dialTimeout       = 5 * time.Second
+)
+
+// Coordinator is the TCP runtime backend: it satisfies rt.Runtime (and
+// rt.SpecRunner) by scheduling descriptor-based stages over a fixed set of
+// worker processes. Closure-only stages — and all bookkeeping the simulated
+// cluster already does (admission control, stats accumulation) — run on an
+// embedded local cluster whose Nodes count is the number of workers.
+//
+// Scheduling is round-robin over live workers with one connection per task.
+// A worker that fails a transport operation is marked dead permanently (its
+// heartbeat would also notice); the failed task retries on survivors up to
+// Config.MaxTaskRetries, matching the simulated backend's retry semantics.
+//
+// The coordinator meters real wire traffic into cluster.Stats. Bytes with a
+// simulated counterpart land in the matching counter so the two backends are
+// directly comparable: non-colocated input fetches are consolidation
+// traffic, and partial/aggregate result uploads are aggregation traffic.
+// Bytes the simulation does not model — colocated input shipments (local
+// reads in a real deployment), fuse-phase partial re-delivery, final result
+// blocks — are recorded separately as ExtraWireBytes.
+type Coordinator struct {
+	local   *cluster.Cluster
+	workers []*workerConn
+
+	next   atomic.Int64 // round-robin cursor
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+	closed atomic.Bool
+}
+
+type workerConn struct {
+	id    int
+	addr  string
+	ctrl  net.Conn
+	alive atomic.Bool
+}
+
+// transportError marks failures of the coordinator↔worker channel (dial,
+// read, write): the worker is presumed dead and the task retries elsewhere.
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+// NewCoordinator connects to every worker address and returns a runtime
+// backed by them. cfg.Nodes is overridden with the worker count, so planners
+// compile for the parallelism that actually exists.
+func NewCoordinator(cfg cluster.Config, addrs []string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("remote: no worker addresses")
+	}
+	cfg.Nodes = len(addrs)
+	local, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{local: local, hbStop: make(chan struct{})}
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("remote: worker %s: %w", addr, err)
+		}
+		conn.SetDeadline(time.Now().Add(heartbeatTimeout))
+		if err := writeGob(conn, msgHello, hello{Proto: protoVersion}); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("remote: worker %s handshake: %w", addr, err)
+		}
+		payload, err := expectFrame(conn, msgHelloAck)
+		if err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("remote: worker %s handshake: %w", addr, err)
+		}
+		var ack helloAck
+		if err := decodeGob(payload, &ack); err != nil || ack.Proto != protoVersion {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("remote: worker %s: protocol mismatch", addr)
+		}
+		conn.SetDeadline(time.Time{})
+		w := &workerConn{id: i, addr: addr, ctrl: conn}
+		w.alive.Store(true)
+		c.workers = append(c.workers, w)
+	}
+	for _, w := range c.workers {
+		c.hbWG.Add(1)
+		go c.heartbeat(w)
+	}
+	return c, nil
+}
+
+// heartbeat pings one worker until it dies or the coordinator closes.
+func (c *Coordinator) heartbeat(w *workerConn) {
+	defer c.hbWG.Done()
+	t := time.NewTicker(heartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			if !w.alive.Load() {
+				return
+			}
+			w.ctrl.SetDeadline(time.Now().Add(heartbeatTimeout))
+			if writeFrame(w.ctrl, msgPing, nil) != nil {
+				w.alive.Store(false)
+				return
+			}
+			if _, err := expectFrame(w.ctrl, msgPong); err != nil {
+				w.alive.Store(false)
+				return
+			}
+		}
+	}
+}
+
+// AliveWorkers reports how many workers still answer.
+func (c *Coordinator) AliveWorkers() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickWorker returns the next live worker round-robin, or nil when none
+// remain.
+func (c *Coordinator) pickWorker() *workerConn {
+	for range c.workers {
+		i := int(c.next.Add(1)-1) % len(c.workers)
+		if w := c.workers[i]; w.alive.Load() {
+			return w
+		}
+	}
+	return nil
+}
+
+// Config returns the cluster shape the planners compile against.
+func (c *Coordinator) Config() cluster.Config { return c.local.Config() }
+
+// Stats returns accumulated metrics (local stages + remote wire metering).
+func (c *Coordinator) Stats() cluster.Stats { return c.local.Stats() }
+
+// ResetStats clears accumulated metrics.
+func (c *Coordinator) ResetStats() { c.local.ResetStats() }
+
+// CheckAdmission applies the per-task memory budget, as under simulation.
+func (c *Coordinator) CheckAdmission(estTaskMemBytes int64, what string) error {
+	return c.local.CheckAdmission(estTaskMemBytes, what)
+}
+
+// RunStage executes a closure-only stage in-process on the coordinator
+// (stages without a descriptor, such as multi-aggregation operators).
+func (c *Coordinator) RunStage(name string, numTasks int, fn func(t *cluster.Task) error) error {
+	return c.local.RunStage(name, numTasks, fn)
+}
+
+// Close stops heartbeats and releases worker connections. Workers themselves
+// keep running and can serve another coordinator.
+func (c *Coordinator) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.hbStop)
+	for _, w := range c.workers {
+		w.ctrl.Close()
+	}
+	c.hbWG.Wait()
+	return nil
+}
+
+// wireMeter accumulates one stage's measured wire traffic, classified to
+// match the simulated communication model.
+type wireMeter struct {
+	consolidation atomic.Int64 // non-colocated input fetches
+	aggregation   atomic.Int64 // partial/aggregate result uploads
+	extra         atomic.Int64 // traffic the simulation does not model
+}
+
+func (m *wireMeter) countFetch(ref spec.BlockRef, n int64, colocated map[int]bool) {
+	switch {
+	case ref.Kind == spec.RefInput && !colocated[ref.Node]:
+		m.consolidation.Add(n)
+	default:
+		m.extra.Add(n)
+	}
+}
+
+func (m *wireMeter) countResults(blocks []spec.OutBlock) {
+	for _, ob := range blocks {
+		n := int64(len(ob.Data))
+		switch ob.Kind {
+		case spec.OutPartial, spec.OutAgg:
+			m.aggregation.Add(n)
+		default:
+			m.extra.Add(n)
+		}
+	}
+}
+
+// RunSpecStage distributes one descriptor stage over the live workers.
+func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
+	sp := st.Spec
+	if sp == nil || st.Fetch == nil || st.Collect == nil {
+		return errors.New("remote: stage without descriptor/fetch/collect")
+	}
+	start := time.Now()
+	colocated := make(map[int]bool, len(sp.Colocated))
+	for _, id := range sp.Colocated {
+		colocated[id] = true
+	}
+
+	var (
+		wire     wireMeter
+		mu       sync.Mutex
+		firstErr error
+		flops    int64
+		maxFlops int64
+		peakMem  int64
+	)
+	aborted := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	sem := make(chan struct{}, len(c.workers)*c.local.Config().TasksPerNode)
+	var wg sync.WaitGroup
+	for id := 0; id < sp.NumTasks; id++ {
+		wg.Add(1)
+		go func(taskID int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if aborted() {
+				return
+			}
+			done, err := c.runTaskWithRetry(st, taskID, &wire, colocated)
+			if err != nil {
+				setErr(fmt.Errorf("stage %q task %d: %w", sp.Name, taskID, err))
+				return
+			}
+			mu.Lock()
+			flops += done.Metrics.Flops
+			if done.Metrics.Flops > maxFlops {
+				maxFlops = done.Metrics.Flops
+			}
+			if done.Metrics.MemPeakBytes > peakMem {
+				peakMem = done.Metrics.MemPeakBytes
+			}
+			mu.Unlock()
+			if err := st.Collect(taskID, done.Blocks); err != nil {
+				setErr(err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	wall := time.Since(start).Seconds()
+	c.local.AddStats(cluster.Stats{
+		ConsolidationBytes: wire.consolidation.Load(),
+		AggregationBytes:   wire.aggregation.Load(),
+		ExtraWireBytes:     wire.extra.Load(),
+		Flops:              flops,
+		Stages:             1,
+		Tasks:              sp.NumTasks,
+		SimSeconds:         wall, // the remote backend's clock is real time
+		WallSeconds:        wall,
+		PeakTaskMemBytes:   peakMem,
+		MaxTaskFlops:       maxFlops,
+	})
+	return nil
+}
+
+// runTaskWithRetry runs one task, retrying on another live worker when the
+// assigned worker dies mid-task, up to MaxTaskRetries re-attempts.
+func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+	retries := c.local.Config().MaxTaskRetries
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		w := c.pickWorker()
+		if w == nil {
+			return taskDone{}, errors.New("remote: no live workers")
+		}
+		done, err := c.runTaskOn(w, st, taskID, wire, colocated)
+		if err == nil {
+			return done, nil
+		}
+		lastErr = err
+		var te transportError
+		if errors.As(err, &te) {
+			w.alive.Store(false)
+		}
+	}
+	return taskDone{}, lastErr
+}
+
+// runTaskOn ships one task to worker w over a fresh connection and serves
+// its block fetches until it reports done or failed.
+func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+	conn, err := net.DialTimeout("tcp", w.addr, dialTimeout)
+	if err != nil {
+		return taskDone{}, transportError{err}
+	}
+	defer conn.Close()
+	if err := writeGob(conn, msgTask, taskAssign{Stage: *st.Spec, TaskID: taskID}); err != nil {
+		return taskDone{}, transportError{err}
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return taskDone{}, transportError{err}
+		}
+		switch typ {
+		case msgFetch:
+			var ref spec.BlockRef
+			if err := decodeGob(payload, &ref); err != nil {
+				return taskDone{}, err
+			}
+			reply := serveFetch(st, ref)
+			if err := writeFrame(conn, msgBlock, reply); err != nil {
+				return taskDone{}, transportError{err}
+			}
+			wire.countFetch(ref, int64(len(reply)-1), colocated)
+		case msgDone:
+			var done taskDone
+			if err := decodeGob(payload, &done); err != nil {
+				return taskDone{}, err
+			}
+			wire.countResults(done.Blocks)
+			return done, nil
+		case msgFail:
+			var fail taskFail
+			if err := decodeGob(payload, &fail); err != nil {
+				return taskDone{}, err
+			}
+			return taskDone{}, errors.New(fail.Err)
+		default:
+			return taskDone{}, fmt.Errorf("remote: unexpected frame type %d on task connection", typ)
+		}
+	}
+}
+
+// serveFetch resolves one block request into a msgBlock payload.
+func serveFetch(st *rt.Stage, ref spec.BlockRef) []byte {
+	m, err := st.Fetch(ref)
+	if err != nil {
+		return append([]byte{blockError}, err.Error()...)
+	}
+	if m == nil {
+		return []byte{blockNil}
+	}
+	data, err := spec.EncodeBlock(m)
+	if err != nil {
+		return append([]byte{blockError}, err.Error()...)
+	}
+	return append([]byte{blockData}, data...)
+}

@@ -1,0 +1,145 @@
+// Package remote implements the TCP runtime backend: a coordinator that
+// satisfies rt.Runtime by scheduling descriptor-based stages over worker
+// processes, and the worker loop those processes run.
+//
+// The protocol is deliberately small. Every connection carries length-framed
+// messages ([type byte][uint32 big-endian length][payload]); control
+// messages are gob-encoded, matrix blocks travel in the FME1 binary format.
+// The coordinator opens one persistent control connection per worker for the
+// handshake and heartbeats, and one fresh connection per task. A task
+// connection is a private request/response channel: the coordinator assigns
+// the task, then serves the worker's block fetches until the worker reports
+// the task done (with its result blocks and metering counters) or failed.
+// Pull-based fetching means the worker discovers exactly the blocks the
+// fused kernel needs — the same dedup and colocation accounting as the
+// simulated backend, because both run the identical executor task body.
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"fuseme/internal/rt/spec"
+)
+
+// Protocol version, checked during the control-connection handshake.
+const protoVersion = 1
+
+// Frame types.
+const (
+	msgHello    = byte(1) // coordinator → worker: gob(hello), opens control conn
+	msgHelloAck = byte(2) // worker → coordinator: gob(helloAck)
+	msgPing     = byte(3) // coordinator → worker: empty
+	msgPong     = byte(4) // worker → coordinator: empty
+	msgTask     = byte(5) // coordinator → worker: gob(taskAssign), opens task conn
+	msgFetch    = byte(6) // worker → coordinator: gob(spec.BlockRef)
+	msgBlock    = byte(7) // coordinator → worker: block payload (see below)
+	msgDone     = byte(8) // worker → coordinator: gob(taskDone)
+	msgFail     = byte(9) // worker → coordinator: gob(taskFail)
+)
+
+// Block payload status bytes (first byte of a msgBlock payload).
+const (
+	blockNil   = byte(0) // all-zero block; no data follows
+	blockData  = byte(1) // FME1 bytes follow
+	blockError = byte(2) // error string follows
+)
+
+// maxFrame bounds a single frame. Blocks are at most BlockSize² float64s
+// plus sparse indexing, far below this; the cap guards against corrupt
+// length prefixes.
+const maxFrame = 1 << 30
+
+type hello struct {
+	Proto int
+}
+
+type helloAck struct {
+	Proto int
+}
+
+// taskAssign ships one task: the full stage descriptor plus the task index.
+// Re-sending the descriptor per task keeps the protocol stateless; stage
+// descriptors are small (a flattened plan and partition ranges).
+type taskAssign struct {
+	Stage  spec.Stage
+	TaskID int
+}
+
+// taskDone reports a completed task: its result blocks and the metering the
+// worker-side cluster.Task accumulated.
+type taskDone struct {
+	Metrics spec.TaskMetrics
+	Blocks  []spec.OutBlock
+}
+
+// taskFail reports a task whose body returned an error. This is an
+// application failure, not a transport failure: retrying it on another
+// worker re-runs the same deterministic computation.
+type taskFail struct {
+	Err string
+}
+
+// writeFrame writes one framed message.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("remote: frame of %d bytes exceeds limit", n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return hdr[0], payload, nil
+}
+
+// writeGob writes a gob-encoded framed message.
+func writeGob(w io.Writer, typ byte, v any) error {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return err
+	}
+	return writeFrame(w, typ, b.Bytes())
+}
+
+// decodeGob decodes a gob payload into v.
+func decodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// expectFrame reads a frame and checks its type.
+func expectFrame(r io.Reader, want byte) ([]byte, error) {
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("remote: expected frame type %d, got %d", want, typ)
+	}
+	return payload, nil
+}

@@ -1,0 +1,180 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"fuseme/internal/cluster"
+	"fuseme/internal/exec"
+	"fuseme/internal/matrix"
+	"fuseme/internal/rt/spec"
+)
+
+// Worker serves task executions for one worker process. A worker is
+// stateless between tasks: every task arrives with its full stage
+// descriptor, input blocks are pulled from the coordinator over the task
+// connection, and results stream back when the task completes.
+type Worker struct {
+	ln    net.Listener
+	wg    sync.WaitGroup
+	conns sync.Map // net.Conn → struct{}, for forced shutdown
+
+	closed atomic.Bool
+
+	// killAfter, when positive, makes the worker die (close its listener and
+	// every connection) as the (killAfter+1)-th task arrives. Fault-injection
+	// tests use this to exercise the coordinator's retry path.
+	killAfter atomic.Int64
+	started   atomic.Int64
+}
+
+// NewWorker starts a worker listening on addr (host:port; use port 0 for an
+// ephemeral port) and begins accepting connections.
+func NewWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{ln: ln}
+	w.killAfter.Store(-1)
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the address the worker listens on.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// KillAfterTasks arms the fault-injection hook: the worker dies when task
+// number n (0-based) arrives. Negative disarms.
+func (w *Worker) KillAfterTasks(n int) { w.killAfter.Store(int64(n)) }
+
+// Close shuts the worker down: the listener and every open connection are
+// closed, and in-flight task handlers are abandoned.
+func (w *Worker) Close() error {
+	if w.closed.Swap(true) {
+		return nil
+	}
+	err := w.ln.Close()
+	w.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	return err
+}
+
+// Wait blocks until the accept loop and all connection handlers return.
+func (w *Worker) Wait() { w.wg.Wait() }
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.conns.Store(conn, struct{}{})
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer w.conns.Delete(conn)
+			defer conn.Close()
+			w.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn dispatches on the connection's first frame: a control
+// connection (hello + heartbeats) or a task connection.
+func (w *Worker) handleConn(conn net.Conn) {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case msgHello:
+		var h hello
+		if decodeGob(payload, &h) != nil || h.Proto != protoVersion {
+			return
+		}
+		if writeGob(conn, msgHelloAck, helloAck{Proto: protoVersion}) != nil {
+			return
+		}
+		w.controlLoop(conn)
+	case msgTask:
+		var assign taskAssign
+		if err := decodeGob(payload, &assign); err != nil {
+			writeGob(conn, msgFail, taskFail{Err: fmt.Sprintf("decoding task: %v", err)})
+			return
+		}
+		w.runTask(conn, &assign)
+	}
+}
+
+// controlLoop answers heartbeats until the connection drops.
+func (w *Worker) controlLoop(conn net.Conn) {
+	for {
+		typ, _, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ == msgPing {
+			if writeFrame(conn, msgPong, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+// runTask executes one assigned task, pulling blocks over conn and reporting
+// the outcome.
+func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
+	if kill := w.killAfter.Load(); kill >= 0 && w.started.Add(1) > kill {
+		// Fault injection: die abruptly, mid-stage, without a reply.
+		w.Close()
+		return
+	}
+	task := &cluster.Task{ID: assign.TaskID}
+	var blocks []spec.OutBlock
+	fetch := func(ref spec.BlockRef) (matrix.Mat, error) {
+		if err := writeGob(conn, msgFetch, ref); err != nil {
+			return nil, err
+		}
+		payload, err := expectFrame(conn, msgBlock)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) == 0 {
+			return nil, errors.New("remote: empty block payload")
+		}
+		switch payload[0] {
+		case blockNil:
+			return nil, nil
+		case blockData:
+			return spec.DecodeBlock(payload[1:])
+		case blockError:
+			return nil, errors.New(string(payload[1:]))
+		}
+		return nil, fmt.Errorf("remote: unknown block status %d", payload[0])
+	}
+	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, fetch, func(ob spec.OutBlock) {
+		blocks = append(blocks, ob)
+	})
+	if err != nil {
+		writeGob(conn, msgFail, taskFail{Err: err.Error()})
+		return
+	}
+	con, agg, flops, mem := task.Counters()
+	writeGob(conn, msgDone, taskDone{
+		Metrics: spec.TaskMetrics{
+			ConsolidationBytes: con,
+			AggregationBytes:   agg,
+			Flops:              flops,
+			MemPeakBytes:       mem,
+		},
+		Blocks: blocks,
+	})
+}

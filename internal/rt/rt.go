@@ -1,0 +1,76 @@
+// Package rt defines the pluggable Runtime interface the execution layer
+// runs on. The interface is extracted from the simulated cluster's surface
+// (stage execution, admission control, stats), so *cluster.Cluster satisfies
+// it unchanged; the TCP coordinator in rt/remote is the second
+// implementation, spreading the same stages across worker processes.
+//
+// A Stage carries two equivalent representations of its work: Fn, the
+// in-process closure (what the simulated cluster runs), and Spec, a
+// serializable descriptor (what a remote backend ships to workers). Both
+// drive the exact same executor task body, so the backends produce
+// bit-close results and the descriptor path is exercised even locally.
+package rt
+
+import (
+	"fuseme/internal/cluster"
+	"fuseme/internal/matrix"
+	"fuseme/internal/rt/spec"
+)
+
+// Runtime is the execution backend of a session: the in-process simulated
+// cluster or a remote coordinator. Implementations accumulate cluster.Stats
+// across stages and are used by one query execution at a time.
+type Runtime interface {
+	// Config returns the cluster shape (node count, slots, budgets) the
+	// planners compile against.
+	Config() cluster.Config
+	// Stats returns a snapshot of accumulated metrics.
+	Stats() cluster.Stats
+	// ResetStats clears accumulated metrics.
+	ResetStats()
+	// CheckAdmission rejects an operator whose estimated per-task memory
+	// exceeds the budget, wrapping cluster.ErrOutOfMemory.
+	CheckAdmission(estTaskMemBytes int64, what string) error
+	// RunStage executes numTasks tasks of one distributed stage in-process.
+	RunStage(name string, numTasks int, fn func(t *cluster.Task) error) error
+	// Close releases backend resources (worker connections).
+	Close() error
+}
+
+// SpecRunner is implemented by runtimes that can execute descriptor-based
+// stages on remote workers instead of running the closure in-process.
+type SpecRunner interface {
+	RunSpecStage(st *Stage) error
+}
+
+// Stage is one distributed stage handed to a Runtime.
+type Stage struct {
+	Name     string
+	NumTasks int
+
+	// Fn is the in-process task body. Always set.
+	Fn func(t *cluster.Task) error
+
+	// Spec, when non-nil, is the serializable descriptor of the same work.
+	// Stages without a descriptor (for example multi-aggregation operators)
+	// run in-process on every backend.
+	Spec *spec.Stage
+
+	// Fetch serves a worker's block request from the coordinator-side data
+	// (bound inputs, aggregated partials). A nil matrix with nil error is a
+	// legitimate all-zero block. Required when Spec is set.
+	Fetch func(ref spec.BlockRef) (matrix.Mat, error)
+
+	// Collect folds one remote task's result blocks into the stage sinks.
+	// Required when Spec is set.
+	Collect func(taskID int, blocks []spec.OutBlock) error
+}
+
+// RunStage dispatches st to r: descriptor-capable runtimes execute the spec
+// remotely, everything else runs the closure in-process.
+func RunStage(r Runtime, st *Stage) error {
+	if sr, ok := r.(SpecRunner); ok && st.Spec != nil {
+		return sr.RunSpecStage(st)
+	}
+	return r.RunStage(st.Name, st.NumTasks, st.Fn)
+}

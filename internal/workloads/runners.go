@@ -7,6 +7,7 @@ import (
 	"fuseme/internal/cluster"
 	"fuseme/internal/core"
 	"fuseme/internal/matrix"
+	"fuseme/internal/rt"
 )
 
 // GNMFResult reports one GNMF run.
@@ -19,22 +20,22 @@ type GNMFResult struct {
 // RunGNMF executes iters GNMF iterations (Eq. 6) of X ~ V x U on the engine,
 // feeding each iteration's factors into the next. The physical plan is
 // compiled once and re-executed, as the paper's systems do.
-func RunGNMF(e core.Engine, cl *cluster.Cluster, x, u, v *block.Matrix, iters int) (*GNMFResult, error) {
+func RunGNMF(e core.Engine, rtm rt.Runtime, x, u, v *block.Matrix, iters int) (*GNMFResult, error) {
 	k := u.Rows
 	g := GNMF(x.Rows, x.Cols, k, x.Density())
-	pp, err := e.Compile(g, cl)
+	pp, err := e.Compile(g, rtm.Config())
 	if err != nil {
 		return nil, fmt.Errorf("%s: compile GNMF: %w", e.Name(), err)
 	}
 	res := &GNMFResult{U: u, V: v}
-	prev := cl.Stats()
+	prev := rtm.Stats()
 	for it := 0; it < iters; it++ {
-		out, err := core.Execute(pp, cl, map[string]*block.Matrix{"X": x, "U": res.U, "V": res.V})
+		out, err := core.Execute(pp, rtm, map[string]*block.Matrix{"X": x, "U": res.U, "V": res.V})
 		if err != nil {
 			return nil, fmt.Errorf("%s: GNMF iteration %d: %w", e.Name(), it, err)
 		}
 		res.U, res.V = out["U2"], out["V2"]
-		cur := cl.Stats()
+		cur := rtm.Stats()
 		res.PerIter = append(res.PerIter, diffStats(cur, prev))
 		prev = cur
 	}
@@ -46,6 +47,7 @@ func diffStats(cur, prev cluster.Stats) cluster.Stats {
 	return cluster.Stats{
 		ConsolidationBytes: cur.ConsolidationBytes - prev.ConsolidationBytes,
 		AggregationBytes:   cur.AggregationBytes - prev.AggregationBytes,
+		ExtraWireBytes:     cur.ExtraWireBytes - prev.ExtraWireBytes,
 		Flops:              cur.Flops - prev.Flops,
 		Stages:             cur.Stages - prev.Stages,
 		Tasks:              cur.Tasks - prev.Tasks,
@@ -76,14 +78,14 @@ func InitAutoEncoder(c AutoEncoderConfig, blockSize int, seed int64) *AEState {
 // RunAutoEncoderEpoch trains one epoch of the two-layer AutoEncoder on X
 // (examples x features), updating state in place with plain SGD and
 // returning the final batch loss.
-func RunAutoEncoderEpoch(e core.Engine, cl *cluster.Cluster, x *block.Matrix, c AutoEncoderConfig, lr float64, state *AEState) (float64, error) {
+func RunAutoEncoderEpoch(e core.Engine, rtm rt.Runtime, x *block.Matrix, c AutoEncoderConfig, lr float64, state *AEState) (float64, error) {
 	g := AutoEncoderStep(c)
-	pp, err := e.Compile(g, cl)
+	pp, err := e.Compile(g, rtm.Config())
 	if err != nil {
 		return 0, fmt.Errorf("%s: compile AutoEncoder: %w", e.Name(), err)
 	}
 	flat := x.ToMat()
-	bs := cl.Config().BlockSize
+	bs := rtm.Config().BlockSize
 	var loss float64
 	for start := 0; start+c.Batch <= x.Rows; start += c.Batch {
 		xt := matrix.NewDense(c.Features, c.Batch)
@@ -92,7 +94,7 @@ func RunAutoEncoderEpoch(e core.Engine, cl *cluster.Cluster, x *block.Matrix, c 
 				xt.Set(j, i, flat.At(start+i, j))
 			}
 		}
-		out, err := core.Execute(pp, cl, map[string]*block.Matrix{
+		out, err := core.Execute(pp, rtm, map[string]*block.Matrix{
 			"XT": block.FromMat(xt, bs),
 			"W1": state.W1, "b1": state.B1,
 			"W2": state.W2, "b2": state.B2,
