@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bins clean
+.PHONY: check fmtcheck vet build test race bench bins clean
 
-## check: full verification gate — vet, build, race-enabled tests
-check: vet build race
+## check: full verification gate — gofmt, vet, build, race-enabled tests
+check: fmtcheck vet build race
+
+## fmtcheck: fail when any file needs gofmt
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -157,6 +157,59 @@ func BenchmarkPublicAPIQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead quantifies the observability fast path on a GNMF
+// iteration over the sim backend. "off" is a plain session: no recorder, no
+// registry, so the per-stage instrumentation reduces to nil checks and a
+// stats diff, and the per-task hot path is untouched. "on" records full
+// plan/stage/task spans plus every metric. The "off" variant is the default
+// every query pays; it must stay within 2% of an uninstrumented build
+// (compare off vs on with benchstat — the delta bounds the hook cost from
+// above, since "on" does strictly more work).
+func BenchmarkTraceOverhead(b *testing.B) {
+	const (
+		users, items, k = 1200, 800, 16
+		updateU         = `U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)`
+		updateV         = `V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))`
+	)
+	gnmfIteration := func(b *testing.B, sess *fuseme.Session) {
+		b.Helper()
+		out, err := sess.Query(updateU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Bind("U", out["U2"])
+		if _, err := sess.Query(updateV); err != nil {
+			b.Fatal(err)
+		}
+	}
+	newGNMFSession := func(b *testing.B, opts ...fuseme.Option) *fuseme.Session {
+		b.Helper()
+		sess, err := fuseme.NewSession(fuseme.LocalClusterConfig(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.RandomDense("X", users, items, 1, 5, 1)
+		sess.RandomDense("U", k, items, 0.1, 0.9, 2)
+		sess.RandomDense("V", users, k, 0.1, 0.9, 3)
+		return sess
+	}
+	b.Run("off", func(b *testing.B) {
+		sess := newGNMFSession(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gnmfIteration(b, sess)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		sess := newGNMFSession(b, fuseme.WithTracing(), fuseme.WithMetrics())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gnmfIteration(b, sess)
+			sess.ResetObservations() // keep the span buffer from growing unboundedly
+		}
+	})
+}
+
 // BenchmarkCompileGNMF isolates planning cost (CFG exploration +
 // exploitation + parameter optimisation) at YahooMusic scale.
 func BenchmarkCompileGNMF(b *testing.B) {

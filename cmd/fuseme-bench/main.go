@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"fuseme/internal/experiments"
+	"fuseme/internal/obs"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "dimension scale factor in (0,1]")
 	nodes := flag.Int("nodes", 0, "override worker node count (default: paper's 8)")
 	runtime := flag.String("runtime", "sim", "execution backend; experiments model the paper's cluster, so only sim is valid")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the bench run (per-experiment spans; stage/task detail for real executions)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -37,12 +39,35 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "), "all")
 		return
 	}
-	tables, err := experiments.Run(*exp, experiments.Options{Scale: *scale, Nodes: *nodes})
+	opts := experiments.Options{Scale: *scale, Nodes: *nodes}
+	if *traceOut != "" {
+		opts.Obs = &obs.Obs{Trace: obs.NewRecorder()}
+	}
+	tables, err := experiments.Run(*exp, opts)
 	for _, t := range tables {
 		fmt.Println(t.Render())
+	}
+	if *traceOut != "" {
+		if werr := writeTrace(*traceOut, opts.Obs.Trace); werr != nil {
+			fmt.Fprintln(os.Stderr, "fuseme-bench:", werr)
+			os.Exit(1)
+		}
+		fmt.Println("trace:", *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuseme-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

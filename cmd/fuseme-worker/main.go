@@ -18,11 +18,13 @@ import (
 	"os"
 	"os/signal"
 
+	"fuseme/internal/obs"
 	"fuseme/internal/rt/remote"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on (host:port; port 0 for ephemeral)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address")
 	flag.Parse()
 
 	w, err := remote.NewWorker(*addr)
@@ -31,6 +33,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("fuseme-worker listening on", w.Addr())
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		w.SetObs(&obs.Obs{Metrics: reg})
+		srv, err := obs.ServeMetrics(*metricsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuseme-worker:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Println("fuseme-worker metrics on http://" + srv.Addr() + "/metrics")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

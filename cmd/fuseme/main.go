@@ -11,6 +11,12 @@
 // (P,Q,R) parameters) instead of executing, -sim to dry-run the query at
 // full scale on the paper's 8-node cluster, and -engine to switch between
 // fuseme, systemds, distme, matfast and tensorflow.
+//
+// Observability: -explain prints each operator's predicted cost terms
+// before executing, -trace-out FILE exports a Chrome trace of the run,
+// -metrics-addr HOST:PORT serves /metrics and /debug/stats during it, and
+// -report prints the cost-model calibration (predicted vs measured, with
+// back-solved effective bandwidths) afterwards.
 package main
 
 import (
@@ -48,6 +54,10 @@ func run() error {
 	workers := flag.String("workers", "", "comma-separated worker addresses for -runtime=tcp (default: $FUSEME_WORKERS)")
 	seed := flag.Int64("seed", 42, "random seed for generated inputs")
 	verbose := flag.Bool("v", false, "print result matrices (small outputs only)")
+	explain := flag.Bool("explain", false, "print each operator's (P,Q,R) and predicted memory/net/comp terms before executing")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the execution (load in chrome://tracing)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address during the run")
+	report := flag.Bool("report", false, "print the cost-model calibration report (predicted vs measured, back-solved bandwidths) after executing")
 	flag.Var(&inputs, "in", "input declaration name:ROWSxCOLS[:density]; repeatable")
 	flag.Parse()
 
@@ -73,11 +83,21 @@ func run() error {
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
 	}
-	sess, err := fuseme.NewSession(cfg)
+	var opts []fuseme.Option
+	if *traceOut != "" {
+		opts = append(opts, fuseme.WithTracing())
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, fuseme.WithMetricsAddr(*metricsAddr))
+	}
+	sess, err := fuseme.NewSession(cfg, opts...)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
+	if *metricsAddr != "" {
+		fmt.Println("metrics: http://" + sess.MetricsAddr() + "/metrics")
+	}
 	if err := sess.SetEngine(fuseme.Engine(*engine)); err != nil {
 		return err
 	}
@@ -99,6 +119,13 @@ func run() error {
 		}
 		fmt.Print(desc)
 		return nil
+	}
+	if *explain {
+		desc, err := sess.ExplainCosts(script)
+		if err != nil {
+			return err
+		}
+		fmt.Print(desc)
 	}
 	out, err := sess.Query(script)
 	if err != nil {
@@ -124,6 +151,15 @@ func run() error {
 		}
 	}
 	fmt.Println("stats:", sess.LastStats())
+	if *report {
+		fmt.Print(sess.Report())
+	}
+	if *traceOut != "" {
+		if err := sess.WriteTraceFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Println("trace:", *traceOut)
+	}
 	return nil
 }
 

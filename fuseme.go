@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
@@ -37,6 +38,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/lang"
 	"fuseme/internal/matrix"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/remote"
 )
@@ -102,7 +104,7 @@ func (c ClusterConfig) internal() cluster.Config {
 		BlockSize:      c.BlockSize,
 		SimTimeLimit:   c.SimTimeLimit,
 		TaskOverhead:   0.005,
-		MaxTaskRetries: 2,
+		MaxTaskRetries: defaultMaxTaskRetries,
 	}
 }
 
@@ -233,22 +235,56 @@ func (m *Matrix) Dense() []float64 {
 func (m *Matrix) Write(w io.Writer) error { return matrix.WriteTo(w, m.b.ToMat()) }
 
 // Session holds bound input matrices, the selected engine and the simulated
-// cluster. Sessions are not safe for concurrent use.
+// cluster. Sessions are not safe for concurrent use (the metrics endpoint,
+// which reads concurrently, synchronises on its own).
 type Session struct {
 	cfg    ClusterConfig
 	engine core.Engine
 	inputs map[string]*block.Matrix
 	last   Stats
-	rtm    rt.Runtime // lazily constructed execution backend
+
+	rtMu sync.Mutex
+	rtm  rt.Runtime // lazily constructed execution backend
+
+	obs         *obs.Obs      // never nil; components nil unless enabled
+	metricsAddr string        // WithMetricsAddr target; "" = no endpoint
+	metricsSrv  *obs.Server   // running endpoint, if any
+	rcfg        remote.Config // TCP transport overrides from options
+	retries     int           // WithMaxTaskRetries; -1 = env/default
 }
 
 // NewSession creates a session on the given cluster configuration, running
-// the FuseME engine by default.
-func NewSession(cfg ClusterConfig) (*Session, error) {
+// the FuseME engine by default. Options enable observability (WithTracing,
+// WithMetricsAddr) and override runtime tuning (WithMaxTaskRetries,
+// WithHeartbeat, WithDialTimeout).
+func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 	if err := cfg.internal().Validate(); err != nil {
 		return nil, err
 	}
-	return &Session{cfg: cfg, engine: core.FuseME{}, inputs: map[string]*block.Matrix{}}, nil
+	s := &Session{
+		cfg:    cfg,
+		engine: core.FuseME{},
+		inputs: map[string]*block.Matrix{},
+		// Calibration is always on: it is stage-level (a stats snapshot per
+		// stage) and is what Session.Report joins against.
+		obs:     &obs.Obs{Calib: obs.NewCalibration()},
+		retries: -1,
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.maxTaskRetries(); err != nil {
+		return nil, err
+	}
+	if _, err := s.remoteConfig(); err != nil {
+		return nil, err
+	}
+	if err := s.startMetricsServer(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // SetEngine switches the planning/execution engine.
@@ -340,16 +376,34 @@ func clampDensity(d float64) float64 {
 	return d
 }
 
+// clusterConfig resolves the internal cluster configuration with the
+// session's retry override (option > FUSEME_MAX_TASK_RETRIES > default).
+func (s *Session) clusterConfig() (cluster.Config, error) {
+	cc := s.cfg.internal()
+	retries, err := s.maxTaskRetries()
+	if err != nil {
+		return cc, err
+	}
+	cc.MaxTaskRetries = retries
+	return cc, nil
+}
+
 // runtime returns the session's execution backend, constructing it on first
 // use: the in-process simulated cluster, or a TCP coordinator connected to
 // the configured workers.
 func (s *Session) runtime() (rt.Runtime, error) {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
 	if s.rtm != nil {
 		return s.rtm, nil
 	}
+	cc, err := s.clusterConfig()
+	if err != nil {
+		return nil, err
+	}
 	switch s.cfg.Runtime {
 	case "", "sim":
-		cl, err := cluster.New(s.cfg.internal())
+		cl, err := cluster.New(cc)
 		if err != nil {
 			return nil, err
 		}
@@ -359,10 +413,15 @@ func (s *Session) runtime() (rt.Runtime, error) {
 		if len(workers) == 0 {
 			return nil, errors.New("fuseme: tcp runtime needs worker addresses (ClusterConfig.Workers or FUSEME_WORKERS)")
 		}
-		co, err := remote.NewCoordinator(s.cfg.internal(), workers)
+		rcfg, err := s.remoteConfig()
 		if err != nil {
 			return nil, err
 		}
+		co, err := remote.NewCoordinatorConfig(cc, workers, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		co.SetObs(s.obs)
 		s.rtm = co
 	default:
 		return nil, fmt.Errorf("fuseme: unknown runtime %q (want \"sim\" or \"tcp\")", s.cfg.Runtime)
@@ -371,14 +430,24 @@ func (s *Session) runtime() (rt.Runtime, error) {
 }
 
 // Close releases the session's execution backend (worker connections under
-// the TCP runtime). The session can be used again afterwards; the backend is
-// reconstructed on demand.
+// the TCP runtime) and stops the metrics endpoint, if any. The session can
+// be used again afterwards; the backend is reconstructed on demand (the
+// metrics endpoint is not).
 func (s *Session) Close() error {
-	if s.rtm == nil {
-		return nil
+	var err error
+	if s.metricsSrv != nil {
+		err = s.metricsSrv.Close()
+		s.metricsSrv = nil
 	}
-	err := s.rtm.Close()
+	s.rtMu.Lock()
+	rtm := s.rtm
 	s.rtm = nil
+	s.rtMu.Unlock()
+	if rtm != nil {
+		if cerr := rtm.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -415,7 +484,7 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 		needed[in.Name] = b
 	}
 	rtm.ResetStats()
-	out, err := core.Execute(pp, rtm, needed)
+	out, err := core.ExecuteObs(pp, rtm, needed, s.obs)
 	s.last = statsFrom(rtm.Stats())
 	if err != nil {
 		return nil, err

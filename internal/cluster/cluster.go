@@ -118,6 +118,51 @@ type Stats struct {
 // TotalCommBytes is consolidation plus aggregation traffic.
 func (s Stats) TotalCommBytes() int64 { return s.ConsolidationBytes + s.AggregationBytes }
 
+// StatsView is the structured JSON projection of Stats served by the
+// /debug/stats observability endpoint and embedded in Session reports.
+type StatsView struct {
+	Wire struct {
+		ConsolidationBytes int64 `json:"consolidation_bytes"`
+		AggregationBytes   int64 `json:"aggregation_bytes"`
+		ExtraBytes         int64 `json:"extra_bytes"`
+		TotalCommBytes     int64 `json:"total_comm_bytes"`
+	} `json:"wire"`
+	Compute struct {
+		Flops        int64 `json:"flops"`
+		MaxTaskFlops int64 `json:"max_task_flops"`
+	} `json:"compute"`
+	Scheduling struct {
+		Stages int `json:"stages"`
+		Tasks  int `json:"tasks"`
+	} `json:"scheduling"`
+	Memory struct {
+		PeakTaskBytes int64  `json:"peak_task_bytes"`
+		PeakTask      string `json:"peak_task"`
+	} `json:"memory"`
+	Time struct {
+		SimSeconds  float64 `json:"sim_seconds"`
+		WallSeconds float64 `json:"wall_seconds"`
+	} `json:"time"`
+}
+
+// View returns the structured projection of s.
+func (s Stats) View() StatsView {
+	var v StatsView
+	v.Wire.ConsolidationBytes = s.ConsolidationBytes
+	v.Wire.AggregationBytes = s.AggregationBytes
+	v.Wire.ExtraBytes = s.ExtraWireBytes
+	v.Wire.TotalCommBytes = s.TotalCommBytes()
+	v.Compute.Flops = s.Flops
+	v.Compute.MaxTaskFlops = s.MaxTaskFlops
+	v.Scheduling.Stages = s.Stages
+	v.Scheduling.Tasks = s.Tasks
+	v.Memory.PeakTaskBytes = s.PeakTaskMemBytes
+	v.Memory.PeakTask = FormatBytes(s.PeakTaskMemBytes)
+	v.Time.SimSeconds = s.SimSeconds
+	v.Time.WallSeconds = s.WallSeconds
+	return v
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.ConsolidationBytes += other.ConsolidationBytes

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStatsView checks the structured projection: every Stats field lands in
+// its group and the JSON shape matches what /debug/stats serves.
+func TestStatsView(t *testing.T) {
+	s := Stats{
+		ConsolidationBytes: 100,
+		AggregationBytes:   40,
+		ExtraWireBytes:     7,
+		Flops:              9000,
+		Stages:             3,
+		Tasks:              24,
+		SimSeconds:         1.5,
+		WallSeconds:        0.25,
+		PeakTaskMemBytes:   2 << 20,
+		MaxTaskFlops:       512,
+	}
+	v := s.View()
+	if v.Wire.ConsolidationBytes != 100 || v.Wire.AggregationBytes != 40 || v.Wire.ExtraBytes != 7 {
+		t.Errorf("wire = %+v", v.Wire)
+	}
+	if v.Wire.TotalCommBytes != s.TotalCommBytes() {
+		t.Errorf("total comm = %d, want %d", v.Wire.TotalCommBytes, s.TotalCommBytes())
+	}
+	if v.Compute.Flops != 9000 || v.Compute.MaxTaskFlops != 512 {
+		t.Errorf("compute = %+v", v.Compute)
+	}
+	if v.Scheduling.Stages != 3 || v.Scheduling.Tasks != 24 {
+		t.Errorf("scheduling = %+v", v.Scheduling)
+	}
+	if v.Memory.PeakTaskBytes != 2<<20 || v.Memory.PeakTask != FormatBytes(2<<20) {
+		t.Errorf("memory = %+v", v.Memory)
+	}
+	if v.Time.SimSeconds != 1.5 || v.Time.WallSeconds != 0.25 {
+		t.Errorf("time = %+v", v.Time)
+	}
+
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"wire"`, `"compute"`, `"scheduling"`, `"memory"`, `"time"`,
+		`"consolidation_bytes":100`, `"total_comm_bytes":140`, `"stages":3`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/exec"
 	"fuseme/internal/fusion"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 )
 
@@ -36,6 +37,13 @@ type PhysOp struct {
 	EstNetBytes   int64
 	EstComFlops   int64
 	EstMemPerTask int64
+}
+
+// OpKey is the operator's observability key: it names the operator in
+// calibration reports, joining compile-time predictions to the stage
+// measurements the executor records under the same key.
+func (op *PhysOp) OpKey() string {
+	return fmt.Sprintf("%s %s#%d", op.Kind, op.Plan.Root.Label(), op.Plan.Root.ID)
 }
 
 // PhysPlan is a compiled query: fused operators in execution (topological)
@@ -64,6 +72,36 @@ func (pp *PhysPlan) Describe() string {
 	return b.String()
 }
 
+// DescribeCosts renders the plan's per-operator cost predictions: each fused
+// operator's chosen (P,Q,R) with its predicted network, computation and
+// per-task memory terms and the Eq. 2 time decomposition under cfg's cluster
+// constants. This is what `fuseme -explain` prints before execution.
+func (pp *PhysPlan) DescribeCosts(cfg cluster.Config) string {
+	n := float64(cfg.Nodes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "predicted costs (N=%d, B̂n=%.3g B/s, B̂c=%.3g flop/s, θt=%s):\n",
+		cfg.Nodes, cfg.NetBandwidth, cfg.CompBandwidth, cluster.FormatBytes(cfg.TaskMemBytes))
+	for i, op := range pp.Ops {
+		pqr := "-"
+		if op.Strategy == exec.Cuboid && op.Plan.MainMM != nil {
+			pqr = fmt.Sprintf("(%d,%d,%d)", op.P, op.Q, op.R)
+		}
+		netSec := float64(op.EstNetBytes) / (n * cfg.NetBandwidth)
+		comSec := float64(op.EstComFlops) / (n * cfg.CompBandwidth)
+		bound, total := "net", netSec
+		if comSec > netSec {
+			bound, total = "comp", comSec
+		}
+		fmt.Fprintf(&b, "[%d] %-8s %-18s %-11s net=%-10s comp=%-12s mem/task=%-10s time=%.3gs (net %.3gs, comp %.3gs, %s-bound)\n",
+			i, op.Kind, fmt.Sprintf("%s#%d", op.Plan.Root.Label(), op.Plan.Root.ID), pqr,
+			cluster.FormatBytes(op.EstNetBytes),
+			fmt.Sprintf("%.3g flop", float64(op.EstComFlops)),
+			cluster.FormatBytes(op.EstMemPerTask),
+			total, netSec, comSec, bound)
+	}
+	return b.String()
+}
+
 // Engine compiles logical plans for a particular system.
 type Engine interface {
 	// Name identifies the engine in experiment output.
@@ -79,6 +117,19 @@ type Engine interface {
 // inputs. Admission control rejects operators whose estimated per-task
 // memory exceeds the budget (the O.O.M. of the paper's figures).
 func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map[string]*block.Matrix, error) {
+	return ExecuteObs(pp, rtm, inputs, nil)
+}
+
+// ExecuteObs is Execute with observability: when o is enabled it opens a
+// plan span, records each operator's compile-time cost prediction for
+// calibration, and threads o into every fused operator so stages and tasks
+// are instrumented. A nil o is exactly Execute.
+func ExecuteObs(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix, o *obs.Obs) (map[string]*block.Matrix, error) {
+	planSpan := o.StartSpan("plan", "plan", 0)
+	if planSpan != nil {
+		planSpan.Arg("operators", len(pp.Ops))
+		defer planSpan.End()
+	}
 	values := map[int]*block.Matrix{}
 	for _, in := range pp.Graph.InputNodes() {
 		m, ok := inputs[in.Name]
@@ -95,6 +146,12 @@ func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map
 		desc := fmt.Sprintf("%s %s", op.Kind, op.Plan)
 		if err := rtm.CheckAdmission(op.EstMemPerTask, desc); err != nil {
 			return nil, err
+		}
+		if o.Enabled() {
+			o.Predict(obs.StagePred{
+				Op: op.OpKey(), Kind: op.Kind, P: op.P, Q: op.Q, R: op.R,
+				NetBytes: op.EstNetBytes, ComFlops: op.EstComFlops, MemBytes: op.EstMemPerTask,
+			})
 		}
 		bind := exec.Bindings{}
 		plans := op.Group
@@ -115,7 +172,7 @@ func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map
 			}
 		}
 		if len(op.Group) > 0 {
-			multi := &exec.MultiAggOp{Plans: op.Group}
+			multi := &exec.MultiAggOp{Plans: op.Group, Obs: o, OpKey: op.OpKey()}
 			outs, err := multi.Execute(rtm, bind)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s failed: %w", desc, err)
@@ -126,7 +183,8 @@ func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map
 			continue
 		}
 		fused := &exec.FusedOp{Plan: op.Plan, P: op.P, Q: op.Q, R: op.R,
-			Strategy: op.Strategy, Balance: op.Balance, NoMask: op.NoMask}
+			Strategy: op.Strategy, Balance: op.Balance, NoMask: op.NoMask,
+			Obs: o, OpKey: op.OpKey()}
 		out, err := fused.Execute(rtm, bind)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s failed: %w", desc, err)
@@ -147,11 +205,18 @@ func Execute(pp *PhysPlan, rtm rt.Runtime, inputs map[string]*block.Matrix) (map
 // Run compiles and executes a query with the given engine, returning the
 // outputs and the runtime stats accumulated during execution.
 func Run(e Engine, g *dag.Graph, rtm rt.Runtime, inputs map[string]*block.Matrix) (map[string]*block.Matrix, cluster.Stats, error) {
+	return RunObs(e, g, rtm, inputs, nil)
+}
+
+// RunObs is Run with an observability bundle threaded through execution:
+// spans, metrics and calibration records are collected for each stage the
+// plan runs. A nil bundle behaves exactly like Run.
+func RunObs(e Engine, g *dag.Graph, rtm rt.Runtime, inputs map[string]*block.Matrix, o *obs.Obs) (map[string]*block.Matrix, cluster.Stats, error) {
 	pp, err := e.Compile(g, rtm.Config())
 	if err != nil {
 		return nil, rtm.Stats(), fmt.Errorf("%s: compile: %w", e.Name(), err)
 	}
-	out, err := Execute(pp, rtm, inputs)
+	out, err := ExecuteObs(pp, rtm, inputs, o)
 	if err != nil {
 		return nil, rtm.Stats(), fmt.Errorf("%s: %w", e.Name(), err)
 	}

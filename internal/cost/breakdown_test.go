@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// breakdownModel: 4 nodes, 100 MB/s net, 10 Gflop/s compute.
+func breakdownModel() Model {
+	return Model{Nodes: 4, NetBW: 1e8, CompBW: 1e10, TaskMemBytes: 1 << 30}
+}
+
+// TestBreakdownNetBound evaluates constant estimates where the network term
+// dominates Eq. 2: net = 8e8/(4*1e8) = 2s vs comp = 4e10/(4*1e10) = 1s.
+func TestBreakdownNetBound(t *testing.T) {
+	m := breakdownModel()
+	e := Estimates{
+		NetBytes: ProdSum{C: [8]float64{8e8}},
+		ComFlops: ProdSum{C: [8]float64{4e10}},
+		MemBytes: InvSum{C: [8]float64{1 << 20}},
+	}
+	b := m.Breakdown(e, 2, 3, 4)
+	if b.P != 2 || b.Q != 3 || b.R != 4 {
+		t.Errorf("(P,Q,R) = (%d,%d,%d), want (2,3,4)", b.P, b.Q, b.R)
+	}
+	if b.NetBytes != 8e8 || b.ComFlops != 4e10 || b.MemBytes != 1<<20 {
+		t.Errorf("terms = net %d, comp %d, mem %d", b.NetBytes, b.ComFlops, b.MemBytes)
+	}
+	if b.NetSeconds != 2 || b.ComSeconds != 1 || b.Seconds != 2 {
+		t.Errorf("seconds = net %g, comp %g, total %g, want 2/1/2", b.NetSeconds, b.ComSeconds, b.Seconds)
+	}
+	if !b.NetBound() {
+		t.Error("network-dominated breakdown not NetBound")
+	}
+	// The breakdown agrees with the optimizer's objective.
+	if got := m.Cost(e, 2, 3, 4); math.Abs(got-b.Seconds) > 1e-12 {
+		t.Errorf("Cost = %g, Breakdown.Seconds = %g", got, b.Seconds)
+	}
+}
+
+// TestBreakdownCompBound flips the balance to a compute-dominated point and
+// checks the (p,q,r)-dependent terms evaluate like the symbolic estimates.
+func TestBreakdownCompBound(t *testing.T) {
+	m := breakdownModel()
+	var e Estimates
+	e.NetBytes.C[1] = 1e7  // 1e7 * p
+	e.ComFlops.C[3] = 1e10 // 1e10 * p * q
+	e.MemBytes.C[4] = 6e9  // 6e9 / r
+	b := m.Breakdown(e, 2, 3, 4)
+	if b.NetBytes != 2e7 || b.ComFlops != 6e10 {
+		t.Errorf("terms = net %d, comp %d, want 2e7 / 6e10", b.NetBytes, b.ComFlops)
+	}
+	if b.MemBytes != 15e8 {
+		t.Errorf("mem = %d, want 15e8", b.MemBytes)
+	}
+	if b.NetBound() {
+		t.Errorf("compute-dominated breakdown claims net-bound: net %gs vs comp %gs", b.NetSeconds, b.ComSeconds)
+	}
+	if b.Seconds != b.ComSeconds {
+		t.Errorf("Seconds = %g, want the compute term %g", b.Seconds, b.ComSeconds)
+	}
+	// MemOK agrees with the breakdown's memory term.
+	if m.MemOK(e, 2, 3, 4) != (b.MemBytes <= m.TaskMemBytes) {
+		t.Error("MemOK disagrees with Breakdown.MemBytes")
+	}
+}
+
+// TestBreakdownZeroModel requires a zero-valued model to produce zero times
+// rather than dividing by zero.
+func TestBreakdownZeroModel(t *testing.T) {
+	var e Estimates
+	e.NetBytes.C[0] = 1e9
+	e.ComFlops.C[0] = 1e9
+	b := Model{}.Breakdown(e, 1, 1, 1)
+	if b.NetSeconds != 0 || b.ComSeconds != 0 || b.Seconds != 0 {
+		t.Errorf("zero model produced times %g/%g/%g", b.NetSeconds, b.ComSeconds, b.Seconds)
+	}
+	if math.IsNaN(b.Seconds) || math.IsInf(b.Seconds, 0) {
+		t.Error("zero model produced NaN/Inf")
+	}
+}

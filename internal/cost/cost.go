@@ -114,6 +114,46 @@ func (m Model) MemOK(e Estimates, p, q, r int) bool {
 	return e.MemBytes.Eval(p, q, r) <= float64(m.TaskMemBytes)
 }
 
+// Breakdown is the concrete evaluation of the symbolic estimates at one
+// (P,Q,R): the three Eq. 3-5 terms plus the Eq. 2 time decomposition. This
+// is what -explain prints and what calibration joins measurements against.
+type Breakdown struct {
+	P, Q, R int
+
+	NetBytes int64 // NetEst: cluster-wide network traffic
+	ComFlops int64 // ComEst: cluster-wide floating-point work
+	MemBytes int64 // MemEst: per-task memory
+
+	NetSeconds float64 // NetEst / (N * B̂n)
+	ComSeconds float64 // ComEst / (N * B̂c)
+	Seconds    float64 // Eq. 2: max of the two
+}
+
+// NetBound reports whether the network term dominates Eq. 2 at this point.
+func (b Breakdown) NetBound() bool { return b.NetSeconds >= b.ComSeconds }
+
+// Breakdown evaluates the estimates at (p,q,r) under the model constants.
+func (m Model) Breakdown(e Estimates, p, q, r int) Breakdown {
+	b := Breakdown{
+		P: p, Q: q, R: r,
+		NetBytes: int64(e.NetBytes.Eval(p, q, r)),
+		ComFlops: int64(e.ComFlops.Eval(p, q, r)),
+		MemBytes: int64(e.MemBytes.Eval(p, q, r)),
+	}
+	n := float64(m.Nodes)
+	if n > 0 && m.NetBW > 0 {
+		b.NetSeconds = float64(b.NetBytes) / (n * m.NetBW)
+	}
+	if n > 0 && m.CompBW > 0 {
+		b.ComSeconds = float64(b.ComFlops) / (n * m.CompBW)
+	}
+	b.Seconds = b.NetSeconds
+	if b.ComSeconds > b.Seconds {
+		b.Seconds = b.ComSeconds
+	}
+	return b
+}
+
 // axes maps a model space's local i/j/k axes to global axis bits (0 when the
 // local axis has no global counterpart, i.e. a nested inner dimension).
 type axes struct{ ai, aj, ak int }

@@ -38,6 +38,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 )
 
@@ -68,6 +69,21 @@ type FusedOp struct {
 	// NoMask disables outer-fusion sparsity exploitation (for ablation): the
 	// multiplication chain is evaluated densely even under a sparse driver.
 	NoMask bool
+
+	// Obs receives stage/task spans, metrics and calibration measurements
+	// from this operator's execution; nil disables all instrumentation.
+	Obs *obs.Obs
+	// OpKey identifies the operator in calibration reports, joining stage
+	// measurements to planner predictions. Defaults to "root-label#root-id".
+	OpKey string
+}
+
+// opKey returns the calibration join key for this operator.
+func (op *FusedOp) opKey() string {
+	if op.OpKey != "" {
+		return op.OpKey
+	}
+	return fmt.Sprintf("%s#%d", op.Plan.Root.Label(), op.Plan.Root.ID)
 }
 
 // Execute runs the fused operator on the runtime — the in-process simulated

@@ -8,6 +8,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 )
 
@@ -21,6 +22,12 @@ import (
 // multiplication, and aggregate over the same plane dimensions.
 type MultiAggOp struct {
 	Plans []*fusion.Plan
+
+	// Obs receives the stage span, metrics and calibration measurement; nil
+	// disables instrumentation.
+	Obs *obs.Obs
+	// OpKey identifies the fused multi-aggregation in calibration reports.
+	OpKey string
 }
 
 // Validate checks the multi-aggregation preconditions.
@@ -83,7 +90,12 @@ func (op *MultiAggOp) Execute(rtm rt.Runtime, bind Bindings) ([]*block.Matrix, e
 		sinks[i] = &aggSink{agg: p.Root.Agg, out: block.New(p.Root.Rows, p.Root.Cols, bs)}
 	}
 
-	err := rtm.RunStage(fmt.Sprintf("multiagg:%d-plans", len(op.Plans)), numTasks, func(task *cluster.Task) error {
+	name := fmt.Sprintf("multiagg:%d-plans", len(op.Plans))
+	key := op.OpKey
+	if key == "" {
+		key = name
+	}
+	err := runObservedStage(rtm, op.Obs, key, &rt.Stage{Name: name, NumTasks: numTasks, Fn: func(task *cluster.Task) error {
 		return runTask(func() error {
 			// One evaluator per plan, all sharing the fetch-dedup map so a
 			// block consumed by several aggregations moves (and is held)
@@ -113,7 +125,7 @@ func (op *MultiAggOp) Execute(rtm rt.Runtime, bind Bindings) ([]*block.Matrix, e
 			}
 			return nil
 		})
-	})
+	}})
 	if err != nil {
 		return nil, err
 	}

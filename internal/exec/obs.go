@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"fuseme/internal/cluster"
+	"fuseme/internal/obs"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/spec"
+)
+
+// runObservedStage dispatches st through the runtime with observability
+// wrapped around it: a stage span carrying the cuboid attributes, per-task
+// spans and latency/queue-wait metrics when per-task instrumentation is on,
+// and a stats-diff calibration measurement joined to the operator key.
+//
+// The disabled path is one nil check and a plain rt.RunStage — that is the
+// fast path BenchmarkTraceOverhead guards.
+func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) error {
+	if !o.Enabled() {
+		return rt.RunStage(rtm, st)
+	}
+
+	span := o.StartSpan(st.Name, "stage", 0)
+	if span != nil {
+		span.Arg("tasks", st.NumTasks)
+		if sp := st.Spec; sp != nil {
+			span.Arg("phase", string(sp.Phase))
+			if p, q, r := specPQR(sp); p > 0 {
+				span.Arg("P", p).Arg("Q", q).Arg("R", r)
+			}
+			span.Arg("grid", fmt.Sprintf("%dx%dx%d", sp.GI, sp.GJ, sp.GK))
+		}
+	}
+	if o.PerTask() && st.Fn != nil {
+		st.Fn = wrapTaskFn(o, st.Fn, time.Now())
+	}
+
+	// Stats-diff measurement: the runtime folds every task's metering (and,
+	// for the TCP backend, the coordinator's wire accounting) into its
+	// cumulative stats before RunStage returns, so the delta is exactly this
+	// stage's contribution regardless of backend. SimSeconds is the stage
+	// clock: the Eq. 2 model under simulation, real wall under TCP.
+	before := rtm.Stats()
+	err := rt.RunStage(rtm, st)
+	after := rtm.Stats()
+
+	meas := obs.StageMeas{
+		Stage:              st.Name,
+		Op:                 opKey,
+		Tasks:              st.NumTasks,
+		ConsolidationBytes: after.ConsolidationBytes - before.ConsolidationBytes,
+		AggregationBytes:   after.AggregationBytes - before.AggregationBytes,
+		ExtraWireBytes:     after.ExtraWireBytes - before.ExtraWireBytes,
+		Flops:              after.Flops - before.Flops,
+		PeakTaskMemBytes:   after.PeakTaskMemBytes, // running max, not a delta
+		WallSeconds:        after.SimSeconds - before.SimSeconds,
+	}
+	o.Measure(meas)
+
+	o.Counter(obs.MStagesTotal).Inc()
+	o.Counter(obs.MConsolidationBytes).Add(meas.ConsolidationBytes)
+	o.Counter(obs.MAggregationBytes).Add(meas.AggregationBytes)
+	o.Counter(obs.MExtraBytes).Add(meas.ExtraWireBytes)
+	o.Counter(obs.MFlopsTotal).Add(meas.Flops)
+
+	if span != nil {
+		span.Arg("consolidation_bytes", meas.ConsolidationBytes).
+			Arg("aggregation_bytes", meas.AggregationBytes).
+			Arg("flops", meas.Flops).
+			Arg("stage_seconds", meas.WallSeconds)
+		if err != nil {
+			span.Arg("error", err.Error())
+		}
+		span.End()
+	}
+	return err
+}
+
+// wrapTaskFn instruments the in-process task body with a span per task plus
+// latency and queue-wait observations. Only the sim backend executes Fn; the
+// TCP coordinator emits its own task telemetry worker-side and through its
+// SetObs hook.
+func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Time) func(*cluster.Task) error {
+	tasks := o.Counter(obs.MTasksTotal)
+	latency := o.Histogram(obs.MTaskSeconds)
+	queued := o.Histogram(obs.MQueueSeconds)
+	return func(task *cluster.Task) error {
+		start := time.Now()
+		queued.Observe(start.Sub(stageStart).Seconds())
+		// Task tracks are 1-based: track 0 is the plan/stage track.
+		span := o.StartSpan(fmt.Sprintf("task %d", task.ID), "task", 1+task.ID%64)
+		err := inner(task)
+		latency.Observe(time.Since(start).Seconds())
+		tasks.Inc()
+		if span != nil {
+			cons, agg, flops, memPeak := task.Counters()
+			span.Arg("consolidation_bytes", cons).
+				Arg("aggregation_bytes", agg).
+				Arg("flops", flops).
+				Arg("peak_mem_bytes", memPeak)
+			span.End()
+		}
+		return err
+	}
+}
+
+// specPQR recovers the cuboid parameters from a stage descriptor; (0,0,0)
+// for grid stages, which have no cuboid partitioning.
+func specPQR(sp *spec.Stage) (p, q, r int) {
+	if len(sp.IRanges) == 0 || len(sp.JRanges) == 0 {
+		return 0, 0, 0
+	}
+	r = len(sp.KRanges)
+	if r == 0 {
+		r = 1
+	}
+	return len(sp.IRanges), len(sp.JRanges), r
+}

@@ -30,9 +30,11 @@ func runTask(fn func() error) (err error) {
 
 // dispatch hands one stage to the runtime: the closure runs runStageTask
 // in-process; descriptor-capable runtimes ship the spec to workers and feed
-// results back through Collect. Both paths route results the same way.
+// results back through Collect. Both paths route results the same way, and
+// both are wrapped in the operator's observability (spans, metrics,
+// calibration measurement) when enabled.
 func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route emitFn) error {
-	return rt.RunStage(rtm, &rt.Stage{
+	return runObservedStage(rtm, ctx.op.Obs, ctx.op.opKey(), &rt.Stage{
 		Name:     name,
 		NumTasks: ctx.sp.NumTasks,
 		Fn: func(task *cluster.Task) error {

@@ -8,6 +8,7 @@ import (
 	"fuseme/internal/cluster"
 	"fuseme/internal/core"
 	"fuseme/internal/dag"
+	"fuseme/internal/obs"
 )
 
 // Options configures an experiment run.
@@ -18,6 +19,10 @@ type Options struct {
 	Scale float64
 	// Nodes overrides the cluster size (default: the paper's 8 workers).
 	Nodes int
+	// Obs, when non-nil, collects spans and metrics: each experiment gets a
+	// top-level span and real executions (the ablation) record full
+	// stage/task detail. fuseme-bench -trace-out wires this up.
+	Obs *obs.Obs
 }
 
 func (o Options) scale() float64 {
@@ -129,7 +134,7 @@ func Run(id string, opts Options) ([]*Table, error) {
 	if id == "all" {
 		var all []*Table
 		for _, key := range IDs() {
-			ts, err := registry[key](opts)
+			ts, err := runSpanned(key, registry[key], opts)
 			if err != nil {
 				return all, fmt.Errorf("%s: %w", key, err)
 			}
@@ -141,5 +146,16 @@ func Run(id string, opts Options) ([]*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(opts)
+	return runSpanned(id, r, opts)
+}
+
+// runSpanned invokes a runner under a per-experiment span.
+func runSpanned(id string, r Runner, opts Options) ([]*Table, error) {
+	sp := opts.Obs.StartSpan("exp:"+id, "experiment", 0)
+	ts, err := r(opts)
+	if err != nil {
+		sp.Arg("error", err.Error())
+	}
+	sp.End()
+	return ts, err
 }

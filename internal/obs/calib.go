@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// StagePred is one fused operator's compile-time cost prediction: the
+// optimizer's NetEst/ComEst/MemEst at the chosen (P,Q,R). Keyed by Op, the
+// operator's display key; repeated predictions for the same key (iterative
+// workloads re-planning the same operator) overwrite.
+type StagePred struct {
+	Op       string // operator key, e.g. "CFO mul#12"
+	Kind     string // CFO, RFO, BFO, CuboidMM, Map, MultiAgg, ...
+	P, Q, R  int
+	NetBytes int64 // predicted cluster-wide network traffic
+	ComFlops int64 // predicted cluster-wide floating-point work
+	MemBytes int64 // predicted per-task memory
+}
+
+// StageMeas is one executed stage's measurement. Several stages (and several
+// executions, in iterative workloads) may map to one operator key; the report
+// sums them.
+type StageMeas struct {
+	Stage              string // stage name, e.g. "partial:mul#12"
+	Op                 string // operator key joining to StagePred.Op
+	Tasks              int
+	ConsolidationBytes int64
+	AggregationBytes   int64
+	ExtraWireBytes     int64
+	Flops              int64
+	PeakTaskMemBytes   int64
+	WallSeconds        float64
+}
+
+// NetBytes is the measured traffic comparable to the predicted NetEst:
+// consolidation plus aggregation, excluding unmodelled extra wire bytes.
+func (m StageMeas) NetBytes() int64 { return m.ConsolidationBytes + m.AggregationBytes }
+
+// Calibration accumulates predictions and measurements across a run. Safe
+// for concurrent use; a nil *Calibration absorbs every call.
+type Calibration struct {
+	mu    sync.Mutex
+	order []string             // operator keys in first-seen order
+	preds map[string]StagePred // by operator key
+	meas  []StageMeas
+}
+
+// NewCalibration returns an empty store.
+func NewCalibration() *Calibration {
+	return &Calibration{preds: map[string]StagePred{}}
+}
+
+// Predict records (or refreshes) an operator's prediction.
+func (c *Calibration) Predict(p StagePred) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, seen := c.preds[p.Op]; !seen {
+		c.order = append(c.order, p.Op)
+	}
+	c.preds[p.Op] = p
+	c.mu.Unlock()
+}
+
+// Measure records one stage execution.
+func (c *Calibration) Measure(m StageMeas) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.meas = append(c.meas, m)
+	c.mu.Unlock()
+}
+
+// Reset discards accumulated records.
+func (c *Calibration) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.order = nil
+	c.preds = map[string]StagePred{}
+	c.meas = nil
+	c.mu.Unlock()
+}
+
+// Measurements returns a copy of the recorded stage measurements.
+func (c *Calibration) Measurements() []StageMeas {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageMeas, len(c.meas))
+	copy(out, c.meas)
+	return out
+}
+
+// ClusterModel carries the configured Eq. 2 constants the report compares
+// measurements against.
+type ClusterModel struct {
+	Nodes         int
+	NetBandwidth  float64 // configured B̂n, bytes/s per node
+	CompBandwidth float64 // configured B̂c, flop/s per node
+}
+
+// ReportRow joins one operator's prediction with its summed measurements.
+type ReportRow struct {
+	Op      string
+	Kind    string
+	P, Q, R int
+
+	Stages, Tasks int
+	Executions    int // how many times the operator ran (iterative workloads)
+
+	PredNetBytes, MeasNetBytes   int64
+	ExtraWireBytes               int64
+	PredComFlops, MeasFlops      int64
+	PredMemBytes, MeasPeakMem    int64
+	PredSeconds, MeasWallSeconds float64 // predicted Eq. 2 time vs measured wall
+
+	EffNetBW  float64 // measured net / (N * wall); 0 when wall is 0
+	EffCompBW float64 // measured flops / (N * wall)
+}
+
+// Report is the calibration result: per-operator rows plus back-solved
+// effective bandwidths.
+type Report struct {
+	Model ClusterModel
+	Rows  []ReportRow
+
+	// EffNetBW / EffCompBW are the back-solved effective bandwidths: B̂n from
+	// network-bound rows (where the predicted network term dominates Eq. 2),
+	// B̂c from compute-bound rows. Zero when no row of that class measured a
+	// positive wall time.
+	EffNetBW  float64
+	EffCompBW float64
+}
+
+// Report joins predictions and measurements. Operators appear in first-seen
+// order; stages without a prediction (in-process bookkeeping stages) group
+// under their own key with zero predictions.
+func (c *Calibration) Report(m ClusterModel) *Report {
+	rep := &Report{Model: m}
+	if c == nil {
+		return rep
+	}
+	c.mu.Lock()
+	order := append([]string(nil), c.order...)
+	preds := make(map[string]StagePred, len(c.preds))
+	for k, v := range c.preds {
+		preds[k] = v
+	}
+	meas := append([]StageMeas(nil), c.meas...)
+	c.mu.Unlock()
+
+	byOp := map[string]*ReportRow{}
+	for _, key := range order {
+		p := preds[key]
+		byOp[key] = &ReportRow{Op: key, Kind: p.Kind, P: p.P, Q: p.Q, R: p.R,
+			PredNetBytes: p.NetBytes, PredComFlops: p.ComFlops, PredMemBytes: p.MemBytes}
+	}
+	perExec := map[string]map[string]bool{} // op → distinct first-stage names, to count executions
+	for _, s := range meas {
+		row := byOp[s.Op]
+		if row == nil {
+			row = &ReportRow{Op: s.Op}
+			byOp[s.Op] = row
+			order = append(order, s.Op)
+		}
+		row.Stages++
+		row.Tasks += s.Tasks
+		row.MeasNetBytes += s.NetBytes()
+		row.ExtraWireBytes += s.ExtraWireBytes
+		row.MeasFlops += s.Flops
+		row.MeasWallSeconds += s.WallSeconds
+		if s.PeakTaskMemBytes > row.MeasPeakMem {
+			row.MeasPeakMem = s.PeakTaskMemBytes
+		}
+		if perExec[s.Op] == nil {
+			perExec[s.Op] = map[string]bool{}
+		}
+		perExec[s.Op][s.Stage] = true
+	}
+
+	n := float64(m.Nodes)
+	if n <= 0 {
+		n = 1
+	}
+	var netBytes, netWall, comFlops, comWall float64
+	for _, key := range order {
+		row := byOp[key]
+		if stages := perExec[key]; len(stages) > 0 {
+			// Executions ≈ total stage records / distinct stage names.
+			row.Executions = row.Stages / len(stages)
+		}
+		execs := row.Executions
+		if execs < 1 {
+			execs = 1
+		}
+		// Predictions are per execution; scale to the number of runs so the
+		// pred/meas columns compare like with like.
+		row.PredNetBytes *= int64(execs)
+		row.PredComFlops *= int64(execs)
+		var netSec, comSec float64
+		if m.NetBandwidth > 0 {
+			netSec = float64(row.PredNetBytes) / (n * m.NetBandwidth)
+		}
+		if m.CompBandwidth > 0 {
+			comSec = float64(row.PredComFlops) / (n * m.CompBandwidth)
+		}
+		row.PredSeconds = netSec
+		if comSec > netSec {
+			row.PredSeconds = comSec
+		}
+		if row.MeasWallSeconds > 0 {
+			row.EffNetBW = float64(row.MeasNetBytes) / (n * row.MeasWallSeconds)
+			row.EffCompBW = float64(row.MeasFlops) / (n * row.MeasWallSeconds)
+			// Eq. 2 takes the max of the two terms, so the measured wall time
+			// of a stage reflects whichever resource bound it: attribute the
+			// row to that class when back-solving.
+			if netSec >= comSec && row.MeasNetBytes > 0 {
+				netBytes += float64(row.MeasNetBytes)
+				netWall += row.MeasWallSeconds
+			} else if row.MeasFlops > 0 {
+				comFlops += float64(row.MeasFlops)
+				comWall += row.MeasWallSeconds
+			}
+		}
+		rep.Rows = append(rep.Rows, *row)
+	}
+	if netWall > 0 {
+		rep.EffNetBW = netBytes / (n * netWall)
+	}
+	if comWall > 0 {
+		rep.EffCompBW = comFlops / (n * comWall)
+	}
+	return rep
+}
+
+// String renders the report as an aligned text table with the back-solved
+// bandwidths and a ready-to-paste configuration suggestion.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost-model calibration: N=%d, configured B̂n=%s, B̂c=%s\n",
+		r.Model.Nodes, fmtRate(r.Model.NetBandwidth, "B/s"), fmtRate(r.Model.CompBandwidth, "flop/s"))
+	if len(r.Rows) == 0 {
+		b.WriteString("  (no stages recorded)\n")
+		return b.String()
+	}
+	w := 0
+	for _, row := range r.Rows {
+		if len(row.Op) > w {
+			w = len(row.Op)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s %-11s %5s  %-23s %-23s %-12s %-13s %-13s\n",
+		w, "operator", "(P,Q,R)", "runs", "net pred→meas", "comp pred→meas", "time pred→meas", "eff B̂n", "eff B̂c")
+	for _, row := range r.Rows {
+		pqr := "-"
+		if row.P > 0 {
+			pqr = fmt.Sprintf("(%d,%d,%d)", row.P, row.Q, row.R)
+		}
+		execs := row.Executions
+		if execs < 1 {
+			execs = 1
+		}
+		fmt.Fprintf(&b, "  %-*s %-11s %5d  %-23s %-23s %-12s %-13s %-13s\n",
+			w, row.Op, pqr, execs,
+			fmt.Sprintf("%s→%s", fmtCount(float64(row.PredNetBytes), "B"), fmtCount(float64(row.MeasNetBytes), "B")),
+			fmt.Sprintf("%s→%s", fmtCount(float64(row.PredComFlops), "fl"), fmtCount(float64(row.MeasFlops), "fl")),
+			fmt.Sprintf("%.3gs→%.3gs", row.PredSeconds, row.MeasWallSeconds),
+			fmtRate(row.EffNetBW, "B/s"), fmtRate(row.EffCompBW, "fl/s"))
+	}
+	if r.EffNetBW > 0 || r.EffCompBW > 0 {
+		b.WriteString("back-solved effective bandwidths:")
+		if r.EffNetBW > 0 {
+			fmt.Fprintf(&b, " B̂n ≈ %s (x%.2f of configured)", fmtRate(r.EffNetBW, "B/s"), ratio(r.EffNetBW, r.Model.NetBandwidth))
+		}
+		if r.EffCompBW > 0 {
+			fmt.Fprintf(&b, " B̂c ≈ %s (x%.2f of configured)", fmtRate(r.EffCompBW, "flop/s"), ratio(r.EffCompBW, r.Model.CompBandwidth))
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "feed back with: ClusterConfig{NetBandwidth: %.3g, CompBandwidth: %.3g}\n",
+			nonZero(r.EffNetBW, r.Model.NetBandwidth), nonZero(r.EffCompBW, r.Model.CompBandwidth))
+	}
+	return b.String()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func nonZero(v, fallback float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return fallback
+}
+
+// fmtRate renders a per-second rate with an SI prefix.
+func fmtRate(v float64, unit string) string {
+	if v <= 0 {
+		return "-"
+	}
+	return fmtCount(v, unit)
+}
+
+// fmtCount renders a count with an SI prefix.
+func fmtCount(v float64, unit string) string {
+	prefixes := []struct {
+		f float64
+		p string
+	}{{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "K"}}
+	i := sort.Search(len(prefixes), func(i int) bool { return v >= prefixes[i].f })
+	if i == len(prefixes) {
+		return fmt.Sprintf("%.3g %s", v, unit)
+	}
+	return fmt.Sprintf("%.3g %s%s", v/prefixes[i].f, prefixes[i].p, unit)
+}

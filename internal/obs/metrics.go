@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and histograms. Metric names follow
+// Prometheus conventions and may embed a label set, as in
+// `fuseme_wire_bytes_total{class="consolidation"}`; the exposition groups
+// series of one base name under a single TYPE line. Safe for concurrent use;
+// a nil *Registry absorbs every call.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// durationBuckets are the upper bounds (seconds) of the shared latency
+// histogram layout: 100µs to 60s, roughly geometric.
+var durationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bucket bounds, ascending
+	counts []int64   // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+	max    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot summarises a histogram for the JSON endpoint.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// shared duration bucket layout.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(durationBuckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every counter and histogram (series survive; gauges keep
+// their last value so liveness indicators don't blink out).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.mu.Lock()
+		h.counts = make([]int64, len(h.bounds)+1)
+		h.count, h.sum, h.max = 0, 0, 0
+		h.mu.Unlock()
+	}
+}
+
+// Snapshot is a point-in-time JSON view of the registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// baseName strips a label set from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := map[string]bool{}
+	for _, name := range sortedKeys(counters) {
+		if base := baseName(name); !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		if base := baseName(name); !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(&b, "%s %g\n", name, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		h.mu.Lock()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(&b, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
+		h.mu.Unlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

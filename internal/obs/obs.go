@@ -1,0 +1,116 @@
+// Package obs is the observability subsystem: a lightweight span/trace
+// recorder exporting Chrome trace_event JSON, a metrics registry with
+// Prometheus-text and JSON endpoints, and a cost-model calibration store that
+// joins the planner's NetEst/ComEst/MemEst predictions against measured
+// execution so effective cluster bandwidths can be back-solved.
+//
+// Everything is nil-safe by design: a nil *Obs (or a nil component inside a
+// non-nil Obs) turns every instrumentation call into a pointer check and an
+// immediate return, so disabled observability costs nothing on the task hot
+// path. The executor, the runtimes and the session all accept an *Obs and
+// never branch on "is observability on" beyond that nil check.
+package obs
+
+// Obs bundles one session's observability components. Any field may be nil;
+// the whole struct may be nil. Helper methods absorb both.
+type Obs struct {
+	Trace   *Recorder    // span recorder; nil disables tracing
+	Metrics *Registry    // metrics registry; nil disables metrics
+	Calib   *Calibration // prediction/measurement join; nil disables calibration
+}
+
+// Enabled reports whether any component is active (stage-level hooks run).
+func (o *Obs) Enabled() bool {
+	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Calib != nil)
+}
+
+// PerTask reports whether per-task instrumentation (spans, latency
+// histograms) should run. Calibration alone is stage-level and does not
+// require the per-task wrapper.
+func (o *Obs) PerTask() bool {
+	return o != nil && (o.Trace != nil || o.Metrics != nil)
+}
+
+// StartSpan opens a span on the recorder; nil when tracing is off.
+func (o *Obs) StartSpan(name, cat string, tid int) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Start(name, cat, tid)
+}
+
+// Counter returns the named counter; nil when metrics are off.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge; nil when metrics are off.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named duration histogram; nil when metrics are off.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Predict records a per-operator cost prediction for calibration.
+func (o *Obs) Predict(p StagePred) {
+	if o == nil {
+		return
+	}
+	o.Calib.Predict(p)
+}
+
+// Measure records a per-stage measurement for calibration.
+func (o *Obs) Measure(m StageMeas) {
+	if o == nil {
+		return
+	}
+	o.Calib.Measure(m)
+}
+
+// Reset clears accumulated spans, calibration records and metric values
+// (counters and histograms restart at zero; gauges keep their last value).
+func (o *Obs) Reset() {
+	if o == nil {
+		return
+	}
+	o.Trace.Reset()
+	o.Calib.Reset()
+	o.Metrics.Reset()
+}
+
+// Metric names. Wire-byte counters carry a class label matching the
+// simulated communication model's classification.
+const (
+	MTasksTotal         = "fuseme_tasks_total"
+	MTaskSeconds        = "fuseme_task_seconds"
+	MQueueSeconds       = "fuseme_task_queue_seconds"
+	MStagesTotal        = "fuseme_stages_total"
+	MConsolidationBytes = `fuseme_wire_bytes_total{class="consolidation"}`
+	MAggregationBytes   = `fuseme_wire_bytes_total{class="aggregation"}`
+	MExtraBytes         = `fuseme_wire_bytes_total{class="extra"}`
+	MFlopsTotal         = "fuseme_flops_total"
+
+	// TCP-runtime coordinator metrics.
+	MRemoteTasksTotal = "fuseme_remote_tasks_total"
+	MRetriesTotal     = "fuseme_task_retries_total"
+	MHeartbeatRTT     = "fuseme_heartbeat_rtt_seconds"
+	MWorkersAlive     = "fuseme_workers_alive"
+
+	// Worker-process metrics.
+	MWorkerTasksTotal  = "fuseme_worker_tasks_total"
+	MWorkerTaskSeconds = "fuseme_worker_task_seconds"
+	MWorkerFetchBytes  = "fuseme_worker_fetch_bytes_total"
+	MWorkerResultBytes = "fuseme_worker_result_bytes_total"
+)

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every call on nil receivers must be a no-op, not a panic.
+	var o *Obs
+	if o.Enabled() || o.PerTask() {
+		t.Fatal("nil Obs should report disabled")
+	}
+	sp := o.StartSpan("x", "stage", 0)
+	sp.Arg("k", 1)
+	sp.End()
+	o.Counter("c").Add(3)
+	o.Counter("c").Inc()
+	o.Gauge("g").Set(1.5)
+	o.Histogram("h").Observe(0.1)
+	o.Predict(StagePred{Op: "a"})
+	o.Measure(StageMeas{Op: "a"})
+	o.Reset()
+
+	var r *Recorder
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+	r.Reset()
+
+	var c *Calibration
+	c.Predict(StagePred{})
+	c.Measure(StageMeas{})
+	c.Reset()
+	if got := c.Report(ClusterModel{Nodes: 4}); len(got.Rows) != 0 {
+		t.Fatal("nil calibration should report no rows")
+	}
+
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Reset()
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Obs with only some components set.
+	partial := &Obs{Calib: NewCalibration()}
+	if !partial.Enabled() {
+		t.Fatal("calib-only Obs should be enabled")
+	}
+	if partial.PerTask() {
+		t.Fatal("calib-only Obs should not run per-task instrumentation")
+	}
+	partial.StartSpan("x", "stage", 0).End()
+	partial.Counter("c").Inc()
+}
+
+func TestRecorderChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	outer := r.Start("stage:mul#1", "stage", 0).
+		Arg("phase", "cuboid").Arg("P", 2).Arg("Q", 2).Arg("R", 1)
+	inner := r.Start("task 3", "task", 1)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	// Inner (task) span ends first so it is recorded first.
+	task, stage := doc.TraceEvents[0], doc.TraceEvents[1]
+	if task.Name != "task 3" || task.Cat != "task" || task.TID != 1 {
+		t.Fatalf("task event wrong: %+v", task)
+	}
+	if stage.Name != "stage:mul#1" || stage.Ph != "X" {
+		t.Fatalf("stage event wrong: %+v", stage)
+	}
+	if stage.Args["phase"] != "cuboid" || stage.Args["P"] != float64(2) {
+		t.Fatalf("stage args wrong: %v", stage.Args)
+	}
+	// Nesting: the stage span must enclose the task span in time.
+	if !(stage.TS <= task.TS && stage.TS+stage.Dur >= task.TS+task.Dur) {
+		t.Fatalf("stage [%g,%g] does not enclose task [%g,%g]",
+			stage.TS, stage.TS+stage.Dur, task.TS, task.TS+task.Dur)
+	}
+	if task.Dur < 900 { // slept 1ms; durations are µs
+		t.Fatalf("task dur = %gµs, want ≥ 900", task.Dur)
+	}
+
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset should discard events")
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MTasksTotal).Add(5)
+	reg.Counter(MTasksTotal).Inc()
+	reg.Counter(MConsolidationBytes).Add(1000)
+	reg.Counter(MAggregationBytes).Add(200)
+	reg.Gauge(MWorkersAlive).Set(3)
+	h := reg.Histogram(MTaskSeconds)
+	h.Observe(0.002)
+	h.Observe(0.2)
+	h.Observe(250) // beyond last bound → +Inf bucket
+
+	if got := reg.Counter(MTasksTotal).Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MConsolidationBytes] != 1000 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	if snap.Gauges[MWorkersAlive] != 3 {
+		t.Fatalf("snapshot gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms[MTaskSeconds]
+	if hs.Count != 3 || hs.Max != 250 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	wantMean := (0.002 + 0.2 + 250) / 3
+	if diff := hs.Mean - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean = %g, want %g", hs.Mean, wantMean)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE fuseme_tasks_total counter\n",
+		"fuseme_tasks_total 6\n",
+		// One TYPE line for the labelled family, then each series.
+		"# TYPE fuseme_wire_bytes_total counter\n",
+		`fuseme_wire_bytes_total{class="aggregation"} 200` + "\n",
+		`fuseme_wire_bytes_total{class="consolidation"} 1000` + "\n",
+		"# TYPE fuseme_workers_alive gauge\n",
+		"fuseme_workers_alive 3\n",
+		"# TYPE fuseme_task_seconds histogram\n",
+		`fuseme_task_seconds_bucket{le="+Inf"} 3` + "\n",
+		"fuseme_task_seconds_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "# TYPE fuseme_wire_bytes_total") != 1 {
+		t.Fatalf("labelled family should get exactly one TYPE line:\n%s", text)
+	}
+	// Cumulative buckets: the 2.5ms bucket holds 1 observation, 0.25s holds 2.
+	if !strings.Contains(text, `fuseme_task_seconds_bucket{le="0.0025"} 1`+"\n") ||
+		!strings.Contains(text, `fuseme_task_seconds_bucket{le="0.25"} 2`+"\n") {
+		t.Fatalf("cumulative buckets wrong:\n%s", text)
+	}
+
+	reg.Reset()
+	if reg.Counter(MTasksTotal).Value() != 0 {
+		t.Fatal("Reset should zero counters")
+	}
+	if reg.Gauge(MWorkersAlive).Value() != 3 {
+		t.Fatal("Reset should keep gauge values")
+	}
+	if reg.Snapshot().Histograms[MTaskSeconds].Count != 0 {
+		t.Fatal("Reset should zero histograms")
+	}
+}
+
+func TestCalibrationReport(t *testing.T) {
+	c := NewCalibration()
+	model := ClusterModel{Nodes: 4, NetBandwidth: 125e6, CompBandwidth: 546e9}
+
+	// Net-bound operator: predicted net term 8e9/(4·125e6) = 16s dominates
+	// the comp term 4e9/(4·546e9) ≈ 0.0018s.
+	c.Predict(StagePred{Op: "CFO mul#1", Kind: "CFO", P: 2, Q: 2, R: 1,
+		NetBytes: 8e9, ComFlops: 4e9, MemBytes: 64 << 20})
+	// Comp-bound operator.
+	c.Predict(StagePred{Op: "CFO mul#2", Kind: "CFO", P: 4, Q: 1, R: 1,
+		NetBytes: 1e6, ComFlops: 8e12, MemBytes: 32 << 20})
+
+	// Measurements: mul#1 moved 4e9 bytes in 10s wall → eff B̂n = 4e9/(4·10) = 1e8.
+	c.Measure(StageMeas{Stage: "cuboid:mul#1", Op: "CFO mul#1", Tasks: 4,
+		ConsolidationBytes: 3e9, AggregationBytes: 1e9, Flops: 4e9,
+		PeakTaskMemBytes: 50 << 20, WallSeconds: 10})
+	// mul#2 did 8e12 flops in 5s wall → eff B̂c = 8e12/(4·5) = 4e11.
+	c.Measure(StageMeas{Stage: "cuboid:mul#2", Op: "CFO mul#2", Tasks: 4,
+		ConsolidationBytes: 1e6, Flops: 8e12, WallSeconds: 5})
+
+	rep := c.Report(model)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	r1, r2 := rep.Rows[0], rep.Rows[1]
+	if r1.Op != "CFO mul#1" || r1.P != 2 || r1.Kind != "CFO" {
+		t.Fatalf("row 1 = %+v", r1)
+	}
+	if r1.MeasNetBytes != 4e9 || r1.Tasks != 4 || r1.Stages != 1 || r1.Executions != 1 {
+		t.Fatalf("row 1 measurements = %+v", r1)
+	}
+	if want := 8e9 / (4 * 125e6); !close2(r1.PredSeconds, want) {
+		t.Fatalf("row 1 PredSeconds = %g, want %g", r1.PredSeconds, want)
+	}
+	if !close2(r1.EffNetBW, 1e8) {
+		t.Fatalf("row 1 EffNetBW = %g, want 1e8", r1.EffNetBW)
+	}
+	if !close2(r2.EffCompBW, 4e11) {
+		t.Fatalf("row 2 EffCompBW = %g, want 4e11", r2.EffCompBW)
+	}
+	// Aggregates: only mul#1 is net-bound, only mul#2 comp-bound.
+	if !close2(rep.EffNetBW, 1e8) || !close2(rep.EffCompBW, 4e11) {
+		t.Fatalf("back-solved = %g / %g, want 1e8 / 4e11", rep.EffNetBW, rep.EffCompBW)
+	}
+
+	out := rep.String()
+	for _, want := range []string{"CFO mul#1", "(2,2,1)", "back-solved", "feed back with"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCalibrationIterativeExecutions(t *testing.T) {
+	c := NewCalibration()
+	c.Predict(StagePred{Op: "CFO mul#1", Kind: "CFO", P: 2, Q: 2, R: 2,
+		NetBytes: 1e9, ComFlops: 1e9})
+	// Three iterations, each with a partial and a fuse stage.
+	for i := 0; i < 3; i++ {
+		c.Measure(StageMeas{Stage: "partial:mul#1", Op: "CFO mul#1", Tasks: 8,
+			ConsolidationBytes: 5e8, Flops: 1e9, WallSeconds: 1})
+		c.Measure(StageMeas{Stage: "fuse:mul#1", Op: "CFO mul#1", Tasks: 4,
+			AggregationBytes: 5e8, WallSeconds: 0.5})
+	}
+	rep := c.Report(ClusterModel{Nodes: 2, NetBandwidth: 125e6, CompBandwidth: 546e9})
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.Executions != 3 || row.Stages != 6 {
+		t.Fatalf("executions = %d stages = %d, want 3/6", row.Executions, row.Stages)
+	}
+	if row.PredNetBytes != 3e9 { // scaled by executions
+		t.Fatalf("PredNetBytes = %d, want 3e9", row.PredNetBytes)
+	}
+	if row.MeasNetBytes != 3e9 {
+		t.Fatalf("MeasNetBytes = %d", row.MeasNetBytes)
+	}
+
+	c.Reset()
+	if rep := c.Report(ClusterModel{Nodes: 2}); len(rep.Rows) != 0 {
+		t.Fatal("Reset should clear records")
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MTasksTotal).Add(7)
+	srv, err := ServeMetrics("127.0.0.1:0", reg, func() any {
+		return map[string]int{"stages": 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(string(body), "fuseme_tasks_total 7") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		Metrics Snapshot       `json:"metrics"`
+		Stats   map[string]int `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/stats not JSON: %v\n%s", err, body)
+	}
+	if doc.Metrics.Counters[MTasksTotal] != 7 || doc.Stats["stages"] != 2 {
+		t.Fatalf("/debug/stats = %+v", doc)
+	}
+
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close: %v", err)
+	}
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Fatal("nil server should be inert")
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(absf(a)+absf(b)+1)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Recorder collects completed spans and exports them in the Chrome
+// trace_event format, loadable in chrome://tracing (or ui.perfetto.dev).
+// Spans nest by time overlap: plan and stage spans run on track 0, task
+// spans on one track per execution slot. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []TraceEvent
+}
+
+// TraceEvent is one Chrome trace_event "complete" event. Timestamps and
+// durations are microseconds relative to the recorder's start.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewRecorder returns an empty recorder; its clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Span is one open span. A nil *Span (from a nil recorder) absorbs every
+// method call, which is what makes disabled tracing free.
+type Span struct {
+	r     *Recorder
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+
+	mu   sync.Mutex
+	args map[string]any
+}
+
+// Start opens a span on virtual thread tid. Returns nil on a nil recorder.
+func (r *Recorder) Start(name, cat string, tid int) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// Arg attaches an attribute to the span and returns it for chaining.
+func (s *Span) Arg(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = v
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	args := s.args
+	s.mu.Unlock()
+	ev := TraceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS:  float64(s.start.Sub(s.r.start).Nanoseconds()) / 1e3,
+		Dur: float64(now.Sub(s.start).Nanoseconds()) / 1e3,
+		PID: 1, TID: s.tid,
+		Args: args,
+	}
+	s.r.mu.Lock()
+	s.r.events = append(s.r.events, ev)
+	s.r.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards recorded events and restarts the clock.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = nil
+	r.start = time.Now()
+	r.mu.Unlock()
+}
+
+// chromeTrace is the top-level Chrome trace file shape.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace_event JSON
+// document.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: r.Events(), DisplayTimeUnit: "ms"})
+}

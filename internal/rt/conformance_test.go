@@ -1,0 +1,230 @@
+// Runtime conformance suite: every rt.Runtime backend must execute the same
+// plans with the same stats classification and the same results. The suite
+// runs each check against the in-process simulated cluster and the TCP
+// coordinator (backed by in-process workers) and compares them pairwise.
+package rt_test
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/remote"
+	"fuseme/internal/workloads"
+)
+
+// conformanceConfig is the laptop-scale cluster shape every backend is
+// opened with. The coordinator overrides Nodes with its worker count, so the
+// TCP backend is started with exactly conformanceConfig.Nodes workers.
+func conformanceConfig() cluster.Config {
+	return cluster.Config{
+		Nodes: 2, TasksPerNode: 4, TaskMemBytes: 1 << 30,
+		NetBandwidth: 1e9, CompBandwidth: 50e9, BlockSize: 16,
+		MaxTaskRetries: 2,
+	}
+}
+
+// backends returns the named runtime constructors under test.
+func backends() map[string]func(t *testing.T) rt.Runtime {
+	return map[string]func(t *testing.T) rt.Runtime{
+		"sim": func(t *testing.T) rt.Runtime {
+			return cluster.MustNew(conformanceConfig())
+		},
+		"tcp": func(t *testing.T) rt.Runtime {
+			cfg := conformanceConfig()
+			addrs := make([]string, cfg.Nodes)
+			for i := range addrs {
+				w, err := remote.NewWorker("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { w.Close() })
+				addrs[i] = w.Addr()
+			}
+			co, err := remote.NewCoordinatorConfig(cfg, addrs, remote.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { co.Close() })
+			return co
+		},
+	}
+}
+
+// planRun is one backend's observation of the reference plan: outputs plus
+// the stats the classification checks compare.
+type planRun struct {
+	out   map[string]*block.Matrix
+	stats cluster.Stats
+}
+
+// runReferencePlan executes the NMF kernel (the paper's running example,
+// fusing a sparse-masked multiplication chain) on one backend.
+func runReferencePlan(t *testing.T, rtm rt.Runtime) planRun {
+	t.Helper()
+	const rows, cols, k = 96, 80, 8
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(rows, cols, 16, 0.05, 1, 5, 1),
+		"U": block.RandomDense(rows, k, 16, 0.5, 1.5, 2),
+		"V": block.RandomDense(cols, k, 16, 0.5, 1.5, 3),
+	}
+	g := workloads.NMFKernel(rows, cols, k, inputs["X"].Density())
+	out, stats, err := core.Run(core.FuseME{}, g, rtm, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planRun{out: out, stats: stats}
+}
+
+// TestRuntimeConformancePlan requires every backend to agree with the
+// simulated cluster on the reference plan: identical scheduling counts and
+// flops, wire bytes classified into the same classes, and identical result
+// bytes.
+func TestRuntimeConformancePlan(t *testing.T) {
+	ctors := backends()
+	ref := runReferencePlan(t, ctors["sim"](t))
+	for name, open := range ctors {
+		if name == "sim" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			got := runReferencePlan(t, open(t))
+
+			// Scheduling and computation classify identically: the same
+			// plan compiles to the same stages, tasks and arithmetic.
+			if got.stats.Stages != ref.stats.Stages {
+				t.Errorf("stages = %d, sim ran %d", got.stats.Stages, ref.stats.Stages)
+			}
+			if got.stats.Tasks != ref.stats.Tasks {
+				t.Errorf("tasks = %d, sim ran %d", got.stats.Tasks, ref.stats.Tasks)
+			}
+			if got.stats.Flops != ref.stats.Flops {
+				t.Errorf("flops = %d, sim executed %d", got.stats.Flops, ref.stats.Flops)
+			}
+			if got.stats.MaxTaskFlops != ref.stats.MaxTaskFlops {
+				t.Errorf("max task flops = %d, sim %d", got.stats.MaxTaskFlops, ref.stats.MaxTaskFlops)
+			}
+
+			// Wire bytes land in the same classes. Absolute volumes differ
+			// (the simulation meters in-memory block sizes, real backends
+			// meter encoded wire bytes), so classification conformance is:
+			// a class is zero on one backend iff it is zero on the other,
+			// and nonzero classes agree within 2x.
+			classes := []struct {
+				name     string
+				ref, got int64
+			}{
+				{"consolidation", ref.stats.ConsolidationBytes, got.stats.ConsolidationBytes},
+				{"aggregation", ref.stats.AggregationBytes, got.stats.AggregationBytes},
+			}
+			for _, c := range classes {
+				if (c.ref == 0) != (c.got == 0) {
+					t.Errorf("%s bytes = %d, sim metered %d: classified differently", c.name, c.got, c.ref)
+					continue
+				}
+				if c.ref > 0 && (c.got > 2*c.ref || c.ref > 2*c.got) {
+					t.Errorf("%s bytes = %d not within 2x of sim's %d", c.name, c.got, c.ref)
+				}
+			}
+
+			// Results are byte-identical: same outputs, same block storage
+			// footprint, same values.
+			if len(got.out) != len(ref.out) {
+				t.Fatalf("outputs = %d, sim produced %d", len(got.out), len(ref.out))
+			}
+			for name, want := range ref.out {
+				m := got.out[name]
+				if m == nil {
+					t.Fatalf("missing output %q", name)
+				}
+				if m.SizeBytes() != want.SizeBytes() {
+					t.Errorf("output %q: %d stored bytes, sim %d", name, m.SizeBytes(), want.SizeBytes())
+				}
+				if m.Rows != want.Rows || m.Cols != want.Cols {
+					t.Fatalf("output %q: %dx%d, sim %dx%d", name, m.Rows, m.Cols, want.Rows, want.Cols)
+				}
+				for i := 0; i < want.Rows; i++ {
+					for j := 0; j < want.Cols; j++ {
+						w, g := want.At(i, j), m.At(i, j)
+						if math.Abs(g-w) > 1e-12*math.Max(1, math.Abs(w)) {
+							t.Fatalf("output %q differs at (%d,%d): %g vs %g", name, i, j, g, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRuntimeConformanceClosureStage requires closure-only stages (no
+// descriptor, e.g. multi-aggregation operators) to run every task exactly
+// once on every backend, with identical stage/task accounting.
+func TestRuntimeConformanceClosureStage(t *testing.T) {
+	const numTasks = 8
+	for name, open := range backends() {
+		t.Run(name, func(t *testing.T) {
+			rtm := open(t)
+			var ran atomic.Int64
+			st := &rt.Stage{
+				Name:     "closure-only",
+				NumTasks: numTasks,
+				Fn: func(task *cluster.Task) error {
+					ran.Add(1)
+					return nil
+				},
+			}
+			if err := rt.RunStage(rtm, st); err != nil {
+				t.Fatal(err)
+			}
+			if ran.Load() != numTasks {
+				t.Errorf("closure ran %d times, want %d", ran.Load(), numTasks)
+			}
+			s := rtm.Stats()
+			if s.Stages != 1 || s.Tasks != numTasks {
+				t.Errorf("stats = %d stages / %d tasks, want 1 / %d", s.Stages, s.Tasks, numTasks)
+			}
+		})
+	}
+}
+
+// TestRuntimeConformanceAdmission requires identical admission control: an
+// operator over the per-task memory budget is rejected with
+// cluster.ErrOutOfMemory on every backend, and one under it is admitted.
+func TestRuntimeConformanceAdmission(t *testing.T) {
+	budget := conformanceConfig().TaskMemBytes
+	for name, open := range backends() {
+		t.Run(name, func(t *testing.T) {
+			rtm := open(t)
+			if err := rtm.CheckAdmission(budget+1, "oversized"); !errors.Is(err, cluster.ErrOutOfMemory) {
+				t.Errorf("CheckAdmission(budget+1) = %v, want ErrOutOfMemory", err)
+			}
+			if err := rtm.CheckAdmission(budget/2, "fits"); err != nil {
+				t.Errorf("CheckAdmission(budget/2) = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestRuntimeConformanceStatsReset requires ResetStats to zero the
+// accumulated counters on every backend.
+func TestRuntimeConformanceStatsReset(t *testing.T) {
+	for name, open := range backends() {
+		t.Run(name, func(t *testing.T) {
+			rtm := open(t)
+			_ = runReferencePlan(t, rtm)
+			if rtm.Stats().Tasks == 0 {
+				t.Fatal("plan ran no tasks")
+			}
+			rtm.ResetStats()
+			s := rtm.Stats()
+			if s.Tasks != 0 || s.Stages != 0 || s.TotalCommBytes() != 0 || s.Flops != 0 {
+				t.Errorf("stats after reset = %+v, want zeroes", s)
+			}
+		})
+	}
+}

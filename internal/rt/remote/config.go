@@ -1,0 +1,96 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Config carries the coordinator's transport tuning, previously hardcoded
+// constants. Zero values mean "use the default"; explicit values are
+// validated. Session options and FUSEME_* environment variables both land
+// here.
+type Config struct {
+	// HeartbeatInterval is how often the coordinator pings each worker.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds each ping round-trip and handshake read.
+	HeartbeatTimeout time.Duration
+	// DialTimeout bounds worker connection attempts (handshake and per-task).
+	DialTimeout time.Duration
+}
+
+// DefaultConfig returns the transport defaults (the former constants).
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval: 500 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		DialTimeout:       5 * time.Second,
+	}
+}
+
+// Environment variable names overriding Config fields (Go duration syntax,
+// e.g. "250ms", "3s").
+const (
+	EnvHeartbeatInterval = "FUSEME_HEARTBEAT_INTERVAL"
+	EnvHeartbeatTimeout  = "FUSEME_HEARTBEAT_TIMEOUT"
+	EnvDialTimeout       = "FUSEME_DIAL_TIMEOUT"
+)
+
+// FromEnv returns c with any FUSEME_* environment overrides applied.
+// Unset variables leave the corresponding field untouched.
+func (c Config) FromEnv() (Config, error) {
+	for _, v := range []struct {
+		env string
+		dst *time.Duration
+	}{
+		{EnvHeartbeatInterval, &c.HeartbeatInterval},
+		{EnvHeartbeatTimeout, &c.HeartbeatTimeout},
+		{EnvDialTimeout, &c.DialTimeout},
+	} {
+		s := os.Getenv(v.env)
+		if s == "" {
+			continue
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return c, fmt.Errorf("remote: %s=%q: %w", v.env, s, err)
+		}
+		*v.dst = d
+	}
+	return c, nil
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = d.HeartbeatTimeout
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	return c
+}
+
+// Validate reports configuration errors. Zero fields are legal (they take
+// defaults); negative values or a timeout not exceeding the ping interval
+// are not.
+func (c Config) Validate() error {
+	switch {
+	case c.HeartbeatInterval < 0:
+		return fmt.Errorf("remote: HeartbeatInterval = %v, must be >= 0", c.HeartbeatInterval)
+	case c.HeartbeatTimeout < 0:
+		return fmt.Errorf("remote: HeartbeatTimeout = %v, must be >= 0", c.HeartbeatTimeout)
+	case c.DialTimeout < 0:
+		return fmt.Errorf("remote: DialTimeout = %v, must be >= 0", c.DialTimeout)
+	}
+	f := c.withDefaults()
+	if f.HeartbeatTimeout <= f.HeartbeatInterval {
+		return fmt.Errorf("remote: HeartbeatTimeout (%v) must exceed HeartbeatInterval (%v)",
+			f.HeartbeatTimeout, f.HeartbeatInterval)
+	}
+	return nil
+}

@@ -9,16 +9,9 @@ import (
 	"time"
 
 	"fuseme/internal/cluster"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/spec"
-)
-
-// heartbeatInterval is how often the coordinator pings each worker;
-// heartbeatTimeout bounds each ping round-trip and task-dial attempt.
-const (
-	heartbeatInterval = 500 * time.Millisecond
-	heartbeatTimeout  = 2 * time.Second
-	dialTimeout       = 5 * time.Second
 )
 
 // Coordinator is the TCP runtime backend: it satisfies rt.Runtime (and
@@ -41,13 +34,29 @@ const (
 // blocks — are recorded separately as ExtraWireBytes.
 type Coordinator struct {
 	local   *cluster.Cluster
+	rcfg    Config // transport tuning, validated and defaulted
 	workers []*workerConn
 
 	next   atomic.Int64 // round-robin cursor
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
+
+	obs atomic.Pointer[obs.Obs] // session observability; nil disables
 }
+
+// SetObs attaches the session's observability bundle: heartbeat RTT, retry
+// and worker-liveness metrics plus per-task spans for remote executions
+// (whose in-process task closures never run here). Safe to call anytime.
+func (c *Coordinator) SetObs(o *obs.Obs) {
+	c.obs.Store(o)
+	if o != nil {
+		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
+	}
+}
+
+// getObs returns the attached observability bundle (nil-safe to use).
+func (c *Coordinator) getObs() *obs.Obs { return c.obs.Load() }
 
 type workerConn struct {
 	id    int
@@ -64,25 +73,40 @@ func (e transportError) Error() string { return e.err.Error() }
 func (e transportError) Unwrap() error { return e.err }
 
 // NewCoordinator connects to every worker address and returns a runtime
-// backed by them. cfg.Nodes is overridden with the worker count, so planners
+// backed by them, with default transport tuning plus FUSEME_* environment
+// overrides. cfg.Nodes is overridden with the worker count, so planners
 // compile for the parallelism that actually exists.
 func NewCoordinator(cfg cluster.Config, addrs []string) (*Coordinator, error) {
+	rcfg, err := DefaultConfig().FromEnv()
+	if err != nil {
+		return nil, err
+	}
+	return NewCoordinatorConfig(cfg, addrs, rcfg)
+}
+
+// NewCoordinatorConfig is NewCoordinator with explicit transport tuning
+// (zero fields take defaults; environment variables are NOT consulted).
+func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("remote: no worker addresses")
 	}
+	if err := rcfg.Validate(); err != nil {
+		return nil, err
+	}
+	rcfg = rcfg.withDefaults()
 	cfg.Nodes = len(addrs)
 	local, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{local: local, hbStop: make(chan struct{})}
+	c := &Coordinator{local: local, rcfg: rcfg, hbStop: make(chan struct{})}
 	for i, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		conn, err := net.DialTimeout("tcp", addr, rcfg.DialTimeout)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("remote: worker %s: %w", addr, err)
 		}
-		conn.SetDeadline(time.Now().Add(heartbeatTimeout))
+		conn.SetDeadline(time.Now().Add(rcfg.HeartbeatTimeout))
 		if err := writeGob(conn, msgHello, hello{Proto: protoVersion}); err != nil {
 			conn.Close()
 			c.Close()
@@ -112,10 +136,11 @@ func NewCoordinator(cfg cluster.Config, addrs []string) (*Coordinator, error) {
 	return c, nil
 }
 
-// heartbeat pings one worker until it dies or the coordinator closes.
+// heartbeat pings one worker until it dies or the coordinator closes,
+// recording each round-trip time.
 func (c *Coordinator) heartbeat(w *workerConn) {
 	defer c.hbWG.Done()
-	t := time.NewTicker(heartbeatInterval)
+	t := time.NewTicker(c.rcfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -125,16 +150,26 @@ func (c *Coordinator) heartbeat(w *workerConn) {
 			if !w.alive.Load() {
 				return
 			}
-			w.ctrl.SetDeadline(time.Now().Add(heartbeatTimeout))
+			sent := time.Now()
+			w.ctrl.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
 			if writeFrame(w.ctrl, msgPing, nil) != nil {
-				w.alive.Store(false)
+				c.markDead(w)
 				return
 			}
 			if _, err := expectFrame(w.ctrl, msgPong); err != nil {
-				w.alive.Store(false)
+				c.markDead(w)
 				return
 			}
+			c.getObs().Histogram(obs.MHeartbeatRTT).Observe(time.Since(sent).Seconds())
 		}
+	}
+}
+
+// markDead flags a worker as dead and refreshes the liveness gauge.
+func (c *Coordinator) markDead(w *workerConn) {
+	w.alive.Store(false)
+	if o := c.getObs(); o.Enabled() {
+		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
 	}
 }
 
@@ -257,6 +292,8 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		mu.Unlock()
 	}
 
+	o := c.getObs()
+	perTask := o.PerTask()
 	sem := make(chan struct{}, len(c.workers)*c.local.Config().TasksPerNode)
 	var wg sync.WaitGroup
 	for id := 0; id < sp.NumTasks; id++ {
@@ -268,7 +305,27 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 			if aborted() {
 				return
 			}
+			// The executor's per-task wrapper only fires for in-process
+			// closures, so remote task telemetry is emitted here.
+			var span *obs.Span
+			var taskStart time.Time
+			if perTask {
+				taskStart = time.Now()
+				o.Histogram(obs.MQueueSeconds).Observe(taskStart.Sub(start).Seconds())
+				span = o.StartSpan(fmt.Sprintf("task %d", taskID), "task", 1+taskID%64)
+			}
 			done, err := c.runTaskWithRetry(st, taskID, &wire, colocated)
+			if perTask {
+				o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
+				o.Counter(obs.MTasksTotal).Inc()
+				o.Counter(obs.MRemoteTasksTotal).Inc()
+				span.Arg("flops", done.Metrics.Flops).
+					Arg("peak_mem_bytes", done.Metrics.MemPeakBytes)
+				if err != nil {
+					span.Arg("error", err.Error())
+				}
+				span.End()
+			}
 			if err != nil {
 				setErr(fmt.Errorf("stage %q task %d: %w", sp.Name, taskID, err))
 				return
@@ -314,6 +371,9 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter
 	retries := c.local.Config().MaxTaskRetries
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			c.getObs().Counter(obs.MRetriesTotal).Inc()
+		}
 		w := c.pickWorker()
 		if w == nil {
 			return taskDone{}, errors.New("remote: no live workers")
@@ -325,7 +385,7 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter
 		lastErr = err
 		var te transportError
 		if errors.As(err, &te) {
-			w.alive.Store(false)
+			c.markDead(w)
 		}
 	}
 	return taskDone{}, lastErr
@@ -334,7 +394,7 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter
 // runTaskOn ships one task to worker w over a fresh connection and serves
 // its block fetches until it reports done or failed.
 func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
-	conn, err := net.DialTimeout("tcp", w.addr, dialTimeout)
+	conn, err := net.DialTimeout("tcp", w.addr, c.rcfg.DialTimeout)
 	if err != nil {
 		return taskDone{}, transportError{err}
 	}

@@ -6,10 +6,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fuseme/internal/cluster"
 	"fuseme/internal/exec"
 	"fuseme/internal/matrix"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt/spec"
 )
 
@@ -29,7 +31,14 @@ type Worker struct {
 	// tests use this to exercise the coordinator's retry path.
 	killAfter atomic.Int64
 	started   atomic.Int64
+
+	obs atomic.Pointer[obs.Obs] // process-local metrics; nil disables
 }
+
+// SetObs attaches an observability bundle: each executed task records its
+// latency and wire-byte metrics in the worker's own registry (served by the
+// worker process's -metrics-addr endpoint).
+func (w *Worker) SetObs(o *obs.Obs) { w.obs.Store(o) }
 
 // NewWorker starts a worker listening on addr (host:port; use port 0 for an
 // ephemeral port) and begins accepting connections.
@@ -160,9 +169,17 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		}
 		return nil, fmt.Errorf("remote: unknown block status %d", payload[0])
 	}
+	start := time.Now()
 	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, fetch, func(ob spec.OutBlock) {
 		blocks = append(blocks, ob)
 	})
+	if o := w.obs.Load(); o.Enabled() {
+		o.Counter(obs.MWorkerTasksTotal).Inc()
+		o.Histogram(obs.MWorkerTaskSeconds).Observe(time.Since(start).Seconds())
+		con, agg, _, _ := task.Counters()
+		o.Counter(obs.MWorkerFetchBytes).Add(con)
+		o.Counter(obs.MWorkerResultBytes).Add(agg)
+	}
 	if err != nil {
 		writeGob(conn, msgFail, taskFail{Err: err.Error()})
 		return

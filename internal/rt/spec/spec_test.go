@@ -48,7 +48,7 @@ func compilePlans(t *testing.T, script string) []*fusion.Plan {
 }
 
 var specScripts = []string{
-	`O = X * log(V %*% U + 1e-3)`,                 // outer-fusion mask
+	`O = X * log(V %*% U + 1e-3)`,                // outer-fusion mask
 	`U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)`, // matmul chain
 	`l = sum((X - V %*% U)^2)`,                   // aggregation root
 	`G = t(X) %*% X * 0.5`,                       // transpose input

@@ -1,0 +1,223 @@
+package fuseme
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"fuseme/internal/obs"
+	"fuseme/internal/rt/remote"
+)
+
+// Option configures a Session at construction time.
+type Option func(*Session) error
+
+// EnvMaxTaskRetries overrides the task retry budget (non-negative integer).
+const EnvMaxTaskRetries = "FUSEME_MAX_TASK_RETRIES"
+
+// defaultMaxTaskRetries is the Spark-like retry budget applied when neither
+// WithMaxTaskRetries nor FUSEME_MAX_TASK_RETRIES is set.
+const defaultMaxTaskRetries = 2
+
+// WithTracing enables the span recorder: plan, stage and task spans are
+// collected and can be exported with Session.WriteTrace. Without this option
+// the recorder is nil and the instrumentation reduces to pointer checks.
+func WithTracing() Option {
+	return func(s *Session) error {
+		s.obs.Trace = obs.NewRecorder()
+		return nil
+	}
+}
+
+// WithMetrics enables the in-process metrics registry without serving it
+// over HTTP; read it with Session.MetricsSnapshot.
+func WithMetrics() Option {
+	return func(s *Session) error {
+		if s.obs.Metrics == nil {
+			s.obs.Metrics = obs.NewRegistry()
+		}
+		return nil
+	}
+}
+
+// WithMetricsAddr enables the metrics registry and serves it over HTTP on
+// addr (host:port; use ":0" for an ephemeral port): Prometheus text on
+// /metrics, a JSON snapshot plus live runtime stats on /debug/stats. The
+// bound address is available from Session.MetricsAddr.
+func WithMetricsAddr(addr string) Option {
+	return func(s *Session) error {
+		if s.obs.Metrics == nil {
+			s.obs.Metrics = obs.NewRegistry()
+		}
+		s.metricsAddr = addr
+		return nil
+	}
+}
+
+// WithMaxTaskRetries overrides how many times a failed task is re-attempted
+// before its stage fails (default 2, or FUSEME_MAX_TASK_RETRIES).
+func WithMaxTaskRetries(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("fuseme: MaxTaskRetries = %d, must be >= 0", n)
+		}
+		s.retries = n
+		return nil
+	}
+}
+
+// WithHeartbeat overrides the TCP runtime's worker heartbeat: how often the
+// coordinator pings each worker and how long it waits for the reply. The
+// timeout must exceed the interval. Defaults: 500ms / 2s, or the
+// FUSEME_HEARTBEAT_INTERVAL / FUSEME_HEARTBEAT_TIMEOUT environment
+// variables.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(s *Session) error {
+		s.rcfg.HeartbeatInterval = interval
+		s.rcfg.HeartbeatTimeout = timeout
+		return s.rcfg.Validate()
+	}
+}
+
+// WithDialTimeout overrides the TCP runtime's worker connection timeout
+// (default 5s, or FUSEME_DIAL_TIMEOUT).
+func WithDialTimeout(d time.Duration) Option {
+	return func(s *Session) error {
+		s.rcfg.DialTimeout = d
+		return s.rcfg.Validate()
+	}
+}
+
+// maxTaskRetries resolves the retry budget: option > environment > default.
+func (s *Session) maxTaskRetries() (int, error) {
+	if s.retries >= 0 {
+		return s.retries, nil
+	}
+	if env := os.Getenv(EnvMaxTaskRetries); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fuseme: %s=%q: want a non-negative integer", EnvMaxTaskRetries, env)
+		}
+		return n, nil
+	}
+	return defaultMaxTaskRetries, nil
+}
+
+// remoteConfig resolves the TCP transport tuning: environment overrides
+// first, then explicit session options on top.
+func (s *Session) remoteConfig() (remote.Config, error) {
+	cfg, err := remote.DefaultConfig().FromEnv()
+	if err != nil {
+		return cfg, err
+	}
+	if s.rcfg.HeartbeatInterval != 0 {
+		cfg.HeartbeatInterval = s.rcfg.HeartbeatInterval
+	}
+	if s.rcfg.HeartbeatTimeout != 0 {
+		cfg.HeartbeatTimeout = s.rcfg.HeartbeatTimeout
+	}
+	if s.rcfg.DialTimeout != 0 {
+		cfg.DialTimeout = s.rcfg.DialTimeout
+	}
+	return cfg, cfg.Validate()
+}
+
+// startMetricsServer starts the /metrics + /debug/stats endpoint if
+// WithMetricsAddr was given. The stats closure reads the runtime lazily so
+// the endpoint serves live counters mid-query.
+func (s *Session) startMetricsServer() error {
+	if s.metricsAddr == "" || s.metricsSrv != nil {
+		return nil
+	}
+	srv, err := obs.ServeMetrics(s.metricsAddr, s.obs.Metrics, func() any {
+		s.rtMu.Lock()
+		rtm := s.rtm
+		s.rtMu.Unlock()
+		if rtm == nil {
+			return nil
+		}
+		return rtm.Stats().View()
+	})
+	if err != nil {
+		return fmt.Errorf("fuseme: metrics endpoint: %w", err)
+	}
+	s.metricsSrv = srv
+	return nil
+}
+
+// MetricsAddr returns the bound address of the metrics endpoint, or "" when
+// WithMetricsAddr was not used.
+func (s *Session) MetricsAddr() string { return s.metricsSrv.Addr() }
+
+// MetricsSnapshot returns the current values of every session metric. The
+// registry must be enabled with WithMetrics or WithMetricsAddr.
+func (s *Session) MetricsSnapshot() (obs.Snapshot, error) {
+	if s.obs.Metrics == nil {
+		return obs.Snapshot{}, errors.New("fuseme: metrics not enabled (use WithMetrics or WithMetricsAddr)")
+	}
+	return s.obs.Metrics.Snapshot(), nil
+}
+
+// WriteTrace exports the recorded spans as Chrome trace_event JSON, loadable
+// in chrome://tracing or ui.perfetto.dev. Tracing must be enabled with
+// WithTracing.
+func (s *Session) WriteTrace(w io.Writer) error {
+	if s.obs.Trace == nil {
+		return errors.New("fuseme: tracing not enabled (use WithTracing)")
+	}
+	return s.obs.Trace.WriteChromeTrace(w)
+}
+
+// WriteTraceFile is WriteTrace to a file path.
+func (s *Session) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Report renders the cost-model calibration report: every executed
+// operator's predicted NetEst/ComEst/MemEst joined against its measured
+// wire bytes, flops and stage time, with effective cluster bandwidths
+// back-solved from the measurements. Accumulates across queries (iterative
+// workloads aggregate per operator) until ResetObservations.
+func (s *Session) Report() string {
+	return s.obs.Calib.Report(obs.ClusterModel{
+		Nodes:         s.cfg.Nodes,
+		NetBandwidth:  s.cfg.NetBandwidth,
+		CompBandwidth: s.cfg.CompBandwidth,
+	}).String()
+}
+
+// CalibrationReport returns the structured form of Report.
+func (s *Session) CalibrationReport() *obs.Report {
+	return s.obs.Calib.Report(obs.ClusterModel{
+		Nodes:         s.cfg.Nodes,
+		NetBandwidth:  s.cfg.NetBandwidth,
+		CompBandwidth: s.cfg.CompBandwidth,
+	})
+}
+
+// ResetObservations clears accumulated spans, calibration records and metric
+// counters (gauges keep their last value).
+func (s *Session) ResetObservations() { s.obs.Reset() }
+
+// ExplainCosts compiles a script and returns the physical plan description
+// followed by each fused operator's predicted cost breakdown — the chosen
+// (P,Q,R) with its network, computation and per-task memory terms under the
+// session's cluster constants. This is what `fuseme -explain` prints.
+func (s *Session) ExplainCosts(script string) (string, error) {
+	_, pp, rtm, err := s.compile(script)
+	if err != nil {
+		return "", err
+	}
+	return pp.Describe() + pp.DescribeCosts(rtm.Config()), nil
+}

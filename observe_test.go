@@ -1,0 +1,268 @@
+package fuseme
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fuseme/internal/obs"
+)
+
+const obsTestScript = "O = X * log(U %*% t(V) + 1e-3)"
+
+// TestSessionTracingAndMetricsSim runs a query with full observability on
+// the sim backend and checks the three collectors end to end: span structure
+// (plan > stage > task with cuboid attributes), metric counters, and the
+// calibration report.
+func TestSessionTracingAndMetricsSim(t *testing.T) {
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	sess, err := NewSession(cfg, WithTracing(), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	bindTestInputs(sess)
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+
+	// Span structure: one plan span, at least one stage span carrying the
+	// cuboid (P,Q,R) attributes, and task spans nested inside stages.
+	events := sess.obs.Trace.Events()
+	var plan, stages, tasks int
+	var cuboidStage *obs.TraceEvent
+	for i, ev := range events {
+		switch ev.Cat {
+		case "plan":
+			plan++
+		case "stage":
+			stages++
+			if _, ok := ev.Args["P"]; ok && cuboidStage == nil {
+				cuboidStage = &events[i]
+			}
+		case "task":
+			tasks++
+		}
+	}
+	if plan != 1 {
+		t.Errorf("plan spans = %d, want 1", plan)
+	}
+	if stages == 0 || tasks == 0 {
+		t.Fatalf("stage spans = %d, task spans = %d, want both > 0", stages, tasks)
+	}
+	if cuboidStage == nil {
+		t.Fatal("no stage span carries cuboid (P,Q,R) attributes")
+	}
+	for _, key := range []string{"P", "Q", "R", "phase", "tasks", "flops"} {
+		if _, ok := cuboidStage.Args[key]; !ok {
+			t.Errorf("stage span %q missing attribute %q", cuboidStage.Name, key)
+		}
+	}
+
+	// The export is loadable Chrome trace JSON with the same events.
+	var buf bytes.Buffer
+	if err := sess.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(events) {
+		t.Errorf("exported %d events, recorded %d", len(decoded.TraceEvents), len(events))
+	}
+
+	// Metrics: task and stage counters ran, and the latency histogram saw
+	// exactly the counted tasks.
+	snap, err := sess.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[obs.MTasksTotal] == 0 || snap.Counters[obs.MStagesTotal] == 0 {
+		t.Errorf("counters: tasks=%d stages=%d, want both > 0",
+			snap.Counters[obs.MTasksTotal], snap.Counters[obs.MStagesTotal])
+	}
+	if got := snap.Histograms[obs.MTaskSeconds].Count; got != snap.Counters[obs.MTasksTotal] {
+		t.Errorf("task latency histogram saw %d tasks, counter says %d",
+			got, snap.Counters[obs.MTasksTotal])
+	}
+
+	// Calibration: the fused operator has a joined prediction/measurement row
+	// and the report back-solves effective bandwidths.
+	rep := sess.CalibrationReport()
+	if len(rep.Rows) == 0 {
+		t.Fatal("calibration report has no rows")
+	}
+	var predicted bool
+	for _, row := range rep.Rows {
+		if row.PredComFlops > 0 && row.MeasFlops > 0 {
+			predicted = true
+		}
+	}
+	if !predicted {
+		t.Errorf("no report row joins a prediction with measured flops: %+v", rep.Rows)
+	}
+	if text := sess.Report(); !strings.Contains(text, "back-solved") {
+		t.Errorf("rendered report missing back-solved bandwidths:\n%s", text)
+	}
+
+	// ResetObservations clears all three collectors.
+	sess.ResetObservations()
+	if n := sess.obs.Trace.Len(); n != 0 {
+		t.Errorf("trace has %d events after reset", n)
+	}
+	snap, _ = sess.MetricsSnapshot()
+	if snap.Counters[obs.MTasksTotal] != 0 {
+		t.Errorf("task counter = %d after reset", snap.Counters[obs.MTasksTotal])
+	}
+	if rows := sess.CalibrationReport().Rows; len(rows) != 0 {
+		t.Errorf("calibration has %d rows after reset", len(rows))
+	}
+}
+
+// TestSessionMetricsEndpointTCP runs a TCP-backed query with a live metrics
+// endpoint and scrapes /metrics and /debug/stats over HTTP, as a Prometheus
+// collector would.
+func TestSessionMetricsEndpointTCP(t *testing.T) {
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	cfg.Runtime = "tcp"
+	cfg.Workers = startWorkers(t, 2)
+	sess, err := NewSession(cfg, WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.MetricsAddr() == "" {
+		t.Fatal("metrics endpoint has no bound address")
+	}
+	bindTestInputs(sess)
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+
+	body := httpGet(t, "http://"+sess.MetricsAddr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE fuseme_tasks_total counter",
+		obs.MRemoteTasksTotal,
+		`fuseme_wire_bytes_total{class="consolidation"}`,
+		"fuseme_task_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	var debug struct {
+		Metrics obs.Snapshot   `json:"metrics"`
+		Stats   map[string]any `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+sess.MetricsAddr()+"/debug/stats")), &debug); err != nil {
+		t.Fatalf("/debug/stats is not valid JSON: %v", err)
+	}
+	if debug.Metrics.Counters[obs.MRemoteTasksTotal] == 0 {
+		t.Error("/debug/stats shows zero remote tasks after a TCP query")
+	}
+	if debug.Stats == nil {
+		t.Error("/debug/stats has no runtime stats block")
+	}
+	if got := debug.Metrics.Gauges[obs.MWorkersAlive]; got != 2 {
+		t.Errorf("workers-alive gauge = %v, want 2", got)
+	}
+
+	// The calibration measured real wire traffic.
+	var wired bool
+	for _, row := range sess.CalibrationReport().Rows {
+		if row.MeasNetBytes > 0 {
+			wired = true
+		}
+	}
+	if !wired {
+		t.Error("no calibration row measured wire bytes on the TCP backend")
+	}
+}
+
+// TestSessionCalibrationDefault checks that calibration is on for plain
+// sessions (no options): stage measurements are cheap and Report works out
+// of the box.
+func TestSessionCalibrationDefault(t *testing.T) {
+	sess := newTestSession(t)
+	bindTestInputs(sess)
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	if rows := sess.CalibrationReport().Rows; len(rows) == 0 {
+		t.Error("default session collected no calibration rows")
+	}
+	// But per-task instrumentation stays off...
+	if sess.obs.PerTask() {
+		t.Error("per-task instrumentation enabled without WithTracing/WithMetrics")
+	}
+	// ...and the exporters report their collectors as disabled.
+	if err := sess.WriteTrace(io.Discard); err == nil {
+		t.Error("WriteTrace succeeded without WithTracing")
+	}
+	if _, err := sess.MetricsSnapshot(); err == nil {
+		t.Error("MetricsSnapshot succeeded without WithMetrics")
+	}
+}
+
+// TestSessionOptionValidation covers the failure modes of the observability
+// and tuning options.
+func TestSessionOptionValidation(t *testing.T) {
+	cfg := LocalClusterConfig()
+	if _, err := NewSession(cfg, WithMaxTaskRetries(-1)); err == nil {
+		t.Error("WithMaxTaskRetries(-1) accepted")
+	}
+	if _, err := NewSession(cfg, WithHeartbeat(2*time.Second, time.Second)); err == nil {
+		t.Error("heartbeat timeout <= interval accepted")
+	}
+	t.Setenv(EnvMaxTaskRetries, "many")
+	if _, err := NewSession(cfg); err == nil {
+		t.Errorf("%s=many accepted", EnvMaxTaskRetries)
+	}
+	t.Setenv(EnvMaxTaskRetries, "0")
+	if _, err := NewSession(cfg); err != nil {
+		t.Errorf("%s=0 rejected: %v", EnvMaxTaskRetries, err)
+	}
+}
+
+// TestSessionExplainCosts checks the -explain payload: every fused operator
+// line carries its (P,Q,R) and the predicted cost terms.
+func TestSessionExplainCosts(t *testing.T) {
+	sess := newTestSession(t)
+	bindTestInputs(sess)
+	desc, err := sess.ExplainCosts(obsTestScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predicted costs", "net=", "comp=", "mem/task=", "-bound"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("ExplainCosts missing %q in:\n%s", want, desc)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
+}
