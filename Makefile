@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck
 
 ## check: full verification gate — gofmt, vet, build, race-enabled tests
 check: fmtcheck vet build race
@@ -23,6 +23,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run NONE ./...
+
+## cachecheck: differential block-cache tests under the race detector plus
+## the bench smoke that records per-iteration wire bytes in BENCH_cache.json
+cachecheck:
+	$(GO) test -race -count=1 -run 'Cache' ./...
+	$(GO) run ./cmd/fuseme-bench -exp cache -scale 0.25 -out BENCH_cache.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

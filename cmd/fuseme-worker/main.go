@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"fuseme/internal/obs"
 	"fuseme/internal/rt/remote"
@@ -25,12 +26,30 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on (host:port; port 0 for ephemeral)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address")
+	cacheBytes := flag.Int64("cache-bytes", -1, "block-cache budget in bytes for loop-invariant inputs (0 disables; default FUSEME_CACHE_BYTES or 0)")
 	flag.Parse()
+
+	budget := *cacheBytes
+	if budget < 0 {
+		budget = 0
+		if env := os.Getenv("FUSEME_CACHE_BYTES"); env != "" {
+			n, err := strconv.ParseInt(env, 10, 64)
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "fuseme-worker: FUSEME_CACHE_BYTES=%q: want a non-negative byte count\n", env)
+				os.Exit(1)
+			}
+			budget = n
+		}
+	}
 
 	w, err := remote.NewWorker(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuseme-worker:", err)
 		os.Exit(1)
+	}
+	if budget > 0 {
+		w.SetCacheBytes(budget)
+		fmt.Println("fuseme-worker block cache:", budget, "bytes")
 	}
 	fmt.Println("fuseme-worker listening on", w.Addr())
 

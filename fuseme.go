@@ -174,6 +174,13 @@ type Stats struct {
 	SimSeconds         float64 // simulated elapsed time (paper's Eq. 2)
 	WallSeconds        float64 // real wall-clock time of local execution
 	PeakTaskMemBytes   int64   // per-task memory high-water mark
+
+	// Block-cache counters (zero unless WithBlockCache / FUSEME_CACHE_BYTES
+	// enabled the worker-resident cache for loop-invariant inputs).
+	CacheHits       int64 // block fetches served from a worker cache
+	CacheMisses     int64 // cacheable fetches that had to ship
+	CacheEvictions  int64 // blocks dropped to respect the byte budget
+	CacheSavedBytes int64 // wire bytes avoided by cache hits
 }
 
 // TotalCommBytes is consolidation plus aggregation traffic — the
@@ -198,6 +205,10 @@ func statsFrom(c cluster.Stats) Stats {
 		SimSeconds:         c.SimSeconds,
 		WallSeconds:        c.WallSeconds,
 		PeakTaskMemBytes:   c.PeakTaskMemBytes,
+		CacheHits:          c.CacheHits,
+		CacheMisses:        c.CacheMisses,
+		CacheEvictions:     c.CacheEvictions,
+		CacheSavedBytes:    c.CacheSavedBytes,
 	}
 }
 
@@ -251,6 +262,7 @@ type Session struct {
 	metricsSrv  *obs.Server   // running endpoint, if any
 	rcfg        remote.Config // TCP transport overrides from options
 	retries     int           // WithMaxTaskRetries; -1 = env/default
+	cacheBytes  int64         // WithBlockCache; -1 = env/default
 }
 
 // NewSession creates a session on the given cluster configuration, running
@@ -267,8 +279,9 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		inputs: map[string]*block.Matrix{},
 		// Calibration is always on: it is stage-level (a stats snapshot per
 		// stage) and is what Session.Report joins against.
-		obs:     &obs.Obs{Calib: obs.NewCalibration()},
-		retries: -1,
+		obs:        &obs.Obs{Calib: obs.NewCalibration()},
+		retries:    -1,
+		cacheBytes: -1,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -276,6 +289,9 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		}
 	}
 	if _, err := s.maxTaskRetries(); err != nil {
+		return nil, err
+	}
+	if _, err := s.blockCacheBytes(); err != nil {
 		return nil, err
 	}
 	if _, err := s.remoteConfig(); err != nil {
@@ -377,7 +393,8 @@ func clampDensity(d float64) float64 {
 }
 
 // clusterConfig resolves the internal cluster configuration with the
-// session's retry override (option > FUSEME_MAX_TASK_RETRIES > default).
+// session's retry and block-cache overrides (option > environment >
+// default).
 func (s *Session) clusterConfig() (cluster.Config, error) {
 	cc := s.cfg.internal()
 	retries, err := s.maxTaskRetries()
@@ -385,6 +402,11 @@ func (s *Session) clusterConfig() (cluster.Config, error) {
 		return cc, err
 	}
 	cc.MaxTaskRetries = retries
+	cacheBytes, err := s.blockCacheBytes()
+	if err != nil {
+		return cc, err
+	}
+	cc.CacheBytes = cacheBytes
 	return cc, nil
 }
 

@@ -12,9 +12,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"fuseme/internal/matrix"
 )
+
+// epochCounter issues globally-unique, monotonically increasing content
+// epochs. Every new Matrix gets a fresh epoch, and every in-place mutation
+// (SetBlock, AddInto) restamps the matrix with a fresh one. Because epochs
+// never repeat, a cache entry keyed by (node, epoch, coord) can never alias
+// different content: stale entries simply stop matching.
+var epochCounter atomic.Uint64
+
+func nextEpoch() uint64 { return epochCounter.Add(1) }
 
 // Key addresses a block by its (block-row, block-col) grid position.
 type Key struct {
@@ -29,6 +39,7 @@ type Matrix struct {
 	Rows, Cols int // element-level dimensions
 	BlockSize  int
 	blocks     map[Key]matrix.Mat
+	epoch      uint64 // content version; see epochCounter
 }
 
 // New returns an empty (all-zero) blocked matrix.
@@ -36,8 +47,15 @@ func New(rows, cols, blockSize int) *Matrix {
 	if rows < 0 || cols < 0 || blockSize <= 0 {
 		panic(fmt.Sprintf("block: invalid shape %dx%d bs=%d", rows, cols, blockSize))
 	}
-	return &Matrix{Rows: rows, Cols: cols, BlockSize: blockSize, blocks: make(map[Key]matrix.Mat)}
+	return &Matrix{Rows: rows, Cols: cols, BlockSize: blockSize,
+		blocks: make(map[Key]matrix.Mat), epoch: nextEpoch()}
 }
+
+// Epoch returns the matrix's content version: a globally-unique counter value
+// assigned at construction and refreshed by every in-place mutation. Caches
+// key block content by (node, epoch, coord), so a matrix whose epoch is
+// unchanged is guaranteed to hold the same blocks it held when cached.
+func (m *Matrix) Epoch() uint64 { return m.epoch }
 
 // ceilDiv returns ceil(a/b) for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -74,6 +92,7 @@ func (m *Matrix) SetBlock(bi, bj int, blk matrix.Mat) {
 	}
 	if blk == nil {
 		delete(m.blocks, Key{bi, bj})
+		m.epoch = nextEpoch()
 		return
 	}
 	wr, wc := m.BlockDims(bi, bj)
@@ -82,6 +101,7 @@ func (m *Matrix) SetBlock(bi, bj int, blk matrix.Mat) {
 		panic(fmt.Sprintf("block: block (%d,%d) has shape %dx%d, want %dx%d", bi, bj, br, bc, wr, wc))
 	}
 	m.blocks[Key{bi, bj}] = blk
+	m.epoch = nextEpoch()
 }
 
 // NumStoredBlocks returns the number of explicitly stored (non-zero) blocks.
@@ -231,6 +251,7 @@ func AddInto(dst, src *Matrix) {
 		}
 		dst.blocks[k] = matrix.Binary(matrix.Add, cur, blk)
 	})
+	dst.epoch = nextEpoch()
 }
 
 // RandomDense generates a blocked dense matrix with entries in [lo, hi),

@@ -1,0 +1,183 @@
+package blockcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"fuseme/internal/matrix"
+)
+
+func key(node int, epoch uint64, bi, bj int) Key {
+	return Key{Node: node, Epoch: epoch, BI: bi, BJ: bj}
+}
+
+func TestGenerationVisibility(t *testing.T) {
+	c := New(1 << 20)
+	k := key(1, 7, 0, 0)
+	blk := matrix.NewDense(2, 2)
+	if added, _ := c.Put(k, blk, 32, 5); !added {
+		t.Fatal("Put rejected a fitting entry")
+	}
+	// Same generation (or earlier): the entry must be invisible.
+	if _, hit := c.Get(k, 5); hit {
+		t.Error("entry inserted at gen 5 visible to gen 5")
+	}
+	if _, hit := c.Get(k, 4); hit {
+		t.Error("entry inserted at gen 5 visible to gen 4")
+	}
+	// Strictly later generation: hit.
+	got, hit := c.Get(k, 6)
+	if !hit {
+		t.Fatal("entry inserted at gen 5 not visible to gen 6")
+	}
+	if got != blk {
+		t.Error("hit returned a different block")
+	}
+	if s := c.Snapshot(); s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+}
+
+func TestRePutKeepsOriginalGeneration(t *testing.T) {
+	c := New(1 << 20)
+	k := key(2, 9, 1, 1)
+	c.Put(k, nil, 100, 3)
+	// A later re-put must not double-charge or advance the visibility gen.
+	if added, _ := c.Put(k, nil, 100, 8); added {
+		t.Error("re-Put reported added")
+	}
+	if rb := c.ResidentBytes(); rb != 100 {
+		t.Errorf("resident = %d after re-Put, want 100", rb)
+	}
+	if _, hit := c.Get(k, 4); !hit {
+		t.Error("re-Put at gen 8 hid the original gen-3 entry from gen 4")
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c := New(64)
+	if added, _ := c.Put(key(0, 1, 0, 0), nil, 65, 1); added {
+		t.Error("entry larger than the whole budget was cached")
+	}
+	if c.Len() != 0 || c.ResidentBytes() != 0 {
+		t.Error("oversized Put left residue")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(300)
+	a, b, d := key(0, 1, 0, 0), key(0, 1, 0, 1), key(0, 1, 0, 2)
+	c.Put(a, nil, 100, 1)
+	c.Put(b, nil, 100, 1)
+	c.Put(d, nil, 100, 1)
+	// Touch a so b becomes least recently used.
+	c.Get(a, 2)
+	_, evicted := c.Put(key(0, 1, 0, 3), nil, 100, 2)
+	if len(evicted) != 1 || evicted[0] != b {
+		t.Errorf("evicted %v, want [%v]", evicted, b)
+	}
+	if _, hit := c.Get(a, 3); !hit {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestInvalidateStale(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(key(1, 10, 0, 0), nil, 10, 1)
+	c.Put(key(1, 10, 0, 1), nil, 10, 1)
+	c.Put(key(1, 22, 0, 0), nil, 10, 2) // current epoch
+	c.Put(key(2, 10, 0, 0), nil, 10, 1) // different node, same stale epoch
+	dropped := c.InvalidateStale(1, 22)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d entries, want 2", len(dropped))
+	}
+	for _, k := range dropped {
+		if k.Node != 1 || k.Epoch != 10 {
+			t.Errorf("dropped wrong key %v", k)
+		}
+	}
+	if _, hit := c.Get(key(1, 22, 0, 0), 3); !hit {
+		t.Error("current-epoch entry was invalidated")
+	}
+	if _, hit := c.Get(key(2, 10, 0, 0), 3); !hit {
+		t.Error("other node's entry was invalidated")
+	}
+	if s := c.Snapshot(); s.Evictions != 0 {
+		t.Errorf("invalidation counted as %d evictions", s.Evictions)
+	}
+	if rb := c.ResidentBytes(); rb != 20 {
+		t.Errorf("resident = %d after invalidation, want 20", rb)
+	}
+	// Epoch 0 drops everything the node holds.
+	if dropped := c.InvalidateStale(1, 0); len(dropped) != 1 {
+		t.Errorf("epoch-0 invalidation dropped %d, want 1", len(dropped))
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, hit := c.Get(key(0, 1, 0, 0), 5); hit {
+		t.Error("nil cache hit")
+	}
+	if added, evicted := c.Put(key(0, 1, 0, 0), nil, 8, 1); added || evicted != nil {
+		t.Error("nil cache accepted a Put")
+	}
+	c.CountMiss()
+	c.InvalidateStale(0, 0)
+	if c.Len() != 0 || c.ResidentBytes() != 0 {
+		t.Error("nil cache reported contents")
+	}
+	if s := c.Snapshot(); s != (Stats{}) {
+		t.Error("nil cache reported stats")
+	}
+}
+
+// TestBudgetInvariantRandomized is the LRU property test: under arbitrary
+// randomized insert/get/invalidate sequences and budgets, resident bytes
+// never exceed the budget, and the resident-byte counter always equals the
+// sum of the live entries' sizes.
+func TestBudgetInvariantRandomized(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		budget := int64(rng.Intn(1000) + 1)
+		c := New(budget)
+		live := map[Key]int64{}
+		for op := 0; op < 400; op++ {
+			k := key(rng.Intn(4), uint64(rng.Intn(6)+1), rng.Intn(3), rng.Intn(3))
+			switch rng.Intn(4) {
+			case 0, 1:
+				size := int64(rng.Intn(300))
+				added, evicted := c.Put(k, nil, size, uint64(op))
+				for _, ek := range evicted {
+					delete(live, ek)
+				}
+				if added {
+					live[k] = size
+				}
+			case 2:
+				c.Get(k, uint64(op))
+			case 3:
+				if rng.Intn(10) == 0 {
+					node, epoch := rng.Intn(4), uint64(rng.Intn(6)+1)
+					for _, dk := range c.InvalidateStale(node, epoch) {
+						delete(live, dk)
+					}
+				}
+			}
+			var want int64
+			for _, sz := range live {
+				want += sz
+			}
+			got := c.ResidentBytes()
+			if got != want {
+				t.Fatalf("trial %d op %d: resident = %d, tracked sum = %d", trial, op, got, want)
+			}
+			if got > budget {
+				t.Fatalf("trial %d op %d: resident %d exceeds budget %d", trial, op, got, budget)
+			}
+			if c.Len() != len(live) {
+				t.Fatalf("trial %d op %d: len = %d, tracked = %d", trial, op, c.Len(), len(live))
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuseme/internal/blockcache"
 	"fuseme/internal/matrix"
 )
 
@@ -44,6 +45,12 @@ type Config struct {
 	BlockSize     int     // block width/height in elements
 	SimTimeLimit  float64 // simulated seconds before ErrTimeout; 0 disables
 	TaskOverhead  float64 // simulated seconds of scheduling overhead per task wave
+
+	// CacheBytes is the per-node block-cache budget for loop-invariant
+	// inputs. Zero disables caching (the default), reproducing the uncached
+	// runtime exactly. The effective budget is clamped to TaskMemBytes so
+	// the cache respects the paper's per-task memory budget θt.
+	CacheBytes int64
 
 	// MaxTaskRetries is how many times a failed task is re-attempted before
 	// the stage fails (Spark's task retry). Zero means no retries.
@@ -113,6 +120,15 @@ type Stats struct {
 	// aggregated partials re-delivered through the coordinator, and final
 	// result blocks returned to the driver. Always zero under simulation.
 	ExtraWireBytes int64
+
+	// Block-cache counters (zero unless Config.CacheBytes > 0). Hits are
+	// fetches served from a node/worker-resident cache without touching the
+	// wire; CacheSavedBytes is the in-memory size of those blocks (the
+	// traffic the cache avoided).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEvictions  int64
+	CacheSavedBytes int64
 }
 
 // TotalCommBytes is consolidation plus aggregation traffic.
@@ -139,6 +155,12 @@ type StatsView struct {
 		PeakTaskBytes int64  `json:"peak_task_bytes"`
 		PeakTask      string `json:"peak_task"`
 	} `json:"memory"`
+	Cache struct {
+		Hits       int64 `json:"hits"`
+		Misses     int64 `json:"misses"`
+		Evictions  int64 `json:"evictions"`
+		SavedBytes int64 `json:"saved_bytes"`
+	} `json:"cache"`
 	Time struct {
 		SimSeconds  float64 `json:"sim_seconds"`
 		WallSeconds float64 `json:"wall_seconds"`
@@ -158,6 +180,10 @@ func (s Stats) View() StatsView {
 	v.Scheduling.Tasks = s.Tasks
 	v.Memory.PeakTaskBytes = s.PeakTaskMemBytes
 	v.Memory.PeakTask = FormatBytes(s.PeakTaskMemBytes)
+	v.Cache.Hits = s.CacheHits
+	v.Cache.Misses = s.CacheMisses
+	v.Cache.Evictions = s.CacheEvictions
+	v.Cache.SavedBytes = s.CacheSavedBytes
 	v.Time.SimSeconds = s.SimSeconds
 	v.Time.WallSeconds = s.WallSeconds
 	return v
@@ -173,6 +199,10 @@ func (s *Stats) Add(other Stats) {
 	s.SimSeconds += other.SimSeconds
 	s.WallSeconds += other.WallSeconds
 	s.ExtraWireBytes += other.ExtraWireBytes
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.CacheEvictions += other.CacheEvictions
+	s.CacheSavedBytes += other.CacheSavedBytes
 	if other.PeakTaskMemBytes > s.PeakTaskMemBytes {
 		s.PeakTaskMemBytes = other.PeakTaskMemBytes
 	}
@@ -188,6 +218,17 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// caches holds one block cache per simulated node (empty when caching
+	// is disabled). A task's node is taskID % Nodes — deterministic, so the
+	// TCP runtime can reproduce the same placement with real workers.
+	caches []*blockcache.Cache
+
+	// stageSeq is the stage-generation counter driving cache visibility:
+	// blocks cached during generation g only become hits in generations > g,
+	// making hit counts independent of in-stage scheduling order. It is
+	// never reset (ResetStats keeps it), so caching works across queries.
+	stageSeq atomic.Uint64
 }
 
 // New creates a cluster from cfg.
@@ -195,7 +236,18 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg}, nil
+	c := &Cluster{cfg: cfg}
+	if cfg.CacheBytes > 0 {
+		budget := cfg.CacheBytes
+		if budget > cfg.TaskMemBytes {
+			budget = cfg.TaskMemBytes
+		}
+		c.caches = make([]*blockcache.Cache, cfg.Nodes)
+		for i := range c.caches {
+			c.caches[i] = blockcache.New(budget)
+		}
+	}
+	return c, nil
 }
 
 // MustNew is New for known-good configs (tests, examples).
@@ -228,6 +280,35 @@ func (c *Cluster) ResetStats() {
 // method exists so *Cluster satisfies the rt.Runtime interface.
 func (c *Cluster) Close() error { return nil }
 
+// StageCacheGen returns the generation the next stage will run at. The
+// executor reads it when building a stage so tasks can distinguish blocks
+// cached by earlier stages (hit-visible) from ones their own stage inserts.
+func (c *Cluster) StageCacheGen() uint64 { return c.stageSeq.Load() + 1 }
+
+// NextStageGen advances the stage-generation counter and returns the new
+// value. RunStage calls it internally; backends that execute stages without
+// going through RunStage (the TCP coordinator) call it per spec stage.
+func (c *Cluster) NextStageGen() uint64 { return c.stageSeq.Add(1) }
+
+// TaskCache returns the block cache of the node that task taskID runs on,
+// or nil when caching is disabled.
+func (c *Cluster) TaskCache(taskID int) *blockcache.Cache {
+	if len(c.caches) == 0 {
+		return nil
+	}
+	return c.caches[taskID%len(c.caches)]
+}
+
+// InvalidateStaleEpochs drops cached blocks of node whose epoch differs from
+// epoch on every simulated node. Harmless but wasteful entries would never
+// be hit anyway (epochs are globally unique), so this is the sim-side
+// analogue of the coordinator's invalidation push: it frees budget.
+func (c *Cluster) InvalidateStaleEpochs(node int, epoch uint64) {
+	for _, cache := range c.caches {
+		cache.InvalidateStale(node, epoch)
+	}
+}
+
 // AddStats folds externally measured metrics (for example a remote backend's
 // wire accounting) into the cluster's totals.
 func (c *Cluster) AddStats(s Stats) {
@@ -257,6 +338,11 @@ type Task struct {
 	flops              int64
 	memBytes           int64
 	memPeak            int64
+
+	cacheHits       int64
+	cacheMisses     int64
+	cacheEvictions  int64
+	cacheSavedBytes int64
 }
 
 // FetchBlock meters a block moved to this task during matrix consolidation
@@ -303,11 +389,34 @@ func (t *Task) GrowMem(n int64) {
 // ShrinkMem decreases the live-memory estimate (a block was released).
 func (t *Task) ShrinkMem(n int64) { t.memBytes -= n }
 
+// CacheHit meters a cache-eligible fetch served from the node-resident block
+// cache: no wire traffic, but the block still occupies task memory (exactly
+// like a colocated read). savedBytes is the consolidation-class traffic the
+// hit avoided — zero for colocated inputs, which never ship in the simulated
+// model, so CacheSavedBytes exactly equals the consolidation-byte drop
+// versus an uncached run on both backends.
+func (t *Task) CacheHit(blockBytes, savedBytes int64) {
+	t.cacheHits++
+	t.cacheSavedBytes += savedBytes
+	t.GrowMem(blockBytes)
+}
+
+// CacheMiss meters a cache-eligible fetch that had to ship the block.
+func (t *Task) CacheMiss() { t.cacheMisses++ }
+
+// AddCacheEvictions meters entries the task's insertions evicted.
+func (t *Task) AddCacheEvictions(n int) { t.cacheEvictions += int64(n) }
+
 // Counters returns the task's accumulated metering, for backends that fold
 // task metrics into stage statistics outside RunStage (the remote runtime's
 // workers report these back to their coordinator).
 func (t *Task) Counters() (consolidationBytes, aggregationBytes, flops, memPeakBytes int64) {
 	return t.consolidationBytes, t.aggregationBytes, t.flops, t.memPeak
+}
+
+// CacheCounters returns the task's block-cache metering.
+func (t *Task) CacheCounters() (hits, misses, evictions, savedBytes int64) {
+	return t.cacheHits, t.cacheMisses, t.cacheEvictions, t.cacheSavedBytes
 }
 
 // RunStage executes numTasks tasks as one distributed stage. fn runs once
@@ -320,6 +429,7 @@ func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) er
 		return fmt.Errorf("cluster: stage %q: negative task count", name)
 	}
 	start := time.Now()
+	c.stageSeq.Add(1)
 	workers := c.cfg.TotalSlots()
 	if n := runtime.GOMAXPROCS(0); n < workers {
 		workers = n
@@ -382,6 +492,10 @@ func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) er
 		stage.ConsolidationBytes += tasks[i].consolidationBytes
 		stage.AggregationBytes += tasks[i].aggregationBytes
 		stage.Flops += tasks[i].flops
+		stage.CacheHits += tasks[i].cacheHits
+		stage.CacheMisses += tasks[i].cacheMisses
+		stage.CacheEvictions += tasks[i].cacheEvictions
+		stage.CacheSavedBytes += tasks[i].cacheSavedBytes
 		if tasks[i].memPeak > stage.PeakTaskMemBytes {
 			stage.PeakTaskMemBytes = tasks[i].memPeak
 		}

@@ -43,6 +43,12 @@ type FuseME struct {
 	Balanced bool
 	// NoMask disables outer-fusion masking (dense evaluation), for ablation.
 	NoMask bool
+	// CachedNames marks query inputs (by name) whose blocks are resident in
+	// the worker block caches: their consolidation traffic is discounted
+	// from NetEst when choosing (P,Q,R), reflecting the steady state of an
+	// iterative workload from the second iteration on. Empty (the zero
+	// value) compiles exactly as published.
+	CachedNames map[string]bool
 }
 
 // Name implements Engine.
@@ -70,8 +76,11 @@ func (f FuseME) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
 			continue
 		}
 		params, ok := res.Params[p]
-		if !ok {
-			params = opt.Optimize(model, cost.Analyze(p, cc.BlockSize))
+		// Cache-resident inputs change the network term, so re-optimize
+		// (P,Q,R) with the discounted estimates even when CFG already
+		// picked parameters for this plan.
+		if cached := f.cachedIDs(p); !ok || len(cached) > 0 {
+			params = opt.Optimize(model, cost.AnalyzeCached(p, cc.BlockSize, cached))
 		}
 		pp.Ops = append(pp.Ops, &PhysOp{
 			Plan: p, Strategy: exec.Cuboid, Kind: "CFO",
@@ -83,6 +92,24 @@ func (f FuseME) Compile(g *dag.Graph, cc cluster.Config) (*PhysPlan, error) {
 	}
 	pp.Ops = groupMultiAgg(pp.Ops, cc)
 	return pp, nil
+}
+
+// cachedIDs resolves CachedNames to the plan's external-input node IDs;
+// nil when no marked input feeds this plan.
+func (f FuseME) cachedIDs(p *fusion.Plan) map[int]bool {
+	if len(f.CachedNames) == 0 {
+		return nil
+	}
+	var ids map[int]bool
+	for _, in := range p.ExternalInputs() {
+		if in.Op == dag.OpInput && f.CachedNames[in.Name] {
+			if ids == nil {
+				ids = map[int]bool{}
+			}
+			ids[in.ID] = true
+		}
+	}
+	return ids
 }
 
 // SystemDSSim reproduces SystemDS: GEN fusion plans executed with BFO or

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
@@ -30,6 +31,14 @@ type evaluator struct {
 	memo      map[memoKey]matrix.Mat
 	fetched   map[memoKey]bool
 	colocated map[int]bool // inputs co-partitioned with the output: no fetch cost
+
+	// Block-cache state, armed by stageCtx.armCache when the stage
+	// advertises input epochs and the task's node/worker holds a cache.
+	// All zero otherwise, which reproduces the uncached fetch path exactly.
+	cache    *blockcache.Cache
+	cacheGen uint64
+	epochs   map[int]uint64    // node ID -> content epoch of the bound input
+	advert   *spec.CacheAdvert // cache-mutation delta to report (workers only)
 }
 
 type memoKey struct {
@@ -184,6 +193,30 @@ func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
 			return blk
 		}
 	}
+	var ck blockcache.Key
+	cacheable := false
+	if ev.cache != nil {
+		if ep, ok := ev.epochs[n.ID]; ok {
+			ck = blockcache.Key{Node: n.ID, Epoch: ep, BI: bi, BJ: bj}
+			cacheable = true
+		}
+	}
+	if cacheable && !ev.fetched[key] {
+		if blk, hit := ev.cache.Get(ck, ev.cacheGen); hit {
+			// Served from the node/worker-resident cache: no wire fetch,
+			// but the block occupies task memory like any local read.
+			// Colocated inputs never ship in the simulated model, so a hit
+			// on one saves no consolidation bytes.
+			ev.fetched[key] = true
+			saved := blk.SizeBytes()
+			if ev.colocated[n.ID] {
+				saved = 0
+			}
+			ev.task.CacheHit(blk.SizeBytes(), saved)
+			ev.memo[key] = blk
+			return blk
+		}
+	}
 	blk, err := ev.src.fetch(spec.BlockRef{Kind: spec.RefInput, Node: n.ID, BI: bi, BJ: bj})
 	if err != nil {
 		ev.fail(fmt.Errorf("exec: input %d (%s) block (%d,%d): %w", n.ID, n.Label(), bi, bj, err))
@@ -198,6 +231,19 @@ func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
 			}
 		} else {
 			ev.task.FetchBlock(blk) // nil-safe: zero blocks cost nothing
+		}
+		if cacheable && blk != nil {
+			// Only materialised blocks are cached (and counted as misses):
+			// all-zero blocks cost nothing to refetch on either backend.
+			ev.task.CacheMiss()
+			added, evicted := ev.cache.Put(ck, blk, blk.SizeBytes(), ev.cacheGen)
+			ev.task.AddCacheEvictions(len(evicted))
+			if ev.advert != nil {
+				if added {
+					ev.advert.Added = append(ev.advert.Added, ck)
+				}
+				ev.advert.Evicted = append(ev.advert.Evicted, evicted...)
+			}
 		}
 	}
 	ev.memo[key] = blk

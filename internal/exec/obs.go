@@ -64,6 +64,10 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	o.Counter(obs.MAggregationBytes).Add(meas.AggregationBytes)
 	o.Counter(obs.MExtraBytes).Add(meas.ExtraWireBytes)
 	o.Counter(obs.MFlopsTotal).Add(meas.Flops)
+	o.Counter(obs.MCacheHits).Add(after.CacheHits - before.CacheHits)
+	o.Counter(obs.MCacheMisses).Add(after.CacheMisses - before.CacheMisses)
+	o.Counter(obs.MCacheEvictions).Add(after.CacheEvictions - before.CacheEvictions)
+	o.Gauge(obs.MCacheSavedBytes).Set(float64(after.CacheSavedBytes))
 
 	if span != nil {
 		span.Arg("consolidation_bytes", meas.ConsolidationBytes).

@@ -34,11 +34,30 @@ func runTask(fn func() error) (err error) {
 // both are wrapped in the operator's observability (spans, metrics,
 // calibration measurement) when enabled.
 func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route emitFn) error {
+	var cacher rt.BlockCacher
+	var gen uint64
+	if bc, ok := rtm.(rt.BlockCacher); ok && len(ctx.sp.Epochs) > 0 {
+		cacher = bc
+		gen = bc.StageCacheGen()
+		// Drop residual cache entries of inputs that were rebound since they
+		// were cached: their epoch changed, so the entries can never hit
+		// again and only waste budget (on the TCP backend this pushes
+		// invalidation frames to the workers holding them).
+		for _, ne := range ctx.sp.Epochs {
+			cacher.InvalidateStaleEpochs(ne.Node, ne.Epoch)
+		}
+	}
 	return runObservedStage(rtm, ctx.op.Obs, ctx.op.opKey(), &rt.Stage{
 		Name:     name,
 		NumTasks: ctx.sp.NumTasks,
 		Fn: func(task *cluster.Task) error {
-			return runStageTask(ctx, task.ID, task, src, route)
+			var cc *CacheCtx
+			if cacher != nil {
+				if cache := cacher.TaskCache(task.ID); cache != nil {
+					cc = &CacheCtx{Cache: cache, Gen: gen}
+				}
+			}
+			return runStageTask(ctx, task.ID, task, src, route, cc)
 		},
 		Spec:  ctx.sp,
 		Fetch: src.fetch,
@@ -101,6 +120,7 @@ func (op *FusedOp) executeCuboid(rtm rt.Runtime, bind Bindings) (*block.Matrix, 
 		GJ:        gj,
 		GK:        gk,
 		Colocated: colocatedList(colocated),
+		Epochs:    stageEpochs(rtm, op.Plan, bind),
 	}
 
 	if r == 1 {
@@ -195,6 +215,7 @@ func (op *FusedOp) executeGrid(rtm rt.Runtime, bind Bindings) (*block.Matrix, er
 		GJ:        gj,
 		GK:        fullK,
 		Colocated: colocatedList(colocated),
+		Epochs:    stageEpochs(rtm, op.Plan, bind),
 	}
 	src := bindSource{bind: bind}
 	if err := dispatch(rtm, sp.Name, newStageCtx(op, &sp), src, routeTo(sink, agg, nil)); err != nil {
@@ -217,6 +238,32 @@ func routeTo(sink *resultSink, agg *aggSink, partials *mmPartialSink) emitFn {
 			partials.add(bi, bj, blk)
 		}
 	}
+}
+
+// Epochs returns the content epochs of the plan's bound external inputs in
+// node-ID order: the cache keys' version component. Scalars carry no epoch.
+func (b Bindings) Epochs(p *fusion.Plan) []spec.NodeEpoch {
+	var out []spec.NodeEpoch
+	for _, in := range p.ExternalInputs() {
+		if in.Op == dag.OpScalar {
+			continue
+		}
+		if m, ok := b[in.ID]; ok {
+			out = append(out, spec.NodeEpoch{Node: in.ID, Epoch: m.Epoch()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// stageEpochs resolves the epoch list a stage descriptor advertises: the
+// bound inputs' epochs when the runtime has block caching enabled, nil (no
+// caching, the exact uncached execution) otherwise.
+func stageEpochs(rtm rt.Runtime, p *fusion.Plan, bind Bindings) []spec.NodeEpoch {
+	if rtm.Config().CacheBytes <= 0 {
+		return nil
+	}
+	return bind.Epochs(p)
 }
 
 // toSpans converts internal spans to their wire representation.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fuseme/internal/block"
+	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
 	"fuseme/internal/cost"
 	"fuseme/internal/dag"
@@ -70,7 +71,8 @@ type stageCtx struct {
 	root      *dag.Node
 	rootAgg   *dag.Node
 	colocated map[int]bool
-	mainIn    *dag.Node // BFO: the co-partitioned main input (not broadcast)
+	mainIn    *dag.Node      // BFO: the co-partitioned main input (not broadcast)
+	epochs    map[int]uint64 // input epochs from the descriptor; empty = no caching
 }
 
 func newStageCtx(op *FusedOp, sp *spec.Stage) *stageCtx {
@@ -83,22 +85,51 @@ func newStageCtx(op *FusedOp, sp *spec.Stage) *stageCtx {
 	if sp.Broadcast {
 		ctx.mainIn = cost.MainInput(op.Plan)
 	}
+	if len(sp.Epochs) > 0 {
+		ctx.epochs = make(map[int]uint64, len(sp.Epochs))
+		for _, ne := range sp.Epochs {
+			ctx.epochs[ne.Node] = ne.Epoch
+		}
+	}
 	return ctx
 }
 
+// CacheCtx binds one task execution to its node/worker-resident block cache:
+// the cache itself, the stage generation driving hit visibility, and an
+// optional delta the task's cache mutations are recorded into (remote workers
+// advertise the delta back to their coordinator).
+type CacheCtx struct {
+	Cache  *blockcache.Cache
+	Gen    uint64
+	Advert *spec.CacheAdvert
+}
+
+// armCache wires the cache context into an evaluator. A nil cc, a nil cache
+// or a stage without epochs leaves the evaluator running fully uncached.
+func (ctx *stageCtx) armCache(ev *evaluator, cc *CacheCtx) {
+	if cc == nil || cc.Cache == nil || len(ctx.epochs) == 0 {
+		return
+	}
+	ev.cache = cc.Cache
+	ev.cacheGen = cc.Gen
+	ev.epochs = ctx.epochs
+	ev.advert = cc.Advert
+}
+
 // runStageTask executes task taskID of the stage: the single task body both
-// backends share. Results leave through emit; metering lands on task.
-func runStageTask(ctx *stageCtx, taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+// backends share. Results leave through emit; metering lands on task. cc
+// (optionally nil) binds the task to its node/worker-resident block cache.
+func runStageTask(ctx *stageCtx, taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
 	return runTask(func() error {
 		switch ctx.sp.Phase {
 		case spec.PhaseCuboid:
-			return ctx.runCuboidTask(taskID, task, src, emit)
+			return ctx.runCuboidTask(taskID, task, src, emit, cc)
 		case spec.PhasePartial:
-			return ctx.runPartialTask(taskID, task, src, emit)
+			return ctx.runPartialTask(taskID, task, src, emit, cc)
 		case spec.PhaseFuse:
-			return ctx.runFuseTask(taskID, task, src, emit)
+			return ctx.runFuseTask(taskID, task, src, emit, cc)
 		case spec.PhaseGrid:
-			return ctx.runGridTask(taskID, task, src, emit)
+			return ctx.runGridTask(taskID, task, src, emit, cc)
 		}
 		return fmt.Errorf("exec: unknown stage phase %q", ctx.sp.Phase)
 	})
@@ -106,17 +137,18 @@ func runStageTask(ctx *stageCtx, taskID int, task *cluster.Task, src blockSource
 
 // runCuboidTask handles the single-stage (R == 1) cuboid execution: the task
 // computes final output blocks of its (p, q) partition.
-func (ctx *stageCtx) runCuboidTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+func (ctx *stageCtx) runCuboidTask(taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
 	q := len(ctx.sp.JRanges)
 	pi, qi := taskID/q, taskID%q
 	ev := newEvaluator(ctx.op, task, src, ctx.sp.BlockSize, 0, ctx.sp.GK)
 	ev.colocated = ctx.colocated
+	ctx.armCache(ev, cc)
 	return ctx.evalOutputs(ev, task, pi, qi, emit)
 }
 
 // runPartialTask handles stage one of an R > 1 execution: partial
 // main-multiplication results over the task's k-range, shuffled out.
-func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
 	sp := ctx.sp
 	q, r := len(sp.JRanges), len(sp.KRanges)
 	pi := taskID / (q * r)
@@ -125,6 +157,7 @@ func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSou
 	kr := sp.KRanges[ri]
 	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, kr.Lo, kr.Hi)
 	ev.colocated = ctx.colocated
+	ctx.armCache(ev, cc)
 	rowsp, colsp := sp.IRanges[pi], sp.JRanges[qi]
 	for bi := rowsp.Lo; bi < rowsp.Hi; bi++ {
 		for bj := colsp.Lo; bj < colsp.Hi; bj++ {
@@ -151,12 +184,13 @@ func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSou
 // runFuseTask handles stage two of an R > 1 execution: the task pins the
 // aggregated multiplication results of its partition and applies the O-space
 // chain once.
-func (ctx *stageCtx) runFuseTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+func (ctx *stageCtx) runFuseTask(taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
 	sp := ctx.sp
 	q := len(sp.JRanges)
 	pi, qi := taskID/q, taskID%q
 	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, 0, sp.GK)
 	ev.colocated = ctx.colocated
+	ctx.armCache(ev, cc)
 	ri, rj := sp.IRanges[pi], sp.JRanges[qi]
 	for bi := ri.Lo; bi < ri.Hi; bi++ {
 		for bj := rj.Lo; bj < rj.Hi; bj++ {
@@ -175,11 +209,12 @@ func (ctx *stageCtx) runFuseTask(taskID int, task *cluster.Task, src blockSource
 
 // runGridTask handles matmul-free plans and BFO executions: a strided map
 // over the output block grid.
-func (ctx *stageCtx) runGridTask(taskID int, task *cluster.Task, src blockSource, emit emitFn) error {
+func (ctx *stageCtx) runGridTask(taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
 	sp := ctx.sp
 	totalBlocks := sp.GI * sp.GJ
 	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, 0, sp.GK)
 	ev.colocated = ctx.colocated
+	ctx.armCache(ev, cc)
 	if sp.Broadcast {
 		broadcastSides(ctx.op.Plan, ctx.mainIn, src, ev, task)
 	}
@@ -267,8 +302,9 @@ func broadcastSides(p *fusion.Plan, mainIn *dag.Node, src blockSource, ev *evalu
 // ExecuteSpecTask runs one task of a shipped stage descriptor on a worker:
 // the plan is rebuilt from the descriptor, blocks are pulled through fetch,
 // and result blocks are encoded through emit. Metering lands on task and is
-// reported back to the coordinator by the caller.
-func ExecuteSpecTask(sp *spec.Stage, taskID int, task *cluster.Task, fetch func(spec.BlockRef) (matrix.Mat, error), emit func(spec.OutBlock)) error {
+// reported back to the coordinator by the caller. cc (optionally nil) is the
+// worker's block-cache binding; mutations land in cc.Advert when set.
+func ExecuteSpecTask(sp *spec.Stage, taskID int, task *cluster.Task, cc *CacheCtx, fetch func(spec.BlockRef) (matrix.Mat, error), emit func(spec.OutBlock)) error {
 	if taskID < 0 || taskID >= sp.NumTasks {
 		return fmt.Errorf("exec: task %d outside stage %q (%d tasks)", taskID, sp.Name, sp.NumTasks)
 	}
@@ -287,5 +323,5 @@ func ExecuteSpecTask(sp *spec.Stage, taskID int, task *cluster.Task, fetch func(
 			panic(execPanic{fmt.Errorf("exec: encoding result block (%d,%d): %w", bi, bj, err)})
 		}
 		emit(spec.OutBlock{Kind: kind, BI: bi, BJ: bj, Data: data})
-	})
+	}, cc)
 }

@@ -23,6 +23,9 @@ type Options struct {
 	// top-level span and real executions (the ablation) record full
 	// stage/task detail. fuseme-bench -trace-out wires this up.
 	Obs *obs.Obs
+	// CacheOut, when non-empty, is where the cache experiment writes its
+	// JSON report (fuseme-bench -out).
+	CacheOut string
 }
 
 func (o Options) scale() float64 {
@@ -117,6 +120,7 @@ var registry = map[string]Runner{
 	"fig15":    Fig15,
 	"plans":    Plans,
 	"ablation": Ablation,
+	"cache":    Cache,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

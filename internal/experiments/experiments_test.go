@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -320,5 +323,48 @@ func TestTableRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCacheExperiment is the acceptance check for the loop-invariant block
+// cache: GNMF over the TCP runtime with caching must ship strictly fewer
+// wire bytes than the uncached run from the second iteration on, and the
+// JSON report lands where -out points.
+func TestCacheExperiment(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_cache.json")
+	rep, tables, err := CacheBench(Options{Scale: 0.25, CacheOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	if len(rep.PerIter) != rep.Iterations {
+		t.Fatalf("report has %d iterations, want %d", len(rep.PerIter), rep.Iterations)
+	}
+	for _, it := range rep.PerIter[1:] {
+		if it.CacheHits == 0 {
+			t.Errorf("iteration %d: no cache hits", it.Iteration)
+		}
+		if it.CachedWireBytes >= it.UncachedWireBytes {
+			t.Errorf("iteration %d: cached wire %d not below uncached %d",
+				it.Iteration, it.CachedWireBytes, it.UncachedWireBytes)
+		}
+	}
+
+	// The registered runner writes the report.
+	if _, err := Run("cache", Options{Scale: 0.25, CacheOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Workload == "" || len(back.PerIter) == 0 {
+		t.Fatalf("degenerate report: %+v", back)
 	}
 }

@@ -161,6 +161,128 @@ func TestRuntimeConformancePlan(t *testing.T) {
 	}
 }
 
+// cacheBackends returns the runtime constructors with the loop-invariant
+// block cache enabled on both sides (worker budgets and coordinator config).
+func cacheBackends() map[string]func(t *testing.T) rt.Runtime {
+	const budget = 64 << 20
+	return map[string]func(t *testing.T) rt.Runtime{
+		"sim": func(t *testing.T) rt.Runtime {
+			cfg := conformanceConfig()
+			cfg.CacheBytes = budget
+			return cluster.MustNew(cfg)
+		},
+		"tcp": func(t *testing.T) rt.Runtime {
+			cfg := conformanceConfig()
+			cfg.CacheBytes = budget
+			addrs := make([]string, cfg.Nodes)
+			for i := range addrs {
+				w, err := remote.NewWorker("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { w.Close() })
+				w.SetCacheBytes(budget)
+				addrs[i] = w.Addr()
+			}
+			co, err := remote.NewCoordinatorConfig(cfg, addrs, remote.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { co.Close() })
+			return co
+		},
+	}
+}
+
+// runPlanTwice executes the reference plan twice against the same bound
+// inputs (so the second run sees the first run's epochs) and returns the
+// stats of each run separately.
+func runPlanTwice(t *testing.T, rtm rt.Runtime) (first, second cluster.Stats) {
+	t.Helper()
+	const rows, cols, k = 96, 80, 8
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(rows, cols, 16, 0.05, 1, 5, 1),
+		"U": block.RandomDense(rows, k, 16, 0.5, 1.5, 2),
+		"V": block.RandomDense(cols, k, 16, 0.5, 1.5, 3),
+	}
+	g := workloads.NMFKernel(rows, cols, k, inputs["X"].Density())
+	if _, s, err := core.Run(core.FuseME{}, g, rtm, inputs); err != nil {
+		t.Fatal(err)
+	} else {
+		first = s
+	}
+	rtm.ResetStats()
+	if _, s, err := core.Run(core.FuseME{}, g, rtm, inputs); err != nil {
+		t.Fatal(err)
+	} else {
+		second = s
+	}
+	return first, second
+}
+
+// TestRuntimeConformanceBlockCache requires the simulated cluster and the
+// TCP backend to agree exactly on cache behaviour for the same fused plan
+// run twice: identical hit/miss counts per run, identical saved bytes, and
+// the same consolidation-byte classification (the second run's consolidation
+// class shrinks on both, by the same metered savings).
+func TestRuntimeConformanceBlockCache(t *testing.T) {
+	ctors := cacheBackends()
+	simFirst, simSecond := runPlanTwice(t, ctors["sim"](t))
+
+	if simFirst.CacheHits != 0 {
+		t.Errorf("sim cold run reported %d hits, want 0", simFirst.CacheHits)
+	}
+	if simFirst.CacheMisses == 0 {
+		t.Error("sim cold run populated nothing")
+	}
+	if simSecond.CacheHits == 0 {
+		t.Error("sim warm run hit nothing")
+	}
+	if simSecond.ConsolidationBytes >= simFirst.ConsolidationBytes {
+		t.Errorf("sim warm consolidation %d not below cold %d",
+			simSecond.ConsolidationBytes, simFirst.ConsolidationBytes)
+	}
+	if saved := simFirst.ConsolidationBytes - simSecond.ConsolidationBytes; simSecond.CacheSavedBytes != saved {
+		t.Errorf("sim warm run saved %d bytes but consolidation dropped by %d",
+			simSecond.CacheSavedBytes, saved)
+	}
+
+	for name, open := range ctors {
+		if name == "sim" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			first, second := runPlanTwice(t, open(t))
+			for _, run := range []struct {
+				name     string
+				ref, got cluster.Stats
+			}{{"cold", simFirst, first}, {"warm", simSecond, second}} {
+				if run.got.CacheHits != run.ref.CacheHits || run.got.CacheMisses != run.ref.CacheMisses {
+					t.Errorf("%s run: hits/misses %d/%d, sim %d/%d", run.name,
+						run.got.CacheHits, run.got.CacheMisses, run.ref.CacheHits, run.ref.CacheMisses)
+				}
+				if run.got.CacheSavedBytes != run.ref.CacheSavedBytes {
+					t.Errorf("%s run: saved %d bytes, sim %d", run.name,
+						run.got.CacheSavedBytes, run.ref.CacheSavedBytes)
+				}
+				// Consolidation classifies identically: zero iff zero on the
+				// sim, nonzero within 2x (absolute volumes legitimately
+				// differ between metered and encoded bytes).
+				c, r := run.got.ConsolidationBytes, run.ref.ConsolidationBytes
+				if (c == 0) != (r == 0) {
+					t.Errorf("%s run: consolidation bytes = %d, sim %d: classified differently", run.name, c, r)
+				} else if r > 0 && (c > 2*r || r > 2*c) {
+					t.Errorf("%s run: consolidation bytes %d not within 2x of sim's %d", run.name, c, r)
+				}
+			}
+			if second.ConsolidationBytes >= first.ConsolidationBytes {
+				t.Errorf("warm consolidation %d not below cold %d",
+					second.ConsolidationBytes, first.ConsolidationBytes)
+			}
+		})
+	}
+}
+
 // TestRuntimeConformanceClosureStage requires closure-only stages (no
 // descriptor, e.g. multi-aggregation operators) to run every task exactly
 // once on every backend, with identical stage/task accounting.

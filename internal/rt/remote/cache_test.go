@@ -1,0 +1,240 @@
+package remote_test
+
+import (
+	"testing"
+	"time"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/lang"
+	"fuseme/internal/rt/remote"
+	"fuseme/internal/workloads"
+)
+
+const testCacheBudget = 64 << 20
+
+// startCachedCluster is startCluster with the block cache enabled on both
+// sides: each worker gets a budget, and the coordinator's configuration
+// carries the same budget so planners attach stage epochs.
+func startCachedCluster(t *testing.T, n int) (*remote.Coordinator, []*remote.Worker) {
+	t.Helper()
+	workers := make([]*remote.Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		w, err := remote.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		w.SetCacheBytes(testCacheBudget)
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cfg := testConfig()
+	cfg.CacheBytes = testCacheBudget
+	co, err := remote.NewCoordinator(cfg, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	return co, workers
+}
+
+func gnmfInputs(bs int) (x, u, v *block.Matrix) {
+	const users, items, k = 48, 32, 8
+	x = block.RandomDense(users, items, bs, 0.5, 1.5, 11)
+	u = block.RandomDense(k, items, bs, 0.2, 0.8, 12)
+	v = block.RandomDense(users, k, bs, 0.2, 0.8, 13)
+	return x, u, v
+}
+
+// TestRemoteGNMFCacheDifferential is the TCP half of the differential cache
+// suite: GNMF over real workers with the cache on must be bit-identical to
+// the uncached run and must ship strictly fewer wire bytes per iteration
+// from the second iteration on (X no longer travels).
+func TestRemoteGNMFCacheDifferential(t *testing.T) {
+	const iters = 3
+	bs := testConfig().BlockSize
+
+	coldCo, _ := startCluster(t, 2)
+	x, u, v := gnmfInputs(bs)
+	cold, err := workloads.RunGNMF(core.FuseME{}, coldCo, x, u.Clone(), v.Clone(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmCo, _ := startCachedCluster(t, 2)
+	x2, u2, v2 := gnmfInputs(bs)
+	warm, err := workloads.RunGNMF(core.FuseME{}, warmCo, x2, u2, v2, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Over TCP, task completion order is nondeterministic and partial
+	// aggregates merge in arrival order, so two runs of the *same* plan can
+	// differ by a ULP regardless of caching (the sim backend is where the
+	// zero-tolerance differential lives). Compare with the standard tight
+	// relative tolerance here.
+	compareMatrices(t, "U cached vs uncached", warm.U, cold.U)
+	compareMatrices(t, "V cached vs uncached", warm.V, cold.V)
+	for i := 1; i < iters; i++ {
+		w, c := warm.PerIter[i], cold.PerIter[i]
+		if w.CacheHits == 0 {
+			t.Errorf("iteration %d: no cache hits over TCP", i)
+		}
+		if w.ConsolidationBytes >= c.ConsolidationBytes {
+			t.Errorf("iteration %d: cached consolidation %d not below uncached %d",
+				i, w.ConsolidationBytes, c.ConsolidationBytes)
+		}
+		wWire := w.TotalCommBytes() + w.ExtraWireBytes
+		cWire := c.TotalCommBytes() + c.ExtraWireBytes
+		if wWire >= cWire {
+			t.Errorf("iteration %d: cached wire bytes %d not below uncached %d", i, wWire, cWire)
+		}
+	}
+}
+
+// TestRemoteCacheConformsToSim: the same GNMF run on the simulated backend
+// and over TCP workers must agree exactly on cache hit counts and on the
+// consolidation-byte savings — deterministic task→node affinity plus
+// generation visibility make the two backends' cache behaviour identical.
+func TestRemoteCacheConformsToSim(t *testing.T) {
+	const iters = 3
+	bs := testConfig().BlockSize
+
+	simCfg := testConfig()
+	simCfg.CacheBytes = testCacheBudget
+	cl := cluster.MustNew(simCfg)
+	x, u, v := gnmfInputs(bs)
+	sim, err := workloads.RunGNMF(core.FuseME{}, cl, x, u, v, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, _ := startCachedCluster(t, 2)
+	x2, u2, v2 := gnmfInputs(bs)
+	rem, err := workloads.RunGNMF(core.FuseME{}, co, x2, u2, v2, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < iters; i++ {
+		s, r := sim.PerIter[i], rem.PerIter[i]
+		if s.CacheHits != r.CacheHits || s.CacheMisses != r.CacheMisses {
+			t.Errorf("iteration %d: sim hits/misses %d/%d, tcp %d/%d",
+				i, s.CacheHits, s.CacheMisses, r.CacheHits, r.CacheMisses)
+		}
+		if s.CacheSavedBytes != r.CacheSavedBytes {
+			t.Errorf("iteration %d: sim saved %d bytes, tcp %d", i, s.CacheSavedBytes, r.CacheSavedBytes)
+		}
+	}
+}
+
+// TestRemoteCacheInvalidationOnRebind: rebinding an input between queries
+// must never serve its stale blocks (the result matches an uncached
+// reference) and must reclaim the stale residency via the coordinator's
+// invalidation push.
+func TestRemoteCacheInvalidationOnRebind(t *testing.T) {
+	co, workers := startCachedCluster(t, 2)
+	bs := testConfig().BlockSize
+
+	const rows, cols, k = 48, 32, 8
+	mk := func(seed int64) *block.Matrix { return block.RandomDense(rows, cols, bs, 0.5, 1.5, seed) }
+	inputs := map[string]*block.Matrix{
+		"X": mk(21),
+		"U": block.RandomDense(k, cols, bs, 0.2, 0.8, 22),
+		"V": block.RandomDense(rows, k, bs, 0.2, 0.8, 23),
+	}
+	decls := map[string]lang.InputDecl{}
+	for name, m := range inputs {
+		decls[name] = lang.InputDecl{Rows: m.Rows, Cols: m.Cols, Sparsity: m.Density()}
+	}
+	g, err := lang.Parse(`U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)`, decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident := func() int64 {
+		var total int64
+		for _, w := range workers {
+			total += w.CacheStats().ResidentBytes
+		}
+		return total
+	}
+
+	if _, _, err := core.Run(core.FuseME{}, g, co, inputs); err != nil {
+		t.Fatal(err)
+	}
+	resident1 := resident()
+	if resident1 == 0 {
+		t.Fatal("no blocks resident after the first run")
+	}
+
+	co.ResetStats()
+	warmOut, _, err := core.Run(core.FuseME{}, g, co, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := co.Stats().CacheHits; hits == 0 {
+		t.Error("repeat query with unchanged bindings produced no hits")
+	}
+
+	// Rebind X; the stale blocks must not be served, and the next dispatch
+	// must push their invalidation to the holding workers.
+	inputs["X"] = mk(99)
+	co.ResetStats()
+	out, _, err := core.Run(core.FuseME{}, g, co, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := core.Run(core.FuseME{}, g, cluster.MustNew(testConfig()), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMatrices(t, "U2 after rebind", out["U2"], ref["U2"])
+	if block.EqualApprox(out["U2"], warmOut["U2"], 0) {
+		t.Fatal("rebinding X did not change the result — stale blocks were served")
+	}
+
+	// The invalidation push is applied by the worker's control loop
+	// asynchronously; X's old and new blocks are the same size, so residency
+	// must settle back to the first run's level.
+	deadline := time.Now().Add(5 * time.Second)
+	for resident() != resident1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := resident(); got != resident1 {
+		t.Errorf("resident bytes after rebind = %d, want %d (stale blocks not reclaimed)", got, resident1)
+	}
+}
+
+// TestRemoteCacheWorkerDeath: killing a cache-holding worker mid-run must
+// not corrupt results — retried tasks land on survivors, repopulate their
+// caches, and later iterations still hit.
+func TestRemoteCacheWorkerDeath(t *testing.T) {
+	const iters = 3
+	bs := testConfig().BlockSize
+
+	cl := cluster.MustNew(testConfig())
+	x, u, v := gnmfInputs(bs)
+	ref, err := workloads.RunGNMF(core.FuseME{}, cl, x, u.Clone(), v.Clone(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, workers := startCachedCluster(t, 3)
+	workers[1].KillAfterTasks(3) // dies early in the first iteration
+	res, err := workloads.RunGNMF(core.FuseME{}, co, x, u, v, iters)
+	if err != nil {
+		t.Fatalf("GNMF did not survive worker death: %v", err)
+	}
+	compareMatrices(t, "U after worker death", res.U, ref.U)
+	compareMatrices(t, "V after worker death", res.V, ref.V)
+	if co.AliveWorkers() != 2 {
+		t.Errorf("AliveWorkers = %d, want 2", co.AliveWorkers())
+	}
+	last := res.PerIter[iters-1]
+	if last.CacheHits == 0 {
+		t.Error("no cache hits after the survivors repopulated")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
 	"fuseme/internal/obs"
 	"fuseme/internal/rt"
@@ -42,6 +43,13 @@ type Coordinator struct {
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
 
+	// resident is the cache-residency ledger: which block-cache keys each
+	// worker advertised as held. Fed by msgCacheAd frames, consumed by
+	// InvalidateStaleEpochs to push msgCacheInv only at workers that
+	// actually hold stale entries.
+	resMu    sync.Mutex
+	resident map[int]map[blockcache.Key]bool // worker id → held keys
+
 	obs atomic.Pointer[obs.Obs] // session observability; nil disables
 }
 
@@ -63,6 +71,10 @@ type workerConn struct {
 	addr  string
 	ctrl  net.Conn
 	alive atomic.Bool
+
+	// ctrlMu serializes control-connection exchanges (heartbeat ping/pong,
+	// cache invalidation pushes); each holder sets its own deadline.
+	ctrlMu sync.Mutex
 }
 
 // transportError marks failures of the coordinator↔worker channel (dial,
@@ -99,7 +111,12 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{local: local, rcfg: rcfg, hbStop: make(chan struct{})}
+	c := &Coordinator{
+		local:    local,
+		rcfg:     rcfg,
+		hbStop:   make(chan struct{}),
+		resident: make(map[int]map[blockcache.Key]bool),
+	}
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, rcfg.DialTimeout)
 		if err != nil {
@@ -151,26 +168,102 @@ func (c *Coordinator) heartbeat(w *workerConn) {
 				return
 			}
 			sent := time.Now()
+			w.ctrlMu.Lock()
 			w.ctrl.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
 			if writeFrame(w.ctrl, msgPing, nil) != nil {
+				w.ctrlMu.Unlock()
 				c.markDead(w)
 				return
 			}
 			if _, err := expectFrame(w.ctrl, msgPong); err != nil {
+				w.ctrlMu.Unlock()
 				c.markDead(w)
 				return
 			}
+			w.ctrlMu.Unlock()
 			c.getObs().Histogram(obs.MHeartbeatRTT).Observe(time.Since(sent).Seconds())
 		}
 	}
 }
 
-// markDead flags a worker as dead and refreshes the liveness gauge.
+// markDead flags a worker as dead, drops its residency ledger entries, and
+// refreshes the liveness gauge.
 func (c *Coordinator) markDead(w *workerConn) {
 	w.alive.Store(false)
+	c.resMu.Lock()
+	delete(c.resident, w.id)
+	c.resMu.Unlock()
 	if o := c.getObs(); o.Enabled() {
 		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
 	}
+}
+
+// recordAdvert folds one worker's cache-mutation advert into the residency
+// ledger.
+func (c *Coordinator) recordAdvert(workerID int, ad *spec.CacheAdvert) {
+	c.resMu.Lock()
+	defer c.resMu.Unlock()
+	held := c.resident[workerID]
+	if held == nil {
+		held = make(map[blockcache.Key]bool)
+		c.resident[workerID] = held
+	}
+	for _, k := range ad.Added {
+		held[k] = true
+	}
+	for _, k := range ad.Evicted {
+		delete(held, k)
+	}
+}
+
+// StageCacheGen implements rt.BlockCacher against the embedded cluster's
+// generation counter (shared with closure stages run locally).
+func (c *Coordinator) StageCacheGen() uint64 { return c.local.StageCacheGen() }
+
+// TaskCache implements rt.BlockCacher. The coordinator holds no blocks
+// itself — caches live in the worker processes — so there is never a local
+// cache to arm.
+func (c *Coordinator) TaskCache(taskID int) *blockcache.Cache { return nil }
+
+// InvalidateStaleEpochs implements rt.BlockCacher: every worker whose
+// advertised residency includes entries for node with a different epoch gets
+// a msgCacheInv push, and those ledger entries are pruned. Correctness never
+// depends on the push (epochs are globally unique, so stale keys cannot be
+// hit); it only reclaims worker memory promptly.
+func (c *Coordinator) InvalidateStaleEpochs(node int, epoch uint64) {
+	c.resMu.Lock()
+	stale := make(map[*workerConn][]blockcache.Key)
+	for _, w := range c.workers {
+		held := c.resident[w.id]
+		for k := range held {
+			if k.Node == node && k.Epoch != epoch {
+				stale[w] = append(stale[w], k)
+			}
+		}
+	}
+	for w, keys := range stale {
+		for _, k := range keys {
+			delete(c.resident[w.id], k)
+		}
+	}
+	c.resMu.Unlock()
+	for w := range stale {
+		if !w.alive.Load() {
+			continue
+		}
+		if err := c.sendInvalidate(w, spec.CacheInvalidate{Node: node, Epoch: epoch}); err != nil {
+			c.markDead(w)
+		}
+	}
+}
+
+// sendInvalidate pushes one cache invalidation over the worker's control
+// connection.
+func (c *Coordinator) sendInvalidate(w *workerConn, inv spec.CacheInvalidate) error {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	w.ctrl.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+	return writeFrame(w.ctrl, msgCacheInv, spec.EncodeCacheInvalidate(inv))
 }
 
 // AliveWorkers reports how many workers still answer.
@@ -266,18 +359,27 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		return errors.New("remote: stage without descriptor/fetch/collect")
 	}
 	start := time.Now()
+	// One generation per stage: blocks cached by this stage's tasks become
+	// hit-visible only to later stages, keeping hit counts deterministic
+	// under concurrent task scheduling. Drawn from the embedded cluster's
+	// counter so closure stages and descriptor stages share one sequence.
+	gen := c.local.NextStageGen()
 	colocated := make(map[int]bool, len(sp.Colocated))
 	for _, id := range sp.Colocated {
 		colocated[id] = true
 	}
 
 	var (
-		wire     wireMeter
-		mu       sync.Mutex
-		firstErr error
-		flops    int64
-		maxFlops int64
-		peakMem  int64
+		wire       wireMeter
+		mu         sync.Mutex
+		firstErr   error
+		flops      int64
+		maxFlops   int64
+		peakMem    int64
+		cacheHits  int64
+		cacheMiss  int64
+		cacheEvict int64
+		cacheSaved int64
 	)
 	aborted := func() bool {
 		mu.Lock()
@@ -314,7 +416,7 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 				o.Histogram(obs.MQueueSeconds).Observe(taskStart.Sub(start).Seconds())
 				span = o.StartSpan(fmt.Sprintf("task %d", taskID), "task", 1+taskID%64)
 			}
-			done, err := c.runTaskWithRetry(st, taskID, &wire, colocated)
+			done, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated)
 			if perTask {
 				o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
 				o.Counter(obs.MTasksTotal).Inc()
@@ -338,6 +440,10 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 			if done.Metrics.MemPeakBytes > peakMem {
 				peakMem = done.Metrics.MemPeakBytes
 			}
+			cacheHits += done.Metrics.CacheHits
+			cacheMiss += done.Metrics.CacheMisses
+			cacheEvict += done.Metrics.CacheEvictions
+			cacheSaved += done.Metrics.CacheSavedBytes
 			mu.Unlock()
 			if err := st.Collect(taskID, done.Blocks); err != nil {
 				setErr(err)
@@ -361,24 +467,41 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		WallSeconds:        wall,
 		PeakTaskMemBytes:   peakMem,
 		MaxTaskFlops:       maxFlops,
+		CacheHits:          cacheHits,
+		CacheMisses:        cacheMiss,
+		CacheEvictions:     cacheEvict,
+		CacheSavedBytes:    cacheSaved,
 	})
 	return nil
 }
 
 // runTaskWithRetry runs one task, retrying on another live worker when the
 // assigned worker dies mid-task, up to MaxTaskRetries re-attempts.
-func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+//
+// The first attempt goes to worker taskID mod len(workers) when it is alive:
+// the same placement the simulated backend uses for its task caches, so a
+// recurring task lands on the worker that cached its inputs and the two
+// backends agree on hit counts. Retries fall back to round-robin.
+func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
 	retries := c.local.Config().MaxTaskRetries
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			c.getObs().Counter(obs.MRetriesTotal).Inc()
 		}
-		w := c.pickWorker()
+		var w *workerConn
+		if attempt == 0 {
+			if home := c.workers[taskID%len(c.workers)]; home.alive.Load() {
+				w = home
+			}
+		}
+		if w == nil {
+			w = c.pickWorker()
+		}
 		if w == nil {
 			return taskDone{}, errors.New("remote: no live workers")
 		}
-		done, err := c.runTaskOn(w, st, taskID, wire, colocated)
+		done, err := c.runTaskOn(w, st, taskID, gen, wire, colocated)
 		if err == nil {
 			return done, nil
 		}
@@ -393,13 +516,13 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, wire *wireMeter
 
 // runTaskOn ships one task to worker w over a fresh connection and serves
 // its block fetches until it reports done or failed.
-func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
 	conn, err := net.DialTimeout("tcp", w.addr, c.rcfg.DialTimeout)
 	if err != nil {
 		return taskDone{}, transportError{err}
 	}
 	defer conn.Close()
-	if err := writeGob(conn, msgTask, taskAssign{Stage: *st.Spec, TaskID: taskID}); err != nil {
+	if err := writeGob(conn, msgTask, taskAssign{Stage: *st.Spec, TaskID: taskID, Gen: gen}); err != nil {
 		return taskDone{}, transportError{err}
 	}
 	for {
@@ -418,6 +541,12 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, wire *w
 				return taskDone{}, transportError{err}
 			}
 			wire.countFetch(ref, int64(len(reply)-1), colocated)
+		case msgCacheAd:
+			ad, err := spec.DecodeCacheAdvert(payload)
+			if err != nil {
+				return taskDone{}, err
+			}
+			c.recordAdvert(w.id, ad)
 		case msgDone:
 			var done taskDone
 			if err := decodeGob(payload, &done); err != nil {

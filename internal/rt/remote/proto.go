@@ -26,19 +26,23 @@ import (
 )
 
 // Protocol version, checked during the control-connection handshake.
-const protoVersion = 1
+// Version 2 added the block-cache coherence frames (msgCacheAd,
+// msgCacheInval) and the stage generation in taskAssign.
+const protoVersion = 2
 
 // Frame types.
 const (
-	msgHello    = byte(1) // coordinator → worker: gob(hello), opens control conn
-	msgHelloAck = byte(2) // worker → coordinator: gob(helloAck)
-	msgPing     = byte(3) // coordinator → worker: empty
-	msgPong     = byte(4) // worker → coordinator: empty
-	msgTask     = byte(5) // coordinator → worker: gob(taskAssign), opens task conn
-	msgFetch    = byte(6) // worker → coordinator: gob(spec.BlockRef)
-	msgBlock    = byte(7) // coordinator → worker: block payload (see below)
-	msgDone     = byte(8) // worker → coordinator: gob(taskDone)
-	msgFail     = byte(9) // worker → coordinator: gob(taskFail)
+	msgHello    = byte(1)  // coordinator → worker: gob(hello), opens control conn
+	msgHelloAck = byte(2)  // worker → coordinator: gob(helloAck)
+	msgPing     = byte(3)  // coordinator → worker: empty
+	msgPong     = byte(4)  // worker → coordinator: empty
+	msgTask     = byte(5)  // coordinator → worker: gob(taskAssign), opens task conn
+	msgFetch    = byte(6)  // worker → coordinator: gob(spec.BlockRef)
+	msgBlock    = byte(7)  // coordinator → worker: block payload (see below)
+	msgDone     = byte(8)  // worker → coordinator: gob(taskDone)
+	msgFail     = byte(9)  // worker → coordinator: gob(taskFail)
+	msgCacheAd  = byte(10) // worker → coordinator: spec.EncodeCacheAdvert, on task conn before msgDone
+	msgCacheInv = byte(11) // coordinator → worker: spec.EncodeCacheInvalidate, on control conn, no reply
 )
 
 // Block payload status bytes (first byte of a msgBlock payload).
@@ -61,12 +65,15 @@ type helloAck struct {
 	Proto int
 }
 
-// taskAssign ships one task: the full stage descriptor plus the task index.
+// taskAssign ships one task: the full stage descriptor plus the task index
+// and the stage's cache generation (blocks a worker cached at generation g
+// are only hit-visible to tasks with a strictly greater generation).
 // Re-sending the descriptor per task keeps the protocol stateless; stage
 // descriptors are small (a flattened plan and partition ranges).
 type taskAssign struct {
 	Stage  spec.Stage
 	TaskID int
+	Gen    uint64
 }
 
 // taskDone reports a completed task: its result blocks and the metering the

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
 	"fuseme/internal/exec"
 	"fuseme/internal/matrix"
@@ -33,6 +34,11 @@ type Worker struct {
 	started   atomic.Int64
 
 	obs atomic.Pointer[obs.Obs] // process-local metrics; nil disables
+
+	// cache is the worker-resident block cache for loop-invariant inputs;
+	// nil (the default) disables caching. Set with SetCacheBytes before the
+	// worker serves tasks.
+	cache atomic.Pointer[blockcache.Cache]
 }
 
 // SetObs attaches an observability bundle: each executed task records its
@@ -60,6 +66,20 @@ func (w *Worker) Addr() string { return w.ln.Addr().String() }
 // KillAfterTasks arms the fault-injection hook: the worker dies when task
 // number n (0-based) arrives. Negative disarms.
 func (w *Worker) KillAfterTasks(n int) { w.killAfter.Store(int64(n)) }
+
+// SetCacheBytes gives the worker a block cache with the given byte budget
+// for loop-invariant inputs (n <= 0 disables caching). Replacing the budget
+// drops all cached blocks.
+func (w *Worker) SetCacheBytes(n int64) {
+	if n <= 0 {
+		w.cache.Store(nil)
+		return
+	}
+	w.cache.Store(blockcache.New(n))
+}
+
+// CacheStats returns the worker cache's counters; zeroes with no cache.
+func (w *Worker) CacheStats() blockcache.Stats { return w.cache.Load().Snapshot() }
 
 // Close shuts the worker down: the listener and every open connection are
 // closed, and in-flight task handlers are abandoned.
@@ -123,17 +143,29 @@ func (w *Worker) handleConn(conn net.Conn) {
 	}
 }
 
-// controlLoop answers heartbeats until the connection drops.
+// controlLoop answers heartbeats and applies cache invalidations until the
+// connection drops.
 func (w *Worker) controlLoop(conn net.Conn) {
 	for {
-		typ, _, err := readFrame(conn)
+		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		if typ == msgPing {
+		switch typ {
+		case msgPing:
 			if writeFrame(conn, msgPong, nil) != nil {
 				return
 			}
+		case msgCacheInv:
+			// Coordinator push: a binding was rebound, drop its stale
+			// blocks. No reply — the heartbeat channel stays request/response
+			// clean, and correctness never depends on the drop (epochs are
+			// globally unique, so stale entries can't be hit anyway).
+			inv, err := spec.DecodeCacheInvalidate(payload)
+			if err != nil {
+				return
+			}
+			w.cache.Load().InvalidateStale(inv.Node, inv.Epoch)
 		}
 	}
 }
@@ -169,8 +201,13 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		}
 		return nil, fmt.Errorf("remote: unknown block status %d", payload[0])
 	}
+	var cc *exec.CacheCtx
+	cache := w.cache.Load()
+	if cache != nil && len(assign.Stage.Epochs) > 0 {
+		cc = &exec.CacheCtx{Cache: cache, Gen: assign.Gen, Advert: &spec.CacheAdvert{}}
+	}
 	start := time.Now()
-	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, fetch, func(ob spec.OutBlock) {
+	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, cc, fetch, func(ob spec.OutBlock) {
 		blocks = append(blocks, ob)
 	})
 	if o := w.obs.Load(); o.Enabled() {
@@ -179,18 +216,37 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		con, agg, _, _ := task.Counters()
 		o.Counter(obs.MWorkerFetchBytes).Add(con)
 		o.Counter(obs.MWorkerResultBytes).Add(agg)
+		if hits, misses, evs, _ := task.CacheCounters(); hits+misses > 0 {
+			o.Counter(obs.MCacheHits).Add(hits)
+			o.Counter(obs.MCacheMisses).Add(misses)
+			o.Counter(obs.MCacheEvictions).Add(evs)
+			o.Gauge(obs.MCacheResidentBytes).Set(float64(cache.ResidentBytes()))
+		}
 	}
 	if err != nil {
 		writeGob(conn, msgFail, taskFail{Err: err.Error()})
 		return
 	}
+	if cc != nil && !cc.Advert.Empty() {
+		// Advertise cache mutations before msgDone so the coordinator's
+		// residency ledger is current by the time the task completes.
+		cc.Advert.ResidentBytes = cache.ResidentBytes()
+		if writeFrame(conn, msgCacheAd, spec.EncodeCacheAdvert(cc.Advert)) != nil {
+			return
+		}
+	}
 	con, agg, flops, mem := task.Counters()
+	hits, misses, evs, saved := task.CacheCounters()
 	writeGob(conn, msgDone, taskDone{
 		Metrics: spec.TaskMetrics{
 			ConsolidationBytes: con,
 			AggregationBytes:   agg,
 			Flops:              flops,
 			MemPeakBytes:       mem,
+			CacheHits:          hits,
+			CacheMisses:        misses,
+			CacheEvictions:     evs,
+			CacheSavedBytes:    saved,
 		},
 		Blocks: blocks,
 	})

@@ -12,6 +12,7 @@
 package rt
 
 import (
+	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
 	"fuseme/internal/matrix"
 	"fuseme/internal/rt/spec"
@@ -41,6 +42,24 @@ type Runtime interface {
 // stages on remote workers instead of running the closure in-process.
 type SpecRunner interface {
 	RunSpecStage(st *Stage) error
+}
+
+// BlockCacher is implemented by runtimes that keep worker-resident block
+// caches for loop-invariant inputs. The executor consults it when a stage
+// descriptor advertises input epochs; runtimes without the interface (or
+// with caching disabled) run every fetch cold.
+type BlockCacher interface {
+	// StageCacheGen returns the cache generation the next stage will run
+	// at. Blocks inserted at generation g are only hit-visible to stages
+	// with a strictly greater generation.
+	StageCacheGen() uint64
+	// TaskCache returns the cache local to the node/worker that task taskID
+	// runs on, or nil when the cache is not reachable in-process (the TCP
+	// coordinator's caches live inside remote workers).
+	TaskCache(taskID int) *blockcache.Cache
+	// InvalidateStaleEpochs drops cached blocks of node whose epoch differs
+	// from epoch, on every node/worker.
+	InvalidateStaleEpochs(node int, epoch uint64)
 }
 
 // Stage is one distributed stage handed to a Runtime.

@@ -1,0 +1,105 @@
+package spec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fuseme/internal/blockcache"
+)
+
+func randKey(rng *rand.Rand) blockcache.Key {
+	return blockcache.Key{
+		Node:  int(rng.Int63()) - (1 << 62), // exercise negative values
+		Epoch: rng.Uint64(),
+		BI:    rng.Intn(2001) - 1000,
+		BJ:    rng.Intn(2001) - 1000,
+	}
+}
+
+// TestCacheAdvertRoundTrip is the property test: arbitrary adverts (any
+// epochs, negative coordinates, empty and large key lists) must survive an
+// encode/decode round trip bit-exactly.
+func TestCacheAdvertRoundTrip(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		a := &CacheAdvert{ResidentBytes: rng.Int63() - (1 << 62)}
+		for i := rng.Intn(8); i > 0; i-- {
+			a.Added = append(a.Added, randKey(rng))
+		}
+		for i := rng.Intn(8); i > 0; i-- {
+			a.Evicted = append(a.Evicted, randKey(rng))
+		}
+		got, err := DecodeCacheAdvert(EncodeCacheAdvert(a))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: round trip mismatch:\n got %+v\nwant %+v", trial, got, a)
+		}
+	}
+}
+
+func TestCacheAdvertDecodeRejectsCorruption(t *testing.T) {
+	a := &CacheAdvert{
+		Added:         []blockcache.Key{{Node: 3, Epoch: 17, BI: 1, BJ: 2}},
+		Evicted:       []blockcache.Key{{Node: -4, Epoch: 9, BI: 0, BJ: 0}},
+		ResidentBytes: 123456,
+	}
+	enc := EncodeCacheAdvert(a)
+	// Every strict prefix must fail (truncation), and trailing garbage too.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeCacheAdvert(enc[:cut]); err == nil {
+			t.Errorf("decode accepted a %d-byte prefix of a %d-byte advert", cut, len(enc))
+		}
+	}
+	if _, err := DecodeCacheAdvert(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+}
+
+func TestCacheInvalidateRoundTrip(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1000))
+		inv := CacheInvalidate{Node: int(rng.Int63()) - (1 << 62), Epoch: rng.Uint64()}
+		got, err := DecodeCacheInvalidate(EncodeCacheInvalidate(inv))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got != inv {
+			t.Fatalf("trial %d: round trip mismatch: got %+v want %+v", trial, got, inv)
+		}
+	}
+	if _, err := DecodeCacheInvalidate(nil); err == nil {
+		t.Error("decode accepted an empty invalidate")
+	}
+	enc := EncodeCacheInvalidate(CacheInvalidate{Node: 1, Epoch: 2})
+	if _, err := DecodeCacheInvalidate(append(enc, 7)); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+}
+
+// FuzzDecodeCacheAdvert checks the decoder never panics on arbitrary bytes
+// and that every successfully decoded advert survives a re-encode/decode
+// round trip. (Byte-level canonicity is not asserted: varints tolerate
+// non-minimal encodings on input.)
+func FuzzDecodeCacheAdvert(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeCacheAdvert(&CacheAdvert{ResidentBytes: 99}))
+	f.Add(EncodeCacheAdvert(&CacheAdvert{
+		Added: []blockcache.Key{{Node: -1, Epoch: 1 << 40, BI: -7, BJ: 7}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeCacheAdvert(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeCacheAdvert(EncodeCacheAdvert(a))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, a) {
+			t.Errorf("re-encode round trip mismatch: %+v vs %+v", a, again)
+		}
+	})
+}

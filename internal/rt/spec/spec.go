@@ -165,6 +165,29 @@ type Stage struct {
 	// the output plane: tasks charge them to memory but not to consolidation
 	// traffic (in a real deployment they are local reads, not shuffles).
 	Colocated []int
+
+	// Epochs carries the content epoch of every cacheable external input.
+	// Empty means block caching is disabled for the stage, reproducing the
+	// uncached runtime byte-for-byte.
+	Epochs []NodeEpoch
+}
+
+// NodeEpoch binds an external input node ID to the content epoch of the
+// matrix bound to it when the stage was built.
+type NodeEpoch struct {
+	Node  int
+	Epoch uint64
+}
+
+// EpochOf returns the stage's epoch for node, or (0, false) when the node is
+// not advertised as cacheable.
+func (st *Stage) EpochOf(node int) (uint64, bool) {
+	for _, ne := range st.Epochs {
+		if ne.Node == node {
+			return ne.Epoch, true
+		}
+	}
+	return 0, false
 }
 
 // Block reference kinds for worker → coordinator fetches.
@@ -202,6 +225,12 @@ type TaskMetrics struct {
 	AggregationBytes   int64
 	Flops              int64
 	MemPeakBytes       int64
+
+	// Block-cache counters for the task (see internal/blockcache).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEvictions  int64
+	CacheSavedBytes int64
 }
 
 // EncodeBlock serialises a block in the FME1 format. Encoding nil (an

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"testing"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+)
+
+// cachedCluster is testCluster with the loop-invariant block cache enabled.
+func cachedCluster() *cluster.Cluster {
+	cfg := cluster.Config{
+		Nodes: 2, TasksPerNode: 3, TaskMemBytes: 1 << 40,
+		NetBandwidth: 1e9, CompBandwidth: 1e12, BlockSize: 6,
+		CacheBytes: 1 << 30,
+	}
+	return cluster.MustNew(cfg)
+}
+
+// TestGNMFCacheDifferential is the sim half of the differential cache suite:
+// the same GNMF run with the cache on and off must produce bit-identical
+// factors, and the cached run must ship strictly fewer consolidation bytes
+// from the second iteration on (X is loop-invariant; U and V are fresh
+// matrices every iteration and never hit).
+func TestGNMFCacheDifferential(t *testing.T) {
+	const users, items, k, iters = 30, 24, 4, 4
+	x := block.RandomDense(users, items, 6, 0.5, 1.5, 1)
+	u0 := block.RandomDense(k, items, 6, 0.2, 0.8, 2)
+	v0 := block.RandomDense(users, k, 6, 0.2, 0.8, 3)
+
+	cold, err := RunGNMF(core.FuseME{}, testCluster(), x, u0.Clone(), v0.Clone(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunGNMF(core.FuseME{}, cachedCluster(), x, u0.Clone(), v0.Clone(), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical: a cache hit returns the very block a fetch would have,
+	// so zero tolerance.
+	if !block.EqualApprox(warm.U, cold.U, 0) || !block.EqualApprox(warm.V, cold.V, 0) {
+		t.Fatal("cached GNMF factors differ from uncached")
+	}
+
+	for i := 1; i < iters; i++ {
+		w, c := warm.PerIter[i], cold.PerIter[i]
+		if w.CacheHits == 0 {
+			t.Errorf("iteration %d: no cache hits", i)
+		}
+		if w.ConsolidationBytes >= c.ConsolidationBytes {
+			t.Errorf("iteration %d: cached consolidation %d not below uncached %d",
+				i, w.ConsolidationBytes, c.ConsolidationBytes)
+		}
+		if w.CacheSavedBytes != c.ConsolidationBytes-w.ConsolidationBytes {
+			t.Errorf("iteration %d: saved %d bytes but consolidation dropped by %d",
+				i, w.CacheSavedBytes, c.ConsolidationBytes-w.ConsolidationBytes)
+		}
+	}
+	for i, s := range cold.PerIter {
+		if s.CacheHits != 0 || s.CacheMisses != 0 || s.CacheSavedBytes != 0 {
+			t.Errorf("uncached iteration %d reported cache activity: %+v", i, s)
+		}
+	}
+}
+
+// TestGNMFCacheHitCountsDeterministic: generation visibility makes per-stage
+// hit counts independent of task scheduling order, so two identical runs
+// must agree exactly.
+func TestGNMFCacheHitCountsDeterministic(t *testing.T) {
+	const users, items, k, iters = 30, 24, 4, 3
+	run := func() []cluster.Stats {
+		x := block.RandomDense(users, items, 6, 0.5, 1.5, 7)
+		u0 := block.RandomDense(k, items, 6, 0.2, 0.8, 8)
+		v0 := block.RandomDense(users, k, 6, 0.2, 0.8, 9)
+		res, err := RunGNMF(core.FuseME{}, cachedCluster(), x, u0, v0, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIter
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].CacheHits != b[i].CacheHits || a[i].CacheMisses != b[i].CacheMisses ||
+			a[i].CacheSavedBytes != b[i].CacheSavedBytes {
+			t.Errorf("iteration %d: cache counters differ between identical runs: %+v vs %+v",
+				i, a[i], b[i])
+		}
+	}
+}
+
+// TestAutoEncoderCacheDifferential: the AutoEncoder rebinds XT fresh every
+// batch and updates the weights in place (which restamps their epochs), so
+// the cache sees few if any hits — but results must still be bit-identical
+// with the cache on.
+func TestAutoEncoderCacheDifferential(t *testing.T) {
+	c := AutoEncoderConfig{Features: 12, Batch: 8, H1: 5, H2: 2}
+	x := block.RandomDense(32, c.Features, 6, 0, 1, 7)
+
+	sOff := InitAutoEncoder(c, 6, 8)
+	lossOff, err := RunAutoEncoderEpoch(core.FuseME{}, testCluster(), x, c, 0.2, sOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOn := InitAutoEncoder(c, 6, 8)
+	lossOn, err := RunAutoEncoderEpoch(core.FuseME{}, cachedCluster(), x, c, 0.2, sOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossOn != lossOff {
+		t.Fatalf("cached AutoEncoder loss %v != uncached %v", lossOn, lossOff)
+	}
+	if !block.EqualApprox(sOn.W1, sOff.W1, 0) || !block.EqualApprox(sOn.W4, sOff.W4, 0) ||
+		!block.EqualApprox(sOn.B2, sOff.B2, 0) {
+		t.Fatal("cached AutoEncoder weights differ from uncached")
+	}
+}

@@ -54,6 +54,10 @@ func diffStats(cur, prev cluster.Stats) cluster.Stats {
 		SimSeconds:         cur.SimSeconds - prev.SimSeconds,
 		WallSeconds:        cur.WallSeconds - prev.WallSeconds,
 		PeakTaskMemBytes:   cur.PeakTaskMemBytes,
+		CacheHits:          cur.CacheHits - prev.CacheHits,
+		CacheMisses:        cur.CacheMisses - prev.CacheMisses,
+		CacheEvictions:     cur.CacheEvictions - prev.CacheEvictions,
+		CacheSavedBytes:    cur.CacheSavedBytes - prev.CacheSavedBytes,
 	}
 }
 
