@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck
 
-## check: full verification gate — gofmt, vet, build, race-enabled tests
-check: fmtcheck vet build race
+## check: full verification gate — gofmt, vet, docs lint, build, race-enabled tests
+check: fmtcheck vet docscheck build race
+
+## docscheck: every package must carry a package-level doc comment
+docscheck:
+	$(GO) run ./tools/docscheck
 
 ## fmtcheck: fail when any file needs gofmt
 fmtcheck:
@@ -29,6 +33,13 @@ bench:
 cachecheck:
 	$(GO) test -race -count=1 -run 'Cache' ./...
 	$(GO) run ./cmd/fuseme-bench -exp cache -scale 0.25 -out BENCH_cache.json
+
+## kernelcheck: kernel-pool and thread-invariance tests under the race
+## detector plus the bench that records kernel timings in BENCH_kernels.json
+kernelcheck:
+	$(GO) test -race -count=1 ./internal/parallel/
+	$(GO) test -race -count=1 -run 'Kernel|MatMul|AVX' ./internal/matrix/ ./internal/rt/
+	$(GO) run ./cmd/fuseme-bench -exp kernels -out BENCH_kernels.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

@@ -26,7 +26,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "override worker node count (default: paper's 8)")
 	runtime := flag.String("runtime", "sim", "execution backend; experiments model the paper's cluster, so only sim is valid")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the bench run (per-experiment spans; stage/task detail for real executions)")
-	out := flag.String("out", "", "write the cache experiment's JSON report to this file (e.g. BENCH_cache.json)")
+	out := flag.String("out", "", "write a report-producing experiment's JSON document to this file (cache -> BENCH_cache.json, kernels -> BENCH_kernels.json)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -41,7 +41,7 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "), "all")
 		return
 	}
-	opts := experiments.Options{Scale: *scale, Nodes: *nodes, CacheOut: *out}
+	opts := experiments.Options{Scale: *scale, Nodes: *nodes, ReportOut: *out}
 	if *traceOut != "" {
 		opts.Obs = &obs.Obs{Trace: obs.NewRecorder()}
 	}

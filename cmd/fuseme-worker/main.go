@@ -27,6 +27,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "address to listen on (host:port; port 0 for ephemeral)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address")
 	cacheBytes := flag.Int64("cache-bytes", -1, "block-cache budget in bytes for loop-invariant inputs (0 disables; default FUSEME_CACHE_BYTES or 0)")
+	kernelThreads := flag.Int("kernel-threads", -1, "pin the intra-task kernel thread count on this worker (0 = auto-size against local cores; default FUSEME_KERNEL_THREADS or follow the coordinator)")
 	flag.Parse()
 
 	budget := *cacheBytes
@@ -42,6 +43,18 @@ func main() {
 		}
 	}
 
+	threads := *kernelThreads
+	if threads < 0 {
+		if env := os.Getenv("FUSEME_KERNEL_THREADS"); env != "" {
+			n, err := strconv.Atoi(env)
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "fuseme-worker: FUSEME_KERNEL_THREADS=%q: want a non-negative integer\n", env)
+				os.Exit(1)
+			}
+			threads = n
+		}
+	}
+
 	w, err := remote.NewWorker(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuseme-worker:", err)
@@ -50,6 +63,10 @@ func main() {
 	if budget > 0 {
 		w.SetCacheBytes(budget)
 		fmt.Println("fuseme-worker block cache:", budget, "bytes")
+	}
+	if threads >= 0 {
+		w.SetKernelThreads(threads)
+		fmt.Println("fuseme-worker kernel threads pinned to", threads)
 	}
 	fmt.Println("fuseme-worker listening on", w.Addr())
 

@@ -1,0 +1,208 @@
+package fuseme_test
+
+// Doc-drift gate: the code snippets shown in README.md and docs/LANGUAGE.md
+// are extracted and compiled (Go) or executed (DSL) so the documentation
+// cannot silently rot as the API evolves. When one of these tests fails,
+// either the snippet in the document or — for new snippets with new free
+// variables — the shape table in TestDocDriftDSLSnippets needs updating.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fuseme"
+)
+
+// fenced is one fenced code block pulled out of a markdown file.
+type fenced struct {
+	tag  string // info string after the opening fence ("go", "sh", "")
+	text string
+	line int // 1-based line of the opening fence, for error messages
+}
+
+// extractFenced returns every fenced code block in path.
+func extractFenced(t *testing.T, path string) []fenced {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []fenced
+	var cur *fenced
+	for i, line := range strings.Split(string(b), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "```") {
+			if cur != nil {
+				cur.text += line + "\n"
+			}
+			continue
+		}
+		if cur == nil {
+			cur = &fenced{tag: strings.TrimPrefix(trimmed, "```"), line: i + 1}
+		} else {
+			blocks = append(blocks, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		t.Fatalf("%s: unclosed code fence opened at line %d", path, cur.line)
+	}
+	return blocks
+}
+
+// goModLine returns the repository go.mod's `go X.Y` directive so the
+// generated snippet modules always match the module's language version.
+func goModLine(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^go .+$`).FindString(string(b))
+	if m == "" {
+		t.Fatal("go.mod: no go directive found")
+	}
+	return m
+}
+
+// buildSnippet compiles src as a main package in a throwaway module that
+// replaces the fuseme import with this repository.
+func buildSnippet(t *testing.T, where string, src string) {
+	t.Helper()
+	root, err := os.Getwd() // root-package test: the repo root
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gomod := fmt.Sprintf("module docdrift\n\n%s\n\nrequire fuseme v0.0.0\n\nreplace fuseme => %s\n", goModLine(t), root)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("%s: snippet no longer compiles (update the doc or the API):\n%s\n--- snippet module ---\n%s", where, out, src)
+	}
+}
+
+// declaredNames parses a Go statement fragment and returns the variable
+// names it declares, so wrapper code can blank-assign them (Go rejects
+// unused variables, and doc fragments routinely declare-and-drop).
+func declaredNames(t *testing.T, frag string) []string {
+	t.Helper()
+	wrapped := "package p\nfunc f() {\n" + frag + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "frag.go", wrapped, parser.SkipObjectResolution)
+	if err != nil {
+		return nil // let the real compiler report it with a better message
+	}
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && !seen[id.Name] {
+				seen[id.Name] = true
+				names = append(names, id.Name)
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// TestDocDriftGoSnippets compiles every ```go block in README.md. Blocks
+// that begin with a package clause build as-is; statement fragments are
+// wrapped in a function that predeclares the conventional free variable
+// `cfg` (a ClusterConfig) and blank-assigns whatever the fragment declares.
+func TestDocDriftGoSnippets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	const doc = "README.md"
+	n := 0
+	for _, blk := range extractFenced(t, doc) {
+		if blk.tag != "go" {
+			continue
+		}
+		n++
+		where := fmt.Sprintf("%s:%d", doc, blk.line)
+		if strings.HasPrefix(strings.TrimSpace(blk.text), "package ") {
+			buildSnippet(t, where, blk.text)
+			continue
+		}
+		var blanks strings.Builder
+		for _, name := range declaredNames(t, blk.text) {
+			fmt.Fprintf(&blanks, "\t_ = %s\n", name)
+		}
+		src := "package main\n\nimport \"fuseme\"\n\nvar _ fuseme.Option\n\n" +
+			"func snippet(cfg fuseme.ClusterConfig) {\n" + blk.text + blanks.String() + "}\n\nfunc main() {}\n"
+		buildSnippet(t, where, src)
+	}
+	if n == 0 {
+		t.Fatalf("%s: no ```go blocks found — extraction broken or docs gutted", doc)
+	}
+}
+
+// dslShapes declares an input for every free variable the documentation's
+// DSL snippets may reference. Shapes are mutually consistent for the GNMF
+// updates (X: r x c, U: k x c, V: r x k). Extend this table when a doc
+// snippet introduces a new input name.
+func dslShapes(sess *fuseme.Session) {
+	const r, c, k = 24, 20, 4
+	sess.RandomSparse("X", r, c, 0.3, 1, 5, 1)
+	sess.RandomDense("U", k, c, 0.5, 1.5, 2)
+	sess.RandomDense("V", r, k, 0.5, 1.5, 3)
+}
+
+// TestDocDriftDSLSnippets executes every untagged fenced block of
+// docs/LANGUAGE.md as a query against small bound inputs: the language
+// reference's examples must always parse, plan and run.
+func TestDocDriftDSLSnippets(t *testing.T) {
+	const doc = "docs/LANGUAGE.md"
+	n := 0
+	for _, blk := range extractFenced(t, doc) {
+		if blk.tag != "" || !strings.Contains(blk.text, "=") {
+			continue
+		}
+		n++
+		where := fmt.Sprintf("%s:%d", doc, blk.line)
+		sess, err := fuseme.NewSession(fuseme.LocalClusterConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dslShapes(sess)
+		out, err := sess.Query(blk.text)
+		if err != nil {
+			t.Errorf("%s: DSL snippet no longer runs (update the doc, the language, or dslShapes):\n%v\n--- snippet ---\n%s", where, err, blk.text)
+			sess.Close()
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: DSL snippet produced no outputs", where)
+		}
+		for name, m := range out {
+			r, c := m.Dims()
+			if r <= 0 || c <= 0 {
+				t.Errorf("%s: output %q has degenerate shape %dx%d", where, name, r, c)
+			}
+		}
+		sess.Close()
+	}
+	if n == 0 {
+		t.Fatalf("%s: no DSL blocks found — extraction broken or docs gutted", doc)
+	}
+}

@@ -53,6 +53,15 @@ type ClusterConfig struct {
 	BlockSize     int     // block width/height (paper: 1000)
 	SimTimeLimit  float64 // simulated-seconds limit before ErrTimeout; 0 = none
 
+	// KernelThreads is the intra-task kernel thread count: how many goroutines
+	// one task's matmul and element-wise kernels may fan out across. Zero (the
+	// default) auto-sizes against the machine's cores without touching the
+	// cost model; an explicit count also scales the modelled compute bandwidth
+	// B̂c (and the worker pools under the TCP runtime). Keep
+	// KernelThreads x TasksPerNode at or below the node's core count. The
+	// WithKernelThreads option and FUSEME_KERNEL_THREADS override this field.
+	KernelThreads int
+
 	// Runtime selects the execution backend: "sim" (default) runs stages
 	// in-process on the simulated cluster; "tcp" distributes them over
 	// fuseme-worker processes.
@@ -91,6 +100,7 @@ func fromInternal(c cluster.Config) ClusterConfig {
 		CompBandwidth: c.CompBandwidth,
 		BlockSize:     c.BlockSize,
 		SimTimeLimit:  c.SimTimeLimit,
+		KernelThreads: c.KernelThreads,
 	}
 }
 
@@ -103,6 +113,7 @@ func (c ClusterConfig) internal() cluster.Config {
 		CompBandwidth:  c.CompBandwidth,
 		BlockSize:      c.BlockSize,
 		SimTimeLimit:   c.SimTimeLimit,
+		KernelThreads:  c.KernelThreads,
 		TaskOverhead:   0.005,
 		MaxTaskRetries: defaultMaxTaskRetries,
 	}
@@ -257,12 +268,13 @@ type Session struct {
 	rtMu sync.Mutex
 	rtm  rt.Runtime // lazily constructed execution backend
 
-	obs         *obs.Obs      // never nil; components nil unless enabled
-	metricsAddr string        // WithMetricsAddr target; "" = no endpoint
-	metricsSrv  *obs.Server   // running endpoint, if any
-	rcfg        remote.Config // TCP transport overrides from options
-	retries     int           // WithMaxTaskRetries; -1 = env/default
-	cacheBytes  int64         // WithBlockCache; -1 = env/default
+	obs           *obs.Obs      // never nil; components nil unless enabled
+	metricsAddr   string        // WithMetricsAddr target; "" = no endpoint
+	metricsSrv    *obs.Server   // running endpoint, if any
+	rcfg          remote.Config // TCP transport overrides from options
+	retries       int           // WithMaxTaskRetries; -1 = env/default
+	cacheBytes    int64         // WithBlockCache; -1 = env/default
+	kernelThreads int           // WithKernelThreads; -1 = env/config/default
 }
 
 // NewSession creates a session on the given cluster configuration, running
@@ -279,9 +291,10 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		inputs: map[string]*block.Matrix{},
 		// Calibration is always on: it is stage-level (a stats snapshot per
 		// stage) and is what Session.Report joins against.
-		obs:        &obs.Obs{Calib: obs.NewCalibration()},
-		retries:    -1,
-		cacheBytes: -1,
+		obs:           &obs.Obs{Calib: obs.NewCalibration()},
+		retries:       -1,
+		cacheBytes:    -1,
+		kernelThreads: -1,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -292,6 +305,9 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	if _, err := s.blockCacheBytes(); err != nil {
+		return nil, err
+	}
+	if _, err := s.kernelThreadsSetting(); err != nil {
 		return nil, err
 	}
 	if _, err := s.remoteConfig(); err != nil {
@@ -393,8 +409,8 @@ func clampDensity(d float64) float64 {
 }
 
 // clusterConfig resolves the internal cluster configuration with the
-// session's retry and block-cache overrides (option > environment >
-// default).
+// session's retry, block-cache and kernel-thread overrides (option >
+// environment > config field > default).
 func (s *Session) clusterConfig() (cluster.Config, error) {
 	cc := s.cfg.internal()
 	retries, err := s.maxTaskRetries()
@@ -407,6 +423,11 @@ func (s *Session) clusterConfig() (cluster.Config, error) {
 		return cc, err
 	}
 	cc.CacheBytes = cacheBytes
+	kernelThreads, err := s.kernelThreadsSetting()
+	if err != nil {
+		return cc, err
+	}
+	cc.KernelThreads = kernelThreads
 	return cc, nil
 }
 

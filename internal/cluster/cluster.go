@@ -22,6 +22,7 @@ import (
 
 	"fuseme/internal/blockcache"
 	"fuseme/internal/matrix"
+	"fuseme/internal/parallel"
 )
 
 // ErrOutOfMemory is returned (wrapped) when an operator's estimated per-task
@@ -51,6 +52,16 @@ type Config struct {
 	// runtime exactly. The effective budget is clamped to TaskMemBytes so
 	// the cache respects the paper's per-task memory budget θt.
 	CacheBytes int64
+
+	// KernelThreads is the intra-task kernel thread count. Zero (the
+	// default) auto-sizes the local goroutine pool to
+	// min(NumCPU/slots, parallel.DefaultMaxThreads) without touching the
+	// simulated cost model, so default simulated numbers stay
+	// machine-independent. An explicit positive value both sizes the pool
+	// and scales the modelled B̂c (see EffectiveCompBandwidth). Keep
+	// KernelThreads x TasksPerNode at or below the node's core count:
+	// oversubscribed kernel threads only add scheduler churn.
+	KernelThreads int
 
 	// MaxTaskRetries is how many times a failed task is re-attempted before
 	// the stage fails (Spark's task retry). Zero means no retries.
@@ -94,12 +105,26 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: bandwidths must be positive")
 	case c.BlockSize <= 0:
 		return fmt.Errorf("cluster: BlockSize = %d, must be positive", c.BlockSize)
+	case c.KernelThreads < 0:
+		return fmt.Errorf("cluster: KernelThreads = %d, must be >= 0", c.KernelThreads)
 	}
 	return nil
 }
 
 // TotalSlots returns N * Tc, the maximum parallelism of the cluster.
 func (c Config) TotalSlots() int { return c.Nodes * c.TasksPerNode }
+
+// EffectiveCompBandwidth returns the modelled per-node compute bandwidth:
+// B̂c scaled by the explicit kernel thread count. With KernelThreads zero
+// (auto) it equals CompBandwidth exactly, keeping every default simulated
+// number machine-independent — auto-sized local pools speed up wall-clock
+// execution but never alter the model.
+func (c Config) EffectiveCompBandwidth() float64 {
+	if c.KernelThreads > 1 {
+		return c.CompBandwidth * float64(c.KernelThreads)
+	}
+	return c.CompBandwidth
+}
 
 // Stats accumulates execution metrics across stages. All byte counts are the
 // "amount of transferred data" the paper reports as communication cost.
@@ -216,6 +241,12 @@ func (s *Stats) Add(other Stats) {
 type Cluster struct {
 	cfg Config
 
+	// pool is the shared intra-task kernel pool handed to every task this
+	// cluster runs. Sized against the process's real local concurrency
+	// (min(TotalSlots, GOMAXPROCS)), not the simulated slot count, so
+	// kernel threads x local slots never oversubscribes the machine.
+	pool *parallel.Pool
+
 	mu    sync.Mutex
 	stats Stats
 
@@ -237,6 +268,11 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg}
+	localSlots := cfg.TotalSlots()
+	if n := runtime.GOMAXPROCS(0); n < localSlots {
+		localSlots = n
+	}
+	c.pool = parallel.New(parallel.Resolve(cfg.KernelThreads, localSlots), localSlots)
 	if cfg.CacheBytes > 0 {
 		budget := cfg.CacheBytes
 		if budget > cfg.TaskMemBytes {
@@ -261,6 +297,11 @@ func MustNew(cfg Config) *Cluster {
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// KernelPool returns the shared intra-task kernel pool (nil when kernels run
+// serially). Observability layers read its Stats; tasks receive it via
+// Task.Pool.
+func (c *Cluster) KernelPool() *parallel.Pool { return c.pool }
 
 // Stats returns a snapshot of accumulated metrics.
 func (c *Cluster) Stats() Stats {
@@ -333,6 +374,10 @@ func (c *Cluster) CheckAdmission(estTaskMemBytes int64, what string) error {
 type Task struct {
 	ID int
 
+	// pool is the kernel pool the task's local linear algebra may fan out
+	// on; nil means serial kernels. Set by the backend that runs the task.
+	pool *parallel.Pool
+
 	consolidationBytes int64
 	aggregationBytes   int64
 	flops              int64
@@ -344,6 +389,13 @@ type Task struct {
 	cacheEvictions  int64
 	cacheSavedBytes int64
 }
+
+// SetPool hands the task a kernel pool for intra-task parallelism. Backends
+// call it before running the task body.
+func (t *Task) SetPool(p *parallel.Pool) { t.pool = p }
+
+// Pool returns the task's kernel pool; nil means serial kernels.
+func (t *Task) Pool() *parallel.Pool { return t.pool }
 
 // FetchBlock meters a block moved to this task during matrix consolidation
 // and counts it against the task's live memory.
@@ -458,7 +510,7 @@ func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) er
 					// A retried task restarts with clean metering: the
 					// failed attempt's partial work is discarded, exactly
 					// as a re-executed Spark task recomputes its partition.
-					tasks[i] = Task{ID: i}
+					tasks[i] = Task{ID: i, pool: c.pool}
 					if c.cfg.InjectTaskFailure != nil && c.cfg.InjectTaskFailure(i, attempt) {
 						err = errInjectedFailure
 					} else {
@@ -505,7 +557,7 @@ func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) er
 	}
 	bytes := float64(stage.ConsolidationBytes + stage.AggregationBytes)
 	n := float64(c.cfg.Nodes)
-	stage.SimSeconds = maxf(bytes/(n*c.cfg.NetBandwidth), float64(stage.Flops)/(n*c.cfg.CompBandwidth))
+	stage.SimSeconds = maxf(bytes/(n*c.cfg.NetBandwidth), float64(stage.Flops)/(n*c.cfg.EffectiveCompBandwidth()))
 	if c.cfg.TaskOverhead > 0 && numTasks > 0 {
 		waves := (numTasks + c.cfg.TotalSlots() - 1) / c.cfg.TotalSlots()
 		stage.SimSeconds += float64(waves) * c.cfg.TaskOverhead

@@ -80,14 +80,14 @@ func (pp *PhysPlan) DescribeCosts(cfg cluster.Config) string {
 	n := float64(cfg.Nodes)
 	var b strings.Builder
 	fmt.Fprintf(&b, "predicted costs (N=%d, B̂n=%.3g B/s, B̂c=%.3g flop/s, θt=%s):\n",
-		cfg.Nodes, cfg.NetBandwidth, cfg.CompBandwidth, cluster.FormatBytes(cfg.TaskMemBytes))
+		cfg.Nodes, cfg.NetBandwidth, cfg.EffectiveCompBandwidth(), cluster.FormatBytes(cfg.TaskMemBytes))
 	for i, op := range pp.Ops {
 		pqr := "-"
 		if op.Strategy == exec.Cuboid && op.Plan.MainMM != nil {
 			pqr = fmt.Sprintf("(%d,%d,%d)", op.P, op.Q, op.R)
 		}
 		netSec := float64(op.EstNetBytes) / (n * cfg.NetBandwidth)
-		comSec := float64(op.EstComFlops) / (n * cfg.CompBandwidth)
+		comSec := float64(op.EstComFlops) / (n * cfg.EffectiveCompBandwidth())
 		bound, total := "net", netSec
 		if comSec > netSec {
 			bound, total = "comp", comSec

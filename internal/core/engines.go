@@ -14,12 +14,15 @@ import (
 )
 
 // modelFor derives the cost-model constants from the cluster configuration.
+// CompBW uses the kernel-thread-scaled compute bandwidth so plan costs (and
+// the chosen (P,Q,R)) reflect intra-task parallelism when it is configured
+// explicitly.
 func modelFor(cc cluster.Config) cost.Model {
 	c := cc
 	return cost.Model{
 		Nodes:        c.Nodes,
 		NetBW:        c.NetBandwidth,
-		CompBW:       c.CompBandwidth,
+		CompBW:       c.EffectiveCompBandwidth(),
 		TaskMemBytes: c.TaskMemBytes,
 		MinTasks:     c.TotalSlots(),
 	}

@@ -64,7 +64,7 @@ func Simulate(pp *PhysPlan, cl *cluster.Cluster) (cluster.Stats, error) {
 		}
 	}
 	for lvl, net := range levelNet {
-		s.SimSeconds += maxf(net/(n*cfg.NetBandwidth), levelCom[lvl]/(n*cfg.CompBandwidth)) + levelOvh[lvl]
+		s.SimSeconds += maxf(net/(n*cfg.NetBandwidth), levelCom[lvl]/(n*cfg.EffectiveCompBandwidth())) + levelOvh[lvl]
 	}
 	for lvl, ovh := range levelOvh {
 		if _, seen := levelNet[lvl]; !seen {

@@ -92,7 +92,7 @@ type Estimates struct {
 type Model struct {
 	Nodes        int     // N
 	NetBW        float64 // B̂n, bytes/s per node
-	CompBW       float64 // B̂c, flop/s per node
+	CompBW       float64 // B̂c, flop/s per node (pre-scaled by explicit kernel threads)
 	TaskMemBytes int64   // θt
 	MinTasks     int     // N * Tc: the parallelism floor for pruning
 }

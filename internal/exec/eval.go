@@ -8,6 +8,7 @@ import (
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/matrix"
+	"fuseme/internal/parallel"
 	"fuseme/internal/rt/spec"
 )
 
@@ -22,6 +23,7 @@ type evaluator struct {
 	op        *FusedOp
 	src       blockSource // external input (and pinned-partial) blocks
 	task      *cluster.Task
+	pool      *parallel.Pool       // intra-task kernel threads; nil = serial
 	spaces    map[int]fusion.Space // nil for plans without matmul
 	mask      *fusion.OuterMask    // outer-fusion pattern, if detected
 	hasMM     map[int]bool         // member IDs whose subtree contains MainMM
@@ -51,6 +53,7 @@ func newEvaluator(op *FusedOp, task *cluster.Task, src blockSource, blockSize, k
 		op:        op,
 		src:       src,
 		task:      task,
+		pool:      task.Pool(),
 		spaces:    op.Plan.NodeSpaces(),
 		mask:      opMask(op),
 		kLo:       kLo,
@@ -170,7 +173,7 @@ func (ev *evaluator) computeBlock(n *dag.Node, bi, bj int) matrix.Mat {
 			return nil
 		}
 		ev.task.AddFlops(int64(child.NNZ()))
-		return matrix.Transpose(child)
+		return matrix.TransposeWith(ev.pool, child)
 	case dag.OpMatMul:
 		return ev.evalMatMul(n, bi, bj)
 	}
@@ -261,7 +264,7 @@ func (ev *evaluator) applyUnary(n *dag.Node, child matrix.Mat, bi, bj int) matri
 		ev.task.AddFlops(int64(rows*cols) * matrix.UnaryFlops(n.Func))
 		return constDense(rows, cols, f(0))
 	}
-	out := matrix.Apply(f, child)
+	out := matrix.ApplyWith(ev.pool, f, child)
 	ev.task.AddFlops(workOf(out) * matrix.UnaryFlops(n.Func))
 	return out
 }
@@ -329,7 +332,7 @@ func (ev *evaluator) scalarCombine(n *dag.Node, blk matrix.Mat, s float64, scala
 		ev.task.AddFlops(int64(rows*cols) * op.Flops())
 		return constDense(rows, cols, v)
 	}
-	out := matrix.BinaryScalar(op, blk, s, scalarOnLeft)
+	out := matrix.BinaryScalarWith(ev.pool, op, blk, s, scalarOnLeft)
 	ev.task.AddFlops(workOf(out) * op.Flops())
 	return out
 }
@@ -368,7 +371,7 @@ func (ev *evaluator) combine(n *dag.Node, aNode, bNode *dag.Node, av, bv matrix.
 		br, bc := ev.operandBlockDims(bNode, n, bi, bj)
 		bv = matrix.NewCSR(br, bc)
 	}
-	out := matrix.Binary(op, av, bv)
+	out := matrix.BinaryWith(ev.pool, op, av, bv)
 	ev.task.AddFlops(workOf(out) * op.Flops())
 	return out
 }
@@ -383,7 +386,7 @@ func (ev *evaluator) broadcastIfNeeded(n, operand *dag.Node, blk matrix.Mat, bi,
 		return blk
 	}
 	zero := matrix.NewCSR(rows, cols)
-	return matrix.Binary(matrix.Add, zero, blk)
+	return matrix.BinaryWith(ev.pool, matrix.Add, zero, blk)
 }
 
 // operandBlockDims returns the dims of operand's block for output block
@@ -409,11 +412,11 @@ func (ev *evaluator) evalMatMul(n *dag.Node, bi, bj int) matrix.Mat {
 			continue
 		}
 		ev.task.AddFlops(matrix.MatMulFlops(la, rb))
-		prod := matrix.MatMul(la, rb)
+		prod := matrix.MatMulWith(ev.pool, la, rb)
 		if acc == nil {
 			acc = prod
 		} else {
-			acc = matrix.Binary(matrix.Add, acc, prod)
+			acc = matrix.BinaryWith(ev.pool, matrix.Add, acc, prod)
 		}
 	}
 	return acc

@@ -102,7 +102,7 @@ func (ev *evaluator) evalMaskedMM(n *dag.Node, bi, bj int, pattern *matrix.CSR) 
 		}
 		_, inner := la.Dims()
 		ev.task.AddFlops(matrix.MaskedMatMulFlops(pattern, inner))
-		part := matrix.MaskedMatMul(pattern, la, rb)
+		part := matrix.MaskedMatMulWith(ev.pool, pattern, la, rb)
 		for p := range acc.Val {
 			acc.Val[p] += part.Val[p]
 		}

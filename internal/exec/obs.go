@@ -6,6 +6,7 @@ import (
 
 	"fuseme/internal/cluster"
 	"fuseme/internal/obs"
+	"fuseme/internal/parallel"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/spec"
 )
@@ -42,6 +43,11 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	// cumulative stats before RunStage returns, so the delta is exactly this
 	// stage's contribution regardless of backend. SimSeconds is the stage
 	// clock: the Eq. 2 model under simulation, real wall under TCP.
+	var poolBefore parallel.Stats
+	pooled, hasPool := rtm.(interface{ KernelPool() *parallel.Pool })
+	if hasPool {
+		poolBefore = pooled.KernelPool().Stats()
+	}
 	before := rtm.Stats()
 	err := rt.RunStage(rtm, st)
 	after := rtm.Stats()
@@ -68,6 +74,14 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	o.Counter(obs.MCacheMisses).Add(after.CacheMisses - before.CacheMisses)
 	o.Counter(obs.MCacheEvictions).Add(after.CacheEvictions - before.CacheEvictions)
 	o.Gauge(obs.MCacheSavedBytes).Set(float64(after.CacheSavedBytes))
+	if hasPool {
+		pool := pooled.KernelPool()
+		poolAfter := pool.Stats()
+		o.Gauge(obs.MKernelThreads).Set(float64(pool.Threads()))
+		o.Counter(obs.MKernelParallelCalls).Add(poolAfter.ParallelCalls - poolBefore.ParallelCalls)
+		o.Counter(obs.MKernelSerialCalls).Add(poolAfter.SerialCalls - poolBefore.SerialCalls)
+		o.Counter(obs.MKernelHelperRuns).Add(poolAfter.HelperRuns - poolBefore.HelperRuns)
+	}
 
 	if span != nil {
 		span.Arg("consolidation_bytes", meas.ConsolidationBytes).

@@ -129,19 +129,19 @@ func CacheBench(opts Options) (*CacheReport, []*Table, error) {
 	return rep, []*Table{tab}, nil
 }
 
-// Cache is the registered runner for CacheBench; when Options.CacheOut is
+// Cache is the registered runner for CacheBench; when Options.ReportOut is
 // set, it also writes the JSON report there (fuseme-bench -out).
 func Cache(opts Options) ([]*Table, error) {
 	rep, tables, err := CacheBench(opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.CacheOut != "" {
+	if opts.ReportOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(opts.CacheOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(opts.ReportOut, append(data, '\n'), 0o644); err != nil {
 			return nil, err
 		}
 	}

@@ -23,9 +23,9 @@ type Options struct {
 	// top-level span and real executions (the ablation) record full
 	// stage/task detail. fuseme-bench -trace-out wires this up.
 	Obs *obs.Obs
-	// CacheOut, when non-empty, is where the cache experiment writes its
-	// JSON report (fuseme-bench -out).
-	CacheOut string
+	// ReportOut, when non-empty, is where report-producing experiments
+	// (cache, kernels) write their JSON document (fuseme-bench -out).
+	ReportOut string
 }
 
 func (o Options) scale() float64 {
@@ -121,6 +121,7 @@ var registry = map[string]Runner{
 	"plans":    Plans,
 	"ablation": Ablation,
 	"cache":    Cache,
+	"kernels":  Kernels,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

@@ -332,7 +332,7 @@ func TestTableRender(t *testing.T) {
 // JSON report lands where -out points.
 func TestCacheExperiment(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_cache.json")
-	rep, tables, err := CacheBench(Options{Scale: 0.25, CacheOut: out})
+	rep, tables, err := CacheBench(Options{Scale: 0.25, ReportOut: out})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestCacheExperiment(t *testing.T) {
 	}
 
 	// The registered runner writes the report.
-	if _, err := Run("cache", Options{Scale: 0.25, CacheOut: out}); err != nil {
+	if _, err := Run("cache", Options{Scale: 0.25, ReportOut: out}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)

@@ -17,7 +17,7 @@ func fig13Plan(opts Options, rows, cols, k int, density float64) (*fusion.Plan, 
 	cfgC := opts.paperCluster()
 	g := workloads.NMFKernel(opts.dim(rows), opts.dim(cols), opts.dim(k), density)
 	model := cost.Model{
-		Nodes: cfgC.Nodes, NetBW: cfgC.NetBandwidth, CompBW: cfgC.CompBandwidth,
+		Nodes: cfgC.Nodes, NetBW: cfgC.NetBandwidth, CompBW: cfgC.EffectiveCompBandwidth(),
 		TaskMemBytes: cfgC.TaskMemBytes, MinTasks: cfgC.TotalSlots(),
 	}
 	res, err := cfg.Generate(g, model, cfgC.BlockSize)

@@ -122,7 +122,7 @@ func tfEpoch(c workloads.AutoEncoderConfig, n int, cfg cluster.Config) string {
 	netPerStep := batchBytes + int64(cfg.TotalSlots())*weights
 	nn := float64(cfg.Nodes)
 	netT := float64(netOnce+int64(steps)*netPerStep) / (nn * cfg.NetBandwidth)
-	comT := float64(int64(steps)*flopsPerStep) / (nn * cfg.CompBandwidth)
+	comT := float64(int64(steps)*flopsPerStep) / (nn * cfg.EffectiveCompBandwidth())
 	t := netT
 	if comT > t {
 		t = comT

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fuseme/internal/matrix"
+	"fuseme/internal/parallel"
+)
+
+// MachineSpec records where a kernel benchmark ran, so committed reports are
+// interpretable: thread speedups are meaningless without knowing how many
+// cores the run actually had.
+type MachineSpec struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// KernelResult is one kernel configuration's measured dense-matmul time.
+type KernelResult struct {
+	Kernel      string  `json:"kernel"`  // "naive" or "blocked"
+	Threads     int     `json:"threads"` // pool thread count (1 = serial)
+	BestSeconds float64 `json:"best_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	GFlops      float64 `json:"gflops"`
+	Speedup     float64 `json:"speedup"` // vs the naive kernel's best time
+}
+
+// KernelsReport is the JSON document `fuseme-bench -exp kernels -out` writes.
+type KernelsReport struct {
+	Dim        int            `json:"dim"` // square matmul dimension
+	Iterations int            `json:"iterations"`
+	Machine    MachineSpec    `json:"machine"`
+	Results    []KernelResult `json:"results"`
+}
+
+// KernelsBench measures the dense matmul kernels on this machine: the
+// pre-blocking naive triple loop, the cache-blocked/register-tiled kernel
+// serial, and the blocked kernel across a kernel pool at 2 and 4 threads.
+// All variants compute the same product; the blocked results are checked
+// bit-identical across thread counts before timing.
+func KernelsBench(opts Options) (*KernelsReport, []*Table, error) {
+	dim := opts.dim(512)
+	const iters = 5
+	a := matrix.RandomDense(dim, dim, -1, 1, 1)
+	b := matrix.RandomDense(dim, dim, -1, 1, 2)
+
+	type variant struct {
+		kernel  string
+		threads int
+		run     func() matrix.Mat
+	}
+	variants := []variant{
+		{"naive", 1, func() matrix.Mat { return matrix.MatMulNaive(a, b) }},
+		{"blocked", 1, func() matrix.Mat { return matrix.MatMulWith(nil, a, b) }},
+	}
+	for _, n := range []int{2, 4} {
+		pool := parallel.New(n, 1)
+		variants = append(variants, variant{"blocked", n,
+			func() matrix.Mat { return matrix.MatMulWith(pool, a, b) }})
+	}
+
+	rep := &KernelsReport{
+		Dim:        dim,
+		Iterations: iters,
+		Machine: MachineSpec{
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+		},
+	}
+	flops := 2 * float64(dim) * float64(dim) * float64(dim)
+
+	serial := matrix.MatMulWith(nil, a, b)
+	var naiveBest float64
+	for _, v := range variants {
+		var best, sum float64
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			out := v.run()
+			sec := time.Since(start).Seconds()
+			if v.kernel == "blocked" && !matrix.Equal(out, serial) {
+				return nil, nil, fmt.Errorf("kernels: blocked kernel at %d threads diverged from serial", v.threads)
+			}
+			sum += sec
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		if v.kernel == "naive" {
+			naiveBest = best
+		}
+		rep.Results = append(rep.Results, KernelResult{
+			Kernel:      v.kernel,
+			Threads:     v.threads,
+			BestSeconds: best,
+			MeanSeconds: sum / iters,
+			GFlops:      flops / best / 1e9,
+			Speedup:     naiveBest / best,
+		})
+	}
+
+	tab := &Table{
+		ID:      "kernels",
+		Title:   fmt.Sprintf("dense matmul kernels, %dx%d (best of %d)", dim, dim, iters),
+		Columns: []string{"kernel", "threads", "best (ms)", "GFLOP/s", "speedup vs naive"},
+	}
+	for _, r := range rep.Results {
+		tab.AddRow(r.Kernel, r.Threads, r.BestSeconds*1e3, r.GFlops, r.Speedup)
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("machine: %d CPUs, GOMAXPROCS=%d, %s/%s, %s — thread speedups are bounded by available cores",
+			rep.Machine.NumCPU, rep.Machine.GOMAXPROCS, rep.Machine.GOOS, rep.Machine.GOARCH, rep.Machine.GoVersion))
+	return rep, []*Table{tab}, nil
+}
+
+// Kernels is the registered runner for KernelsBench; when Options.ReportOut
+// is set, it also writes the JSON report there (fuseme-bench -out).
+func Kernels(opts Options) ([]*Table, error) {
+	rep, tables, err := KernelsBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ReportOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.ReportOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}

@@ -24,7 +24,7 @@ func Table1(opts Options) ([]*Table, error) {
 
 	// Instantiate at 100K x 2K x 100K, d = 0.1 with the paper's cluster.
 	clCfg := opts.paperCluster()
-	model := cost.Model{Nodes: clCfg.Nodes, NetBW: clCfg.NetBandwidth, CompBW: clCfg.CompBandwidth,
+	model := cost.Model{Nodes: clCfg.Nodes, NetBW: clCfg.NetBandwidth, CompBW: clCfg.EffectiveCompBandwidth(),
 		TaskMemBytes: clCfg.TaskMemBytes, MinTasks: clCfg.TotalSlots()}
 	g := workloads.NMFKernel(opts.dim(100_000), opts.dim(100_000), opts.dim(2_000), 0.1)
 	rule := fusion.RuleFor(g, clCfg.TaskMemBytes)
@@ -57,7 +57,7 @@ func Table1(opts Options) ([]*Table, error) {
 // optimizer selects for each synthetic dataset of Section 6.2.
 func Table3(opts Options) ([]*Table, error) {
 	clCfg := opts.paperCluster()
-	model := cost.Model{Nodes: clCfg.Nodes, NetBW: clCfg.NetBandwidth, CompBW: clCfg.CompBandwidth,
+	model := cost.Model{Nodes: clCfg.Nodes, NetBW: clCfg.NetBandwidth, CompBW: clCfg.EffectiveCompBandwidth(),
 		TaskMemBytes: clCfg.TaskMemBytes, MinTasks: clCfg.TotalSlots()}
 	tab := &Table{ID: "table3",
 		Title:   "optimal (P*,Q*,R*) per synthetic dataset",

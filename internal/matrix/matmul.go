@@ -1,12 +1,42 @@
 package matrix
 
-import "fmt"
+import (
+	"fmt"
 
-// MatMul computes a x b, dispatching on representations:
+	"fuseme/internal/parallel"
+)
+
+// Tile sizes for the blocked dense kernel. 64x64 float64 tiles are 32 KiB —
+// an a-tile plus a b-tile fit in a typical 256 KiB L2 with room for the
+// output panel, and 64 divides evenly into the register micro-kernel's 4-wide
+// steps so full tiles never hit the edge path.
+const (
+	tileI = 64
+	tileK = 64
+	tileJ = 64
+)
+
+// rowGrain is the minimum number of rows worth a helper goroutine in the
+// row-parallel sparse and masked kernels.
+const rowGrain = 16
+
+// elemGrain is the minimum number of elements worth a helper goroutine in
+// flat element-wise loops (see ops.go).
+const elemGrain = 4096
+
+// MatMul computes a x b on the serial path; see MatMulWith.
+func MatMul(a, b Mat) Mat { return MatMulWith(nil, a, b) }
+
+// MatMulWith computes a x b, splitting row panels across p's kernel threads
+// (p may be nil for the serial path). Dispatch is by representation:
 // dense x dense, CSR x dense, dense x CSR and CSR x CSR all have dedicated
 // kernels. The result is dense except for CSR x CSR, which is compressed
 // when the result density stays below SparseResultThreshold.
-func MatMul(a, b Mat) Mat {
+//
+// Results are bit-identical at every thread count: each output row is
+// computed by exactly one goroutine, and the per-element accumulation order
+// is fixed by the tile grid, not by the row partition.
+func MatMulWith(p *parallel.Pool, a, b Mat) Mat {
 	ar, ak := a.Dims()
 	bk, bc := b.Dims()
 	if ak != bk {
@@ -16,16 +46,16 @@ func MatMul(a, b Mat) Mat {
 	case *Dense:
 		switch y := b.(type) {
 		case *Dense:
-			return matMulDD(x, y)
+			return matMulDD(p, x, y)
 		case *CSR:
-			return matMulDS(x, y)
+			return matMulDS(p, x, y)
 		}
 	case *CSR:
 		switch y := b.(type) {
 		case *Dense:
-			return matMulSD(x, y)
+			return matMulSD(p, x, y)
 		case *CSR:
-			return matMulSS(x, y)
+			return matMulSS(p, x, y)
 		}
 	}
 	panic("matrix: unsupported Mat implementation")
@@ -35,8 +65,162 @@ func MatMul(a, b Mat) Mat {
 // are stored in CSR form.
 const SparseResultThreshold = 0.25
 
-// matMulDD is a cache-friendly i-k-j dense kernel.
-func matMulDD(a, b *Dense) *Dense {
+// matMulDD is the cache-blocked, register-tiled dense kernel. Rows are split
+// into panels across kernel threads; each panel walks the fixed i/k/j tile
+// grid with a 4x4 register micro-kernel on full tiles.
+func matMulDD(p *parallel.Pool, a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	p.For(a.Rows, tileI, func(lo, hi int) {
+		matMulDDPanel(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// matMulDDPanel computes out rows [rLo, rHi) of a x b with i/k/j tiling.
+func matMulDDPanel(a, b, out *Dense, rLo, rHi int) {
+	K, N := a.Cols, b.Cols
+	for it := rLo; it < rHi; it += tileI {
+		iMax := minInt(it+tileI, rHi)
+		for kt := 0; kt < K; kt += tileK {
+			kMax := minInt(kt+tileK, K)
+			for jt := 0; jt < N; jt += tileJ {
+				jMax := minInt(jt+tileJ, N)
+				mulTile(a, b, out, it, iMax, kt, kMax, jt, jMax)
+			}
+		}
+	}
+}
+
+// mulTile multiplies one (i,k)x(k,j) tile pair into out, running the 4x8
+// AVX micro-kernel (amd64 with AVX) or the scalar 4x4 register micro-kernel
+// on full-width strips, and a scalar edge loop on the remainder. All paths
+// accumulate each output element over the tile's k range in the same order —
+// one accumulator per element, k ascending, one += into out per tile — so
+// AVX strips, scalar strips and edge rows match bitwise.
+func mulTile(a, b, out *Dense, iLo, iMax, kLo, kMax, jLo, jMax int) {
+	if kLo >= kMax {
+		return
+	}
+	i := iLo
+	if hasAVX {
+		K, N := a.Cols, b.Cols
+		kn, ldaB, ldbB := uintptr(kMax-kLo), uintptr(K*8), uintptr(N*8)
+		for ; i+4 <= iMax; i += 4 {
+			j := jLo
+			for ; j+8 <= jMax; j += 8 {
+				microAVX4x8(&a.Data[i*K+kLo], &b.Data[kLo*N+j], &out.Data[i*N+j],
+					kn, ldaB, ldbB, ldbB)
+			}
+			if j < jMax {
+				edgeTile(a, b, out, i, i+4, kLo, kMax, j, jMax)
+			}
+		}
+		if i < iMax {
+			edgeTile(a, b, out, i, iMax, kLo, kMax, jLo, jMax)
+		}
+		return
+	}
+	for ; i+4 <= iMax; i += 4 {
+		j := jLo
+		for ; j+4 <= jMax; j += 4 {
+			micro4x4(a, b, out, i, j, kLo, kMax)
+		}
+		if j < jMax {
+			edgeTile(a, b, out, i, i+4, kLo, kMax, j, jMax)
+		}
+	}
+	if i < iMax {
+		edgeTile(a, b, out, i, iMax, kLo, kMax, jLo, jMax)
+	}
+}
+
+// micro4x4 accumulates the 4x4 output block at (i0, j0) over k in [kLo, kMax)
+// in sixteen scalar accumulators the compiler keeps in registers, touching
+// out only once per tile.
+func micro4x4(a, b, out *Dense, i0, j0, kLo, kMax int) {
+	K, N := a.Cols, b.Cols
+	kn := kMax - kLo
+	a0 := a.Data[i0*K+kLo : i0*K+kMax : i0*K+kMax]
+	a1 := a.Data[(i0+1)*K+kLo : (i0+1)*K+kMax : (i0+1)*K+kMax]
+	a2 := a.Data[(i0+2)*K+kLo : (i0+2)*K+kMax : (i0+2)*K+kMax]
+	a3 := a.Data[(i0+3)*K+kLo : (i0+3)*K+kMax : (i0+3)*K+kMax]
+	bd := b.Data
+	bi := kLo*N + j0
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for k := 0; k < kn; k++ {
+		b0, b1, b2, b3 := bd[bi], bd[bi+1], bd[bi+2], bd[bi+3]
+		bi += N
+		av := a0[k]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[k]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[k]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[k]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	o := out.Data[i0*N+j0:]
+	o[0] += c00
+	o[1] += c01
+	o[2] += c02
+	o[3] += c03
+	o = out.Data[(i0+1)*N+j0:]
+	o[0] += c10
+	o[1] += c11
+	o[2] += c12
+	o[3] += c13
+	o = out.Data[(i0+2)*N+j0:]
+	o[0] += c20
+	o[1] += c21
+	o[2] += c22
+	o[3] += c23
+	o = out.Data[(i0+3)*N+j0:]
+	o[0] += c30
+	o[1] += c31
+	o[2] += c32
+	o[3] += c33
+}
+
+// edgeTile handles tile remainders narrower than the micro-kernel,
+// accumulating each output element over the tile's k range in a scalar
+// before the single += — the same per-element order as micro4x4.
+func edgeTile(a, b, out *Dense, iLo, iMax, kLo, kMax, jLo, jMax int) {
+	K, N := a.Cols, b.Cols
+	for i := iLo; i < iMax; i++ {
+		arow := a.Data[i*K : i*K+kMax]
+		orow := out.Data[i*N : i*N+jMax]
+		for j := jLo; j < jMax; j++ {
+			var s float64
+			for k := kLo; k < kMax; k++ {
+				s += arow[k] * b.Data[k*N+j]
+			}
+			orow[j] += s
+		}
+	}
+}
+
+// MatMulNaive is the pre-blocking reference kernel: a plain i-k-j triple loop
+// over dense operands. It is kept for benchmarking the blocked kernel against
+// (BenchmarkBlockMatMul, `-exp kernels`), not for production dispatch.
+func MatMulNaive(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: matmul inner dimension mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 	out := NewDense(a.Rows, b.Cols)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
@@ -54,57 +238,63 @@ func matMulDD(a, b *Dense) *Dense {
 	return out
 }
 
-// matMulSD multiplies CSR a by dense b.
-func matMulSD(a *CSR, b *Dense) *Dense {
+// matMulSD multiplies CSR a by dense b, row-parallel.
+func matMulSD(p *parallel.Pool, a *CSR, b *Dense) *Dense {
 	out := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		cols, vals := a.RowNNZ(i)
-		orow := out.Row(i)
-		for p, k := range cols {
-			av := vals[p]
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	p.For(a.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.RowNNZ(i)
+			orow := out.Row(i)
+			for p, k := range cols {
+				av := vals[p]
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// matMulDS multiplies dense a by CSR b by scattering b's rows.
-func matMulDS(a *Dense, b *CSR) *Dense {
+// matMulDS multiplies dense a by CSR b by scattering b's rows, row-parallel.
+func matMulDS(p *parallel.Pool, a *Dense, b *CSR) *Dense {
 	out := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			cols, vals := b.RowNNZ(k)
-			for p, j := range cols {
-				orow[j] += av * vals[p]
+	p.For(a.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				cols, vals := b.RowNNZ(k)
+				for p, j := range cols {
+					orow[j] += av * vals[p]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// matMulSS multiplies two CSR matrices with a dense row accumulator,
-// compressing the result when it stays sparse.
-func matMulSS(a, b *CSR) Mat {
+// matMulSS multiplies two CSR matrices into a dense row accumulator,
+// row-parallel, compressing the result when it stays sparse.
+func matMulSS(p *parallel.Pool, a, b *CSR) Mat {
 	out := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		acols, avals := a.RowNNZ(i)
-		orow := out.Row(i)
-		for p, k := range acols {
-			av := avals[p]
-			bcols, bvals := b.RowNNZ(k)
-			for q, j := range bcols {
-				orow[j] += av * bvals[q]
+	p.For(a.Rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acols, avals := a.RowNNZ(i)
+			orow := out.Row(i)
+			for p, k := range acols {
+				av := avals[p]
+				bcols, bvals := b.RowNNZ(k)
+				for q, j := range bcols {
+					orow[j] += av * bvals[q]
+				}
 			}
 		}
-	}
+	})
 	return MaybeCompress(out, SparseResultThreshold)
 }
 
@@ -119,14 +309,19 @@ func MatMulFlops(a, b Mat) int64 {
 	return 2 * int64(ar) * int64(ak) * int64(bc)
 }
 
-// MaskedMatMul computes (a x b) restricted to the non-zero pattern of mask:
-// for every stored (i,j) of mask the full dot product a[i,:] . b[:,j] is
-// evaluated; everything else is skipped. This is the sparsity-exploitation
+// MaskedMatMul is MaskedMatMulWith on the serial path.
+func MaskedMatMul(mask *CSR, a, b Mat) *CSR { return MaskedMatMulWith(nil, mask, a, b) }
+
+// MaskedMatMulWith computes (a x b) restricted to the non-zero pattern of
+// mask: for every stored (i,j) of mask the full dot product a[i,:] . b[:,j]
+// is evaluated; everything else is skipped. This is the sparsity-exploitation
 // kernel of outer fusion (Section 2.1 of the paper): for sparse mask X, only
-// nnz(X) dot products are computed instead of rows x cols.
+// nnz(X) dot products are computed instead of rows x cols. Mask rows are
+// split across p's kernel threads; each stored value is written by exactly
+// one goroutine, so results are bit-identical at every thread count.
 //
 // The result has exactly mask's pattern (values may be zero).
-func MaskedMatMul(mask *CSR, a, b Mat) *CSR {
+func MaskedMatMulWith(p *parallel.Pool, mask *CSR, a, b Mat) *CSR {
 	ar, ak := a.Dims()
 	bk, bc := b.Dims()
 	if ak != bk || mask.Rows != ar || mask.Cols != bc {
@@ -147,44 +342,46 @@ func MaskedMatMul(mask *CSR, a, b Mat) *CSR {
 	// memory; built lazily only when b is dense and the mask is non-trivial.
 	var bT *Dense
 	if denseB && len(mask.Col) > 0 {
-		bT = ToDense(Transpose(db)).Clone().(*Dense)
+		bT = ToDense(TransposeWith(p, db)).Clone().(*Dense)
 	}
-	for i := 0; i < mask.Rows; i++ {
-		cols, _ := mask.RowNNZ(i)
-		if len(cols) == 0 {
-			continue
+	p.For(mask.Rows, rowGrain, func(rLo, rHi int) {
+		for i := rLo; i < rHi; i++ {
+			cols, _ := mask.RowNNZ(i)
+			if len(cols) == 0 {
+				continue
+			}
+			base := mask.RowPtr[i]
+			switch {
+			case denseA && denseB:
+				arow := da.Row(i)
+				for p, j := range cols {
+					brow := bT.Row(j)
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					out.Val[base+p] = s
+				}
+			case denseA:
+				arow := da.Row(i)
+				for p, j := range cols {
+					var s float64
+					for k := 0; k < ak; k++ {
+						s += arow[k] * b.At(k, j)
+					}
+					out.Val[base+p] = s
+				}
+			default:
+				for p, j := range cols {
+					var s float64
+					for k := 0; k < ak; k++ {
+						s += a.At(i, k) * b.At(k, j)
+					}
+					out.Val[base+p] = s
+				}
+			}
 		}
-		base := mask.RowPtr[i]
-		switch {
-		case denseA && denseB:
-			arow := da.Row(i)
-			for p, j := range cols {
-				brow := bT.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				out.Val[base+p] = s
-			}
-		case denseA:
-			arow := da.Row(i)
-			for p, j := range cols {
-				var s float64
-				for k := 0; k < ak; k++ {
-					s += arow[k] * b.At(k, j)
-				}
-				out.Val[base+p] = s
-			}
-		default:
-			for p, j := range cols {
-				var s float64
-				for k := 0; k < ak; k++ {
-					s += a.At(i, k) * b.At(k, j)
-				}
-				out.Val[base+p] = s
-			}
-		}
-	}
+	})
 	return out
 }
 
@@ -194,17 +391,25 @@ func MaskedMatMulFlops(mask *CSR, inner int) int64 {
 	return 2 * int64(mask.NNZ()) * int64(inner)
 }
 
-// Transpose returns the transpose of a, preserving representation.
-func Transpose(a Mat) Mat {
+// Transpose is TransposeWith on the serial path.
+func Transpose(a Mat) Mat { return TransposeWith(nil, a) }
+
+// TransposeWith returns the transpose of a, preserving representation. The
+// dense path gathers into disjoint output rows split across p's kernel
+// threads; it is a pure copy, so parallelism cannot change the result.
+// The CSR counting sort stays serial.
+func TransposeWith(p *parallel.Pool, a Mat) Mat {
 	switch x := a.(type) {
 	case *Dense:
 		out := NewDense(x.Cols, x.Rows)
-		for i := 0; i < x.Rows; i++ {
-			row := x.Row(i)
-			for j, v := range row {
-				out.Data[j*x.Rows+i] = v
+		p.For(x.Cols, rowGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				orow := out.Row(j)
+				for i := 0; i < x.Rows; i++ {
+					orow[i] = x.Data[i*x.Cols+j]
+				}
 			}
-		}
+		})
 		return out
 	case *CSR:
 		return transposeCSR(x)
@@ -237,4 +442,11 @@ func transposeCSR(a *CSR) *CSR {
 		}
 	}
 	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -1,0 +1,21 @@
+//go:build amd64
+
+package matrix
+
+// hasAVX reports whether the CPU and OS support 256-bit AVX — checked once at
+// init via CPUID/XGETBV. It is a var (not const) so tests can force the
+// scalar fallback path and compare the two kernels.
+var hasAVX = cpuidAVX()
+
+// cpuidAVX reports AVX + OSXSAVE support with YMM state enabled by the OS.
+// Implemented in matmul_amd64.s.
+func cpuidAVX() bool
+
+// microAVX4x8 accumulates the 4x8 output block at out over kn steps:
+// out[r][c] += sum_k a[r][k]*b[k][c], with k ascending and one accumulator
+// lane per element — the same per-element order as edgeTile and micro4x4, so
+// mixing the AVX and scalar paths cannot change results. Strides are in
+// bytes. Implemented in matmul_amd64.s.
+//
+//go:noescape
+func microAVX4x8(a, b, out *float64, kn, ldaB, ldbB, ldoB uintptr)

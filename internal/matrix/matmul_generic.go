@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package matrix
+
+// hasAVX is false off amd64; mulTile takes the scalar register-tiled path.
+const hasAVX = false
+
+// microAVX4x8 is never reached when hasAVX is false; it exists so mulTile
+// compiles on every architecture.
+func microAVX4x8(a, b, out *float64, kn, ldaB, ldbB, ldoB uintptr) {
+	panic("matrix: AVX micro-kernel called on non-amd64")
+}

@@ -5,8 +5,15 @@
 //
 // It plays the role that Breeze plays in the paper's Scala implementation:
 // everything a single task computes locally on its blocks goes through this
-// package. All kernels are deterministic and allocation-conscious; none of
-// them spawn goroutines (parallelism lives in the cluster layer).
+// package. All kernels are deterministic and allocation-conscious. Dense
+// matmul is cache-blocked and register-tiled; the hot loops optionally fan
+// out across a bounded parallel.Pool via the *With kernel variants
+// (MatMulWith, BinaryWith, ...), which split disjoint output ranges so
+// results are bit-identical at every thread count. The plain-named kernels
+// (MatMul, Binary, ...) are the same code on a nil pool. Task-level
+// parallelism still lives in the cluster layer; the pool only adds intra-task
+// threads, and its size is chosen so kernel threads x worker slots stays at
+// or below NumCPU (see internal/parallel).
 package matrix
 
 import (

@@ -3,6 +3,8 @@ package matrix
 import (
 	"fmt"
 	"math"
+
+	"fuseme/internal/parallel"
 )
 
 // BinOp identifies an element-wise binary operation.
@@ -98,29 +100,36 @@ func (op BinOp) Flops() int64 {
 	return 1
 }
 
-// Binary applies op element-wise to a and b. Shapes must either match
-// exactly, or one operand may be a broadcastable vector: a 1xC row vector, an
-// Rx1 column vector, or a 1x1 matrix (treated as a scalar). Sparse operands
-// take fast paths when the result is provably sparse.
-func Binary(op BinOp, a, b Mat) Mat {
+// Binary is BinaryWith on the serial path.
+func Binary(op BinOp, a, b Mat) Mat { return BinaryWith(nil, op, a, b) }
+
+// BinaryWith applies op element-wise to a and b, splitting dense loops across
+// p's kernel threads (p may be nil for the serial path). Shapes must either
+// match exactly, or one operand may be a broadcastable vector: a 1xC row
+// vector, an Rx1 column vector, or a 1x1 matrix (treated as a scalar). Sparse
+// operands take fast paths when the result is provably sparse; those
+// pattern-building paths stay serial. Element-wise results are trivially
+// bit-identical at every thread count: each output element is computed
+// independently by exactly one goroutine.
+func BinaryWith(p *parallel.Pool, op BinOp, a, b Mat) Mat {
 	ar, ac := a.Dims()
 	br, bc := b.Dims()
 	switch {
 	case ar == br && ac == bc:
-		return binarySame(op, a, b)
+		return binarySame(p, op, a, b)
 	case br == 1 && bc == 1:
-		return BinaryScalar(op, a, b.At(0, 0), false)
+		return BinaryScalarWith(p, op, a, b.At(0, 0), false)
 	case ar == 1 && ac == 1:
-		return BinaryScalar(op, b, a.At(0, 0), true)
+		return BinaryScalarWith(p, op, b, a.At(0, 0), true)
 	case (br == 1 && bc == ac) || (bc == 1 && br == ar):
-		return binaryBroadcast(op, a, b, false)
+		return binaryBroadcast(p, op, a, b, false)
 	case (ar == 1 && ac == bc) || (ac == 1 && ar == br):
-		return binaryBroadcast(op, b, a, true)
+		return binaryBroadcast(p, op, b, a, true)
 	}
 	panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, ar, ac, br, bc))
 }
 
-func binarySame(op BinOp, a, b Mat) Mat {
+func binarySame(p *parallel.Pool, op BinOp, a, b Mat) Mat {
 	// Sparse fast paths. Multiplication by a sparse operand yields a result
 	// at most as dense as that operand; this is the kernel-level form of the
 	// paper's "sparsity exploitation".
@@ -145,9 +154,11 @@ func binarySame(op BinOp, a, b Mat) Mat {
 	}
 	da, db := ToDense(a), ToDense(b)
 	out := NewDense(da.Rows, da.Cols)
-	for i := range out.Data {
-		out.Data[i] = op.Eval(da.Data[i], db.Data[i])
-	}
+	p.For(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = op.Eval(da.Data[i], db.Data[i])
+		}
+	})
 	return out
 }
 
@@ -226,11 +237,16 @@ func addSubSparse(op BinOp, a, b *CSR) *CSR {
 	return out
 }
 
-// BinaryScalar applies op between every element of a and the scalar s.
-// When scalarOnLeft is true the scalar is the left operand: op(s, x).
-// If the operation preserves zeros (op(0,s) == 0) a sparse operand keeps its
-// pattern.
+// BinaryScalar is BinaryScalarWith on the serial path.
 func BinaryScalar(op BinOp, a Mat, s float64, scalarOnLeft bool) Mat {
+	return BinaryScalarWith(nil, op, a, s, scalarOnLeft)
+}
+
+// BinaryScalarWith applies op between every element of a and the scalar s,
+// splitting the dense loop across p's kernel threads. When scalarOnLeft is
+// true the scalar is the left operand: op(s, x). If the operation preserves
+// zeros (op(0,s) == 0) a sparse operand keeps its pattern (built serially).
+func BinaryScalarWith(p *parallel.Pool, op BinOp, a Mat, s float64, scalarOnLeft bool) Mat {
 	eval := func(x float64) float64 {
 		if scalarOnLeft {
 			return op.Eval(s, x)
@@ -258,16 +274,18 @@ func BinaryScalar(op BinOp, a Mat, s float64, scalarOnLeft bool) Mat {
 	}
 	da := ToDense(a)
 	out := NewDense(da.Rows, da.Cols)
-	for i, x := range da.Data {
-		out.Data[i] = eval(x)
-	}
+	p.For(len(da.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = eval(da.Data[i])
+		}
+	})
 	return out
 }
 
 // binaryBroadcast applies op between the full matrix full and vector vec
-// (1xC row vector or Rx1 column vector). When vecOnLeft is true the vector is
-// the left operand of op.
-func binaryBroadcast(op BinOp, full, vec Mat, vecOnLeft bool) Mat {
+// (1xC row vector or Rx1 column vector), row-parallel. When vecOnLeft is
+// true the vector is the left operand of op.
+func binaryBroadcast(p *parallel.Pool, op BinOp, full, vec Mat, vecOnLeft bool) Mat {
 	fr, fc := full.Dims()
 	vr, vc := vec.Dims()
 	rowVec := vr == 1
@@ -276,23 +294,25 @@ func binaryBroadcast(op BinOp, full, vec Mat, vecOnLeft bool) Mat {
 	}
 	df, dv := ToDense(full), ToDense(vec)
 	out := NewDense(fr, fc)
-	for i := 0; i < fr; i++ {
-		frow := df.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < fc; j++ {
-			var v float64
-			if rowVec {
-				v = dv.Data[j]
-			} else {
-				v = dv.Data[i]
-			}
-			if vecOnLeft {
-				orow[j] = op.Eval(v, frow[j])
-			} else {
-				orow[j] = op.Eval(frow[j], v)
+	p.For(fr, rowGrain, func(rLo, rHi int) {
+		for i := rLo; i < rHi; i++ {
+			frow := df.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < fc; j++ {
+				var v float64
+				if rowVec {
+					v = dv.Data[j]
+				} else {
+					v = dv.Data[i]
+				}
+				if vecOnLeft {
+					orow[j] = op.Eval(v, frow[j])
+				} else {
+					orow[j] = op.Eval(frow[j], v)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -345,9 +365,13 @@ func UnaryFlops(name string) int64 {
 	}
 }
 
-// Apply evaluates f element-wise. If f preserves zero (f(0) == 0) a sparse
-// input keeps its sparse pattern; otherwise the result is dense.
-func Apply(f func(float64) float64, a Mat) Mat {
+// Apply is ApplyWith on the serial path.
+func Apply(f func(float64) float64, a Mat) Mat { return ApplyWith(nil, f, a) }
+
+// ApplyWith evaluates f element-wise, splitting the dense loop across p's
+// kernel threads. If f preserves zero (f(0) == 0) a sparse input keeps its
+// sparse pattern (rewritten serially); otherwise the result is dense.
+func ApplyWith(p *parallel.Pool, f func(float64) float64, a Mat) Mat {
 	if sa, ok := a.(*CSR); ok && f(0) == 0 {
 		out := sa.Clone().(*CSR)
 		for p, v := range sa.Val {
@@ -357,9 +381,11 @@ func Apply(f func(float64) float64, a Mat) Mat {
 	}
 	da := ToDense(a)
 	out := NewDense(da.Rows, da.Cols)
-	for i, x := range da.Data {
-		out.Data[i] = f(x)
-	}
+	p.For(len(da.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(da.Data[i])
+		}
+	})
 	return out
 }
 

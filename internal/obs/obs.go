@@ -120,4 +120,10 @@ const (
 	MCacheEvictions     = "fuseme_cache_evictions_total"
 	MCacheSavedBytes    = "fuseme_cache_saved_bytes_total"
 	MCacheResidentBytes = "fuseme_cache_resident_bytes"
+
+	// Intra-task kernel-pool metrics (internal/parallel utilization).
+	MKernelThreads       = "fuseme_kernel_threads"
+	MKernelParallelCalls = "fuseme_kernel_parallel_calls_total"
+	MKernelSerialCalls   = "fuseme_kernel_serial_calls_total"
+	MKernelHelperRuns    = "fuseme_kernel_helper_runs_total"
 )

@@ -43,6 +43,14 @@ type Coordinator struct {
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
 
+	// Intra-task parallelism settings shipped verbatim in every taskAssign.
+	// kernelThreads is the cluster config's explicit count (0 = each worker
+	// auto-sizes against its own core count — worker machines need not match
+	// the coordinator's); taskSlots is TasksPerNode, which bounds the pool's
+	// shared helper budget on the worker.
+	kernelThreads int
+	taskSlots     int
+
 	// resident is the cache-residency ledger: which block-cache keys each
 	// worker advertised as held. Fed by msgCacheAd frames, consumed by
 	// InvalidateStaleEpochs to push msgCacheInv only at workers that
@@ -112,10 +120,12 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 		return nil, err
 	}
 	c := &Coordinator{
-		local:    local,
-		rcfg:     rcfg,
-		hbStop:   make(chan struct{}),
-		resident: make(map[int]map[blockcache.Key]bool),
+		local:         local,
+		rcfg:          rcfg,
+		hbStop:        make(chan struct{}),
+		resident:      make(map[int]map[blockcache.Key]bool),
+		kernelThreads: cfg.KernelThreads,
+		taskSlots:     cfg.TasksPerNode,
 	}
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, rcfg.DialTimeout)
@@ -522,7 +532,14 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uin
 		return taskDone{}, transportError{err}
 	}
 	defer conn.Close()
-	if err := writeGob(conn, msgTask, taskAssign{Stage: *st.Spec, TaskID: taskID, Gen: gen}); err != nil {
+	assign := taskAssign{
+		Stage:         *st.Spec,
+		TaskID:        taskID,
+		Gen:           gen,
+		KernelThreads: c.kernelThreads,
+		TaskSlots:     c.taskSlots,
+	}
+	if err := writeGob(conn, msgTask, assign); err != nil {
 		return taskDone{}, transportError{err}
 	}
 	for {

@@ -70,10 +70,19 @@ type helloAck struct {
 // are only hit-visible to tasks with a strictly greater generation).
 // Re-sending the descriptor per task keeps the protocol stateless; stage
 // descriptors are small (a flattened plan and partition ranges).
+//
+// KernelThreads/TaskSlots carry the coordinator's intra-task parallelism
+// settings: the kernel-thread count resolved from the cluster config (0 means
+// "worker decides") and the per-worker slot count the pool's helper budget is
+// sized against. Both are new in this proto revision; gob decodes frames from
+// older coordinators with the fields left zero, which degrades to the
+// worker-local default — no version bump needed.
 type taskAssign struct {
-	Stage  spec.Stage
-	TaskID int
-	Gen    uint64
+	Stage         spec.Stage
+	TaskID        int
+	Gen           uint64
+	KernelThreads int
+	TaskSlots     int
 }
 
 // taskDone reports a completed task: its result blocks and the metering the

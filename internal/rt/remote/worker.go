@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"fuseme/internal/exec"
 	"fuseme/internal/matrix"
 	"fuseme/internal/obs"
+	"fuseme/internal/parallel"
 	"fuseme/internal/rt/spec"
 )
 
@@ -39,6 +41,20 @@ type Worker struct {
 	// nil (the default) disables caching. Set with SetCacheBytes before the
 	// worker serves tasks.
 	cache atomic.Pointer[blockcache.Cache]
+
+	// Kernel-pool state. The pool is built lazily from the first taskAssign
+	// (its KernelThreads/TaskSlots fields) and rebuilt only when those
+	// settings change; kernelOverride, when >= 0, pins the thread count
+	// locally (-kernel-threads / FUSEME_KERNEL_THREADS on the worker
+	// process) regardless of what the coordinator ships. poolStats holds the
+	// last snapshot reported to obs so per-task metric deltas stay exact
+	// even with concurrent tasks sharing the pool.
+	kernelOverride atomic.Int64
+	poolMu         sync.Mutex
+	pool           *parallel.Pool
+	poolThreads    int
+	poolSlots      int
+	poolStats      parallel.Stats
 }
 
 // SetObs attaches an observability bundle: each executed task records its
@@ -55,6 +71,7 @@ func NewWorker(addr string) (*Worker, error) {
 	}
 	w := &Worker{ln: ln}
 	w.killAfter.Store(-1)
+	w.kernelOverride.Store(-1)
 	w.wg.Add(1)
 	go w.acceptLoop()
 	return w, nil
@@ -80,6 +97,70 @@ func (w *Worker) SetCacheBytes(n int64) {
 
 // CacheStats returns the worker cache's counters; zeroes with no cache.
 func (w *Worker) CacheStats() blockcache.Stats { return w.cache.Load().Snapshot() }
+
+// SetKernelThreads pins this worker's intra-task kernel thread count,
+// overriding whatever each taskAssign ships: n > 0 is an explicit count,
+// n == 0 restores auto-sizing against the worker's own cores, and a negative
+// n removes the override (coordinator settings apply again). Keep explicit
+// counts x the coordinator's TasksPerNode at or below this machine's cores —
+// see internal/parallel for the oversubscription contract.
+func (w *Worker) SetKernelThreads(n int) {
+	if n < 0 {
+		n = -1
+	}
+	w.kernelOverride.Store(int64(n))
+}
+
+// KernelPool returns the worker's current kernel pool (nil before the first
+// task, or when the resolved thread count is 1).
+func (w *Worker) KernelPool() *parallel.Pool {
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	return w.pool
+}
+
+// kernelPool returns the pool matching the assignment's parallelism
+// settings, rebuilding the cached one only when they change. The slot count
+// is clamped to this machine's GOMAXPROCS so the helper budget never assumes
+// more cores than exist, whatever the coordinator's TasksPerNode says.
+func (w *Worker) kernelPool(assign *taskAssign) *parallel.Pool {
+	threads := assign.KernelThreads
+	if ov := w.kernelOverride.Load(); ov >= 0 {
+		threads = int(ov)
+	}
+	slots := assign.TaskSlots
+	if slots <= 0 {
+		slots = 1
+	}
+	if n := runtime.GOMAXPROCS(0); slots > n {
+		slots = n
+	}
+	resolved := parallel.Resolve(threads, slots)
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	if w.poolThreads != resolved || w.poolSlots != slots {
+		w.pool = parallel.New(resolved, slots)
+		w.poolThreads, w.poolSlots = resolved, slots
+		w.poolStats = parallel.Stats{}
+	}
+	return w.pool
+}
+
+// kernelStatsDelta returns the pool counters accumulated since the previous
+// call. Serialized under poolMu so concurrent finishing tasks never report
+// overlapping windows.
+func (w *Worker) kernelStatsDelta() (delta parallel.Stats, threads int) {
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	cur := w.pool.Stats()
+	delta = parallel.Stats{
+		ParallelCalls: cur.ParallelCalls - w.poolStats.ParallelCalls,
+		SerialCalls:   cur.SerialCalls - w.poolStats.SerialCalls,
+		HelperRuns:    cur.HelperRuns - w.poolStats.HelperRuns,
+	}
+	w.poolStats = cur
+	return delta, w.pool.Threads()
+}
 
 // Close shuts the worker down: the listener and every open connection are
 // closed, and in-flight task handlers are abandoned.
@@ -179,6 +260,7 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		return
 	}
 	task := &cluster.Task{ID: assign.TaskID}
+	task.SetPool(w.kernelPool(assign))
 	var blocks []spec.OutBlock
 	fetch := func(ref spec.BlockRef) (matrix.Mat, error) {
 		if err := writeGob(conn, msgFetch, ref); err != nil {
@@ -222,6 +304,11 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 			o.Counter(obs.MCacheEvictions).Add(evs)
 			o.Gauge(obs.MCacheResidentBytes).Set(float64(cache.ResidentBytes()))
 		}
+		delta, threads := w.kernelStatsDelta()
+		o.Gauge(obs.MKernelThreads).Set(float64(threads))
+		o.Counter(obs.MKernelParallelCalls).Add(delta.ParallelCalls)
+		o.Counter(obs.MKernelSerialCalls).Add(delta.SerialCalls)
+		o.Counter(obs.MKernelHelperRuns).Add(delta.HelperRuns)
 	}
 	if err != nil {
 		writeGob(conn, msgFail, taskFail{Err: err.Error()})

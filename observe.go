@@ -26,6 +26,10 @@ const defaultMaxTaskRetries = 2
 // WithBlockCache). Zero or unset disables caching.
 const EnvCacheBytes = "FUSEME_CACHE_BYTES"
 
+// EnvKernelThreads overrides the intra-task kernel thread count (see
+// WithKernelThreads). Zero means auto-size against the machine's cores.
+const EnvKernelThreads = "FUSEME_KERNEL_THREADS"
+
 // WithTracing enables the span recorder: plan, stage and task spans are
 // collected and can be exported with Session.WriteTrace. Without this option
 // the recorder is nil and the instrumentation reduces to pointer checks.
@@ -92,6 +96,24 @@ func WithBlockCache(bytes int64) Option {
 	}
 }
 
+// WithKernelThreads sets how many goroutines one task's kernels (matmul
+// row-panels, element-wise chains) may fan out across. n == 0 restores
+// auto-sizing: min(4, cores/slots), a wall-clock-only speedup that leaves the
+// simulated cost model untouched. An explicit n > 1 additionally scales the
+// modelled compute bandwidth B̂c by n, so plan costs and the chosen (P,Q,R)
+// reflect the parallelism. Keep n x TasksPerNode at or below the machine's
+// core count — oversubscription degrades every task (see internal/parallel).
+// Default: the ClusterConfig.KernelThreads field, or FUSEME_KERNEL_THREADS.
+func WithKernelThreads(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("fuseme: KernelThreads = %d, must be >= 0", n)
+		}
+		s.kernelThreads = n
+		return nil
+	}
+}
+
 // WithHeartbeat overrides the TCP runtime's worker heartbeat: how often the
 // coordinator pings each worker and how long it waits for the reply. The
 // timeout must exceed the interval. Defaults: 500ms / 2s, or the
@@ -142,6 +164,22 @@ func (s *Session) blockCacheBytes() (int64, error) {
 		return n, nil
 	}
 	return 0, nil
+}
+
+// kernelThreadsSetting resolves the intra-task thread count: option >
+// environment > ClusterConfig field (which defaults to zero = auto).
+func (s *Session) kernelThreadsSetting() (int, error) {
+	if s.kernelThreads >= 0 {
+		return s.kernelThreads, nil
+	}
+	if env := os.Getenv(EnvKernelThreads); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fuseme: %s=%q: want a non-negative integer", EnvKernelThreads, env)
+		}
+		return n, nil
+	}
+	return s.cfg.KernelThreads, nil
 }
 
 // remoteConfig resolves the TCP transport tuning: environment overrides
@@ -228,20 +266,27 @@ func (s *Session) WriteTraceFile(path string) error {
 // back-solved from the measurements. Accumulates across queries (iterative
 // workloads aggregate per operator) until ResetObservations.
 func (s *Session) Report() string {
-	return s.obs.Calib.Report(obs.ClusterModel{
-		Nodes:         s.cfg.Nodes,
-		NetBandwidth:  s.cfg.NetBandwidth,
-		CompBandwidth: s.cfg.CompBandwidth,
-	}).String()
+	return s.obs.Calib.Report(s.calibModel()).String()
 }
 
 // CalibrationReport returns the structured form of Report.
 func (s *Session) CalibrationReport() *obs.Report {
-	return s.obs.Calib.Report(obs.ClusterModel{
+	return s.obs.Calib.Report(s.calibModel())
+}
+
+// calibModel is the cluster model calibration measurements are judged
+// against: the configured constants with B̂c scaled by explicit kernel
+// threads, matching what the planner used.
+func (s *Session) calibModel() obs.ClusterModel {
+	cc := s.cfg.internal()
+	if kt, err := s.kernelThreadsSetting(); err == nil {
+		cc.KernelThreads = kt
+	}
+	return obs.ClusterModel{
 		Nodes:         s.cfg.Nodes,
 		NetBandwidth:  s.cfg.NetBandwidth,
-		CompBandwidth: s.cfg.CompBandwidth,
-	})
+		CompBandwidth: cc.EffectiveCompBandwidth(),
+	}
 }
 
 // ResetObservations clears accumulated spans, calibration records and metric

@@ -1,0 +1,70 @@
+// Command docscheck verifies that every package in the module carries a
+// package-level doc comment. It is the `make check` documentation gate: a
+// package added without godoc fails CI.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/docscheck
+//
+// The check is intentionally minimal and stdlib-only: `go list` enumerates
+// the module's packages and go/parser reads just the package clauses, so the
+// gate costs well under a second.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+func main() {
+	out, err := exec.Command("go", "list", "-f", "{{.Dir}}", "./...").Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck: go list:", err)
+		os.Exit(1)
+	}
+	var missing []string
+	for _, dir := range strings.Fields(string(out)) {
+		ok, err := hasPackageDoc(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+		if !ok {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintln(os.Stderr, "docscheck: packages without a package doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintln(os.Stderr, "  "+dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// hasPackageDoc reports whether any non-test file in dir documents the
+// package. parser.ParseDir with PackageClauseOnly reads only the first few
+// lines of each file; doc comments attach to the package clause.
+func hasPackageDoc(dir string) (bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
