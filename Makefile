@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck benchdiff
 
 ## check: full verification gate — gofmt, vet, docs lint, build, race-enabled tests
 check: fmtcheck vet docscheck build race
@@ -40,6 +40,19 @@ kernelcheck:
 	$(GO) test -race -count=1 ./internal/parallel/
 	$(GO) test -race -count=1 -run 'Kernel|MatMul|AVX' ./internal/matrix/ ./internal/rt/
 	$(GO) run ./cmd/fuseme-bench -exp kernels -out BENCH_kernels.json
+
+## tracecheck: distributed tracing, skew correction, span parity and flight
+## recorder tests under the race detector
+tracecheck:
+	$(GO) test -race -count=1 -run 'Trace|Span|Skew|Align|Clock|Flight|Obs' ./internal/obs/ ./internal/rt/ ./internal/rt/remote/ ./internal/exec/ .
+
+## benchdiff: regenerate the bench documents into /tmp and diff them against
+## the checked-in BENCH_*.json (non-blocking: timings vary across machines)
+benchdiff:
+	$(GO) run ./cmd/fuseme-bench -exp cache -scale 0.25 -out /tmp/BENCH_cache.json
+	$(GO) run ./cmd/fuseme-bench -exp kernels -out /tmp/BENCH_kernels.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_cache.json /tmp/BENCH_cache.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_kernels.json /tmp/BENCH_kernels.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

@@ -26,6 +26,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "override worker node count (default: paper's 8)")
 	runtime := flag.String("runtime", "sim", "execution backend; experiments model the paper's cluster, so only sim is valid")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the bench run (per-experiment spans; stage/task detail for real executions)")
+	flightOut := flag.String("flight-out", "", "write a JSONL flight record of the bench run (one line per executed stage: predicted vs measured)")
 	out := flag.String("out", "", "write a report-producing experiment's JSON document to this file (cache -> BENCH_cache.json, kernels -> BENCH_kernels.json)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
@@ -42,8 +43,22 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Scale: *scale, Nodes: *nodes, ReportOut: *out}
-	if *traceOut != "" {
-		opts.Obs = &obs.Obs{Trace: obs.NewRecorder()}
+	if *traceOut != "" || *flightOut != "" {
+		opts.Obs = &obs.Obs{}
+		if *traceOut != "" {
+			opts.Obs.Trace = obs.NewRecorder()
+		}
+		if *flightOut != "" {
+			// Flight records join measurements against predictions, so the
+			// calibration store must be live too.
+			opts.Obs.Calib = obs.NewCalibration()
+			fr, ferr := obs.OpenFlightRecorder(*flightOut)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "fuseme-bench:", ferr)
+				os.Exit(1)
+			}
+			opts.Obs.Flight = fr
+		}
 	}
 	tables, err := experiments.Run(*exp, opts)
 	for _, t := range tables {
@@ -55,6 +70,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("trace:", *traceOut)
+	}
+	if *flightOut != "" {
+		if werr := opts.Obs.Flight.Close(); werr != nil {
+			fmt.Fprintln(os.Stderr, "fuseme-bench:", werr)
+			os.Exit(1)
+		}
+		fmt.Println("flight:", *flightOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuseme-bench:", err)

@@ -13,10 +13,12 @@
 // fuseme, systemds, distme, matfast and tensorflow.
 //
 // Observability: -explain prints each operator's predicted cost terms
-// before executing, -trace-out FILE exports a Chrome trace of the run,
-// -metrics-addr HOST:PORT serves /metrics and /debug/stats during it, and
-// -report prints the cost-model calibration (predicted vs measured, with
-// back-solved effective bandwidths) afterwards.
+// before executing, -trace-out FILE exports a Chrome trace of the run (a
+// single merged cluster timeline under -runtime=tcp), -flight-out FILE
+// appends one JSON line per executed stage (predicted vs measured),
+// -metrics-addr HOST:PORT serves /metrics, /debug/stats and /debug/pprof/
+// during it, and -report prints the cost-model calibration (predicted vs
+// measured, with back-solved effective bandwidths) afterwards.
 package main
 
 import (
@@ -56,6 +58,7 @@ func run() error {
 	verbose := flag.Bool("v", false, "print result matrices (small outputs only)")
 	explain := flag.Bool("explain", false, "print each operator's (P,Q,R) and predicted memory/net/comp terms before executing")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the execution (load in chrome://tracing)")
+	flightOut := flag.String("flight-out", "", "write a JSONL flight record (one line per stage: predicted vs measured) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address during the run")
 	report := flag.Bool("report", false, "print the cost-model calibration report (predicted vs measured, back-solved bandwidths) after executing")
 	flag.Var(&inputs, "in", "input declaration name:ROWSxCOLS[:density]; repeatable")
@@ -86,6 +89,9 @@ func run() error {
 	var opts []fuseme.Option
 	if *traceOut != "" {
 		opts = append(opts, fuseme.WithTracing())
+	}
+	if *flightOut != "" {
+		opts = append(opts, fuseme.WithFlightRecorder(*flightOut))
 	}
 	if *metricsAddr != "" {
 		opts = append(opts, fuseme.WithMetricsAddr(*metricsAddr))
@@ -159,6 +165,12 @@ func run() error {
 			return err
 		}
 		fmt.Println("trace:", *traceOut)
+	}
+	if *flightOut != "" {
+		if err := sess.Close(); err != nil {
+			return err
+		}
+		fmt.Println("flight:", *flightOut)
 	}
 	return nil
 }

@@ -19,6 +19,8 @@ func main() {
 	runtime := flag.String("runtime", "sim", "execution backend: sim (in-process) or tcp (fuseme-worker processes)")
 	workers := flag.String("workers", "", "comma-separated worker addresses for -runtime=tcp (default: $FUSEME_WORKERS)")
 	iters := flag.Int("iters", 8, "GNMF iterations")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the whole run (one merged cluster timeline under -runtime=tcp)")
+	flightOut := flag.String("flight-out", "", "write a JSONL flight record (one line per stage: predicted vs measured)")
 	flag.Parse()
 
 	const (
@@ -31,7 +33,14 @@ func main() {
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
 	}
-	sess, err := fuseme.NewSession(cfg)
+	var opts []fuseme.Option
+	if *traceOut != "" {
+		opts = append(opts, fuseme.WithTracing())
+	}
+	if *flightOut != "" {
+		opts = append(opts, fuseme.WithFlightRecorder(*flightOut))
+	}
+	sess, err := fuseme.NewSession(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,4 +93,17 @@ func main() {
 		}
 	}
 	fmt.Printf("highest predicted rating for user 0: item %d (%.3f)\n", best, bestVal)
+
+	if *traceOut != "" {
+		if err := sess.WriteTraceFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("trace:", *traceOut)
+	}
+	if *flightOut != "" {
+		if err := sess.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("flight:", *flightOut)
+	}
 }

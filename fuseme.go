@@ -491,6 +491,9 @@ func (s *Session) Close() error {
 			err = cerr
 		}
 	}
+	if cerr := s.obs.Flight.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 

@@ -378,6 +378,10 @@ type Task struct {
 	// on; nil means serial kernels. Set by the backend that runs the task.
 	pool *parallel.Pool
 
+	// trace collects the task body's sub-spans (fetch/kernel/cache/send);
+	// nil means tracing is off. Set by the backend that runs the task.
+	trace *TaskTrace
+
 	consolidationBytes int64
 	aggregationBytes   int64
 	flops              int64

@@ -1,0 +1,51 @@
+package cluster
+
+import "time"
+
+// TaskSpan is one completed sub-span recorded while a task body ran: a fetch,
+// kernel, cache lookup or result send. Times are the recording process's
+// monotonic wall clock.
+type TaskSpan struct {
+	Name  string
+	Cat   string
+	Start time.Time
+	End   time.Time
+}
+
+// TaskTrace collects the sub-spans of one task execution. Like the Task that
+// owns it, it is single-owner state: the task body records into it serially
+// and the backend drains it after the body returns. A nil *TaskTrace absorbs
+// every call, so untraced runs pay only a pointer check.
+type TaskTrace struct {
+	spans []TaskSpan
+}
+
+// noopEnd is the closer Begin hands out when tracing is off.
+func noopEnd() {}
+
+// Begin opens a sub-span and returns the func that closes it. Nil-safe.
+func (tt *TaskTrace) Begin(name, cat string) func() {
+	if tt == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		tt.spans = append(tt.spans, TaskSpan{Name: name, Cat: cat, Start: start, End: time.Now()})
+	}
+}
+
+// Spans returns the recorded sub-spans in completion order.
+func (tt *TaskTrace) Spans() []TaskSpan {
+	if tt == nil {
+		return nil
+	}
+	return tt.spans
+}
+
+// SetTrace attaches a span collector to the task. Backends call it before
+// running the task body when tracing is enabled; nil (the default) disables
+// sub-span recording.
+func (t *Task) SetTrace(tt *TaskTrace) { t.trace = tt }
+
+// Trace returns the task's span collector; nil when tracing is off.
+func (t *Task) Trace() *TaskTrace { return t.trace }

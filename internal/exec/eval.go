@@ -32,7 +32,8 @@ type evaluator struct {
 
 	memo      map[memoKey]matrix.Mat
 	fetched   map[memoKey]bool
-	colocated map[int]bool // inputs co-partitioned with the output: no fetch cost
+	colocated map[int]bool       // inputs co-partitioned with the output: no fetch cost
+	trace     *cluster.TaskTrace // per-task sub-spans; nil when tracing is off
 
 	// Block-cache state, armed by stageCtx.armCache when the stage
 	// advertises input epochs and the task's node/worker holds a cache.
@@ -61,6 +62,7 @@ func newEvaluator(op *FusedOp, task *cluster.Task, src blockSource, blockSize, k
 		blockSize: blockSize,
 		memo:      make(map[memoKey]matrix.Mat),
 		fetched:   make(map[memoKey]bool),
+		trace:     task.Trace(),
 	}
 	if op.Plan.MainMM != nil {
 		ev.hasMM = make(map[int]bool)
@@ -205,7 +207,10 @@ func (ev *evaluator) fetchExternal(n *dag.Node, bi, bj int) matrix.Mat {
 		}
 	}
 	if cacheable && !ev.fetched[key] {
-		if blk, hit := ev.cache.Get(ck, ev.cacheGen); hit {
+		endCache := ev.trace.Begin("cache", "taskop")
+		blk, hit := ev.cache.Get(ck, ev.cacheGen)
+		endCache()
+		if hit {
 			// Served from the node/worker-resident cache: no wire fetch,
 			// but the block occupies task memory like any local read.
 			// Colocated inputs never ship in the simulated model, so a hit

@@ -74,6 +74,34 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	o.Counter(obs.MCacheMisses).Add(after.CacheMisses - before.CacheMisses)
 	o.Counter(obs.MCacheEvictions).Add(after.CacheEvictions - before.CacheEvictions)
 	o.Gauge(obs.MCacheSavedBytes).Set(float64(after.CacheSavedBytes))
+
+	// Flight recorder: one black-box line per stage execution, joining the
+	// operator's prediction (when the planner recorded one) to this stage's
+	// stats diff.
+	pred, _ := o.Prediction(opKey)
+	o.RecordFlight(obs.FlightRecord{
+		Stage: st.Name,
+		Op:    opKey,
+		Kind:  pred.Kind,
+		P:     pred.P,
+		Q:     pred.Q,
+		R:     pred.R,
+		Tasks: st.NumTasks,
+
+		PredNetBytes: pred.NetBytes,
+		PredComFlops: pred.ComFlops,
+		PredMemBytes: pred.MemBytes,
+
+		MeasWallSeconds:        meas.WallSeconds,
+		MeasConsolidationBytes: meas.ConsolidationBytes,
+		MeasAggregationBytes:   meas.AggregationBytes,
+		MeasExtraWireBytes:     meas.ExtraWireBytes,
+		MeasFlops:              meas.Flops,
+		MeasPeakTaskMemBytes:   meas.PeakTaskMemBytes,
+		CacheHits:              after.CacheHits - before.CacheHits,
+		CacheMisses:            after.CacheMisses - before.CacheMisses,
+		CacheSavedBytes:        after.CacheSavedBytes - before.CacheSavedBytes,
+	})
 	if hasPool {
 		pool := pooled.KernelPool()
 		poolAfter := pool.Stats()
@@ -109,6 +137,11 @@ func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Tim
 		queued.Observe(start.Sub(stageStart).Seconds())
 		// Task tracks are 1-based: track 0 is the plan/stage track.
 		span := o.StartSpan(fmt.Sprintf("task %d", task.ID), "task", 1+task.ID%64)
+		var tt *cluster.TaskTrace
+		if o.Tracing() {
+			tt = &cluster.TaskTrace{}
+			task.SetTrace(tt)
+		}
 		err := inner(task)
 		latency.Observe(time.Since(start).Seconds())
 		tasks.Inc()
@@ -119,6 +152,14 @@ func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Tim
 				Arg("flops", flops).
 				Arg("peak_mem_bytes", memPeak)
 			span.End()
+		}
+		if tt != nil {
+			// Replay the task body's sub-spans onto the local process track,
+			// same taxonomy the TCP workers ship back over the wire.
+			for _, s := range tt.Spans() {
+				o.Trace.AddSpanAt(s.Name, s.Cat, obs.PIDLocal, 1+task.ID%64, s.Start, s.End.Sub(s.Start), nil)
+			}
+			task.SetTrace(nil)
 		}
 		return err
 	}

@@ -58,6 +58,33 @@ type fetchSource struct {
 
 func (s fetchSource) fetch(ref spec.BlockRef) (matrix.Mat, error) { return s.fn(ref) }
 
+// tracedSource wraps a blockSource so every resolved block reference records
+// a "fetch" sub-span on the task's trace. Both backends share the wrapper, so
+// sim and TCP runs produce identical fetch-span counts for the same plan; the
+// spans time a binding lookup in-process and a real network pull on a worker.
+type tracedSource struct {
+	src blockSource
+	tt  *cluster.TaskTrace
+}
+
+func (s tracedSource) fetch(ref spec.BlockRef) (matrix.Mat, error) {
+	end := s.tt.Begin("fetch", "taskop")
+	m, err := s.src.fetch(ref)
+	end()
+	return m, err
+}
+
+// tracedEmit wraps an emitFn so every emitted result block records a "send"
+// sub-span (the block leaving the task: an encode+upload on a worker, a sink
+// append in-process).
+func tracedEmit(tt *cluster.TaskTrace, emit emitFn) emitFn {
+	return func(kind uint8, bi, bj int, blk matrix.Mat) {
+		end := tt.Begin("send", "taskop")
+		emit(kind, bi, bj, blk)
+		end()
+	}
+}
+
 // emitFn receives a task's result blocks: final output blocks, task-local
 // aggregation partials, or partial main-multiplication blocks.
 type emitFn func(kind uint8, bi, bj int, blk matrix.Mat)
@@ -120,6 +147,10 @@ func (ctx *stageCtx) armCache(ev *evaluator, cc *CacheCtx) {
 // backends share. Results leave through emit; metering lands on task. cc
 // (optionally nil) binds the task to its node/worker-resident block cache.
 func runStageTask(ctx *stageCtx, taskID int, task *cluster.Task, src blockSource, emit emitFn, cc *CacheCtx) error {
+	if tt := task.Trace(); tt != nil {
+		src = tracedSource{src: src, tt: tt}
+		emit = tracedEmit(tt, emit)
+	}
 	return runTask(func() error {
 		switch ctx.sp.Phase {
 		case spec.PhaseCuboid:
@@ -158,19 +189,23 @@ func (ctx *stageCtx) runPartialTask(taskID int, task *cluster.Task, src blockSou
 	ev := newEvaluator(ctx.op, task, src, sp.BlockSize, kr.Lo, kr.Hi)
 	ev.colocated = ctx.colocated
 	ctx.armCache(ev, cc)
+	tt := task.Trace()
 	rowsp, colsp := sp.IRanges[pi], sp.JRanges[qi]
 	for bi := rowsp.Lo; bi < rowsp.Hi; bi++ {
 		for bj := colsp.Lo; bj < colsp.Hi; bj++ {
 			var part matrix.Mat
+			endKernel := tt.Begin("kernel", "taskop")
 			if ev.mask != nil {
 				driver := ev.evalBlock(ev.mask.Driver, bi, bj)
 				if driver == nil {
+					endKernel()
 					continue // sparsity exploitation: nothing to do
 				}
 				part = ev.evalMaskedMM(ctx.op.Plan.MainMM, bi, bj, matrix.ToCSR(driver))
 			} else {
 				part = ev.evalBlock(ctx.op.Plan.MainMM, bi, bj)
 			}
+			endKernel()
 			if part == nil {
 				continue
 			}
@@ -222,9 +257,12 @@ func (ctx *stageCtx) runGridTask(taskID int, task *cluster.Task, src blockSource
 	if ctx.rootAgg != nil {
 		partial = block.New(ctx.rootAgg.Rows, ctx.rootAgg.Cols, sp.BlockSize)
 	}
+	tt := task.Trace()
 	for l := taskID; l < totalBlocks; l += sp.NumTasks {
 		bi, bj := l/sp.GJ, l%sp.GJ
+		endKernel := tt.Begin("kernel", "taskop")
 		blk := ev.evalBlock(ctx.root, bi, bj)
+		endKernel()
 		if ctx.rootAgg != nil {
 			aggregateLocal(task, partial, ctx.rootAgg.Agg, bi, bj, blk)
 		} else if blk != nil {
@@ -249,6 +287,7 @@ func (ctx *stageCtx) evalOutputs(ev *evaluator, task *cluster.Task, pi, qi int, 
 	if ctx.rootAgg != nil {
 		partial = block.New(ctx.rootAgg.Rows, ctx.rootAgg.Cols, sp.BlockSize)
 	}
+	tt := task.Trace()
 	ri, rj := sp.IRanges[pi], sp.JRanges[qi]
 	for bi := ri.Lo; bi < ri.Hi; bi++ {
 		for bj := rj.Lo; bj < rj.Hi; bj++ {
@@ -256,7 +295,9 @@ func (ctx *stageCtx) evalOutputs(ev *evaluator, task *cluster.Task, pi, qi int, 
 			if sp.Swapped {
 				oi, oj = bj, bi
 			}
+			endKernel := tt.Begin("kernel", "taskop")
 			blk := ev.evalBlock(ctx.root, oi, oj)
+			endKernel()
 			if ctx.rootAgg != nil {
 				aggregateLocal(task, partial, ctx.rootAgg.Agg, oi, oj, blk)
 			} else if blk != nil {

@@ -76,6 +76,45 @@ func (c *Calibration) Measure(m StageMeas) {
 	c.mu.Unlock()
 }
 
+// Prediction returns the recorded prediction for an operator key.
+func (c *Calibration) Prediction(op string) (StagePred, bool) {
+	if c == nil {
+		return StagePred{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.preds[op]
+	return p, ok
+}
+
+// CalibrationFromFlight rebuilds a calibration store from flight-recorder
+// records, so Report can be produced offline from a -flight-out file — the
+// feedback loop that lets calibration consume real distributed measurements
+// instead of only the live session's.
+func CalibrationFromFlight(recs []FlightRecord) *Calibration {
+	c := NewCalibration()
+	for _, r := range recs {
+		if _, seen := c.preds[r.Op]; !seen {
+			c.Predict(StagePred{
+				Op: r.Op, Kind: r.Kind, P: r.P, Q: r.Q, R: r.R,
+				NetBytes: r.PredNetBytes, ComFlops: r.PredComFlops, MemBytes: r.PredMemBytes,
+			})
+		}
+		c.Measure(StageMeas{
+			Stage:              r.Stage,
+			Op:                 r.Op,
+			Tasks:              r.Tasks,
+			ConsolidationBytes: r.MeasConsolidationBytes,
+			AggregationBytes:   r.MeasAggregationBytes,
+			ExtraWireBytes:     r.MeasExtraWireBytes,
+			Flops:              r.MeasFlops,
+			PeakTaskMemBytes:   r.MeasPeakTaskMemBytes,
+			WallSeconds:        r.MeasWallSeconds,
+		})
+	}
+	return c
+}
+
 // Reset discards accumulated records.
 func (c *Calibration) Reset() {
 	if c == nil {

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
-// Server exposes a registry over HTTP: Prometheus text on /metrics and a
+// Server exposes a registry over HTTP: Prometheus text on /metrics, a
 // JSON snapshot (plus an optional caller-supplied stats view) on
-// /debug/stats.
+// /debug/stats, and the Go runtime profiles on /debug/pprof/ — sessions and
+// workers alike, so `go tool pprof` can attach to any process of a cluster.
 type Server struct {
 	ln   net.Listener
 	srv  *http.Server
@@ -40,6 +42,14 @@ func ServeMetrics(addr string, reg *Registry, stats func() any) (*Server, error)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(body)
 	})
+	// Runtime profiling endpoints. net/http/pprof registers on
+	// http.DefaultServeMux as a side effect of the import; this mux is
+	// private, so the handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},

@@ -11,17 +11,26 @@
 // never branch on "is observability on" beyond that nil check.
 package obs
 
+import "fmt"
+
 // Obs bundles one session's observability components. Any field may be nil;
 // the whole struct may be nil. Helper methods absorb both.
 type Obs struct {
-	Trace   *Recorder    // span recorder; nil disables tracing
-	Metrics *Registry    // metrics registry; nil disables metrics
-	Calib   *Calibration // prediction/measurement join; nil disables calibration
+	Trace   *Recorder       // span recorder; nil disables tracing
+	Metrics *Registry       // metrics registry; nil disables metrics
+	Calib   *Calibration    // prediction/measurement join; nil disables calibration
+	Flight  *FlightRecorder // per-stage JSONL flight recorder; nil disables it
 }
 
 // Enabled reports whether any component is active (stage-level hooks run).
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Calib != nil)
+	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Calib != nil || o.Flight != nil)
+}
+
+// Tracing reports whether the span recorder is active — the signal backends
+// use to decide whether task bodies should collect sub-spans.
+func (o *Obs) Tracing() bool {
+	return o != nil && o.Trace != nil
 }
 
 // PerTask reports whether per-task instrumentation (spans, latency
@@ -79,6 +88,22 @@ func (o *Obs) Measure(m StageMeas) {
 	o.Calib.Measure(m)
 }
 
+// Prediction looks up the recorded prediction for an operator key.
+func (o *Obs) Prediction(op string) (StagePred, bool) {
+	if o == nil {
+		return StagePred{}, false
+	}
+	return o.Calib.Prediction(op)
+}
+
+// RecordFlight appends one stage record to the flight recorder.
+func (o *Obs) RecordFlight(rec FlightRecord) {
+	if o == nil {
+		return
+	}
+	o.Flight.Record(rec)
+}
+
 // Reset clears accumulated spans, calibration records and metric values
 // (counters and histograms restart at zero; gauges keep their last value).
 func (o *Obs) Reset() {
@@ -102,10 +127,14 @@ const (
 	MExtraBytes         = `fuseme_wire_bytes_total{class="extra"}`
 	MFlopsTotal         = "fuseme_flops_total"
 
-	// TCP-runtime coordinator metrics.
+	// TCP-runtime coordinator metrics. MWorkerRTT is a per-worker gauge
+	// series (label the worker id with WorkerRTTGauge) holding the latest
+	// control-connection round trip — the same sample the span merger's
+	// clock-skew estimator consumes.
 	MRemoteTasksTotal = "fuseme_remote_tasks_total"
 	MRetriesTotal     = "fuseme_task_retries_total"
 	MHeartbeatRTT     = "fuseme_heartbeat_rtt_seconds"
+	MWorkerRTT        = "fuseme_worker_rtt_seconds"
 	MWorkersAlive     = "fuseme_workers_alive"
 
 	// Worker-process metrics.
@@ -127,3 +156,9 @@ const (
 	MKernelSerialCalls   = "fuseme_kernel_serial_calls_total"
 	MKernelHelperRuns    = "fuseme_kernel_helper_runs_total"
 )
+
+// WorkerRTTGauge names the per-worker round-trip gauge series, e.g.
+// `fuseme_worker_rtt_seconds{worker="0"}`.
+func WorkerRTTGauge(workerID int) string {
+	return fmt.Sprintf(`%s{worker="%d"}`, MWorkerRTT, workerID)
+}

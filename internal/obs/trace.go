@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -15,7 +16,16 @@ type Recorder struct {
 	mu     sync.Mutex
 	start  time.Time
 	events []TraceEvent
+	procs  map[int]string // pid → process name (Chrome "M" metadata)
 }
+
+// Virtual process IDs of the merged timeline. The session process records on
+// PIDLocal; the TCP coordinator merges each worker's shipped spans onto
+// PIDWorkerBase+workerID, one Chrome/Perfetto process track per worker.
+const (
+	PIDLocal      = 1
+	PIDWorkerBase = 2
+)
 
 // TraceEvent is one Chrome trace_event "complete" event. Timestamps and
 // durations are microseconds relative to the recorder's start.
@@ -83,12 +93,46 @@ func (s *Span) End() {
 		Name: s.name, Cat: s.cat, Ph: "X",
 		TS:  float64(s.start.Sub(s.r.start).Nanoseconds()) / 1e3,
 		Dur: float64(now.Sub(s.start).Nanoseconds()) / 1e3,
-		PID: 1, TID: s.tid,
+		PID: PIDLocal, TID: s.tid,
 		Args: args,
 	}
 	s.r.mu.Lock()
 	s.r.events = append(s.r.events, ev)
 	s.r.mu.Unlock()
+}
+
+// AddSpanAt records a completed span with an explicit wall-clock window on
+// virtual process pid, thread tid. Backends use it to replay spans collected
+// elsewhere (a task body's sub-spans, a remote worker's shipped batch) into
+// the session timeline; start must be on the recorder's clock.
+func (r *Recorder) AddSpanAt(name, cat string, pid, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if r == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  float64(start.Sub(r.start).Nanoseconds()) / 1e3,
+		Dur: float64(dur.Nanoseconds()) / 1e3,
+		PID: pid, TID: tid,
+		Args: args,
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// SetProcessName labels a virtual process track; the name is exported as a
+// Chrome process_name metadata event so viewers title each worker's track.
+func (r *Recorder) SetProcessName(pid int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.procs == nil {
+		r.procs = make(map[int]string, 4)
+	}
+	r.procs[pid] = name
+	r.mu.Unlock()
 }
 
 // Len returns the number of recorded spans.
@@ -120,6 +164,7 @@ func (r *Recorder) Reset() {
 	}
 	r.mu.Lock()
 	r.events = nil
+	r.procs = nil
 	r.start = time.Now()
 	r.mu.Unlock()
 }
@@ -131,8 +176,24 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace writes the recorded spans as a Chrome trace_event JSON
-// document.
+// document, preceded by process_name metadata for every labelled track.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var meta []TraceEvent
+	if r != nil {
+		r.mu.Lock()
+		pids := make([]int, 0, len(r.procs))
+		for pid := range r.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			meta = append(meta, TraceEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": r.procs[pid]},
+			})
+		}
+		r.mu.Unlock()
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: r.Events(), DisplayTimeUnit: "ms"})
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, r.Events()...), DisplayTimeUnit: "ms"})
 }

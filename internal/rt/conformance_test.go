@@ -13,6 +13,7 @@ import (
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
 	"fuseme/internal/core"
+	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/remote"
 	"fuseme/internal/workloads"
@@ -278,6 +279,81 @@ func TestRuntimeConformanceBlockCache(t *testing.T) {
 			if second.ConsolidationBytes >= first.ConsolidationBytes {
 				t.Errorf("warm consolidation %d not below cold %d",
 					second.ConsolidationBytes, first.ConsolidationBytes)
+			}
+		})
+	}
+}
+
+// runTracedPlan executes the reference plan with tracing enabled and returns
+// the recorded events. For the TCP backend the coordinator must already have
+// the obs bundle attached (SetObs) before stages run.
+func runTracedPlan(t *testing.T, rtm rt.Runtime, o *obs.Obs) []obs.TraceEvent {
+	t.Helper()
+	const rows, cols, k = 96, 80, 8
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(rows, cols, 16, 0.05, 1, 5, 1),
+		"U": block.RandomDense(rows, k, 16, 0.5, 1.5, 2),
+		"V": block.RandomDense(cols, k, 16, 0.5, 1.5, 3),
+	}
+	g := workloads.NMFKernel(rows, cols, k, inputs["X"].Density())
+	if _, _, err := core.RunObs(core.FuseME{}, g, rtm, inputs, o); err != nil {
+		t.Fatal(err)
+	}
+	return o.Trace.Events()
+}
+
+// spanCounts tallies events by "cat/name", restricted to the task-execution
+// taxonomy both backends must agree on: whole-task spans (cat "task") and the
+// fetch/kernel/cache/send sub-spans (cat "taskop"). Scheduling spans (cat
+// "sched", coordinator-only) and stage/plan spans are outside the parity
+// contract.
+func spanCounts(events []obs.TraceEvent) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range events {
+		if ev.Cat != "task" && ev.Cat != "taskop" {
+			continue
+		}
+		counts[ev.Cat+"/"+ev.Name]++
+	}
+	return counts
+}
+
+// TestRuntimeConformanceSpans requires both backends to record the same task
+// spans for the same plan: one whole-task span per task and identical
+// fetch/kernel/send sub-span counts — span parity by construction, since both
+// run the identical executor task body. (Cache sub-spans only appear with the
+// block cache armed, which this plan does not enable.)
+func TestRuntimeConformanceSpans(t *testing.T) {
+	ctors := backends()
+	simObs := &obs.Obs{Trace: obs.NewRecorder()}
+	simCounts := spanCounts(runTracedPlan(t, ctors["sim"](t), simObs))
+	if len(simCounts) == 0 {
+		t.Fatal("sim backend recorded no task spans")
+	}
+	for key := range simCounts {
+		if key == "task/" {
+			t.Fatalf("unnamed task span in %v", simCounts)
+		}
+	}
+	for name, open := range ctors {
+		if name == "sim" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			rtm := open(t)
+			o := &obs.Obs{Trace: obs.NewRecorder()}
+			if co, ok := rtm.(*remote.Coordinator); ok {
+				co.SetObs(o)
+			}
+			got := spanCounts(runTracedPlan(t, rtm, o))
+			if len(got) != len(simCounts) {
+				t.Errorf("span kinds = %d, sim recorded %d:\n got %v\n sim %v",
+					len(got), len(simCounts), got, simCounts)
+			}
+			for key, want := range simCounts {
+				if got[key] != want {
+					t.Errorf("span %q: count %d, sim recorded %d", key, got[key], want)
+				}
 			}
 		})
 	}

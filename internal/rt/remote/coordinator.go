@@ -83,6 +83,29 @@ type workerConn struct {
 	// ctrlMu serializes control-connection exchanges (heartbeat ping/pong,
 	// cache invalidation pushes); each holder sets its own deadline.
 	ctrlMu sync.Mutex
+
+	// Clock-skew estimate for this worker, fed by ping/pong samples. The
+	// lowest-RTT sample wins (see skew.go); sampled guards the first write.
+	clockMu  sync.Mutex
+	rttBest  time.Duration
+	clockOff time.Duration
+	sampled  bool
+}
+
+// recordClock folds one ping/pong sample into the skew estimate.
+func (w *workerConn) recordClock(rtt, offset time.Duration) {
+	w.clockMu.Lock()
+	if !w.sampled || rtt < w.rttBest {
+		w.rttBest, w.clockOff, w.sampled = rtt, offset, true
+	}
+	w.clockMu.Unlock()
+}
+
+// clockOffset returns the current worker-minus-coordinator clock estimate.
+func (w *workerConn) clockOffset() time.Duration {
+	w.clockMu.Lock()
+	defer w.clockMu.Unlock()
+	return w.clockOff
 }
 
 // transportError marks failures of the coordinator↔worker channel (dial,
@@ -156,11 +179,50 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 		w.alive.Store(true)
 		c.workers = append(c.workers, w)
 	}
+	// Prime the clock-skew estimator with one ping per worker before any
+	// stage runs, so even a trace captured immediately after connect merges
+	// against a real offset sample rather than zero.
+	for _, w := range c.workers {
+		if err := c.pingWorker(w); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("remote: worker %s: %w", w.addr, err)
+		}
+	}
 	for _, w := range c.workers {
 		c.hbWG.Add(1)
 		go c.heartbeat(w)
 	}
 	return c, nil
+}
+
+// pingWorker runs one ping/pong exchange on the control connection: it feeds
+// the heartbeat RTT histogram, the per-worker RTT gauge and the worker's
+// clock-skew estimate.
+func (c *Coordinator) pingWorker(w *workerConn) error {
+	sent := time.Now()
+	w.ctrlMu.Lock()
+	w.ctrl.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
+	if err := writeFrame(w.ctrl, msgPing, nil); err != nil {
+		w.ctrlMu.Unlock()
+		return err
+	}
+	payload, err := expectFrame(w.ctrl, msgPong)
+	w.ctrlMu.Unlock()
+	if err != nil {
+		return err
+	}
+	recv := time.Now()
+	var p pong
+	if err := decodeGob(payload, &p); err != nil {
+		return err
+	}
+	rtt, offset := clockOffsetSample(sent, recv, p.UnixNano)
+	w.recordClock(rtt, offset)
+	if o := c.getObs(); o.Enabled() {
+		o.Histogram(obs.MHeartbeatRTT).Observe(rtt.Seconds())
+		o.Gauge(obs.WorkerRTTGauge(w.id)).Set(rtt.Seconds())
+	}
+	return nil
 }
 
 // heartbeat pings one worker until it dies or the coordinator closes,
@@ -177,21 +239,10 @@ func (c *Coordinator) heartbeat(w *workerConn) {
 			if !w.alive.Load() {
 				return
 			}
-			sent := time.Now()
-			w.ctrlMu.Lock()
-			w.ctrl.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
-			if writeFrame(w.ctrl, msgPing, nil) != nil {
-				w.ctrlMu.Unlock()
+			if err := c.pingWorker(w); err != nil {
 				c.markDead(w)
 				return
 			}
-			if _, err := expectFrame(w.ctrl, msgPong); err != nil {
-				w.ctrlMu.Unlock()
-				c.markDead(w)
-				return
-			}
-			w.ctrlMu.Unlock()
-			c.getObs().Histogram(obs.MHeartbeatRTT).Observe(time.Since(sent).Seconds())
 		}
 	}
 }
@@ -406,6 +457,14 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 
 	o := c.getObs()
 	perTask := o.PerTask()
+	if o.Tracing() {
+		// Label the merged timeline's process tracks: the coordinator's own
+		// spans on PIDLocal, each worker's shipped spans on its own track.
+		o.Trace.SetProcessName(obs.PIDLocal, "coordinator")
+		for _, w := range c.workers {
+			o.Trace.SetProcessName(obs.PIDWorkerBase+w.id, fmt.Sprintf("worker %d (%s)", w.id, w.addr))
+		}
+	}
 	sem := make(chan struct{}, len(c.workers)*c.local.Config().TasksPerNode)
 	var wg sync.WaitGroup
 	for id := 0; id < sp.NumTasks; id++ {
@@ -418,15 +477,18 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 				return
 			}
 			// The executor's per-task wrapper only fires for in-process
-			// closures, so remote task telemetry is emitted here.
+			// closures, so remote task telemetry is emitted here. The
+			// coordinator's own span is the scheduling view (cat "sched");
+			// the execution view (cat "task" with its sub-spans) arrives
+			// worker-side in done.Spans and merges onto the worker's track.
 			var span *obs.Span
 			var taskStart time.Time
 			if perTask {
 				taskStart = time.Now()
 				o.Histogram(obs.MQueueSeconds).Observe(taskStart.Sub(start).Seconds())
-				span = o.StartSpan(fmt.Sprintf("task %d", taskID), "task", 1+taskID%64)
+				span = o.StartSpan(fmt.Sprintf("task %d", taskID), "sched", 1+taskID%64)
 			}
-			done, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated)
+			done, w, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated)
 			if perTask {
 				o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
 				o.Counter(obs.MTasksTotal).Inc()
@@ -437,6 +499,17 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 					span.Arg("error", err.Error())
 				}
 				span.End()
+			}
+			if len(done.Spans) > 0 && w != nil && o.Tracing() {
+				// Skew-correct the worker's span batch into the coordinator
+				// clock and clamp it into the dispatch window this goroutine
+				// observed, then merge onto the worker's process track.
+				aligned := AlignSpans(done.Spans, w.clockOffset(), taskStart, time.Now())
+				pid := obs.PIDWorkerBase + w.id
+				for _, s := range aligned {
+					o.Trace.AddSpanAt(s.Name, s.Cat, pid, 1+taskID%64,
+						time.Unix(0, s.StartUnixNano), time.Duration(s.DurNanos), nil)
+				}
 			}
 			if err != nil {
 				setErr(fmt.Errorf("stage %q task %d: %w", sp.Name, taskID, err))
@@ -492,7 +565,9 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 // the same placement the simulated backend uses for its task caches, so a
 // recurring task lands on the worker that cached its inputs and the two
 // backends agree on hit counts. Retries fall back to round-robin.
-func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+// It also returns the worker that completed the task, so the caller can
+// merge the returned span batch with that worker's clock offset.
+func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, *workerConn, error) {
 	retries := c.local.Config().MaxTaskRetries
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -509,11 +584,11 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 			w = c.pickWorker()
 		}
 		if w == nil {
-			return taskDone{}, errors.New("remote: no live workers")
+			return taskDone{}, nil, errors.New("remote: no live workers")
 		}
 		done, err := c.runTaskOn(w, st, taskID, gen, wire, colocated)
 		if err == nil {
-			return done, nil
+			return done, w, nil
 		}
 		lastErr = err
 		var te transportError
@@ -521,7 +596,7 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 			c.markDead(w)
 		}
 	}
-	return taskDone{}, lastErr
+	return taskDone{}, nil, lastErr
 }
 
 // runTaskOn ships one task to worker w over a fresh connection and serves
@@ -538,6 +613,7 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uin
 		Gen:           gen,
 		KernelThreads: c.kernelThreads,
 		TaskSlots:     c.taskSlots,
+		Trace:         c.getObs().Tracing(),
 	}
 	if err := writeGob(conn, msgTask, assign); err != nil {
 		return taskDone{}, transportError{err}

@@ -27,15 +27,18 @@ import (
 
 // Protocol version, checked during the control-connection handshake.
 // Version 2 added the block-cache coherence frames (msgCacheAd,
-// msgCacheInval) and the stage generation in taskAssign.
-const protoVersion = 2
+// msgCacheInval) and the stage generation in taskAssign. Version 3 added
+// distributed tracing: the Trace flag in taskAssign, worker span batches in
+// taskDone, and the worker-clock timestamp in the pong payload that the
+// coordinator's skew estimator consumes.
+const protoVersion = 3
 
 // Frame types.
 const (
 	msgHello    = byte(1)  // coordinator → worker: gob(hello), opens control conn
 	msgHelloAck = byte(2)  // worker → coordinator: gob(helloAck)
 	msgPing     = byte(3)  // coordinator → worker: empty
-	msgPong     = byte(4)  // worker → coordinator: empty
+	msgPong     = byte(4)  // worker → coordinator: gob(pong)
 	msgTask     = byte(5)  // coordinator → worker: gob(taskAssign), opens task conn
 	msgFetch    = byte(6)  // worker → coordinator: gob(spec.BlockRef)
 	msgBlock    = byte(7)  // coordinator → worker: block payload (see below)
@@ -83,13 +86,29 @@ type taskAssign struct {
 	Gen           uint64
 	KernelThreads int
 	TaskSlots     int
+
+	// Trace asks the worker to record per-task sub-spans (fetch, kernel,
+	// cache, send) and ship them back in taskDone.Spans. Trace context
+	// propagation is this one bit plus the task identity already in the
+	// assignment — the coordinator rebuilds the global timeline from those.
+	Trace bool
 }
 
 // taskDone reports a completed task: its result blocks and the metering the
-// worker-side cluster.Task accumulated.
+// worker-side cluster.Task accumulated. Spans carries the worker's span batch
+// (worker-clock timestamps; the coordinator skew-corrects them) when the
+// assignment requested tracing, led by the enclosing whole-task span.
 type taskDone struct {
 	Metrics spec.TaskMetrics
 	Blocks  []spec.OutBlock
+	Spans   []spec.SpanRec
+}
+
+// pong is the heartbeat reply. UnixNano is the worker's wall clock at reply
+// time; with the coordinator's send/receive timestamps it yields one NTP-style
+// clock-offset sample (offset ≈ workerT − (sent + RTT/2)).
+type pong struct {
+	UnixNano int64
 }
 
 // taskFail reports a task whose body returned an error. This is an

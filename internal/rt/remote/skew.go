@@ -1,0 +1,60 @@
+package remote
+
+import (
+	"time"
+
+	"fuseme/internal/rt/spec"
+)
+
+// Clock-skew correction for the merged cluster timeline. Workers timestamp
+// their spans on their own wall clocks; before those spans can share a
+// Chrome/Perfetto timeline with the coordinator's, they must be mapped onto
+// the coordinator clock. The estimate is NTP-style: each heartbeat ping/pong
+// yields one sample offset ≈ workerT − (sent + RTT/2), and the sample with
+// the smallest RTT (the tightest uncertainty bound) wins.
+
+// clockOffsetSample derives one (RTT, offset) sample from a ping sent at
+// sent, its pong received at recv, and the worker clock workerUnixNano
+// stamped into the pong. offset is worker-clock minus coordinator-clock.
+func clockOffsetSample(sent, recv time.Time, workerUnixNano int64) (rtt, offset time.Duration) {
+	rtt = recv.Sub(sent)
+	mid := sent.Add(rtt / 2)
+	return rtt, time.Unix(0, workerUnixNano).Sub(mid)
+}
+
+// AlignSpans maps worker-clock span records onto the coordinator clock:
+// every timestamp is shifted by -offset, then both endpoints are clamped
+// into [winStart, winEnd] — the coordinator-observed window the spans must
+// lie in (task dispatch to task completion). Clamping with a monotone map
+// applied to both endpoints preserves span ordering and never produces a
+// negative duration, so a residual skew the offset estimate missed cannot
+// push a worker span outside its enclosing stage.
+func AlignSpans(spans []spec.SpanRec, offset time.Duration, winStart, winEnd time.Time) []spec.SpanRec {
+	if winEnd.Before(winStart) {
+		winEnd = winStart
+	}
+	out := make([]spec.SpanRec, 0, len(spans))
+	for _, s := range spans {
+		start := time.Unix(0, s.StartUnixNano).Add(-offset)
+		end := start.Add(time.Duration(s.DurNanos))
+		start = clampTime(start, winStart, winEnd)
+		end = clampTime(end, winStart, winEnd)
+		out = append(out, spec.SpanRec{
+			Name:          s.Name,
+			Cat:           s.Cat,
+			StartUnixNano: start.UnixNano(),
+			DurNanos:      end.Sub(start).Nanoseconds(),
+		})
+	}
+	return out
+}
+
+func clampTime(t, lo, hi time.Time) time.Time {
+	if t.Before(lo) {
+		return lo
+	}
+	if t.After(hi) {
+		return hi
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+package remote
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fuseme/internal/rt/spec"
+)
+
+func TestClockOffsetSample(t *testing.T) {
+	sent := time.Unix(100, 0)
+	recv := sent.Add(10 * time.Millisecond)
+	// Worker clock runs 3s ahead of the coordinator: at the RTT midpoint
+	// (sent+5ms) the worker reads sent+5ms+3s.
+	workerAt := sent.Add(5*time.Millisecond + 3*time.Second)
+	rtt, offset := clockOffsetSample(sent, recv, workerAt.UnixNano())
+	if rtt != 10*time.Millisecond {
+		t.Fatalf("rtt = %v, want 10ms", rtt)
+	}
+	if offset != 3*time.Second {
+		t.Fatalf("offset = %v, want 3s", offset)
+	}
+}
+
+func TestRecordClockKeepsLowestRTT(t *testing.T) {
+	w := &workerConn{}
+	w.recordClock(8*time.Millisecond, 100*time.Millisecond)
+	w.recordClock(2*time.Millisecond, 40*time.Millisecond) // tighter sample wins
+	w.recordClock(5*time.Millisecond, 999*time.Millisecond)
+	if got := w.clockOffset(); got != 40*time.Millisecond {
+		t.Fatalf("clockOffset = %v, want 40ms (lowest-RTT sample)", got)
+	}
+}
+
+// TestAlignSpansMonotoneInWindow drives AlignSpans with random clock offsets
+// (including offsets large enough that the corrected spans overshoot the
+// window) and checks the invariants the merged timeline depends on: every
+// corrected span lies inside the enclosing task window, has a non-negative
+// duration, and the spans' relative start order is preserved.
+func TestAlignSpansMonotoneInWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	winStart := time.Unix(1000, 0)
+	winEnd := winStart.Add(200 * time.Millisecond)
+	for trial := 0; trial < 200; trial++ {
+		// True offset applied to the worker clock, plus an estimation error
+		// so correction is deliberately imperfect.
+		offset := time.Duration(rng.Int63n(int64(10*time.Second))) - 5*time.Second
+		estErr := time.Duration(rng.Int63n(int64(50*time.Millisecond))) - 25*time.Millisecond
+		est := offset + estErr
+
+		// Worker-side spans inside the task window (on the worker's clock).
+		var in []spec.SpanRec
+		cursor := winStart.Add(offset)
+		for i := 0; i < 8; i++ {
+			cursor = cursor.Add(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+			dur := time.Duration(rng.Int63n(int64(15 * time.Millisecond)))
+			in = append(in, spec.SpanRec{
+				Name: "kernel", Cat: "taskop",
+				StartUnixNano: cursor.UnixNano(),
+				DurNanos:      dur.Nanoseconds(),
+			})
+		}
+
+		out := AlignSpans(in, est, winStart, winEnd)
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: got %d spans, want %d", trial, len(out), len(in))
+		}
+		prev := int64(0)
+		for i, s := range out {
+			start := time.Unix(0, s.StartUnixNano)
+			end := start.Add(time.Duration(s.DurNanos))
+			if s.DurNanos < 0 {
+				t.Fatalf("trial %d span %d: negative duration %d", trial, i, s.DurNanos)
+			}
+			if start.Before(winStart) || end.After(winEnd) {
+				t.Fatalf("trial %d span %d: [%v, %v] outside window [%v, %v]",
+					trial, i, start, end, winStart, winEnd)
+			}
+			if s.StartUnixNano < prev {
+				t.Fatalf("trial %d span %d: start order not preserved", trial, i)
+			}
+			prev = s.StartUnixNano
+		}
+	}
+}
+
+func TestAlignSpansInvertedWindow(t *testing.T) {
+	win := time.Unix(500, 0)
+	out := AlignSpans([]spec.SpanRec{{Name: "fetch", StartUnixNano: win.UnixNano(), DurNanos: 100}},
+		0, win, win.Add(-time.Second))
+	if len(out) != 1 || out[0].DurNanos != 0 || out[0].StartUnixNano != win.UnixNano() {
+		t.Fatalf("inverted window not collapsed: %+v", out)
+	}
+}

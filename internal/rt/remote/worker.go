@@ -234,7 +234,7 @@ func (w *Worker) controlLoop(conn net.Conn) {
 		}
 		switch typ {
 		case msgPing:
-			if writeFrame(conn, msgPong, nil) != nil {
+			if writeGob(conn, msgPong, pong{UnixNano: time.Now().UnixNano()}) != nil {
 				return
 			}
 		case msgCacheInv:
@@ -261,6 +261,11 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 	}
 	task := &cluster.Task{ID: assign.TaskID}
 	task.SetPool(w.kernelPool(assign))
+	var tt *cluster.TaskTrace
+	if assign.Trace {
+		tt = &cluster.TaskTrace{}
+		task.SetTrace(tt)
+	}
 	var blocks []spec.OutBlock
 	fetch := func(ref spec.BlockRef) (matrix.Mat, error) {
 		if err := writeGob(conn, msgFetch, ref); err != nil {
@@ -292,9 +297,10 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, cc, fetch, func(ob spec.OutBlock) {
 		blocks = append(blocks, ob)
 	})
+	taskDur := time.Since(start)
 	if o := w.obs.Load(); o.Enabled() {
 		o.Counter(obs.MWorkerTasksTotal).Inc()
-		o.Histogram(obs.MWorkerTaskSeconds).Observe(time.Since(start).Seconds())
+		o.Histogram(obs.MWorkerTaskSeconds).Observe(taskDur.Seconds())
 		con, agg, _, _ := task.Counters()
 		o.Counter(obs.MWorkerFetchBytes).Add(con)
 		o.Counter(obs.MWorkerResultBytes).Add(agg)
@@ -322,6 +328,27 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 			return
 		}
 	}
+	var spans []spec.SpanRec
+	if tt != nil {
+		// Whole-task span first, then the body's sub-spans, all on the
+		// worker's clock; the coordinator aligns them to its own.
+		sub := tt.Spans()
+		spans = make([]spec.SpanRec, 0, 1+len(sub))
+		spans = append(spans, spec.SpanRec{
+			Name:          fmt.Sprintf("task %d", assign.TaskID),
+			Cat:           "task",
+			StartUnixNano: start.UnixNano(),
+			DurNanos:      taskDur.Nanoseconds(),
+		})
+		for _, s := range sub {
+			spans = append(spans, spec.SpanRec{
+				Name:          s.Name,
+				Cat:           s.Cat,
+				StartUnixNano: s.Start.UnixNano(),
+				DurNanos:      s.End.Sub(s.Start).Nanoseconds(),
+			})
+		}
+	}
 	con, agg, flops, mem := task.Counters()
 	hits, misses, evs, saved := task.CacheCounters()
 	writeGob(conn, msgDone, taskDone{
@@ -336,5 +363,6 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 			CacheSavedBytes:    saved,
 		},
 		Blocks: blocks,
+		Spans:  spans,
 	})
 }

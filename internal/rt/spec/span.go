@@ -1,0 +1,12 @@
+package spec
+
+// SpanRec is one completed trace span in wire form, as a worker ships it back
+// to its coordinator inside taskDone. Times are the recording process's own
+// clock (unix nanoseconds); the coordinator converts them with its per-worker
+// clock-offset estimate before merging them into the session timeline.
+type SpanRec struct {
+	Name          string
+	Cat           string
+	StartUnixNano int64
+	DurNanos      int64
+}

@@ -40,6 +40,32 @@ func WithTracing() Option {
 	}
 }
 
+// WithFlightRecorder enables the per-stage flight recorder, appending one
+// JSON line per executed stage to the file at path: the planner's predicted
+// network/computation/memory costs and chosen (P,Q,R) next to the stage's
+// measured wall time, wire bytes and cache savings. The file is created (or
+// truncated) immediately and flushed on Session.Close; read it back with
+// obs.ReadFlightFile / obs.CalibrationFromFlight, or diff runs offline.
+func WithFlightRecorder(path string) Option {
+	return func(s *Session) error {
+		fr, err := obs.OpenFlightRecorder(path)
+		if err != nil {
+			return err
+		}
+		s.obs.Flight = fr
+		return nil
+	}
+}
+
+// WithFlightWriter is WithFlightRecorder onto an arbitrary writer (tests,
+// in-memory buffers). The writer is flushed on Session.Close but not closed.
+func WithFlightWriter(w io.Writer) Option {
+	return func(s *Session) error {
+		s.obs.Flight = obs.NewFlightRecorder(w)
+		return nil
+	}
+}
+
 // WithMetrics enables the in-process metrics registry without serving it
 // over HTTP; read it with Session.MetricsSnapshot.
 func WithMetrics() Option {

@@ -1,0 +1,149 @@
+// Command benchdiff compares two benchmark report JSON documents (the
+// BENCH_*.json files written by `fuseme-bench -out`, or any JSON with numeric
+// leaves) and flags regressions.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff old.json new.json
+//	go run ./tools/benchdiff -threshold 0.25 BENCH_kernels.json /tmp/BENCH_kernels.json
+//
+// Every numeric leaf present in both documents is compared by its flattened
+// path (objects dotted, arrays indexed). Whether a change is an improvement
+// or a regression is inferred from the metric name: throughput-like metrics
+// (gflops, speedup, hits, saved) regress when they shrink; cost-like metrics
+// (seconds, bytes, misses, evictions) regress when they grow; anything else
+// is reported but never fails the run. The exit status is 1 when any metric
+// regresses by more than -threshold (a fraction; default 0.2 = 20%), which
+// lets CI run it as a soft gate on recorded bench documents.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.2, "regression threshold as a fraction (0.2 = fail on >20% worse)")
+	quiet := flag.Bool("quiet", false, "print only regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldLeaves, err := loadLeaves(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newLeaves, err := loadLeaves(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(oldLeaves))
+	for k := range oldLeaves {
+		if _, ok := newLeaves[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: the documents share no numeric metrics")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	for _, k := range keys {
+		o, n := oldLeaves[k], newLeaves[k]
+		delta := 0.0
+		if o != 0 {
+			delta = (n - o) / math.Abs(o)
+		} else if n != 0 {
+			delta = math.Inf(1)
+		}
+		dir := direction(k)
+		worse := dir > 0 && delta < -*threshold || dir < 0 && delta > *threshold
+		if worse {
+			regressions++
+		}
+		if worse || !*quiet {
+			tag := "  "
+			switch {
+			case worse:
+				tag = "✗ "
+			case dir != 0 && math.Abs(delta) > *threshold:
+				tag = "✓ " // changed beyond threshold, in the good direction
+			}
+			fmt.Printf("%s%-60s %14.6g -> %14.6g  (%+.1f%%)\n", tag, k, o, n, 100*delta)
+		}
+	}
+	for k := range newLeaves {
+		if _, ok := oldLeaves[k]; !ok && !*quiet {
+			fmt.Printf("+ %-60s (only in new)\n", k)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, 100**threshold)
+		os.Exit(1)
+	}
+}
+
+// direction classifies a metric path: +1 higher-is-better, -1 lower-is-better,
+// 0 informational. Higher-better names are matched first so compounds like
+// cache_saved_bytes classify by intent, not by their _bytes suffix.
+func direction(key string) int {
+	k := strings.ToLower(key)
+	for _, s := range []string{"gflops", "speedup", "hits", "saved"} {
+		if strings.Contains(k, s) {
+			return 1
+		}
+	}
+	for _, s := range []string{"seconds", "bytes", "misses", "evictions"} {
+		if strings.Contains(k, s) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// loadLeaves parses a JSON file into flattened numeric leaves.
+func loadLeaves(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	leaves := map[string]float64{}
+	flatten("", doc, leaves)
+	return leaves, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case float64:
+		out[prefix] = t
+	case bool:
+		// booleans are not metrics
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range t {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	}
+}
