@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck benchdiff
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck benchdiff
 
 ## check: full verification gate — gofmt, vet, docs lint, build, race-enabled tests
 check: fmtcheck vet docscheck build race
@@ -46,13 +46,24 @@ kernelcheck:
 tracecheck:
 	$(GO) test -race -count=1 -run 'Trace|Span|Skew|Align|Clock|Flight|Obs' ./internal/obs/ ./internal/rt/ ./internal/rt/remote/ ./internal/exec/ .
 
+## servecheck: multi-tenant serving soak under the race detector — one warm
+## instance, eight concurrent tenants over sim and TCP, every response
+## bit-identical to a serial run — plus the admission/plan-cache suites and
+## the bench that records throughput and tail latency in BENCH_serve.json
+servecheck:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/sched/ ./internal/plancache/
+	$(GO) test -race -count=1 -run 'PlanCache|QueryBusy|CloseIdempotent|SharedRegistry' .
+	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out BENCH_serve.json
+
 ## benchdiff: regenerate the bench documents into /tmp and diff them against
 ## the checked-in BENCH_*.json (non-blocking: timings vary across machines)
 benchdiff:
 	$(GO) run ./cmd/fuseme-bench -exp cache -scale 0.25 -out /tmp/BENCH_cache.json
 	$(GO) run ./cmd/fuseme-bench -exp kernels -out /tmp/BENCH_kernels.json
+	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out /tmp/BENCH_serve.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_cache.json /tmp/BENCH_cache.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_kernels.json /tmp/BENCH_kernels.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_serve.json /tmp/BENCH_serve.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

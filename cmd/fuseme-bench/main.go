@@ -27,7 +27,7 @@ func main() {
 	runtime := flag.String("runtime", "sim", "execution backend; experiments model the paper's cluster, so only sim is valid")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the bench run (per-experiment spans; stage/task detail for real executions)")
 	flightOut := flag.String("flight-out", "", "write a JSONL flight record of the bench run (one line per executed stage: predicted vs measured)")
-	out := flag.String("out", "", "write a report-producing experiment's JSON document to this file (cache -> BENCH_cache.json, kernels -> BENCH_kernels.json)")
+	out := flag.String("out", "", "write a report-producing experiment's JSON document to this file (cache -> BENCH_cache.json, kernels -> BENCH_kernels.json, serve -> BENCH_serve.json)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 

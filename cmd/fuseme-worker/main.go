@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"syscall"
 
 	"fuseme/internal/obs"
 	"fuseme/internal/rt/remote"
@@ -28,6 +29,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address")
 	cacheBytes := flag.Int64("cache-bytes", -1, "block-cache budget in bytes for loop-invariant inputs (0 disables; default FUSEME_CACHE_BYTES or 0)")
 	kernelThreads := flag.Int("kernel-threads", -1, "pin the intra-task kernel thread count on this worker (0 = auto-size against local cores; default FUSEME_KERNEL_THREADS or follow the coordinator)")
+	exitOnDisconnect := flag.Bool("exit-on-disconnect", false, "exit cleanly when the last coordinator disconnects instead of lingering for successive coordinators (for clusters whose lifecycle is tied to one fuseme-serve instance)")
 	flag.Parse()
 
 	budget := *cacheBytes
@@ -83,8 +85,16 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *exitOnDisconnect {
+		select {
+		case <-sig:
+		case <-w.CoordinatorGone():
+			fmt.Println("fuseme-worker: coordinator closed, exiting")
+		}
+	} else {
+		<-sig
+	}
 	w.Close()
 	w.Wait()
 }

@@ -124,36 +124,43 @@ func declaredNames(t *testing.T, frag string) []string {
 	return names
 }
 
-// TestDocDriftGoSnippets compiles every ```go block in README.md. Blocks
-// that begin with a package clause build as-is; statement fragments are
-// wrapped in a function that predeclares the conventional free variable
-// `cfg` (a ClusterConfig) and blank-assigns whatever the fragment declares.
+// TestDocDriftGoSnippets compiles every ```go block in README.md and
+// docs/OPERATIONS.md. Blocks that begin with a package clause build as-is;
+// statement fragments are wrapped in a function that predeclares the
+// conventional free variable `cfg` (a ClusterConfig) and blank-assigns
+// whatever the fragment declares.
 func TestDocDriftGoSnippets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go tool")
 	}
-	const doc = "README.md"
-	n := 0
-	for _, blk := range extractFenced(t, doc) {
-		if blk.tag != "go" {
-			continue
+	total := 0
+	for _, doc := range []string{"README.md", "docs/OPERATIONS.md"} {
+		n := 0
+		for _, blk := range extractFenced(t, doc) {
+			if blk.tag != "go" {
+				continue
+			}
+			n++
+			where := fmt.Sprintf("%s:%d", doc, blk.line)
+			if strings.HasPrefix(strings.TrimSpace(blk.text), "package ") {
+				buildSnippet(t, where, blk.text)
+				continue
+			}
+			var blanks strings.Builder
+			for _, name := range declaredNames(t, blk.text) {
+				fmt.Fprintf(&blanks, "\t_ = %s\n", name)
+			}
+			src := "package main\n\nimport \"fuseme\"\n\nvar _ fuseme.Option\n\n" +
+				"func snippet(cfg fuseme.ClusterConfig) {\n" + blk.text + blanks.String() + "}\n\nfunc main() {}\n"
+			buildSnippet(t, where, src)
 		}
-		n++
-		where := fmt.Sprintf("%s:%d", doc, blk.line)
-		if strings.HasPrefix(strings.TrimSpace(blk.text), "package ") {
-			buildSnippet(t, where, blk.text)
-			continue
+		if doc == "README.md" && n == 0 {
+			t.Fatalf("%s: no ```go blocks found — extraction broken or docs gutted", doc)
 		}
-		var blanks strings.Builder
-		for _, name := range declaredNames(t, blk.text) {
-			fmt.Fprintf(&blanks, "\t_ = %s\n", name)
-		}
-		src := "package main\n\nimport \"fuseme\"\n\nvar _ fuseme.Option\n\n" +
-			"func snippet(cfg fuseme.ClusterConfig) {\n" + blk.text + blanks.String() + "}\n\nfunc main() {}\n"
-		buildSnippet(t, where, src)
+		total += n
 	}
-	if n == 0 {
-		t.Fatalf("%s: no ```go blocks found — extraction broken or docs gutted", doc)
+	if total < 4 {
+		t.Fatalf("only %d ```go blocks across the docs — extraction broken or docs gutted", total)
 	}
 }
 

@@ -35,10 +35,10 @@ import (
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
 	"fuseme/internal/core"
-	"fuseme/internal/dag"
 	"fuseme/internal/lang"
 	"fuseme/internal/matrix"
 	"fuseme/internal/obs"
+	"fuseme/internal/plancache"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/remote"
 )
@@ -256,14 +256,62 @@ func (m *Matrix) Dense() []float64 {
 // Write serialises the matrix in the engine's binary format.
 func (m *Matrix) Write(w io.Writer) error { return matrix.WriteTo(w, m.b.ToMat()) }
 
+// NewDenseMatrix builds a session-independent dense matrix from a row-major
+// value slice, blocked at blockSize. Bind it to any session (with a matching
+// block size) via Session.Bind; the serve daemon uses this for shared named
+// datasets.
+func NewDenseMatrix(rows, cols, blockSize int, values []float64) (*Matrix, error) {
+	if len(values) != rows*cols {
+		return nil, fmt.Errorf("fuseme: %d values for a %dx%d matrix", len(values), rows, cols)
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("fuseme: block size %d, must be >= 1", blockSize)
+	}
+	flat := matrix.NewDenseData(rows, cols, values)
+	return &Matrix{b: block.FromMat(flat, blockSize)}, nil
+}
+
+// NewRandomDenseMatrix builds a session-independent uniformly random dense
+// matrix with values in [lo, hi), blocked at blockSize.
+func NewRandomDenseMatrix(rows, cols, blockSize int, lo, hi float64, seed int64) *Matrix {
+	return &Matrix{b: block.RandomDense(rows, cols, blockSize, lo, hi, seed)}
+}
+
+// NewRandomSparseMatrix builds a session-independent uniformly random sparse
+// matrix at the given density, blocked at blockSize.
+func NewRandomSparseMatrix(rows, cols, blockSize int, density, lo, hi float64, seed int64) *Matrix {
+	return &Matrix{b: block.RandomSparse(rows, cols, blockSize, density, lo, hi, seed)}
+}
+
+// ReadMatrixFrom reads a session-independent matrix in the engine's binary
+// format (see Matrix.Write), blocked at blockSize.
+func ReadMatrixFrom(r io.Reader, blockSize int) (*Matrix, error) {
+	m, err := matrix.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("fuseme: block size %d, must be >= 1", blockSize)
+	}
+	return &Matrix{b: block.FromMat(m, blockSize)}, nil
+}
+
 // Session holds bound input matrices, the selected engine and the simulated
-// cluster. Sessions are not safe for concurrent use (the metrics endpoint,
-// which reads concurrently, synchronises on its own).
+// cluster. A session executes one query at a time: a Query issued while
+// another is running returns ErrSessionBusy. Close is idempotent and safe
+// for concurrent callers; binding inputs concurrently with Query is not.
+// Run concurrent queries on separate sessions (see internal/serve).
 type Session struct {
 	cfg    ClusterConfig
 	engine core.Engine
 	inputs map[string]*block.Matrix
 	last   Stats
+
+	// queryMu serialises Query; a second caller gets ErrSessionBusy rather
+	// than corrupting shared per-query state (inputs, stats, obs).
+	queryMu sync.Mutex
+	// closeMu makes Close idempotent under concurrent callers.
+	closeMu sync.Mutex
 
 	rtMu sync.Mutex
 	rtm  rt.Runtime // lazily constructed execution backend
@@ -275,6 +323,14 @@ type Session struct {
 	retries       int           // WithMaxTaskRetries; -1 = env/default
 	cacheBytes    int64         // WithBlockCache; -1 = env/default
 	kernelThreads int           // WithKernelThreads; -1 = env/config/default
+
+	planCache   *PlanCache // WithPlanCache; nil = compile every query
+	sched       *Scheduler // WithScheduler; nil = backend-private dispatch
+	lastPlanHit bool       // most recent compile came from the plan cache
+
+	tenantMu     sync.Mutex
+	tenant       string // SetTenant tag for the shared scheduler
+	tenantWeight int
 }
 
 // NewSession creates a session on the given cluster configuration, running
@@ -469,18 +525,32 @@ func (s *Session) runtime() (rt.Runtime, error) {
 	default:
 		return nil, fmt.Errorf("fuseme: unknown runtime %q (want \"sim\" or \"tcp\")", s.cfg.Runtime)
 	}
+	if s.sched != nil {
+		if ss, ok := s.rtm.(schedSetter); ok {
+			ss.SetScheduler(s.sched.s)
+		}
+	}
+	if name, weight := s.tenantTag(); name != "" || weight != 0 {
+		if tt, ok := s.rtm.(tenantTagger); ok {
+			tt.SetTenant(name, weight)
+		}
+	}
 	return s.rtm, nil
 }
 
 // Close releases the session's execution backend (worker connections under
-// the TCP runtime) and stops the metrics endpoint, if any. The session can
-// be used again afterwards; the backend is reconstructed on demand (the
+// the TCP runtime) and stops the metrics endpoint, if any. It is idempotent
+// and safe for concurrent callers; a second Close is a no-op. The session
+// can be used again afterwards; the backend is reconstructed on demand (the
 // metrics endpoint is not).
 func (s *Session) Close() error {
+	s.closeMu.Lock()
+	srv := s.metricsSrv
+	s.metricsSrv = nil
+	s.closeMu.Unlock()
 	var err error
-	if s.metricsSrv != nil {
-		err = s.metricsSrv.Close()
-		s.metricsSrv = nil
+	if srv != nil {
+		err = srv.Close()
 	}
 	s.rtMu.Lock()
 	rtm := s.rtm
@@ -497,47 +567,107 @@ func (s *Session) Close() error {
 	return err
 }
 
-// compile parses a script against the session's bound inputs.
-func (s *Session) compile(script string) (*dag.Graph, *core.PhysPlan, rt.Runtime, error) {
+// compiled is the result of compiling (or cache-fetching) a script: the
+// physical plan, the runtime to execute it on, and — when the plan came
+// from the cache — rename maps from the cached graph's variable names to
+// this script's.
+type compiled struct {
+	pp       *core.PhysPlan
+	rtm      rt.Runtime
+	inNames  map[string]string // plan-graph input name -> this script's name
+	outNames map[string]string // plan-graph output name -> this script's name
+	cacheHit bool
+}
+
+// bindingName maps a plan-graph input name to the caller's binding name.
+func (c *compiled) bindingName(planName string) string {
+	if c.inNames == nil {
+		return planName
+	}
+	if n, ok := c.inNames[planName]; ok {
+		return n
+	}
+	return planName
+}
+
+// outputName maps a plan-graph output name to the caller's output name.
+func (c *compiled) outputName(planName string) string {
+	if c.outNames == nil {
+		return planName
+	}
+	if n, ok := c.outNames[planName]; ok {
+		return n
+	}
+	return planName
+}
+
+// compile parses a script against the session's bound inputs and compiles
+// it, consulting the plan cache when one is attached.
+func (s *Session) compile(script string) (*compiled, error) {
 	g, err := lang.Parse(script, s.decls())
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	rtm, err := s.runtime()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
+	}
+	s.lastPlanHit = false
+	if s.planCache == nil {
+		pp, err := s.engine.Compile(g, rtm.Config())
+		if err != nil {
+			return nil, err
+		}
+		return &compiled{pp: pp, rtm: rtm}, nil
+	}
+	canon := plancache.Canonicalize(g)
+	key := canon.Key + "|" + s.planFingerprint()
+	if hit, ok := s.planCache.c.Lookup(key, canon); ok {
+		s.lastPlanHit = true
+		s.obs.Counter(obs.MPlanCacheHits).Inc()
+		return &compiled{pp: hit.PP, rtm: rtm, inNames: hit.InputNames, outNames: hit.OutputNames, cacheHit: true}, nil
 	}
 	pp, err := s.engine.Compile(g, rtm.Config())
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return g, pp, rtm, nil
+	s.planCache.c.Insert(key, canon, pp)
+	s.obs.Counter(obs.MPlanCacheMisses).Inc()
+	_, _, entries := s.planCache.c.Stats()
+	s.obs.Gauge(obs.MPlanCacheEntries).Set(float64(entries))
+	return &compiled{pp: pp, rtm: rtm}, nil
 }
 
 // Query parses and executes a script, returning its named outputs. The
-// execution's metrics are available from LastStats afterwards.
+// execution's metrics are available from LastStats afterwards. If another
+// Query is already running on this session, it returns ErrSessionBusy.
 func (s *Session) Query(script string) (map[string]*Matrix, error) {
-	g, pp, rtm, err := s.compile(script)
+	if !s.queryMu.TryLock() {
+		return nil, ErrSessionBusy
+	}
+	defer s.queryMu.Unlock()
+	cq, err := s.compile(script)
 	if err != nil {
 		return nil, err
 	}
 	needed := map[string]*block.Matrix{}
-	for _, in := range g.InputNodes() {
-		b, ok := s.inputs[in.Name]
+	for _, in := range cq.pp.Graph.InputNodes() {
+		bound := cq.bindingName(in.Name)
+		b, ok := s.inputs[bound]
 		if !ok {
-			return nil, fmt.Errorf("fuseme: input %q is not bound", in.Name)
+			return nil, fmt.Errorf("fuseme: input %q is not bound", bound)
 		}
 		needed[in.Name] = b
 	}
-	rtm.ResetStats()
-	out, err := core.ExecuteObs(pp, rtm, needed, s.obs)
-	s.last = statsFrom(rtm.Stats())
+	cq.rtm.ResetStats()
+	out, err := core.ExecuteObs(cq.pp, cq.rtm, needed, s.obs)
+	s.last = statsFrom(cq.rtm.Stats())
 	if err != nil {
 		return nil, err
 	}
 	res := make(map[string]*Matrix, len(out))
 	for name, b := range out {
-		res[name] = &Matrix{b: b}
+		res[cq.outputName(name)] = &Matrix{b: b}
 	}
 	return res, nil
 }
@@ -546,11 +676,11 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 // which operators fuse, the strategy (CFO/BFO/RFO/...) and the chosen
 // (P,Q,R) parameters.
 func (s *Session) Explain(script string) (string, error) {
-	_, pp, _, err := s.compile(script)
+	cq, err := s.compile(script)
 	if err != nil {
 		return "", err
 	}
-	return pp.Describe(), nil
+	return cq.pp.Describe(), nil
 }
 
 // Simulate compiles a script and dry-runs it at full scale without

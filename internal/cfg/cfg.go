@@ -13,12 +13,20 @@ package cfg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"fuseme/internal/cost"
 	"fuseme/internal/dag"
 	"fuseme/internal/fusion"
 	"fuseme/internal/opt"
 )
+
+// generateCalls counts Generate invocations process-wide. The plan cache's
+// end-to-end tests read it to prove repeat queries skip CFG exploration.
+var generateCalls atomic.Int64
+
+// GenerateCalls returns how many times Generate has run in this process.
+func GenerateCalls() int64 { return generateCalls.Load() }
 
 // Result carries the generated plan set plus the chosen parameters for each
 // matmul-bearing plan.
@@ -31,6 +39,7 @@ type Result struct {
 // operators with Cell-fused chains and singletons, so the returned set
 // partitions the whole query.
 func Generate(g *dag.Graph, model cost.Model, blockSize int) (*Result, error) {
+	generateCalls.Add(1)
 	rule := fusion.RuleFor(g, model.TaskMemBytes)
 	candidates := ExplorationPhase(g, rule)
 	final, params := ExploitationPhase(candidates, model, blockSize)

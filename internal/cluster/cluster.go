@@ -23,6 +23,7 @@ import (
 	"fuseme/internal/blockcache"
 	"fuseme/internal/matrix"
 	"fuseme/internal/parallel"
+	"fuseme/internal/sched"
 )
 
 // ErrOutOfMemory is returned (wrapped) when an operator's estimated per-task
@@ -255,6 +256,16 @@ type Cluster struct {
 	// TCP runtime can reproduce the same placement with real workers.
 	caches []*blockcache.Cache
 
+	// sched gates task dispatch. By default each cluster owns a private
+	// scheduler sized like the old inline worker pool
+	// (min(TotalSlots, GOMAXPROCS)); the serve daemon installs one shared
+	// scheduler across many clusters so concurrent plans interleave fairly.
+	sched *sched.Scheduler
+	// tenant tags this cluster's stages for the (shared) scheduler.
+	tenantMu     sync.Mutex
+	tenant       string
+	tenantWeight int
+
 	// stageSeq is the stage-generation counter driving cache visibility:
 	// blocks cached during generation g only become hits in generations > g,
 	// making hit counts independent of in-stage scheduling order. It is
@@ -273,6 +284,7 @@ func New(cfg Config) (*Cluster, error) {
 		localSlots = n
 	}
 	c.pool = parallel.New(parallel.Resolve(cfg.KernelThreads, localSlots), localSlots)
+	c.sched = sched.New(localSlots)
 	if cfg.CacheBytes > 0 {
 		budget := cfg.CacheBytes
 		if budget > cfg.TaskMemBytes {
@@ -475,70 +487,73 @@ func (t *Task) CacheCounters() (hits, misses, evictions, savedBytes int64) {
 	return t.cacheHits, t.cacheMisses, t.cacheEvictions, t.cacheSavedBytes
 }
 
+// SetScheduler installs a shared task-dispatch scheduler (nil restores the
+// cluster's private one is not supported — pass a non-nil scheduler). Call
+// before running stages; the serve daemon uses one scheduler across many
+// clusters so tasks of concurrent plans interleave by weighted round-robin.
+func (c *Cluster) SetScheduler(s *sched.Scheduler) {
+	if s == nil {
+		return
+	}
+	c.tenantMu.Lock()
+	c.sched = s
+	c.tenantMu.Unlock()
+}
+
+// SetTenant tags this cluster's subsequent stages with a tenant name and
+// scheduling weight for the (shared) dispatch scheduler.
+func (c *Cluster) SetTenant(name string, weight int) {
+	c.tenantMu.Lock()
+	c.tenant, c.tenantWeight = name, weight
+	c.tenantMu.Unlock()
+}
+
+// schedulerTag returns the dispatch scheduler and the tenant tag to run
+// stages under.
+func (c *Cluster) schedulerTag() (*sched.Scheduler, string, int) {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	return c.sched, c.tenant, c.tenantWeight
+}
+
 // RunStage executes numTasks tasks as one distributed stage. fn runs once
-// per task (possibly concurrently, bounded by GOMAXPROCS and the cluster's
-// slot count); task metrics are folded into the cluster stats and the
-// simulated clock advances per Eq. 2. The first task error aborts the stage.
-// A simulated-time overrun returns a wrapped ErrTimeout.
+// per task (possibly concurrently, bounded by the dispatch scheduler's slot
+// count — by default min(TotalSlots, GOMAXPROCS)); task metrics are folded
+// into the cluster stats and the simulated clock advances per Eq. 2. The
+// first task error aborts the stage: no further task starts and the error is
+// returned once in-flight tasks finish. A simulated-time overrun returns a
+// wrapped ErrTimeout.
 func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) error {
 	if numTasks < 0 {
 		return fmt.Errorf("cluster: stage %q: negative task count", name)
 	}
 	start := time.Now()
 	c.stageSeq.Add(1)
-	workers := c.cfg.TotalSlots()
-	if n := runtime.GOMAXPROCS(0); n < workers {
-		workers = n
-	}
-	if workers > numTasks {
-		workers = numTasks
-	}
-	if workers < 1 {
-		workers = 1
-	}
 	tasks := make([]Task, numTasks)
-	var nextIdx atomic.Int64
-	var wg sync.WaitGroup
-	errCh := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(nextIdx.Add(1)) - 1
-				if i >= numTasks {
-					return
-				}
-				var err error
-				for attempt := 0; ; attempt++ {
-					// A retried task restarts with clean metering: the
-					// failed attempt's partial work is discarded, exactly
-					// as a re-executed Spark task recomputes its partition.
-					tasks[i] = Task{ID: i, pool: c.pool}
-					if c.cfg.InjectTaskFailure != nil && c.cfg.InjectTaskFailure(i, attempt) {
-						err = errInjectedFailure
-					} else {
-						err = fn(&tasks[i])
-					}
-					if err == nil || attempt >= c.cfg.MaxTaskRetries {
-						break
-					}
-				}
-				if err != nil {
-					select {
-					case errCh <- fmt.Errorf("stage %q task %d: %w", name, i, err):
-					default:
-					}
-					return
-				}
+	scheduler, tenant, weight := c.schedulerTag()
+	err := scheduler.RunTasks(tenant, weight, numTasks, func(i int) error {
+		var err error
+		for attempt := 0; ; attempt++ {
+			// A retried task restarts with clean metering: the failed
+			// attempt's partial work is discarded, exactly as a re-executed
+			// Spark task recomputes its partition.
+			tasks[i] = Task{ID: i, pool: c.pool}
+			if c.cfg.InjectTaskFailure != nil && c.cfg.InjectTaskFailure(i, attempt) {
+				err = errInjectedFailure
+			} else {
+				err = fn(&tasks[i])
 			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+			if err == nil || attempt >= c.cfg.MaxTaskRetries {
+				break
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("stage %q task %d: %w", name, i, err)
+		}
+		return nil
+	})
+	if err != nil {
 		return err
-	default:
 	}
 
 	var stage Stats

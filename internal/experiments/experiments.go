@@ -122,6 +122,7 @@ var registry = map[string]Runner{
 	"ablation": Ablation,
 	"cache":    Cache,
 	"kernels":  Kernels,
+	"serve":    Serve,
 }
 
 // IDs returns the registered experiment IDs in sorted order.

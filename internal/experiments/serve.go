@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fuseme"
+	"fuseme/internal/serve"
+)
+
+// ServeScenario is one (tenant count, plan cache) cell of the serving
+// benchmark. Latencies are client-observed per submission; throughput is
+// total completed submissions over the scenario's wall-clock time.
+type ServeScenario struct {
+	Tenants       int     `json:"tenants"`
+	PlanCache     bool    `json:"plan_cache"`
+	Queries       int     `json:"queries"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	PlanCacheHits int64   `json:"plan_cache_hits"`
+	Rejected      int     `json:"rejected"`
+}
+
+// ServeReport is the JSON document `fuseme-bench -exp serve -out` writes.
+type ServeReport struct {
+	Workload  string          `json:"workload"`
+	BlockSize int             `json:"block_size"`
+	PerTenant int             `json:"queries_per_tenant"`
+	Scenarios []ServeScenario `json:"scenarios"`
+}
+
+// runServeScenario starts a fresh warm service, fires perTenant submissions
+// from each of n concurrent tenants through the real HTTP stack, and
+// collects latencies.
+func runServeScenario(cc fuseme.ClusterConfig, body []byte, n, perTenant int, cache bool) (ServeScenario, error) {
+	var tenants []serve.Tenant
+	for i := 0; i < n; i++ {
+		tenants = append(tenants, serve.Tenant{Name: fmt.Sprintf("t%d", i), Token: fmt.Sprintf("tok%d", i)})
+	}
+	scfg := serve.Config{Cluster: cc, Tenants: tenants, Sessions: n}
+	if !cache {
+		scfg.PlanCacheEntries = -1
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return ServeScenario{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rejected  int
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(token string) {
+			defer wg.Done()
+			for q := 0; q < perTenant; q++ {
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+				if err == nil {
+					req.Header.Set("X-FuseMe-Token", token)
+					t0 := time.Now()
+					var resp *http.Response
+					resp, err = http.DefaultClient.Do(req)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						mu.Lock()
+						if resp.StatusCode == http.StatusOK {
+							latencies = append(latencies, time.Since(t0).Seconds())
+						} else {
+							rejected++
+						}
+						mu.Unlock()
+						continue
+					}
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}(fmt.Sprintf("tok%d", i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		return ServeScenario{}, firstErr
+	}
+	if len(latencies) == 0 {
+		return ServeScenario{}, fmt.Errorf("serve bench: every submission was rejected")
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	pcs := srv.PlanCacheStats()
+	return ServeScenario{
+		Tenants:       n,
+		PlanCache:     cache,
+		Queries:       len(latencies),
+		ThroughputQPS: float64(len(latencies)) / elapsed,
+		P50Seconds:    pct(0.50),
+		P99Seconds:    pct(0.99),
+		PlanCacheHits: pcs.Hits,
+		Rejected:      rejected,
+	}, nil
+}
+
+// ServeBench measures the multi-tenant query service: throughput and tail
+// latency of the NMF kernel at 1, 4 and 8 concurrent tenants, with the
+// shared plan cache on and off. Every submission travels the real HTTP
+// stack and executes on the warm sim cluster.
+func ServeBench(opts Options) (*ServeReport, []*Table, error) {
+	var (
+		users     = opts.dim(384)
+		items     = opts.dim(320)
+		k         = opts.dim(16)
+		bs        = 32
+		perTenant = 6
+	)
+	cc := fuseme.LocalClusterConfig()
+	cc.BlockSize = bs
+	if opts.Nodes > 0 {
+		cc.Nodes = opts.Nodes
+	}
+
+	body, err := json.Marshal(serve.QueryRequest{
+		Script: "O = X * log(U %*% t(V) + 1e-3)",
+		Inputs: map[string]serve.InputSpec{
+			"X": {Rows: users, Cols: items, Random: &serve.RandomSpec{Kind: "sparse", Density: 0.05, Lo: 1, Hi: 5, Seed: 1}},
+			"U": {Rows: users, Cols: k, Random: &serve.RandomSpec{Lo: 0.5, Hi: 1.5, Seed: 2}},
+			"V": {Rows: items, Cols: k, Random: &serve.RandomSpec{Lo: 0.5, Hi: 1.5, Seed: 3}},
+		},
+		OmitValues: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &ServeReport{
+		Workload:  fmt.Sprintf("NMF kernel %dx%d k=%d", users, items, k),
+		BlockSize: bs,
+		PerTenant: perTenant,
+	}
+	tab := &Table{ID: "serve",
+		Title: fmt.Sprintf("Multi-tenant serving: NMF kernel %dx%d k=%d, %d submissions per tenant (real HTTP + sim cluster)",
+			users, items, k, perTenant),
+		Columns: []string{"tenants", "plan cache", "throughput (q/s)", "p50 (ms)", "p99 (ms)", "plan hits"},
+	}
+	for _, n := range []int{1, 4, 8} {
+		for _, cache := range []bool{false, true} {
+			sc, err := runServeScenario(cc, body, n, perTenant, cache)
+			if err != nil {
+				return nil, nil, fmt.Errorf("serve bench (%d tenants, cache=%v): %w", n, cache, err)
+			}
+			rep.Scenarios = append(rep.Scenarios, sc)
+			tab.AddRow(sc.Tenants, fmt.Sprint(sc.PlanCache), sc.ThroughputQPS,
+				sc.P50Seconds*1e3, sc.P99Seconds*1e3, sc.PlanCacheHits)
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"plan cache on: repeat submissions skip CFG plan generation, lifting throughput and flattening p50")
+	return rep, []*Table{tab}, nil
+}
+
+// Serve is the registered runner for ServeBench; when Options.ReportOut is
+// set, it also writes the JSON report there (fuseme-bench -out).
+func Serve(opts Options) ([]*Table, error) {
+	rep, tables, err := ServeBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ReportOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.ReportOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}

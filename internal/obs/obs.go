@@ -155,7 +155,32 @@ const (
 	MKernelParallelCalls = "fuseme_kernel_parallel_calls_total"
 	MKernelSerialCalls   = "fuseme_kernel_serial_calls_total"
 	MKernelHelperRuns    = "fuseme_kernel_helper_runs_total"
+
+	// Plan-cache metrics (compiled-plan reuse across repeat queries).
+	MPlanCacheHits    = "fuseme_plancache_hits_total"
+	MPlanCacheMisses  = "fuseme_plancache_misses_total"
+	MPlanCacheEntries = "fuseme_plancache_entries"
+
+	// Serve-daemon metrics. The fuseme_tenant_* families are per-tenant
+	// series; label them with TenantSeries.
+	MServeQueries       = "fuseme_serve_queries_total"
+	MServeActive        = "fuseme_serve_active_queries"
+	MServeQuerySeconds  = "fuseme_serve_query_seconds"
+	MTenantQueries      = "fuseme_tenant_queries_total"
+	MTenantErrors       = "fuseme_tenant_errors_total"
+	MTenantRejects      = "fuseme_tenant_rejects_total"
+	MTenantTasks        = "fuseme_tenant_tasks_total"
+	MTenantBytes        = "fuseme_tenant_wire_bytes_total"
+	MTenantQueueDepth   = "fuseme_tenant_queue_depth"
+	MTenantReservedByte = "fuseme_tenant_reserved_bytes"
+	MTenantPlanHits     = "fuseme_tenant_plancache_hits_total"
 )
+
+// TenantSeries names one tenant's series of a per-tenant metric family,
+// e.g. `fuseme_tenant_queries_total{tenant="acme"}`.
+func TenantSeries(family, tenant string) string {
+	return fmt.Sprintf(`%s{tenant=%q}`, family, tenant)
+}
 
 // WorkerRTTGauge names the per-worker round-trip gauge series, e.g.
 // `fuseme_worker_rtt_seconds{worker="0"}`.

@@ -12,9 +12,17 @@ package opt
 
 import (
 	"math"
+	"sync/atomic"
 
 	"fuseme/internal/cost"
 )
+
+// searchCalls counts parameter searches process-wide; with the plan cache in
+// front of compilation it stays flat across repeat queries.
+var searchCalls atomic.Int64
+
+// SearchCalls returns how many parameter searches have run in this process.
+func SearchCalls() int64 { return searchCalls.Load() }
 
 // Result is the outcome of a parameter search.
 type Result struct {
@@ -57,6 +65,7 @@ func minParallelism(m cost.Model, e cost.Estimates) int64 {
 
 // OptimizeExhaustive scans the full (1..I) x (1..J) x (1..K) space.
 func OptimizeExhaustive(m cost.Model, e cost.Estimates) Result {
+	searchCalls.Add(1)
 	minPar := minParallelism(m, e)
 	best := Result{Cost: math.Inf(1)}
 	evaluated := 0
@@ -89,6 +98,7 @@ func OptimizeExhaustive(m cost.Model, e cost.Estimates) Result {
 // feasible P is the column's optimum), and skips the column entirely when
 // its cost lower bound already exceeds the incumbent.
 func Optimize(m cost.Model, e cost.Estimates) Result {
+	searchCalls.Add(1)
 	minPar := minParallelism(m, e)
 	best := Result{Cost: math.Inf(1)}
 	evaluated := 0

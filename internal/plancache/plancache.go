@@ -1,0 +1,259 @@
+// Package plancache caches compiled physical plans keyed by a canonical,
+// name-free encoding of the query DAG. Plan generation (CFG exploration plus
+// optimisation) is the expensive part of a query on a warm cluster, and under
+// serving traffic the same logical query arrives over and over with different
+// variable names and binding orders; the cache recognises those repeats and
+// skips compilation entirely.
+//
+// Canonicalization erases everything that does not affect the plan: input
+// and output variable names and the order outputs were declared. It keeps
+// everything that does: operator structure, input dimensions and sparsity,
+// and scalar literals. The caller appends an engine/cluster fingerprint to
+// the key so plans compiled under different knobs never collide.
+//
+// A hit returns the cached physical plan together with rename maps from the
+// cached graph's variable names to the caller's, so the plan executes
+// against the caller's bindings with bit-identical results.
+package plancache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fuseme/internal/core"
+	"fuseme/internal/dag"
+)
+
+// Canon is the canonical form of a query DAG: a name-free structural key
+// plus the caller's input and output names in canonical order.
+type Canon struct {
+	Key     string   // canonical structure encoding; no variable names
+	Inputs  []string // input names, in canonical (first-visit) order
+	Outputs []string // output names, in canonical order
+}
+
+// Canonicalize computes the canonical form of g. Two graphs that differ only
+// in variable names or output declaration order produce the same Key with
+// their respective names aligned position-by-position in Inputs/Outputs;
+// any change to dimensions, sparsity, operators or scalar literals changes
+// the Key.
+func Canonicalize(g *dag.Graph) Canon {
+	// Phase 1: a bottom-up structural encoding per node, ignoring names.
+	// Hash-consed graphs share subtrees, so memoize by node pointer; each
+	// encoding is hashed to bound growth on deep graphs.
+	enc := map[*dag.Node]string{}
+	var encode func(n *dag.Node) string
+	encode = func(n *dag.Node) string {
+		if e, ok := enc[n]; ok {
+			return e
+		}
+		parts := make([]string, 0, len(n.Inputs)+1)
+		parts = append(parts, nodeSig(n))
+		for _, in := range n.Inputs {
+			parts = append(parts, encode(in))
+		}
+		sum := sha256.Sum256([]byte(strings.Join(parts, "|")))
+		e := hex.EncodeToString(sum[:16])
+		enc[n] = e
+		return e
+	}
+
+	// Phase 2: order outputs by (encoding, name). The name tie-break keeps
+	// the order deterministic; structurally tied outputs are isomorphic up
+	// to input renaming, so either order yields a correct alignment.
+	outs := g.Outputs()
+	names := g.OutputNames()
+	for _, name := range names {
+		encode(outs[name])
+	}
+	sorted := append([]string(nil), names...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0; j-- {
+			a, b := sorted[j-1], sorted[j]
+			ka, kb := enc[outs[a]], enc[outs[b]]
+			if ka < kb || (ka == kb && a <= b) {
+				break
+			}
+			sorted[j-1], sorted[j] = b, a
+		}
+	}
+
+	// Phase 3: assign canonical ids by DFS from the sorted outputs
+	// (post-order, children in input order) and emit one line per node.
+	ids := map[*dag.Node]int{}
+	var lines []string
+	var inputs []string
+	var visit func(n *dag.Node) int
+	visit = func(n *dag.Node) int {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		childIDs := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			childIDs[i] = fmt.Sprintf("%d", visit(in))
+		}
+		id := len(lines)
+		ids[n] = id
+		lines = append(lines, nodeSig(n)+"("+strings.Join(childIDs, ",")+")")
+		if n.Op == dag.OpInput {
+			inputs = append(inputs, n.Name)
+		}
+		return id
+	}
+	outIDs := make([]string, len(sorted))
+	for i, name := range sorted {
+		outIDs[i] = fmt.Sprintf("%d", visit(outs[name]))
+	}
+	key := strings.Join(lines, "\n") + "\nout:" + strings.Join(outIDs, ",")
+	return Canon{Key: key, Inputs: inputs, Outputs: sorted}
+}
+
+// nodeSig encodes one node's operator and local metadata, without names.
+// Rows/cols/sparsity are derived for inner nodes but included anyway so the
+// key is robust to inference changes.
+func nodeSig(n *dag.Node) string {
+	switch n.Op {
+	case dag.OpInput:
+		return fmt.Sprintf("in:%dx%d:%.17g", n.Rows, n.Cols, n.Sparsity)
+	case dag.OpScalar:
+		return fmt.Sprintf("sc:%.17g", n.Scalar)
+	case dag.OpUnary:
+		return fmt.Sprintf("u:%s:%dx%d:%.17g", n.Func, n.Rows, n.Cols, n.Sparsity)
+	case dag.OpBinary:
+		return fmt.Sprintf("b:%v:%dx%d:%.17g", n.BinOp, n.Rows, n.Cols, n.Sparsity)
+	case dag.OpUnaryAgg:
+		return fmt.Sprintf("a:%v:%dx%d", n.Agg, n.Rows, n.Cols)
+	case dag.OpMatMul:
+		return fmt.Sprintf("mm:%dx%d:%.17g", n.Rows, n.Cols, n.Sparsity)
+	case dag.OpTranspose:
+		return fmt.Sprintf("t:%dx%d", n.Rows, n.Cols)
+	}
+	return fmt.Sprintf("op%d", n.Op)
+}
+
+// Hit is a cache lookup result: the cached plan plus rename maps from the
+// cached graph's variable names to the caller's.
+type Hit struct {
+	PP          *core.PhysPlan
+	InputNames  map[string]string // plan-graph input name -> caller binding name
+	OutputNames map[string]string // plan-graph output name -> caller output name
+}
+
+type entry struct {
+	key     string
+	pp      *core.PhysPlan
+	inputs  []string // the cached graph's input names, canonical order
+	outputs []string // the cached graph's output names, canonical order
+}
+
+// Cache is a concurrency-safe LRU plan cache.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultMaxEntries bounds the cache when no explicit size is given.
+const DefaultMaxEntries = 256
+
+// New creates a plan cache holding at most maxEntries plans (<= 0 uses
+// DefaultMaxEntries).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{max: maxEntries, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// Lookup returns the cached plan for key, with rename maps aligning the
+// cached graph's names to canon's, and counts a hit or miss.
+func (c *Cache) Lookup(key string, canon Canon) (Hit, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return Hit{}, false
+	}
+	e := el.Value.(*entry)
+	if len(e.inputs) != len(canon.Inputs) || len(e.outputs) != len(canon.Outputs) {
+		// Defensive: identical keys imply identical structure; treat any
+		// mismatch as a miss rather than mis-binding inputs.
+		c.misses.Add(1)
+		return Hit{}, false
+	}
+	h := Hit{
+		PP:          e.pp,
+		InputNames:  make(map[string]string, len(e.inputs)),
+		OutputNames: make(map[string]string, len(e.outputs)),
+	}
+	for i, name := range e.inputs {
+		h.InputNames[name] = canon.Inputs[i]
+	}
+	for i, name := range e.outputs {
+		h.OutputNames[name] = canon.Outputs[i]
+	}
+	c.hits.Add(1)
+	return h, true
+}
+
+// Insert stores a compiled plan under key. The plan is pre-warmed (lazy
+// fusion-space trees built) so concurrent executions of the shared plan
+// never race on lazy initialisation.
+func (c *Cache) Insert(key string, canon Canon, pp *core.PhysPlan) {
+	prewarm(pp)
+	e := &entry{
+		key:     key,
+		pp:      pp,
+		inputs:  append([]string(nil), canon.Inputs...),
+		outputs: append([]string(nil), canon.Outputs...),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+	}
+}
+
+// prewarm forces every lazily built structure the executor may touch, so a
+// cached plan shared across goroutines is read-only at execution time.
+func prewarm(pp *core.PhysPlan) {
+	for _, op := range pp.Ops {
+		if op.Plan != nil {
+			op.Plan.Spaces()
+		}
+		for _, p := range op.Group {
+			if p != nil {
+				p.Spaces()
+			}
+		}
+	}
+}
+
+// Stats returns hit/miss counters and the current entry count.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	n := c.order.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), n
+}

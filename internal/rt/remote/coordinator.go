@@ -13,6 +13,7 @@ import (
 	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/spec"
+	"fuseme/internal/sched"
 )
 
 // Coordinator is the TCP runtime backend: it satisfies rt.Runtime (and
@@ -58,6 +59,14 @@ type Coordinator struct {
 	resMu    sync.Mutex
 	resident map[int]map[blockcache.Key]bool // worker id → held keys
 
+	// sched gates remote task dispatch (the former per-stage semaphore of
+	// len(workers) x TasksPerNode permits). SetScheduler swaps in a shared
+	// scheduler so several coordinators' plans interleave fairly.
+	schedMu      sync.Mutex
+	sched        *sched.Scheduler
+	tenant       string
+	tenantWeight int
+
 	obs atomic.Pointer[obs.Obs] // session observability; nil disables
 }
 
@@ -73,6 +82,34 @@ func (c *Coordinator) SetObs(o *obs.Obs) {
 
 // getObs returns the attached observability bundle (nil-safe to use).
 func (c *Coordinator) getObs() *obs.Obs { return c.obs.Load() }
+
+// SetScheduler installs a shared task-dispatch scheduler for remote and
+// local (closure) stages alike. Call before running stages.
+func (c *Coordinator) SetScheduler(s *sched.Scheduler) {
+	if s == nil {
+		return
+	}
+	c.schedMu.Lock()
+	c.sched = s
+	c.schedMu.Unlock()
+	c.local.SetScheduler(s)
+}
+
+// SetTenant tags this coordinator's subsequent stages with a tenant name and
+// scheduling weight for the (shared) dispatch scheduler.
+func (c *Coordinator) SetTenant(name string, weight int) {
+	c.schedMu.Lock()
+	c.tenant, c.tenantWeight = name, weight
+	c.schedMu.Unlock()
+	c.local.SetTenant(name, weight)
+}
+
+// schedulerTag returns the dispatch scheduler and tenant tag for a stage.
+func (c *Coordinator) schedulerTag() (*sched.Scheduler, string, int) {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	return c.sched, c.tenant, c.tenantWeight
+}
 
 type workerConn struct {
 	id    int
@@ -149,6 +186,7 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 		resident:      make(map[int]map[blockcache.Key]bool),
 		kernelThreads: cfg.KernelThreads,
 		taskSlots:     cfg.TasksPerNode,
+		sched:         sched.New(len(addrs) * cfg.TasksPerNode),
 	}
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, rcfg.DialTimeout)
@@ -465,14 +503,14 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 			o.Trace.SetProcessName(obs.PIDWorkerBase+w.id, fmt.Sprintf("worker %d (%s)", w.id, w.addr))
 		}
 	}
-	sem := make(chan struct{}, len(c.workers)*c.local.Config().TasksPerNode)
+	scheduler, tenant, weight := c.schedulerTag()
 	var wg sync.WaitGroup
 	for id := 0; id < sp.NumTasks; id++ {
 		wg.Add(1)
 		go func(taskID int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			release := scheduler.Acquire(tenant, weight)
+			defer release()
 			if aborted() {
 				return
 			}

@@ -29,6 +29,17 @@ type Worker struct {
 
 	closed atomic.Bool
 
+	// Coordinator-departure tracking: ctrlActive counts open control
+	// (heartbeat) connections; when the count returns to zero after at least
+	// one coordinator connected, gone is closed exactly once. Worker
+	// processes started with -exit-on-disconnect use this to terminate
+	// cleanly when their coordinator shuts down instead of lingering.
+	ctrlMu     sync.Mutex
+	ctrlActive int
+	ctrlSeen   bool
+	gone       chan struct{}
+	goneOnce   sync.Once
+
 	// killAfter, when positive, makes the worker die (close its listener and
 	// every connection) as the (killAfter+1)-th task arrives. Fault-injection
 	// tests use this to exercise the coordinator's retry path.
@@ -69,7 +80,7 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{ln: ln}
+	w := &Worker{ln: ln, gone: make(chan struct{})}
 	w.killAfter.Store(-1)
 	w.kernelOverride.Store(-1)
 	w.wg.Add(1)
@@ -179,6 +190,12 @@ func (w *Worker) Close() error {
 // Wait blocks until the accept loop and all connection handlers return.
 func (w *Worker) Wait() { w.wg.Wait() }
 
+// CoordinatorGone returns a channel that is closed when the worker's last
+// coordinator control connection has closed (after at least one coordinator
+// connected). fuseme-worker's -exit-on-disconnect flag selects on it to exit
+// cleanly — no retry loops, no error spam — when the coordinator shuts down.
+func (w *Worker) CoordinatorGone() <-chan struct{} { return w.gone }
+
 func (w *Worker) acceptLoop() {
 	defer w.wg.Done()
 	for {
@@ -213,7 +230,18 @@ func (w *Worker) handleConn(conn net.Conn) {
 		if writeGob(conn, msgHelloAck, helloAck{Proto: protoVersion}) != nil {
 			return
 		}
+		w.ctrlMu.Lock()
+		w.ctrlActive++
+		w.ctrlSeen = true
+		w.ctrlMu.Unlock()
 		w.controlLoop(conn)
+		w.ctrlMu.Lock()
+		w.ctrlActive--
+		lastGone := w.ctrlActive == 0
+		w.ctrlMu.Unlock()
+		if lastGone {
+			w.goneOnce.Do(func() { close(w.gone) })
+		}
 	case msgTask:
 		var assign taskAssign
 		if err := decodeGob(payload, &assign); err != nil {

@@ -1,0 +1,228 @@
+// Package sched provides the task-dispatch scheduler shared by the execution
+// backends. It was extracted from the worker-pool loop in internal/cluster
+// (and the semaphore in the TCP coordinator) so that several concurrently
+// executing plans can interleave their stage tasks on one cluster: every
+// task acquires a slot from the scheduler before running, and when tasks
+// from multiple tenants are waiting, slots are granted by weighted
+// round-robin across tenants. One giant job therefore cannot starve small
+// queries — a tenant with weight w receives w grants per round while it has
+// waiters, regardless of how many tasks it has queued.
+//
+// A Scheduler holds no goroutines of its own and is cheap enough to create
+// per cluster; the serve daemon shares a single instance across all tenant
+// sessions to get cluster-wide fairness.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler is a weighted-fair slot gate. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Scheduler struct {
+	slots int
+
+	mu      sync.Mutex
+	running int
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // tenants with at least one waiter, in arrival order
+	cursor  int        // index into ring of the tenant currently being served
+	credit  int        // grants left for ring[cursor] before moving on
+}
+
+// tenantQ is the per-tenant waiter queue plus grant accounting.
+type tenantQ struct {
+	name    string
+	weight  int
+	waiters []chan struct{} // FIFO; closed channel = slot granted
+	inRing  bool
+	granted atomic.Int64
+}
+
+// New creates a scheduler with the given number of task slots. Counts below
+// one are clamped to one.
+func New(slots int) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Scheduler{slots: slots, tenants: map[string]*tenantQ{}}
+}
+
+// Slots returns the scheduler's slot count.
+func (s *Scheduler) Slots() int { return s.slots }
+
+// Acquire blocks until a task slot is granted to tenant and returns the
+// release function for it. The empty tenant name is a valid (default)
+// tenant; weights below one are clamped to one. Grant order across tenants
+// with waiting tasks is weighted round-robin: a tenant with weight w gets up
+// to w consecutive grants per round.
+func (s *Scheduler) Acquire(tenant string, weight int) (release func()) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	q := s.tenants[tenant]
+	if q == nil {
+		q = &tenantQ{name: tenant, weight: weight}
+		s.tenants[tenant] = q
+	}
+	q.weight = weight
+	// Fast path: a free slot and nobody waiting anywhere.
+	if s.running < s.slots && len(s.ring) == 0 {
+		s.running++
+		q.granted.Add(1)
+		s.mu.Unlock()
+		return s.releaseFunc()
+	}
+	ready := make(chan struct{})
+	q.waiters = append(q.waiters, ready)
+	if !q.inRing {
+		q.inRing = true
+		s.ring = append(s.ring, q)
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+	<-ready
+	return s.releaseFunc()
+}
+
+func (s *Scheduler) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.running--
+			s.grantLocked()
+			s.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked hands free slots to waiters in weighted round-robin order.
+// Caller holds s.mu.
+func (s *Scheduler) grantLocked() {
+	for s.running < s.slots && len(s.ring) > 0 {
+		if s.cursor >= len(s.ring) {
+			s.cursor = 0
+			s.credit = 0
+		}
+		q := s.ring[s.cursor]
+		if len(q.waiters) == 0 {
+			// Drained tenant: drop it from the ring and move on without
+			// consuming credit.
+			q.inRing = false
+			s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+			s.credit = 0
+			continue
+		}
+		if s.credit == 0 {
+			s.credit = q.weight
+		}
+		ready := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		s.running++
+		s.credit--
+		q.granted.Add(1)
+		close(ready)
+		if len(q.waiters) == 0 {
+			q.inRing = false
+			s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+			s.credit = 0
+		} else if s.credit == 0 {
+			s.cursor++
+		}
+	}
+}
+
+// RunTasks executes fn(0) ... fn(numTasks-1) for tenant, each task holding
+// one scheduler slot while it runs. It is the dispatch loop formerly inlined
+// in cluster.RunStage: up to min(numTasks, Slots) worker goroutines pull
+// task indices in order; after the first task error no new task starts, and
+// RunTasks returns that first error once in-flight tasks finish.
+func (s *Scheduler) RunTasks(tenant string, weight, numTasks int, fn func(i int) error) error {
+	if numTasks <= 0 {
+		return nil
+	}
+	workers := s.slots
+	if workers > numTasks {
+		workers = numTasks
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= numTasks {
+					return
+				}
+				release := s.Acquire(tenant, weight)
+				if failed.Load() {
+					release()
+					return
+				}
+				err := fn(i)
+				release()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// TenantSnapshot reports one tenant's scheduling state.
+type TenantSnapshot struct {
+	Tenant  string `json:"tenant"`
+	Weight  int    `json:"weight"`
+	Granted int64  `json:"granted"` // slot grants since scheduler creation
+	Waiting int    `json:"waiting"` // tasks currently queued for a slot
+}
+
+// Snapshot returns the per-tenant scheduling state, sorted by tenant name,
+// plus the number of currently running tasks.
+func (s *Scheduler) Snapshot() (tenants []TenantSnapshot, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tenants = make([]TenantSnapshot, 0, len(s.tenants))
+	for _, q := range s.tenants {
+		tenants = append(tenants, TenantSnapshot{
+			Tenant:  q.name,
+			Weight:  q.weight,
+			Granted: q.granted.Load(),
+			Waiting: len(q.waiters),
+		})
+	}
+	sortSnapshots(tenants)
+	return tenants, s.running
+}
+
+func sortSnapshots(ts []TenantSnapshot) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Tenant < ts[j-1].Tenant; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// String describes the scheduler for debug output.
+func (s *Scheduler) String() string {
+	ts, running := s.Snapshot()
+	return fmt.Sprintf("sched{slots=%d running=%d tenants=%d}", s.slots, running, len(ts))
+}

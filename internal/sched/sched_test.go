@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitWaiting polls until the tenant has n queued waiters.
+func waitWaiting(t *testing.T, s *Scheduler, tenant string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ts, _ := s.Snapshot()
+		for _, snap := range ts {
+			if snap.Tenant == tenant && snap.Waiting == n {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("tenant %q never reached %d waiters", tenant, n)
+}
+
+// TestWeightedRoundRobin pins the grant order with one slot and two tenants
+// of weights 1 and 2: the heavier tenant receives two consecutive grants per
+// round while both have waiters.
+func TestWeightedRoundRobin(t *testing.T) {
+	s := New(1)
+	holder := s.Acquire("hold", 1)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	spawn := func(tenant string, weight, n int) {
+		for k := 0; k < n; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release := s.Acquire(tenant, weight)
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				release()
+			}()
+			waitWaiting(t, s, tenant, k+1)
+		}
+	}
+	spawn("A", 1, 4)
+	spawn("B", 2, 4)
+
+	holder()
+	wg.Wait()
+
+	got := strings.Join(order, "")
+	// Rounds: A(1), B(2), A(1), B(2), then B is drained and A finishes.
+	want := "ABBABBAA"
+	if got != want {
+		t.Fatalf("grant order = %q, want %q", got, want)
+	}
+
+	ts, running := s.Snapshot()
+	if running != 0 {
+		t.Fatalf("running = %d after drain, want 0", running)
+	}
+	for _, snap := range ts {
+		if snap.Waiting != 0 {
+			t.Fatalf("tenant %q still has %d waiters", snap.Tenant, snap.Waiting)
+		}
+		if snap.Tenant == "A" && snap.Granted != 4 {
+			t.Fatalf("tenant A granted = %d, want 4", snap.Granted)
+		}
+	}
+}
+
+// TestRunTasksRunsAll checks every index runs exactly once and concurrency
+// never exceeds the slot count.
+func TestRunTasksRunsAll(t *testing.T) {
+	const slots, tasks = 3, 50
+	s := New(slots)
+	var ran [tasks]atomic.Int32
+	var inFlight, peak atomic.Int32
+	err := s.RunTasks("t", 1, tasks, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		ran[i].Add(1)
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak concurrency %d exceeds %d slots", p, slots)
+	}
+}
+
+// TestRunTasksError checks the first error is returned and unstarted tasks
+// are skipped after it.
+func TestRunTasksError(t *testing.T) {
+	s := New(1)
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := s.RunTasks("t", 1, 100, func(i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// One slot means strictly sequential dispatch: tasks 0..3 started, the
+	// rest were skipped.
+	if n := started.Load(); n != 4 {
+		t.Fatalf("started %d tasks, want 4", n)
+	}
+}
+
+// TestRunTasksZero checks the degenerate cases.
+func TestRunTasksZero(t *testing.T) {
+	s := New(4)
+	if err := s.RunTasks("t", 1, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	if got := New(0).Slots(); got != 1 {
+		t.Fatalf("Slots() = %d after New(0), want 1", got)
+	}
+}
+
+// TestSharedSchedulerInterleaves runs two tenants' task batches through one
+// single-slot scheduler concurrently and checks both make progress before
+// either finishes (round-robin interleaving rather than FIFO draining).
+func TestSharedSchedulerInterleaves(t *testing.T) {
+	s := New(1)
+	var mu sync.Mutex
+	var order []string
+	run := func(tenant string) func() error {
+		return func() error {
+			return s.RunTasks(tenant, 1, 8, func(i int) error {
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				return nil
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tenant := range []string{"A", "B"} {
+		wg.Add(1)
+		go func() { defer wg.Done(); errs[i] = run(tenant)() }()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both tenants ran 8 tasks; with one slot and round-robin the first 8
+	// grants cannot all belong to one tenant.
+	head := strings.Join(order[:8], "")
+	if head == "AAAAAAAA" || head == "BBBBBBBB" {
+		t.Fatalf("first 8 grants all went to one tenant: %q", head)
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission errors. The HTTP layer maps ErrTooLarge to 413 and the other two
+// to 429 with a Retry-After header.
+var (
+	// ErrTooLarge reports a submission whose memory demand exceeds the
+	// tenant's whole reservation: it can never run under the current quota.
+	ErrTooLarge = errors.New("serve: submission exceeds the tenant's memory reservation")
+	// ErrQueueFull reports that the tenant's admission queue is at capacity.
+	ErrQueueFull = errors.New("serve: tenant admission queue is full")
+	// ErrQueueTimeout reports that a queued submission waited out its grant
+	// deadline without memory becoming available.
+	ErrQueueTimeout = errors.New("serve: queued submission timed out waiting for memory")
+)
+
+// admission carves the cluster memory budget into per-tenant reservations
+// and grants query submissions against them. A submission that would push a
+// tenant's in-flight demand past its reservation queues (bounded FIFO, with
+// a wait deadline) instead of overcommitting the cluster.
+type admission struct {
+	mu      sync.Mutex
+	tenants map[string]*reservation
+}
+
+// reservation is one tenant's carve-out of the cluster budget.
+type reservation struct {
+	limit   int64
+	used    int64
+	waiters []*admWaiter // FIFO
+}
+
+// admWaiter is one queued submission awaiting a grant.
+type admWaiter struct {
+	demand  int64
+	granted chan struct{} // closed on grant
+	gone    bool          // abandoned (timed out); skip when draining the queue
+}
+
+// newAdmission builds the controller from the per-tenant reservation table.
+func newAdmission(limits map[string]int64) *admission {
+	a := &admission{tenants: make(map[string]*reservation, len(limits))}
+	for name, limit := range limits {
+		a.tenants[name] = &reservation{limit: limit}
+	}
+	return a
+}
+
+// Reservation returns the tenant's byte limit (0 for unknown tenants).
+func (a *admission) Reservation(tenant string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r := a.tenants[tenant]; r != nil {
+		return r.limit
+	}
+	return 0
+}
+
+// Usage returns the tenant's in-flight reserved bytes and queue depth.
+func (a *admission) Usage(tenant string) (used int64, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.tenants[tenant]
+	if r == nil {
+		return 0, 0
+	}
+	return r.used, r.liveWaiters()
+}
+
+func (r *reservation) liveWaiters() int {
+	n := 0
+	for _, w := range r.waiters {
+		if !w.gone {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire reserves demand bytes for tenant, queueing up to maxWait when the
+// reservation is currently exhausted. It returns the release function on
+// success; on failure the error is one of ErrTooLarge, ErrQueueFull or
+// ErrQueueTimeout. queueCap bounds the tenant's waiter queue.
+func (a *admission) Acquire(tenant string, demand int64, queueCap int, maxWait time.Duration) (release func(), err error) {
+	if demand < 0 {
+		return nil, fmt.Errorf("serve: negative memory demand %d", demand)
+	}
+	a.mu.Lock()
+	r := a.tenants[tenant]
+	if r == nil {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown tenant %q", tenant)
+	}
+	if demand > r.limit {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: need %d bytes, reservation is %d", ErrTooLarge, demand, r.limit)
+	}
+	// Grant immediately only when nothing is queued ahead: FIFO order keeps a
+	// stream of small queries from starving one large queued query forever.
+	if r.used+demand <= r.limit && r.liveWaiters() == 0 {
+		r.used += demand
+		a.mu.Unlock()
+		return a.releaseFunc(r, demand), nil
+	}
+	if r.liveWaiters() >= queueCap {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d submissions already queued", ErrQueueFull, queueCap)
+	}
+	w := &admWaiter{demand: demand, granted: make(chan struct{})}
+	r.waiters = append(r.waiters, w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return a.releaseFunc(r, demand), nil
+	case <-timer.C:
+	}
+	a.mu.Lock()
+	select {
+	case <-w.granted:
+		// Granted in the race window between timeout and lock: keep it.
+		a.mu.Unlock()
+		return a.releaseFunc(r, demand), nil
+	default:
+	}
+	w.gone = true
+	a.mu.Unlock()
+	return nil, fmt.Errorf("%w: waited %s", ErrQueueTimeout, maxWait)
+}
+
+// releaseFunc returns the idempotent release of a demand-byte grant.
+func (a *admission) releaseFunc(r *reservation, demand int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			r.used -= demand
+			r.grantLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit.
+func (r *reservation) grantLocked() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.gone {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.used+w.demand > r.limit {
+			return
+		}
+		r.used += w.demand
+		r.waiters = r.waiters[1:]
+		close(w.granted)
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestAdmission(limit int64) *admission {
+	return newAdmission(map[string]int64{"t": limit})
+}
+
+// waitQueued polls until the tenant's live queue reaches depth n.
+func waitQueued(t *testing.T, a *admission, tenant string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, q := a.Usage(tenant); q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth %d", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionGrantAndRelease(t *testing.T) {
+	a := newTestAdmission(100)
+	rel, err := a.Acquire("t", 60, 4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used, _ := a.Usage("t"); used != 60 {
+		t.Fatalf("used = %d, want 60", used)
+	}
+	rel2, err := a.Acquire("t", 40, 4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel2()
+	if used, q := a.Usage("t"); used != 0 || q != 0 {
+		t.Fatalf("after release: used=%d queued=%d", used, q)
+	}
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := newTestAdmission(100)
+	rel, err := a.Acquire("t", 60, 4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must not double-release
+	if used, _ := a.Usage("t"); used != 0 {
+		t.Fatalf("used = %d after double release, want 0", used)
+	}
+}
+
+func TestAdmissionTooLarge(t *testing.T) {
+	a := newTestAdmission(100)
+	if _, err := a.Acquire("t", 101, 4, time.Second); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAdmissionUnknownTenant(t *testing.T) {
+	a := newTestAdmission(100)
+	if _, err := a.Acquire("nobody", 1, 4, time.Second); err == nil {
+		t.Fatal("unknown tenant admitted")
+	}
+}
+
+func TestAdmissionNegativeDemand(t *testing.T) {
+	a := newTestAdmission(100)
+	if _, err := a.Acquire("t", -1, 4, time.Second); err == nil {
+		t.Fatal("negative demand admitted")
+	}
+}
+
+// TestAdmissionFIFO holds the whole reservation, queues two waiters plus a
+// small latecomer that would fit immediately, and checks grants drain in
+// FIFO order (the latecomer must not jump the queue).
+func TestAdmissionFIFO(t *testing.T) {
+	a := newTestAdmission(100)
+	hold, err := a.Acquire("t", 100, 8, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 3)
+	var wg sync.WaitGroup
+	enqueue := func(name string, demand int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.Acquire("t", demand, 8, 5*time.Second)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			order <- name
+			time.Sleep(5 * time.Millisecond)
+			rel()
+		}()
+	}
+	// Demands chosen so no two fit together: each release grants exactly
+	// one waiter, making the FIFO order observable without races.
+	enqueue("big", 80)
+	waitQueued(t, a, "t", 1)
+	enqueue("mid", 60)
+	waitQueued(t, a, "t", 2)
+	enqueue("small", 50)
+	waitQueued(t, a, "t", 3)
+
+	hold()
+	wg.Wait()
+	close(order)
+	var got []string
+	for name := range order {
+		got = append(got, name)
+	}
+	want := []string{"big", "mid", "small"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newTestAdmission(100)
+	hold, err := a.Acquire("t", 100, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rel, err := a.Acquire("t", 10, 2, 5*time.Second); err == nil {
+				rel()
+			}
+		}()
+	}
+	waitQueued(t, a, "t", 2)
+	if _, err := a.Acquire("t", 10, 2, time.Second); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	hold()
+	wg.Wait()
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newTestAdmission(100)
+	hold, err := a.Acquire("t", 100, 4, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	start := time.Now()
+	if _, err := a.Acquire("t", 10, 4, 20*time.Millisecond); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than maxWait")
+	}
+	// The abandoned waiter must not absorb a later grant.
+	hold()
+	rel, err := a.Acquire("t", 100, 4, time.Second)
+	if err != nil {
+		t.Fatalf("acquire after timed-out waiter: %v", err)
+	}
+	rel()
+}
+
+// TestAdmissionNeverOvercommits hammers one reservation from many
+// goroutines and checks the in-flight sum never exceeds the limit.
+func TestAdmissionNeverOvercommits(t *testing.T) {
+	const limit = 1000
+	a := newTestAdmission(limit)
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				demand := int64(100 + (seed*31+int64(i)*97)%300)
+				rel, err := a.Acquire("t", demand, 64, 10*time.Second)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if now := inflight.Add(demand); now > limit {
+					t.Errorf("overcommit: %d in flight > limit %d", now, limit)
+				}
+				inflight.Add(-demand)
+				rel()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if used, q := a.Usage("t"); used != 0 || q != 0 {
+		t.Fatalf("final used=%d queued=%d, want 0,0", used, q)
+	}
+}

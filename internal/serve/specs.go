@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fuseme"
+)
+
+// ParseTenants parses the daemon's tenant table: a comma-separated list of
+// name:token:weight[:quotaMB] entries, e.g.
+//
+//	acme:s3cret:2:4096,beta:hunter2:1
+//
+// Token may be empty (open tenant), weight defaults to 1, and quota defaults
+// to the tenant's weighted share of the budget. An empty string returns nil
+// (open single-tenant mode).
+func ParseTenants(spec string) ([]Tenant, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("serve: tenant %q: want name:token[:weight[:quotaMB]]", entry)
+		}
+		t := Tenant{Name: parts[0], Token: parts[1], Weight: 1}
+		if t.Name == "" {
+			return nil, fmt.Errorf("serve: tenant %q: empty name", entry)
+		}
+		if len(parts) >= 3 && parts[2] != "" {
+			w, err := strconv.Atoi(parts[2])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("serve: tenant %q: weight %q: want a positive integer", entry, parts[2])
+			}
+			t.Weight = w
+		}
+		if len(parts) == 4 && parts[3] != "" {
+			mb, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil || mb < 1 {
+				return nil, fmt.Errorf("serve: tenant %q: quota %q: want positive MiB", entry, parts[3])
+			}
+			t.QuotaBytes = mb << 20
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ParseDataset parses one -dataset flag value and materializes the matrix at
+// the given block size. Accepted forms:
+//
+//	name=dense:ROWSxCOLS:lo:hi:seed
+//	name=sparse:ROWSxCOLS:density:lo:hi:seed
+//	name=file:PATH            (fuseme binary format, see Matrix.Write)
+func ParseDataset(spec string, blockSize int) (name string, m *fuseme.Matrix, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return "", nil, fmt.Errorf("serve: dataset %q: want name=kind:...", spec)
+	}
+	kind, args, _ := strings.Cut(rest, ":")
+	switch kind {
+	case "dense":
+		p := strings.Split(args, ":")
+		if len(p) != 4 {
+			return "", nil, fmt.Errorf("serve: dataset %q: want dense:ROWSxCOLS:lo:hi:seed", spec)
+		}
+		rows, cols, err := parseDims(p[0])
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		lo, hi, seed, err := parseRange(p[1], p[2], p[3])
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		return name, fuseme.NewRandomDenseMatrix(rows, cols, blockSize, lo, hi, seed), nil
+	case "sparse":
+		p := strings.Split(args, ":")
+		if len(p) != 5 {
+			return "", nil, fmt.Errorf("serve: dataset %q: want sparse:ROWSxCOLS:density:lo:hi:seed", spec)
+		}
+		rows, cols, err := parseDims(p[0])
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		density, err := strconv.ParseFloat(p[1], 64)
+		if err != nil || density <= 0 || density > 1 {
+			return "", nil, fmt.Errorf("serve: dataset %q: density %q: want (0,1]", spec, p[1])
+		}
+		lo, hi, seed, err := parseRange(p[2], p[3], p[4])
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		return name, fuseme.NewRandomSparseMatrix(rows, cols, blockSize, density, lo, hi, seed), nil
+	case "file":
+		f, err := os.Open(args)
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		defer f.Close()
+		m, err := fuseme.ReadMatrixFrom(f, blockSize)
+		if err != nil {
+			return "", nil, fmt.Errorf("serve: dataset %q: %w", spec, err)
+		}
+		return name, m, nil
+	}
+	return "", nil, fmt.Errorf("serve: dataset %q: unknown kind %q (want dense, sparse or file)", spec, kind)
+}
+
+func parseDims(s string) (rows, cols int, err error) {
+	r, c, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("dims %q: want ROWSxCOLS", s)
+	}
+	rows, err = strconv.Atoi(r)
+	if err == nil {
+		cols, err = strconv.Atoi(c)
+	}
+	if err != nil || rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("dims %q: want positive ROWSxCOLS", s)
+	}
+	return rows, cols, nil
+}
+
+func parseRange(loS, hiS, seedS string) (lo, hi float64, seed int64, err error) {
+	lo, err = strconv.ParseFloat(loS, 64)
+	if err == nil {
+		hi, err = strconv.ParseFloat(hiS, 64)
+	}
+	if err == nil {
+		seed, err = strconv.ParseInt(seedS, 10, 64)
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("range %q:%q:%q: want lo:hi:seed numbers", loS, hiS, seedS)
+	}
+	return lo, hi, seed, nil
+}

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuseme"
+)
+
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants("acme:s3cret:2:4096, beta:hunter2 ,gamma::3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Tenant{
+		{Name: "acme", Token: "s3cret", Weight: 2, QuotaBytes: 4096 << 20},
+		{Name: "beta", Token: "hunter2", Weight: 1},
+		{Name: "gamma", Token: "", Weight: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tenants, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tenant %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseTenantsEmpty(t *testing.T) {
+	got, err := ParseTenants("  ")
+	if err != nil || got != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestParseTenantsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nameonly",  // no token separator
+		":tok",      // empty name
+		"a:t:0",     // zero weight
+		"a:t:x",     // non-numeric weight
+		"a:t:1:0",   // zero quota
+		"a:t:1:q",   // non-numeric quota
+		"a:t:1:2:3", // too many fields
+		"a:t:-1",    // negative weight
+	} {
+		if _, err := ParseTenants(spec); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseDataset(t *testing.T) {
+	name, m, err := ParseDataset("X=dense:20x30:1:5:42", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "X" {
+		t.Fatalf("name = %q", name)
+	}
+	if r, c := m.Dims(); r != 20 || c != 30 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if ref := fuseme.NewRandomDenseMatrix(20, 30, 16, 1, 5, 42); ref.Dense()[0] != m.Dense()[0] {
+		t.Fatal("dense dataset not deterministic per seed")
+	}
+
+	name, m, err = ParseDataset("S=sparse:40x40:0.1:1:2:7", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "S" {
+		t.Fatalf("name = %q", name)
+	}
+	if m.NNZ() == 0 || m.Density() > 0.5 {
+		t.Fatalf("sparse dataset nnz=%d density=%g", m.NNZ(), m.Density())
+	}
+}
+
+func TestParseDatasetFile(t *testing.T) {
+	src := fuseme.NewRandomDenseMatrix(10, 12, 16, 0, 1, 3)
+	path := filepath.Join(t.TempDir(), "m.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	name, m, err := ParseDataset("M=file:"+path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "M" {
+		t.Fatalf("name = %q", name)
+	}
+	a, b := src.Dense(), m.Dense()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file round-trip differs at %d", i)
+		}
+	}
+}
+
+func TestParseDatasetErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"=dense:2x2:0:1:1",       // empty name
+		"X=blob:2x2",             // unknown kind
+		"X=dense:2x2:0:1",        // missing seed
+		"X=dense:axb:0:1:1",      // bad dims
+		"X=sparse:2x2:0:1:5:1",   // density 0
+		"X=sparse:2x2:1.5:1:5:1", // density > 1
+		"X=file:/does/not/exist", // missing file
+	} {
+		if _, _, err := ParseDataset(spec, 16); err == nil {
+			t.Errorf("ParseDataset(%q) accepted", spec)
+		}
+	}
+	if _, _, err := ParseDataset("X=dense:0x5:0:1:1", 16); err == nil ||
+		!strings.Contains(err.Error(), "dims") {
+		t.Errorf("zero rows: err = %v", err)
+	}
+}

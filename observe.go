@@ -324,9 +324,9 @@ func (s *Session) ResetObservations() { s.obs.Reset() }
 // (P,Q,R) with its network, computation and per-task memory terms under the
 // session's cluster constants. This is what `fuseme -explain` prints.
 func (s *Session) ExplainCosts(script string) (string, error) {
-	_, pp, rtm, err := s.compile(script)
+	cq, err := s.compile(script)
 	if err != nil {
 		return "", err
 	}
-	return pp.Describe() + pp.DescribeCosts(rtm.Config()), nil
+	return cq.pp.Describe() + cq.pp.DescribeCosts(cq.rtm.Config()), nil
 }
