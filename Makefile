@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck benchdiff
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck benchdiff
 
 ## check: full verification gate — gofmt, vet, docs lint, build, race-enabled tests
 check: fmtcheck vet docscheck build race
@@ -55,15 +55,28 @@ servecheck:
 	$(GO) test -race -count=1 -run 'PlanCache|QueryBusy|CloseIdempotent|SharedRegistry' .
 	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out BENCH_serve.json
 
+## chaoscheck: elastic-membership suites under the race detector — the
+## membership state machine and residency ledger, join/leave/suspect-probe
+## over real TCP, and the chaos soak (kill + add workers mid-GNMF, results
+## matched against an undisturbed run) — plus the bench that records
+## kill-recovery time and wire bytes for CacheReplicas 1 vs 2 in
+## BENCH_chaos.json
+chaoscheck:
+	$(GO) test -race -count=1 ./internal/membership/ ./internal/chaos/
+	$(GO) test -race -count=1 -run 'Elastic|Suspect|DeathRoutes|Replication|Resize' ./internal/rt/remote/ ./internal/sched/
+	$(GO) run ./cmd/fuseme-bench -exp chaos -scale 0.25 -out BENCH_chaos.json
+
 ## benchdiff: regenerate the bench documents into /tmp and diff them against
 ## the checked-in BENCH_*.json (non-blocking: timings vary across machines)
 benchdiff:
 	$(GO) run ./cmd/fuseme-bench -exp cache -scale 0.25 -out /tmp/BENCH_cache.json
 	$(GO) run ./cmd/fuseme-bench -exp kernels -out /tmp/BENCH_kernels.json
 	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out /tmp/BENCH_serve.json
+	$(GO) run ./cmd/fuseme-bench -exp chaos -scale 0.25 -out /tmp/BENCH_chaos.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_cache.json /tmp/BENCH_cache.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_kernels.json /tmp/BENCH_kernels.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_serve.json /tmp/BENCH_serve.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_chaos.json /tmp/BENCH_chaos.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

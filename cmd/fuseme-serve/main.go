@@ -71,6 +71,7 @@ func main() {
 	tenants := flag.String("tenants", "", "tenant table name:token:weight[:quotaMB],... (default "+EnvTenants+", or a single open tenant)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the shared compiled-plan cache")
 	cacheBytes := flag.Int64("cache-bytes", 0, "per-worker block-cache budget for loop-invariant inputs (0 disables)")
+	cacheReplicas := flag.Int("cache-replicas", 2, "workers holding each hot cached block under -runtime tcp, primary included (1 disables replication)")
 	var datasets stringsFlag
 	flag.Var(&datasets, "dataset", "preload a named dataset: name=dense:RxC:lo:hi:seed, name=sparse:RxC:density:lo:hi:seed or name=file:PATH (repeatable)")
 	flag.Parse()
@@ -136,6 +137,9 @@ func main() {
 	}
 	if *cacheBytes > 0 {
 		scfg.SessionOptions = append(scfg.SessionOptions, fuseme.WithBlockCache(*cacheBytes))
+	}
+	if *cacheReplicas != 1 && *runtimeKind == "tcp" {
+		scfg.SessionOptions = append(scfg.SessionOptions, fuseme.WithCacheReplicas(*cacheReplicas))
 	}
 	srv, err := serve.New(scfg)
 	if err != nil {

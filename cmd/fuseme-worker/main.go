@@ -15,10 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"fuseme/internal/obs"
 	"fuseme/internal/rt/remote"
@@ -30,6 +32,9 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", -1, "block-cache budget in bytes for loop-invariant inputs (0 disables; default FUSEME_CACHE_BYTES or 0)")
 	kernelThreads := flag.Int("kernel-threads", -1, "pin the intra-task kernel thread count on this worker (0 = auto-size against local cores; default FUSEME_KERNEL_THREADS or follow the coordinator)")
 	exitOnDisconnect := flag.Bool("exit-on-disconnect", false, "exit cleanly when the last coordinator disconnects instead of lingering for successive coordinators (for clusters whose lifecycle is tied to one fuseme-serve instance)")
+	joinAddr := flag.String("join", "", "coordinator join-listener address to register with; the worker re-registers with jittered exponential backoff whenever the coordinator is lost")
+	drain := flag.Bool("drain", false, "on SIGTERM/SIGINT announce departure to the coordinator (-join), finish in-flight tasks (up to -drain-timeout), then exit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long -drain waits for in-flight tasks to finish")
 	flag.Parse()
 
 	budget := *cacheBytes
@@ -84,6 +89,11 @@ func main() {
 		fmt.Println("fuseme-worker metrics on http://" + srv.Addr() + "/metrics")
 	}
 
+	stopJoin := make(chan struct{})
+	if *joinAddr != "" {
+		go joinLoop(*joinAddr, w, stopJoin)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if *exitOnDisconnect {
@@ -95,6 +105,61 @@ func main() {
 	} else {
 		<-sig
 	}
+	close(stopJoin)
+	if *drain {
+		fmt.Println("fuseme-worker: draining")
+		if *joinAddr != "" {
+			if err := remote.Leave(*joinAddr, w.Addr(), 5*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "fuseme-worker: leave %s: %v\n", *joinAddr, err)
+			}
+		}
+		if w.Drain(*drainTimeout) {
+			fmt.Println("fuseme-worker: drained, exiting")
+		} else {
+			fmt.Fprintf(os.Stderr, "fuseme-worker: drain timed out after %v (%d tasks still running)\n",
+				*drainTimeout, w.ActiveTasks())
+		}
+	}
 	w.Close()
 	w.Wait()
+}
+
+// joinLoop registers the worker with the coordinator's join listener and
+// re-registers — with jittered exponential backoff — every time the last
+// coordinator control connection drops (coordinator crash or restart).
+// Registration is idempotent on the coordinator side, so re-registering
+// after a transient drop that the coordinator's own probe already healed is
+// harmless.
+func joinLoop(joinAddr string, w *remote.Worker, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	const (
+		backoffBase = 200 * time.Millisecond
+		backoffCap  = 30 * time.Second
+	)
+	for {
+		delay := backoffBase
+		for {
+			members, err := remote.Register(joinAddr, w.Addr(), 5*time.Second)
+			if err == nil {
+				fmt.Printf("fuseme-worker: joined cluster via %s (%d members)\n", joinAddr, len(members))
+				break
+			}
+			jitter := time.Duration(rng.Int63n(int64(delay/2) + 1))
+			fmt.Fprintf(os.Stderr, "fuseme-worker: join %s: %v (retrying in %v)\n", joinAddr, err, delay+jitter)
+			select {
+			case <-time.After(delay + jitter):
+			case <-stop:
+				return
+			}
+			if delay *= 2; delay > backoffCap {
+				delay = backoffCap
+			}
+		}
+		select {
+		case <-w.ControlDrop():
+			fmt.Println("fuseme-worker: coordinator lost, re-registering")
+		case <-stop:
+			return
+		}
+	}
 }

@@ -54,6 +54,7 @@ func run() error {
 	blockSize := flag.Int("block", 64, "block size for real execution")
 	runtime := flag.String("runtime", "sim", "execution backend: sim (in-process) or tcp (fuseme-worker processes)")
 	workers := flag.String("workers", "", "comma-separated worker addresses for -runtime=tcp (default: $FUSEME_WORKERS)")
+	joinAddr := flag.String("join-addr", "", "with -runtime=tcp, serve a join listener on this address so additional fuseme-worker -join processes can enroll mid-run (port 0 = ephemeral)")
 	seed := flag.Int64("seed", 42, "random seed for generated inputs")
 	verbose := flag.Bool("v", false, "print result matrices (small outputs only)")
 	explain := flag.Bool("explain", false, "print each operator's (P,Q,R) and predicted memory/net/comp terms before executing")
@@ -106,6 +107,13 @@ func run() error {
 	}
 	if err := sess.SetEngine(fuseme.Engine(*engine)); err != nil {
 		return err
+	}
+	if *joinAddr != "" {
+		bound, err := sess.ServeJoin(*joinAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Println("join listener:", bound)
 	}
 	for i, in := range inputs {
 		name, rows, cols, density, err := parseInput(in)

@@ -1,0 +1,91 @@
+package fuseme
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fuseme/internal/rt/remote"
+)
+
+// TestSessionServeJoin drives the public elastic-membership surface end to
+// end: a TCP session opens a join listener, a new worker registers mid-
+// session, the membership table reflects the grown cluster, and queries
+// keep matching the simulated runtime.
+func TestSessionServeJoin(t *testing.T) {
+	const script = "O = X * log(U %*% t(V) + 1e-3)"
+
+	sim := newTestSession(t)
+	bindTestInputs(sim)
+	simOut, err := sim.Query(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	cfg.Runtime = "tcp"
+	cfg.Workers = startWorkers(t, 1)
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	bindTestInputs(sess)
+
+	if got := sess.JoinAddr(); got != "" {
+		t.Fatalf("JoinAddr before ServeJoin = %q, want empty", got)
+	}
+	addr, err := sess.ServeJoin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.JoinAddr(); got != addr {
+		t.Fatalf("JoinAddr = %q, want bound address %q", got, addr)
+	}
+	if _, err := sess.Query(script); err != nil {
+		t.Fatalf("query on the seed worker: %v", err)
+	}
+
+	w, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	members, err := remote.Register(addr, w.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("register via join listener: %v", err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("post-join view has %d members, want 2", len(members))
+	}
+	ws := sess.Workers()
+	if len(ws) != 2 {
+		t.Fatalf("Workers() = %d entries after join, want 2", len(ws))
+	}
+	for _, st := range ws {
+		if st.State != "active" {
+			t.Fatalf("worker %d (%s) in state %q after join, want active", st.ID, st.Addr, st.State)
+		}
+	}
+
+	out, err := sess.Query(script)
+	if err != nil {
+		t.Fatalf("query on the grown cluster: %v", err)
+	}
+	want, got := simOut["O"].Dense(), out["O"].Dense()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("grown-cluster result differs from sim at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionServeJoinSim asserts the join listener is a TCP-runtime-only
+// surface: the simulated runtime's workers are implicit.
+func TestSessionServeJoinSim(t *testing.T) {
+	sess := newTestSession(t)
+	if _, err := sess.ServeJoin("127.0.0.1:0"); err == nil {
+		t.Fatal("ServeJoin on the sim runtime succeeded, want error")
+	}
+}

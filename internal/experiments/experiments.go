@@ -121,6 +121,7 @@ var registry = map[string]Runner{
 	"plans":    Plans,
 	"ablation": Ablation,
 	"cache":    Cache,
+	"chaos":    Chaos,
 	"kernels":  Kernels,
 	"serve":    Serve,
 }

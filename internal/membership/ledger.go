@@ -1,0 +1,143 @@
+package membership
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ledger is the coordinator's view of which worker holds which cached item.
+// Workers report cache mutations as deltas (added / evicted keys piggybacked
+// on task completion), so the ledger is only correct while those deltas keep
+// flowing; when a member dies or leaves, Reconcile drops its rows wholesale.
+//
+// The key type is generic so the residency property tests exercise the real
+// reconciliation code with simple keys; the coordinator instantiates it with
+// blockcache.Key.
+type Ledger[K comparable] struct {
+	mu   sync.Mutex
+	held map[int]map[K]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger[K comparable]() *Ledger[K] {
+	return &Ledger[K]{held: make(map[int]map[K]bool)}
+}
+
+// Record folds one delta advert into member id's rows.
+func (l *Ledger[K]) Record(id int, added, evicted []K) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rows := l.held[id]
+	if rows == nil {
+		rows = make(map[K]bool)
+		l.held[id] = rows
+	}
+	for _, k := range added {
+		rows[k] = true
+	}
+	for _, k := range evicted {
+		delete(rows, k)
+	}
+}
+
+// Add records a single key for member id (replica pushes).
+func (l *Ledger[K]) Add(id int, k K) { l.Record(id, []K{k}, nil) }
+
+// Remove forgets a single key for member id.
+func (l *Ledger[K]) Remove(id int, k K) { l.Record(id, nil, []K{k}) }
+
+// Holds reports whether member id currently holds key k.
+func (l *Ledger[K]) Holds(id int, k K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.held[id][k]
+}
+
+// Holders returns the IDs of every member holding key k, ascending.
+func (l *Ledger[K]) Holders(k K) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int
+	for id, rows := range l.held {
+		if rows[k] {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Drop forgets every row of member id.
+func (l *Ledger[K]) Drop(id int) {
+	l.mu.Lock()
+	delete(l.held, id)
+	l.mu.Unlock()
+}
+
+// Collect returns, per member, the keys matching pred — the invalidation
+// scan. The predicate must not call back into the ledger.
+func (l *Ledger[K]) Collect(pred func(id int, k K) bool) map[int][]K {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[int][]K)
+	for id, rows := range l.held {
+		for k := range rows {
+			if pred(id, k) {
+				out[id] = append(out[id], k)
+			}
+		}
+	}
+	return out
+}
+
+// Reconcile drops the rows of every member not in live and returns how many
+// keys were forgotten. Called on every membership change with the table's
+// LiveIDs so a dead or departed worker's blocks stop counting as resident.
+func (l *Ledger[K]) Reconcile(live map[int]bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dropped := 0
+	for id, rows := range l.held {
+		if !live[id] {
+			dropped += len(rows)
+			delete(l.held, id)
+		}
+	}
+	return dropped
+}
+
+// Members returns the IDs with at least one row, ascending.
+func (l *Ledger[K]) Members() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int, 0, len(l.held))
+	for id, rows := range l.held {
+		if len(rows) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Keys returns member id's held keys in unspecified order.
+func (l *Ledger[K]) Keys(id int) []K {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]K, 0, len(l.held[id]))
+	for k := range l.held[id] {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Size returns the total number of (member, key) rows.
+func (l *Ledger[K]) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, rows := range l.held {
+		n += len(rows)
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLedgerBasics(t *testing.T) {
+	l := NewLedger[string]()
+	l.Record(0, []string{"a", "b"}, nil)
+	l.Record(1, []string{"b"}, nil)
+	if !l.Holds(0, "a") || !l.Holds(0, "b") || !l.Holds(1, "b") {
+		t.Fatal("recorded keys not held")
+	}
+	if l.Holds(1, "a") || l.Holds(2, "a") {
+		t.Fatal("phantom holdings")
+	}
+	if got := l.Holders("b"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("holders(b) = %v", got)
+	}
+	l.Record(0, nil, []string{"a"})
+	if l.Holds(0, "a") {
+		t.Fatal("evicted key still held")
+	}
+	l.Add(2, "c")
+	l.Remove(2, "c")
+	if l.Holds(2, "c") {
+		t.Fatal("removed key still held")
+	}
+	if got := l.Size(); got != 2 {
+		t.Fatalf("size = %d, want 2", got)
+	}
+}
+
+func TestLedgerCollect(t *testing.T) {
+	l := NewLedger[int]()
+	l.Record(0, []int{1, 2, 3}, nil)
+	l.Record(1, []int{2, 4}, nil)
+	got := l.Collect(func(id, k int) bool { return k%2 == 0 })
+	if len(got[0]) != 1 || got[0][0] != 2 {
+		t.Fatalf("collect member 0 = %v", got[0])
+	}
+	if len(got[1]) != 2 {
+		t.Fatalf("collect member 1 = %v", got[1])
+	}
+}
+
+// TestLedgerReconcileProperty is the residency property test: drive a
+// membership table and a ledger through random join / advert / suspect /
+// recover / kill / leave sequences and check, after every reconcile, that
+//
+//  1. every ledger row belongs to a live (active or suspect) member,
+//  2. no live member lost rows it legitimately holds, and
+//  3. Reconcile's dropped count equals the rows that disappeared.
+//
+// A shadow map (plain code, no locking subtleties) is the oracle.
+func TestLedgerReconcileProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		tbl := NewTable()
+		l := NewLedger[int]()
+		shadow := map[int]map[int]bool{} // member -> key set, oracle
+		var ids []int
+
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(6) {
+			case 0: // join + activate
+				m := tbl.Join(fmt.Sprintf("w%d", len(ids)))
+				tbl.Activate(m.ID)
+				ids = append(ids, m.ID)
+				shadow[m.ID] = map[int]bool{}
+			case 1, 2: // advert from a random live member
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if m, _ := tbl.Get(id); m.State != Active && m.State != Suspect {
+					continue
+				}
+				var added, evicted []int
+				for i := rng.Intn(4); i > 0; i-- {
+					added = append(added, rng.Intn(32))
+				}
+				for i := rng.Intn(2); i > 0; i-- {
+					evicted = append(evicted, rng.Intn(32))
+				}
+				l.Record(id, added, evicted)
+				for _, k := range added {
+					shadow[id][k] = true
+				}
+				for _, k := range evicted {
+					delete(shadow[id], k)
+				}
+			case 3: // suspect (cache must survive)
+				if len(ids) == 0 {
+					continue
+				}
+				tbl.Suspect(ids[rng.Intn(len(ids))])
+			case 4: // recover
+				if len(ids) == 0 {
+					continue
+				}
+				tbl.Confirm(ids[rng.Intn(len(ids))])
+			case 5: // kill or leave
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if m, _ := tbl.Get(id); m.State == Suspect && rng.Intn(2) == 0 {
+					tbl.MarkDead(id)
+				} else {
+					tbl.Leave(id)
+				}
+			}
+
+			// Reconcile after every step, exactly like the coordinator's
+			// membership-change hook.
+			live := tbl.LiveIDs()
+			var wantDropped int
+			for id, rows := range shadow {
+				if !live[id] {
+					wantDropped += len(rows)
+				}
+			}
+			dropped := l.Reconcile(live)
+			if dropped != wantDropped {
+				t.Fatalf("trial %d step %d: reconcile dropped %d, oracle says %d",
+					trial, step, dropped, wantDropped)
+			}
+			for id := range shadow {
+				if !live[id] {
+					delete(shadow, id)
+				}
+			}
+
+			// Invariant 1: no rows for non-live members.
+			for _, id := range l.Members() {
+				if !live[id] {
+					t.Fatalf("trial %d step %d: ledger keeps rows for non-live member %d",
+						trial, step, id)
+				}
+			}
+			// Invariant 2: live members keep exactly their shadow rows.
+			for id, rows := range shadow {
+				got := l.Keys(id)
+				if len(got) != len(rows) {
+					t.Fatalf("trial %d step %d: member %d has %d rows, oracle %d",
+						trial, step, id, len(got), len(rows))
+				}
+				for _, k := range got {
+					if !rows[k] {
+						t.Fatalf("trial %d step %d: member %d holds phantom key %d",
+							trial, step, id, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLedgerConcurrency: concurrent adverts, drops and reconciles must be
+// race-free and leave the ledger consistent (only surviving members hold
+// rows).
+func TestLedgerConcurrency(t *testing.T) {
+	l := NewLedger[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				id := rng.Intn(8)
+				switch rng.Intn(4) {
+				case 0:
+					l.Record(id, []int{rng.Intn(64)}, nil)
+				case 1:
+					l.Record(id, nil, []int{rng.Intn(64)})
+				case 2:
+					l.Holders(rng.Intn(64))
+					l.Size()
+				default:
+					l.Reconcile(map[int]bool{0: true, 1: true, 2: true, 3: true})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.Reconcile(map[int]bool{0: true})
+	for _, id := range l.Members() {
+		if id != 0 {
+			t.Fatalf("member %d survived final reconcile", id)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package membership tracks the liveness of a FuseME TCP cluster's workers.
+//
+// The coordinator owns one Table. Each worker is a Member with a stable
+// integer ID (its slot in the coordinator's worker slice) and a liveness
+// state driven by the heartbeat loop and the FME1 v4 join/leave messages:
+//
+//	none ──Join──▶ joining ──▶ active ◀──▶ suspect
+//	                  │           │            │
+//	                  ▼           ▼            ▼
+//	                dead        left         dead
+//
+// Transitions outside that graph are rejected — a dead or left member never
+// comes back; a healthy process that wants back in joins again as a NEW
+// member with a fresh ID. Every accepted transition bumps the table's
+// cluster epoch, so the epoch doubles as a cheap fingerprint of "which
+// workers can run tasks right now": compiled plans cache against it and are
+// re-derived the moment membership changes.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// State is a member's position in the liveness state machine.
+type State int
+
+// The liveness states, in lifecycle order.
+const (
+	// None is the pseudo-state before a member exists; it only appears as
+	// the From field of a join Event.
+	None State = iota - 1
+	// Joining: the join request arrived, the control handshake is underway.
+	Joining
+	// Active: handshaked and heartbeating; eligible for task dispatch.
+	Active
+	// Suspect: one transport operation failed; dispatch is paused while the
+	// coordinator probes the worker once before giving up on it.
+	Suspect
+	// Dead: the probe failed too. Terminal — the slot is never reused and
+	// the residency ledger forgets the worker's cached blocks.
+	Dead
+	// Left: the worker drained and departed voluntarily (msgLeave).
+	// Terminal, like Dead, but distinguishes operator intent in /v1/status.
+	Left
+)
+
+// String returns the state's wire/metrics label.
+func (s State) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Joining:
+		return "joining"
+	case Active:
+		return "active"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Left:
+		return "left"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// States lists every real state, in lifecycle order — handy for metrics
+// enumeration so gauges exist (at zero) before a state is ever entered.
+func States() []State { return []State{Joining, Active, Suspect, Dead, Left} }
+
+// legal is the transition graph. Dead and Left are terminal.
+var legal = map[State][]State{
+	Joining: {Active, Dead},
+	Active:  {Suspect, Left},
+	Suspect: {Active, Dead, Left},
+	Dead:    {},
+	Left:    {},
+}
+
+// CanTransition reports whether from → to is a legal edge.
+func CanTransition(from, to State) bool {
+	for _, s := range legal[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Member is one worker's row in the table.
+type Member struct {
+	// ID is the worker's stable slot index; never reused.
+	ID int
+	// Addr is the worker's task-listener address.
+	Addr string
+	// State is the current liveness state.
+	State State
+	// Epoch is the cluster epoch at the member's last transition.
+	Epoch uint64
+}
+
+// Event describes one accepted membership change.
+type Event struct {
+	// Member is the post-transition row.
+	Member Member
+	// From and To are the transition's endpoints (From == None for a join).
+	From, To State
+	// Epoch is the cluster epoch after the change.
+	Epoch uint64
+}
+
+// Table is the coordinator-side membership table. All methods are safe for
+// concurrent use; the change callback runs outside the table lock, so it may
+// call back into the table.
+type Table struct {
+	mu       sync.Mutex
+	members  []Member
+	epoch    uint64
+	changes  int64
+	onChange func(Event)
+}
+
+// NewTable returns an empty table at epoch 0.
+func NewTable() *Table { return &Table{} }
+
+// OnChange installs the callback invoked (synchronously, outside the table
+// lock) after every accepted change. Install it before the first Join; a
+// second call replaces the first.
+func (t *Table) OnChange(fn func(Event)) {
+	t.mu.Lock()
+	t.onChange = fn
+	t.mu.Unlock()
+}
+
+// Join adds a new member in the Joining state and returns its row. IDs are
+// assigned densely in join order and never reused.
+func (t *Table) Join(addr string) Member {
+	t.mu.Lock()
+	t.epoch++
+	t.changes++
+	m := Member{ID: len(t.members), Addr: addr, State: Joining, Epoch: t.epoch}
+	t.members = append(t.members, m)
+	ev := Event{Member: m, From: None, To: Joining, Epoch: t.epoch}
+	fn := t.onChange
+	t.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+	return m
+}
+
+// Transition moves member id to state to, enforcing the legal edges. It
+// returns the updated row, or an error naming the illegal edge. A
+// no-op transition (already in to) is an error too: the state machine has no
+// self-loops, and callers rely on "accepted ⇒ something changed".
+func (t *Table) Transition(id int, to State) (Member, error) {
+	t.mu.Lock()
+	if id < 0 || id >= len(t.members) {
+		t.mu.Unlock()
+		return Member{}, fmt.Errorf("membership: no member %d", id)
+	}
+	from := t.members[id].State
+	if !CanTransition(from, to) {
+		t.mu.Unlock()
+		return Member{}, fmt.Errorf("membership: illegal transition %s -> %s for member %d", from, to, id)
+	}
+	t.epoch++
+	t.changes++
+	t.members[id].State = to
+	t.members[id].Epoch = t.epoch
+	m := t.members[id]
+	ev := Event{Member: m, From: from, To: to, Epoch: t.epoch}
+	fn := t.onChange
+	t.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+	return m, nil
+}
+
+// Activate marks a joining member active (handshake completed).
+func (t *Table) Activate(id int) (Member, error) { return t.Transition(id, Active) }
+
+// Suspect pauses dispatch to an active member after a transport failure.
+func (t *Table) Suspect(id int) (Member, error) { return t.Transition(id, Suspect) }
+
+// Confirm returns a suspect member to active (the probe succeeded).
+func (t *Table) Confirm(id int) (Member, error) { return t.Transition(id, Active) }
+
+// MarkDead evicts a member whose probe failed (or whose handshake never
+// completed).
+func (t *Table) MarkDead(id int) (Member, error) { return t.Transition(id, Dead) }
+
+// Leave records a voluntary departure.
+func (t *Table) Leave(id int) (Member, error) { return t.Transition(id, Left) }
+
+// Get returns member id's row.
+func (t *Table) Get(id int) (Member, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 || id >= len(t.members) {
+		return Member{}, false
+	}
+	return t.members[id], true
+}
+
+// Members returns a snapshot of every row, in ID order.
+func (t *Table) Members() []Member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Member, len(t.members))
+	copy(out, t.members)
+	return out
+}
+
+// Epoch returns the cluster epoch: the count of accepted changes since the
+// table was created. Two equal epochs imply identical membership.
+func (t *Table) Epoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Changes returns the total number of accepted membership changes.
+func (t *Table) Changes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.changes
+}
+
+// ActiveCount returns how many members are currently active.
+func (t *Table) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, m := range t.members {
+		if m.State == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByState returns the number of members in each state. Every real
+// state is present in the result, possibly at zero.
+func (t *Table) CountByState() map[State]int {
+	out := make(map[State]int, len(legal))
+	for _, s := range States() {
+		out[s] = 0
+	}
+	t.mu.Lock()
+	for _, m := range t.members {
+		out[m.State]++
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// LiveIDs returns the set of members that may legitimately hold cached
+// blocks: active and suspect (a suspect worker's cache survives the probe —
+// adverts are deltas, so dropping its ledger rows on mere suspicion would
+// under-count residency forever after it recovers).
+func (t *Table) LiveIDs() map[int]bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]bool)
+	for _, m := range t.members {
+		if m.State == Active || m.State == Suspect {
+			out[m.ID] = true
+		}
+	}
+	return out
+}
+
+// Fingerprint returns a compact string identifying the current dispatchable
+// membership, e.g. "e7:a0,2,3". Compiled-plan cache keys embed it so a plan
+// built for one worker set is never replayed against another.
+func (t *Table) Fingerprint() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.members))
+	for _, m := range t.members {
+		if m.State == Active {
+			ids = append(ids, m.ID)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d:a", t.epoch)
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	return b.String()
+}

@@ -137,6 +137,15 @@ const (
 	MWorkerRTT        = "fuseme_worker_rtt_seconds"
 	MWorkersAlive     = "fuseme_workers_alive"
 
+	// Elastic-membership metrics. MClusterWorkers is a per-state gauge
+	// series (label the liveness state with ClusterWorkersGauge);
+	// MMembershipChanges counts accepted membership-table transitions;
+	// MCacheReplicaBytes counts wire bytes spent pushing block-cache
+	// replicas to secondary holders.
+	MClusterWorkers    = "fuseme_cluster_workers"
+	MMembershipChanges = "fuseme_membership_changes_total"
+	MCacheReplicaBytes = "fuseme_cache_replica_bytes"
+
 	// Worker-process metrics.
 	MWorkerTasksTotal  = "fuseme_worker_tasks_total"
 	MWorkerTaskSeconds = "fuseme_worker_task_seconds"
@@ -186,4 +195,10 @@ func TenantSeries(family, tenant string) string {
 // `fuseme_worker_rtt_seconds{worker="0"}`.
 func WorkerRTTGauge(workerID int) string {
 	return fmt.Sprintf(`%s{worker="%d"}`, MWorkerRTT, workerID)
+}
+
+// ClusterWorkersGauge names the per-state membership gauge series, e.g.
+// `fuseme_cluster_workers{state="active"}`.
+func ClusterWorkersGauge(state string) string {
+	return fmt.Sprintf(`%s{state=%q}`, MClusterWorkers, state)
 }

@@ -3,6 +3,7 @@ package remote
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 )
 
@@ -17,6 +18,14 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// DialTimeout bounds worker connection attempts (handshake and per-task).
 	DialTimeout time.Duration
+	// CacheReplicas is how many workers hold each hot cached block,
+	// including the primary (the worker whose task cached it). 1 — the
+	// library default — disables replication and keeps hit accounting
+	// bit-compatible with the simulated backend; k > 1 pushes each newly
+	// cached loop-invariant block to k-1 secondary holders so losing one
+	// worker no longer cold-starts the next iteration. The serve daemon
+	// defaults to 2.
+	CacheReplicas int
 }
 
 // DefaultConfig returns the transport defaults (the former constants).
@@ -25,6 +34,7 @@ func DefaultConfig() Config {
 		HeartbeatInterval: 500 * time.Millisecond,
 		HeartbeatTimeout:  2 * time.Second,
 		DialTimeout:       5 * time.Second,
+		CacheReplicas:     1,
 	}
 }
 
@@ -35,6 +45,9 @@ const (
 	EnvHeartbeatTimeout  = "FUSEME_HEARTBEAT_TIMEOUT"
 	EnvDialTimeout       = "FUSEME_DIAL_TIMEOUT"
 )
+
+// EnvCacheReplicas overrides Config.CacheReplicas (a positive integer).
+const EnvCacheReplicas = "FUSEME_CACHE_REPLICAS"
 
 // FromEnv returns c with any FUSEME_* environment overrides applied.
 // Unset variables leave the corresponding field untouched.
@@ -57,6 +70,13 @@ func (c Config) FromEnv() (Config, error) {
 		}
 		*v.dst = d
 	}
+	if s := os.Getenv(EnvCacheReplicas); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return c, fmt.Errorf("remote: %s=%q: want a positive integer", EnvCacheReplicas, s)
+		}
+		c.CacheReplicas = n
+	}
 	return c, nil
 }
 
@@ -72,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.DialTimeout == 0 {
 		c.DialTimeout = d.DialTimeout
 	}
+	if c.CacheReplicas == 0 {
+		c.CacheReplicas = d.CacheReplicas
+	}
 	return c
 }
 
@@ -86,6 +109,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("remote: HeartbeatTimeout = %v, must be >= 0", c.HeartbeatTimeout)
 	case c.DialTimeout < 0:
 		return fmt.Errorf("remote: DialTimeout = %v, must be >= 0", c.DialTimeout)
+	case c.CacheReplicas < 0:
+		return fmt.Errorf("remote: CacheReplicas = %d, must be >= 0", c.CacheReplicas)
 	}
 	f := c.withDefaults()
 	if f.HeartbeatTimeout <= f.HeartbeatInterval {

@@ -32,6 +32,7 @@ func TestConfigFromEnv(t *testing.T) {
 		HeartbeatInterval: 100 * time.Millisecond,
 		HeartbeatTimeout:  900 * time.Millisecond,
 		DialTimeout:       time.Second,
+		CacheReplicas:     1,
 	}
 	if cfg != want {
 		t.Errorf("FromEnv() = %+v, want %+v", cfg, want)

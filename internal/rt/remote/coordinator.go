@@ -10,6 +10,7 @@ import (
 
 	"fuseme/internal/blockcache"
 	"fuseme/internal/cluster"
+	"fuseme/internal/membership"
 	"fuseme/internal/obs"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/spec"
@@ -17,15 +18,30 @@ import (
 )
 
 // Coordinator is the TCP runtime backend: it satisfies rt.Runtime (and
-// rt.SpecRunner) by scheduling descriptor-based stages over a fixed set of
-// worker processes. Closure-only stages — and all bookkeeping the simulated
+// rt.SpecRunner) by scheduling descriptor-based stages over a set of worker
+// processes. Closure-only stages — and all bookkeeping the simulated
 // cluster already does (admission control, stats accumulation) — run on an
 // embedded local cluster whose Nodes count is the number of workers.
 //
+// Membership is elastic: each worker is a row in a membership.Table with a
+// liveness state machine (joining → active → suspect → dead → left). The
+// initial worker set is dialed at construction; further workers join at any
+// time through the join listener (ServeJoin / AddWorker) and drain away
+// voluntarily (msgLeave). A transport failure no longer kills a worker
+// outright: the worker turns suspect, dispatch pauses, and one fresh-dial
+// probe decides between recovery and eviction. Every accepted membership
+// change rebalances the dispatch scheduler to alive-workers x TasksPerNode
+// slots, reconciles the cache-residency ledger, bumps the cluster epoch
+// (which compiled-plan cache keys embed via ClusterFingerprint), and pushes
+// the new table to the workers.
+//
 // Scheduling is round-robin over live workers with one connection per task.
-// A worker that fails a transport operation is marked dead permanently (its
-// heartbeat would also notice); the failed task retries on survivors up to
-// Config.MaxTaskRetries, matching the simulated backend's retry semantics.
+// The failed task retries on survivors up to Config.MaxTaskRetries,
+// matching the simulated backend's retry semantics. With
+// Config.CacheReplicas = k > 1, each block a worker newly caches is pushed
+// to k-1 secondary holders chosen deterministically (home id + 1, + 2, ...)
+// and retries re-home the task onto exactly those holders, so one worker
+// loss no longer cold-starts the next iteration.
 //
 // The coordinator meters real wire traffic into cluster.Stats. Bytes with a
 // simulated counterpart land in the matching counter so the two backends are
@@ -33,16 +49,39 @@ import (
 // traffic, and partial/aggregate result uploads are aggregation traffic.
 // Bytes the simulation does not model — colocated input shipments (local
 // reads in a real deployment), fuse-phase partial re-delivery, final result
-// blocks — are recorded separately as ExtraWireBytes.
+// blocks, replica pushes — are recorded separately as ExtraWireBytes.
 type Coordinator struct {
-	local   *cluster.Cluster
-	rcfg    Config // transport tuning, validated and defaulted
+	local *cluster.Cluster
+	rcfg  Config // transport tuning, validated and defaulted
+
+	// mem is the membership table; ledger the cache-residency ledger (which
+	// block-cache keys each live worker advertised as held, fed by
+	// msgCacheAd deltas and replica pushes, reconciled on every membership
+	// change).
+	mem    *membership.Table
+	ledger *membership.Ledger[blockcache.Key]
+
+	// addMu serializes membership-mutating operations (AddWorker, leave) so
+	// member IDs always equal their slot in the workers slice.
+	addMu sync.Mutex
+
+	// wmu guards the workers slice itself. Slots are append-only: a dead or
+	// departed worker keeps its slot (flagged !alive) so IDs stay stable.
+	wmu     sync.RWMutex
 	workers []*workerConn
 
 	next   atomic.Int64 // round-robin cursor
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
 	closed atomic.Bool
+
+	// Join listener (ServeJoin), nil until started.
+	joinMu sync.Mutex
+	joinLn net.Listener
+	joinWG sync.WaitGroup
+
+	// replicaBytes counts wire bytes spent pushing cache replicas.
+	replicaBytes atomic.Int64
 
 	// Intra-task parallelism settings shipped verbatim in every taskAssign.
 	// kernelThreads is the cluster config's explicit count (0 = each worker
@@ -51,13 +90,6 @@ type Coordinator struct {
 	// shared helper budget on the worker.
 	kernelThreads int
 	taskSlots     int
-
-	// resident is the cache-residency ledger: which block-cache keys each
-	// worker advertised as held. Fed by msgCacheAd frames, consumed by
-	// InvalidateStaleEpochs to push msgCacheInv only at workers that
-	// actually hold stale entries.
-	resMu    sync.Mutex
-	resident map[int]map[blockcache.Key]bool // worker id → held keys
 
 	// sched gates remote task dispatch (the former per-stage semaphore of
 	// len(workers) x TasksPerNode permits). SetScheduler swaps in a shared
@@ -77,6 +109,17 @@ func (c *Coordinator) SetObs(o *obs.Obs) {
 	c.obs.Store(o)
 	if o != nil {
 		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
+		for st, n := range c.mem.CountByState() {
+			o.Gauge(obs.ClusterWorkersGauge(st.String())).Set(float64(n))
+		}
+		// Catch the counter up to the epoch: the seed workers joined during
+		// construction, before any bundle was attached, and the counter is
+		// documented to equal the epoch. Registries are shared across a
+		// serve pool's sessions, so only add this coordinator's shortfall.
+		ctr := o.Counter(obs.MMembershipChanges)
+		if delta := int64(c.mem.Epoch()) - ctr.Value(); delta > 0 {
+			ctr.Add(delta)
+		}
 	}
 }
 
@@ -84,7 +127,10 @@ func (c *Coordinator) SetObs(o *obs.Obs) {
 func (c *Coordinator) getObs() *obs.Obs { return c.obs.Load() }
 
 // SetScheduler installs a shared task-dispatch scheduler for remote and
-// local (closure) stages alike. Call before running stages.
+// local (closure) stages alike. Call before running stages. Membership
+// changes resize whichever scheduler is installed — with a shared scheduler
+// that is a cluster-wide capacity change, which is exactly right: the slots
+// model the one physical cluster every tenant runs on.
 func (c *Coordinator) SetScheduler(s *sched.Scheduler) {
 	if s == nil {
 		return
@@ -114,12 +160,19 @@ func (c *Coordinator) schedulerTag() (*sched.Scheduler, string, int) {
 type workerConn struct {
 	id    int
 	addr  string
-	ctrl  net.Conn
 	alive atomic.Bool
 
 	// ctrlMu serializes control-connection exchanges (heartbeat ping/pong,
-	// cache invalidation pushes); each holder sets its own deadline.
+	// cache invalidation and replica pushes, membership updates); each
+	// holder sets its own deadline. ptrMu guards the conn pointer itself, so
+	// a probe can swap in a fresh connection while Close interrupts a
+	// blocked exchange by closing the old one.
 	ctrlMu sync.Mutex
+	ptrMu  sync.Mutex
+	ctrl   net.Conn
+
+	// probeMu serializes suspect-state probes for this worker.
+	probeMu sync.Mutex
 
 	// Clock-skew estimate for this worker, fed by ping/pong samples. The
 	// lowest-RTT sample wins (see skew.go); sampled guards the first write.
@@ -127,6 +180,22 @@ type workerConn struct {
 	rttBest  time.Duration
 	clockOff time.Duration
 	sampled  bool
+}
+
+// conn returns the current control connection.
+func (w *workerConn) conn() net.Conn {
+	w.ptrMu.Lock()
+	defer w.ptrMu.Unlock()
+	return w.ctrl
+}
+
+// setConn swaps the control connection, returning the old one.
+func (w *workerConn) setConn(c net.Conn) net.Conn {
+	w.ptrMu.Lock()
+	old := w.ctrl
+	w.ctrl = c
+	w.ptrMu.Unlock()
+	return old
 }
 
 // recordClock folds one ping/pong sample into the skew estimate.
@@ -146,7 +215,7 @@ func (w *workerConn) clockOffset() time.Duration {
 }
 
 // transportError marks failures of the coordinator↔worker channel (dial,
-// read, write): the worker is presumed dead and the task retries elsewhere.
+// read, write): the worker turns suspect and the task retries elsewhere.
 type transportError struct{ err error }
 
 func (e transportError) Error() string { return e.err.Error() }
@@ -182,55 +251,167 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 	c := &Coordinator{
 		local:         local,
 		rcfg:          rcfg,
+		mem:           membership.NewTable(),
+		ledger:        membership.NewLedger[blockcache.Key](),
 		hbStop:        make(chan struct{}),
-		resident:      make(map[int]map[blockcache.Key]bool),
 		kernelThreads: cfg.KernelThreads,
 		taskSlots:     cfg.TasksPerNode,
 		sched:         sched.New(len(addrs) * cfg.TasksPerNode),
 	}
-	for i, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, rcfg.DialTimeout)
-		if err != nil {
+	c.mem.OnChange(c.onMembershipChange)
+	for _, addr := range addrs {
+		if _, err := c.AddWorker(addr); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("remote: worker %s: %w", addr, err)
 		}
-		conn.SetDeadline(time.Now().Add(rcfg.HeartbeatTimeout))
-		if err := writeGob(conn, msgHello, hello{Proto: protoVersion}); err != nil {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("remote: worker %s handshake: %w", addr, err)
-		}
-		payload, err := expectFrame(conn, msgHelloAck)
-		if err != nil {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("remote: worker %s handshake: %w", addr, err)
-		}
-		var ack helloAck
-		if err := decodeGob(payload, &ack); err != nil || ack.Proto != protoVersion {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("remote: worker %s: protocol mismatch", addr)
-		}
-		conn.SetDeadline(time.Time{})
-		w := &workerConn{id: i, addr: addr, ctrl: conn}
-		w.alive.Store(true)
-		c.workers = append(c.workers, w)
-	}
-	// Prime the clock-skew estimator with one ping per worker before any
-	// stage runs, so even a trace captured immediately after connect merges
-	// against a real offset sample rather than zero.
-	for _, w := range c.workers {
-		if err := c.pingWorker(w); err != nil {
-			c.Close()
-			return nil, fmt.Errorf("remote: worker %s: %w", w.addr, err)
-		}
-	}
-	for _, w := range c.workers {
-		c.hbWG.Add(1)
-		go c.heartbeat(w)
 	}
 	return c, nil
+}
+
+// dialHandshake opens a control connection to a worker and completes the
+// hello/helloAck protocol handshake.
+func (c *Coordinator) dialHandshake(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.rcfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+	if err := writeGob(conn, msgHello, hello{Proto: protoVersion}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	payload, err := expectFrame(conn, msgHelloAck)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	var ack helloAck
+	if err := decodeGob(payload, &ack); err != nil || ack.Proto != protoVersion {
+		conn.Close()
+		return nil, errors.New("protocol mismatch")
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// AddWorker dials, handshakes and admits one worker, growing the cluster.
+// It is how the initial worker set boots and how msgJoin requests land;
+// joining an address that is already a live member is an idempotent no-op
+// (a worker's reconnect loop can race its own successful registration).
+// The new worker's stable ID is returned.
+func (c *Coordinator) AddWorker(addr string) (int, error) {
+	if c.closed.Load() {
+		return -1, errors.New("remote: coordinator closed")
+	}
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+	for _, m := range c.mem.Members() {
+		switch m.State {
+		case membership.Joining, membership.Active, membership.Suspect:
+			if m.Addr == addr {
+				return m.ID, nil
+			}
+		}
+	}
+	conn, err := c.dialHandshake(addr)
+	if err != nil {
+		return -1, err
+	}
+	m := c.mem.Join(addr)
+	w := &workerConn{id: m.ID, addr: addr, ctrl: conn}
+	c.wmu.Lock()
+	c.workers = append(c.workers, w)
+	c.wmu.Unlock()
+	// Prime the clock-skew estimator with one ping before the worker takes
+	// tasks, so even a trace captured immediately after the join merges
+	// against a real offset sample rather than zero.
+	if err := c.pingWorker(w); err != nil {
+		conn.Close()
+		c.mem.MarkDead(m.ID)
+		return -1, err
+	}
+	w.alive.Store(true)
+	if _, err := c.mem.Activate(m.ID); err != nil {
+		return -1, err
+	}
+	c.hbWG.Add(1)
+	go c.heartbeat(w)
+	return m.ID, nil
+}
+
+// removeWorker records a voluntary departure of the worker at addr: no new
+// dispatch, in-flight tasks finish on their private task connections.
+func (c *Coordinator) removeWorker(addr string) error {
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+	for _, m := range c.mem.Members() {
+		if m.Addr != addr || (m.State != membership.Active && m.State != membership.Suspect) {
+			continue
+		}
+		w := c.workerByID(m.ID)
+		if w == nil {
+			continue
+		}
+		w.alive.Store(false)
+		if _, err := c.mem.Leave(m.ID); err != nil {
+			return err
+		}
+		if cn := w.conn(); cn != nil {
+			cn.Close()
+		}
+		return nil
+	}
+	return fmt.Errorf("remote: no live worker at %s", addr)
+}
+
+// onMembershipChange is the membership.Table change hook: rebalance the
+// dispatch scheduler, reconcile the residency ledger, refresh metrics, and
+// push the new table to the workers.
+func (c *Coordinator) onMembershipChange(ev membership.Event) {
+	scheduler, _, _ := c.schedulerTag()
+	scheduler.Resize(c.mem.ActiveCount() * c.taskSlots)
+	c.ledger.Reconcile(c.mem.LiveIDs())
+	if o := c.getObs(); o.Enabled() {
+		o.Counter(obs.MMembershipChanges).Inc()
+		for st, n := range c.mem.CountByState() {
+			o.Gauge(obs.ClusterWorkersGauge(st.String())).Set(float64(n))
+		}
+		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
+	}
+	if !c.closed.Load() {
+		go c.broadcastMembers()
+	}
+}
+
+// memberUpdateMsg snapshots the table into the wire form.
+func (c *Coordinator) memberUpdateMsg() memberUpdate {
+	members := c.mem.Members()
+	upd := memberUpdate{Epoch: c.mem.Epoch(), Members: make([]MemberInfo, len(members))}
+	for i, m := range members {
+		upd.Members[i] = MemberInfo{ID: m.ID, Addr: m.Addr, State: m.State.String(), Epoch: m.Epoch}
+	}
+	return upd
+}
+
+// broadcastMembers pushes the membership table to every live worker.
+func (c *Coordinator) broadcastMembers() {
+	if c.closed.Load() {
+		return
+	}
+	upd := c.memberUpdateMsg()
+	for _, w := range c.snapshotWorkers() {
+		if !w.alive.Load() {
+			continue
+		}
+		w.ctrlMu.Lock()
+		cn := w.conn()
+		cn.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+		err := writeGob(cn, msgMemberUpdate, upd)
+		w.ctrlMu.Unlock()
+		if err != nil {
+			c.suspectAndProbe(w)
+		}
+	}
 }
 
 // pingWorker runs one ping/pong exchange on the control connection: it feeds
@@ -239,12 +420,13 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 func (c *Coordinator) pingWorker(w *workerConn) error {
 	sent := time.Now()
 	w.ctrlMu.Lock()
-	w.ctrl.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
-	if err := writeFrame(w.ctrl, msgPing, nil); err != nil {
+	cn := w.conn()
+	cn.SetDeadline(sent.Add(c.rcfg.HeartbeatTimeout))
+	if err := writeFrame(cn, msgPing, nil); err != nil {
 		w.ctrlMu.Unlock()
 		return err
 	}
-	payload, err := expectFrame(w.ctrl, msgPong)
+	payload, err := expectFrame(cn, msgPong)
 	w.ctrlMu.Unlock()
 	if err != nil {
 		return err
@@ -263,8 +445,9 @@ func (c *Coordinator) pingWorker(w *workerConn) error {
 	return nil
 }
 
-// heartbeat pings one worker until it dies or the coordinator closes,
-// recording each round-trip time.
+// heartbeat pings one worker until it reaches a terminal state or the
+// coordinator closes, recording each round-trip time. A failed ping routes
+// through the suspect state: one probe decides recovery versus eviction.
 func (c *Coordinator) heartbeat(w *workerConn) {
 	defer c.hbWG.Done()
 	t := time.NewTicker(c.rcfg.HeartbeatInterval)
@@ -274,45 +457,73 @@ func (c *Coordinator) heartbeat(w *workerConn) {
 		case <-c.hbStop:
 			return
 		case <-t.C:
-			if !w.alive.Load() {
+			m, ok := c.mem.Get(w.id)
+			if !ok || m.State == membership.Dead || m.State == membership.Left {
 				return
 			}
+			if m.State != membership.Active {
+				continue // probe in flight on another goroutine
+			}
 			if err := c.pingWorker(w); err != nil {
-				c.markDead(w)
-				return
+				if !c.suspectAndProbe(w) {
+					if m, ok := c.mem.Get(w.id); !ok || m.State == membership.Dead || m.State == membership.Left {
+						return
+					}
+				}
 			}
 		}
 	}
 }
 
-// markDead flags a worker as dead, drops its residency ledger entries, and
-// refreshes the liveness gauge.
-func (c *Coordinator) markDead(w *workerConn) {
-	w.alive.Store(false)
-	c.resMu.Lock()
-	delete(c.resident, w.id)
-	c.resMu.Unlock()
-	if o := c.getObs(); o.Enabled() {
-		o.Gauge(obs.MWorkersAlive).Set(float64(c.AliveWorkers()))
+// suspectAndProbe is the satellite of every transport failure: pause
+// dispatch (active → suspect), then probe the worker once with a fresh
+// dial-plus-handshake. Success swaps in the new control connection and
+// returns the worker to active; failure evicts it (suspect → dead).
+// Returns true when the worker ends up active. Probes are serialized per
+// worker; a caller that lost the race against a successful probe reports
+// the recovered state without probing again.
+func (c *Coordinator) suspectAndProbe(w *workerConn) bool {
+	if c.closed.Load() {
+		return false
 	}
+	w.probeMu.Lock()
+	defer w.probeMu.Unlock()
+	m, ok := c.mem.Get(w.id)
+	if !ok {
+		return false
+	}
+	switch m.State {
+	case membership.Active:
+		if _, err := c.mem.Suspect(w.id); err != nil {
+			return w.alive.Load()
+		}
+		w.alive.Store(false)
+	case membership.Suspect:
+		// Stale row from an interrupted probe; probe now.
+	default:
+		return false
+	}
+	conn, err := c.dialHandshake(w.addr)
+	if err != nil {
+		c.markDead(w)
+		return false
+	}
+	if old := w.setConn(conn); old != nil {
+		old.Close()
+	}
+	if _, err := c.mem.Confirm(w.id); err != nil {
+		conn.Close()
+		return false
+	}
+	w.alive.Store(true)
+	return true
 }
 
-// recordAdvert folds one worker's cache-mutation advert into the residency
-// ledger.
-func (c *Coordinator) recordAdvert(workerID int, ad *spec.CacheAdvert) {
-	c.resMu.Lock()
-	defer c.resMu.Unlock()
-	held := c.resident[workerID]
-	if held == nil {
-		held = make(map[blockcache.Key]bool)
-		c.resident[workerID] = held
-	}
-	for _, k := range ad.Added {
-		held[k] = true
-	}
-	for _, k := range ad.Evicted {
-		delete(held, k)
-	}
+// markDead evicts a suspect worker whose probe failed. Ledger cleanup and
+// metric refresh happen in the membership-change hook.
+func (c *Coordinator) markDead(w *workerConn) {
+	w.alive.Store(false)
+	c.mem.MarkDead(w.id)
 }
 
 // StageCacheGen implements rt.BlockCacher against the embedded cluster's
@@ -330,28 +541,19 @@ func (c *Coordinator) TaskCache(taskID int) *blockcache.Cache { return nil }
 // depends on the push (epochs are globally unique, so stale keys cannot be
 // hit); it only reclaims worker memory promptly.
 func (c *Coordinator) InvalidateStaleEpochs(node int, epoch uint64) {
-	c.resMu.Lock()
-	stale := make(map[*workerConn][]blockcache.Key)
-	for _, w := range c.workers {
-		held := c.resident[w.id]
-		for k := range held {
-			if k.Node == node && k.Epoch != epoch {
-				stale[w] = append(stale[w], k)
-			}
-		}
-	}
-	for w, keys := range stale {
+	stale := c.ledger.Collect(func(id int, k blockcache.Key) bool {
+		return k.Node == node && k.Epoch != epoch
+	})
+	for id, keys := range stale {
 		for _, k := range keys {
-			delete(c.resident[w.id], k)
+			c.ledger.Remove(id, k)
 		}
-	}
-	c.resMu.Unlock()
-	for w := range stale {
-		if !w.alive.Load() {
+		w := c.workerByID(id)
+		if w == nil || !w.alive.Load() {
 			continue
 		}
 		if err := c.sendInvalidate(w, spec.CacheInvalidate{Node: node, Epoch: epoch}); err != nil {
-			c.markDead(w)
+			c.suspectAndProbe(w)
 		}
 	}
 }
@@ -361,14 +563,83 @@ func (c *Coordinator) InvalidateStaleEpochs(node int, epoch uint64) {
 func (c *Coordinator) sendInvalidate(w *workerConn, inv spec.CacheInvalidate) error {
 	w.ctrlMu.Lock()
 	defer w.ctrlMu.Unlock()
-	w.ctrl.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
-	return writeFrame(w.ctrl, msgCacheInv, spec.EncodeCacheInvalidate(inv))
+	cn := w.conn()
+	cn.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+	return writeFrame(cn, msgCacheInv, spec.EncodeCacheInvalidate(inv))
 }
+
+// sendCachePut pushes one replicated cache block over the worker's control
+// connection.
+func (c *Coordinator) sendCachePut(w *workerConn, p cachePut) error {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	cn := w.conn()
+	cn.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+	return writeGob(cn, msgCachePut, p)
+}
+
+// replicateAdvert pushes each block a task newly cached to
+// Config.CacheReplicas-1 secondary holders: the workers at home id + 1,
+// home id + 2, ... (mod cluster size), which is exactly where
+// runTaskWithRetry re-homes the task if the primary dies. Only blocks of
+// the executing stage's own input epochs replicate — anything else in the
+// advert is stale by definition. The pushed bytes are metered as
+// ExtraWireBytes (the simulation does not model replication) and in the
+// fuseme_cache_replica_bytes counter.
+func (c *Coordinator) replicateAdvert(st *rt.Stage, home *workerConn, ad *spec.CacheAdvert, gen uint64, wire *wireMeter) {
+	k := c.rcfg.CacheReplicas
+	if k <= 1 || len(ad.Added) == 0 {
+		return
+	}
+	ws := c.snapshotWorkers()
+	n := len(ws)
+	if n < 2 {
+		return
+	}
+	for _, key := range ad.Added {
+		if ep, ok := st.Spec.EpochOf(key.Node); !ok || ep != key.Epoch {
+			continue
+		}
+		var data []byte
+		encoded := false
+		for j := 1; j < k && j < n; j++ {
+			tgt := ws[(home.id+j)%n]
+			if tgt.id == home.id || !tgt.alive.Load() || c.ledger.Holds(tgt.id, key) {
+				continue
+			}
+			if !encoded {
+				m, err := st.Fetch(spec.BlockRef{Kind: spec.RefInput, Node: key.Node, BI: key.BI, BJ: key.BJ})
+				if err != nil {
+					return
+				}
+				data, err = spec.EncodeBlock(m)
+				if err != nil {
+					return
+				}
+				encoded = true
+			}
+			if err := c.sendCachePut(tgt, cachePut{Key: key, Gen: gen, Data: data}); err != nil {
+				c.suspectAndProbe(tgt)
+				continue
+			}
+			c.ledger.Add(tgt.id, key)
+			nb := int64(len(data))
+			c.replicaBytes.Add(nb)
+			wire.extra.Add(nb)
+			if o := c.getObs(); o.Enabled() {
+				o.Counter(obs.MCacheReplicaBytes).Add(nb)
+			}
+		}
+	}
+}
+
+// ReplicaBytes returns the total wire bytes spent pushing cache replicas.
+func (c *Coordinator) ReplicaBytes() int64 { return c.replicaBytes.Load() }
 
 // AliveWorkers reports how many workers still answer.
 func (c *Coordinator) AliveWorkers() int {
 	n := 0
-	for _, w := range c.workers {
+	for _, w := range c.snapshotWorkers() {
 		if w.alive.Load() {
 			n++
 		}
@@ -376,12 +647,44 @@ func (c *Coordinator) AliveWorkers() int {
 	return n
 }
 
+// Members returns the membership table snapshot, in ID order.
+func (c *Coordinator) Members() []membership.Member { return c.mem.Members() }
+
+// ClusterEpoch returns the membership table's change counter.
+func (c *Coordinator) ClusterEpoch() uint64 { return c.mem.Epoch() }
+
+// ClusterFingerprint identifies the current dispatchable worker set.
+// Compiled-plan cache keys embed it, so a membership change re-derives
+// every cached plan rather than replaying one that pins dead workers.
+func (c *Coordinator) ClusterFingerprint() string { return c.mem.Fingerprint() }
+
+// snapshotWorkers returns the worker slice under the read lock. Slot i is
+// member ID i, always.
+func (c *Coordinator) snapshotWorkers() []*workerConn {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	out := make([]*workerConn, len(c.workers))
+	copy(out, c.workers)
+	return out
+}
+
+// workerByID returns the worker in slot id, or nil.
+func (c *Coordinator) workerByID(id int) *workerConn {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	if id < 0 || id >= len(c.workers) {
+		return nil
+	}
+	return c.workers[id]
+}
+
 // pickWorker returns the next live worker round-robin, or nil when none
 // remain.
 func (c *Coordinator) pickWorker() *workerConn {
-	for range c.workers {
-		i := int(c.next.Add(1)-1) % len(c.workers)
-		if w := c.workers[i]; w.alive.Load() {
+	ws := c.snapshotWorkers()
+	for range ws {
+		i := int(c.next.Add(1)-1) % len(ws)
+		if w := ws[i]; w.alive.Load() {
 			return w
 		}
 	}
@@ -408,17 +711,26 @@ func (c *Coordinator) RunStage(name string, numTasks int, fn func(t *cluster.Tas
 	return c.local.RunStage(name, numTasks, fn)
 }
 
-// Close stops heartbeats and releases worker connections. Workers themselves
-// keep running and can serve another coordinator.
+// Close stops heartbeats, the join listener and releases worker
+// connections. Workers themselves keep running and can serve another
+// coordinator.
 func (c *Coordinator) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
 	close(c.hbStop)
-	for _, w := range c.workers {
-		w.ctrl.Close()
+	c.joinMu.Lock()
+	if c.joinLn != nil {
+		c.joinLn.Close()
+	}
+	c.joinMu.Unlock()
+	for _, w := range c.snapshotWorkers() {
+		if cn := w.conn(); cn != nil {
+			cn.Close()
+		}
 	}
 	c.hbWG.Wait()
+	c.joinWG.Wait()
 	return nil
 }
 
@@ -499,7 +811,7 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		// Label the merged timeline's process tracks: the coordinator's own
 		// spans on PIDLocal, each worker's shipped spans on its own track.
 		o.Trace.SetProcessName(obs.PIDLocal, "coordinator")
-		for _, w := range c.workers {
+		for _, w := range c.snapshotWorkers() {
 			o.Trace.SetProcessName(obs.PIDWorkerBase+w.id, fmt.Sprintf("worker %d (%s)", w.id, w.addr))
 		}
 	}
@@ -599,23 +911,27 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 // runTaskWithRetry runs one task, retrying on another live worker when the
 // assigned worker dies mid-task, up to MaxTaskRetries re-attempts.
 //
-// The first attempt goes to worker taskID mod len(workers) when it is alive:
-// the same placement the simulated backend uses for its task caches, so a
-// recurring task lands on the worker that cached its inputs and the two
-// backends agree on hit counts. Retries fall back to round-robin.
-// It also returns the worker that completed the task, so the caller can
-// merge the returned span batch with that worker's clock offset.
+// Attempt r goes to worker (taskID + r) mod len(workers) when that worker
+// is alive, falling back to round-robin otherwise. Attempt 0 is therefore
+// the same home placement the simulated backend uses for its task caches
+// (so a recurring task lands on the worker that cached its inputs and the
+// two backends agree on hit counts), and attempts 1..k-1 land exactly on
+// the secondary holders replicateAdvert chose — a re-homed task finds warm
+// replicas instead of cold-starting. It also returns the worker that
+// completed the task, so the caller can merge the returned span batch with
+// that worker's clock offset.
 func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, *workerConn, error) {
 	retries := c.local.Config().MaxTaskRetries
+	ws := c.snapshotWorkers()
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			c.getObs().Counter(obs.MRetriesTotal).Inc()
 		}
 		var w *workerConn
-		if attempt == 0 {
-			if home := c.workers[taskID%len(c.workers)]; home.alive.Load() {
-				w = home
+		if len(ws) > 0 {
+			if cand := ws[(taskID+attempt)%len(ws)]; cand.alive.Load() {
+				w = cand
 			}
 		}
 		if w == nil {
@@ -631,7 +947,7 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 		lastErr = err
 		var te transportError
 		if errors.As(err, &te) {
-			c.markDead(w)
+			c.suspectAndProbe(w)
 		}
 	}
 	return taskDone{}, nil, lastErr
@@ -677,7 +993,8 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uin
 			if err != nil {
 				return taskDone{}, err
 			}
-			c.recordAdvert(w.id, ad)
+			c.ledger.Record(w.id, ad.Added, ad.Evicted)
+			c.replicateAdvert(st, w, ad, gen, wire)
 		case msgDone:
 			var done taskDone
 			if err := decodeGob(payload, &done); err != nil {

@@ -1,0 +1,347 @@
+package remote_test
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fuseme/internal/core"
+	"fuseme/internal/lang"
+	"fuseme/internal/membership"
+	"fuseme/internal/rt/remote"
+	"fuseme/internal/workloads"
+)
+
+// fastConfig is transport tuning with a tight heartbeat so liveness
+// transitions resolve in test time.
+func fastConfig() remote.Config {
+	return remote.Config{
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		DialTimeout:       500 * time.Millisecond,
+	}
+}
+
+// startElasticCluster launches n workers and a fast-heartbeat coordinator
+// with a join listener.
+func startElasticCluster(t *testing.T, n int, rcfg remote.Config) (*remote.Coordinator, []*remote.Worker, string) {
+	t.Helper()
+	workers := make([]*remote.Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		w, err := remote.NewWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	co, err := remote.NewCoordinatorConfig(testConfig(), addrs, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	joinAddr, err := co.ServeJoin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co, workers, joinAddr
+}
+
+// waitForState polls the membership table until member id reaches state.
+func waitForState(t *testing.T, co *remote.Coordinator, id int, want membership.State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, m := range co.Members() {
+			if m.ID == id && m.State == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("member %d never reached %v; table: %+v", id, want, co.Members())
+}
+
+// TestElasticJoinAndLeave grows a two-worker cluster to three through the
+// join listener, verifies the membership view propagates to the new worker,
+// runs a query on the grown cluster, then drains one worker away.
+func TestElasticJoinAndLeave(t *testing.T) {
+	co, workers, joinAddr := startElasticCluster(t, 2, fastConfig())
+	e0 := co.ClusterEpoch()
+	fp0 := co.ClusterFingerprint()
+
+	w3, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w3.Close() })
+	view, err := remote.Register(joinAddr, w3.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != 3 {
+		t.Fatalf("post-join view has %d members, want 3: %+v", len(view), view)
+	}
+	waitForState(t, co, 2, membership.Active)
+	if got := co.ClusterEpoch(); got <= e0 {
+		t.Errorf("epoch %d did not advance past %d on join", got, e0)
+	}
+	if fp := co.ClusterFingerprint(); fp == fp0 {
+		t.Errorf("fingerprint %q unchanged by join", fp)
+	}
+
+	// A second Register for the same address is an idempotent no-op.
+	eBefore := co.ClusterEpoch()
+	if _, err := remote.Register(joinAddr, w3.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.ClusterEpoch(); got != eBefore {
+		t.Errorf("re-registering a live member bumped the epoch %d -> %d", eBefore, got)
+	}
+
+	// The membership broadcast reaches the joined worker's control loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		members, epoch := w3.ClusterView()
+		if epoch == co.ClusterEpoch() && len(members) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker view never converged: members=%+v epoch=%d (coordinator epoch %d)",
+				members, epoch, co.ClusterEpoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The grown cluster computes correctly (tasks round-robin over 3 workers).
+	inputs, decls := testInputs(t, testConfig().BlockSize)
+	g, err := lang.Parse(`l = sum((X - V %*% U)^2)`, decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.Run(core.FuseME{}, g, co, inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain one original worker: Leave, then the worker finishes in-flight
+	// tasks (none here) and its membership row turns left, not dead.
+	if err := remote.Leave(joinAddr, workers[1].Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, co, 1, membership.Left)
+	if !workers[1].Drain(time.Second) {
+		t.Error("idle worker did not drain")
+	}
+	if alive := co.AliveWorkers(); alive != 2 {
+		t.Errorf("AliveWorkers = %d, want 2 after drain", alive)
+	}
+	if _, _, err := core.Run(core.FuseME{}, g, co, inputs); err != nil {
+		t.Fatalf("query after drain: %v", err)
+	}
+
+	// Leaving an address that is not a live member fails loudly.
+	if err := remote.Leave(joinAddr, workers[1].Addr(), 2*time.Second); err == nil {
+		t.Error("second Leave for the same worker succeeded")
+	}
+}
+
+// flakyProxy forwards TCP connections to a target and can sever every
+// established connection at once while continuing to accept new ones — a
+// network blip, as seen from the coordinator.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target}
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *flakyProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			up.Close()
+			return
+		}
+		p.conns = append(p.conns, c, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, c); up.Close() }()
+		go func() { io.Copy(c, up); c.Close() }()
+	}
+}
+
+// DropAll severs every live proxied connection.
+func (p *flakyProxy) DropAll() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *flakyProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.DropAll()
+}
+
+// TestSuspectProbeRecovery breaks a worker's connections without killing the
+// worker: the heartbeat must route it through suspect, and the probe's fresh
+// dial must return it to active rather than evicting it.
+func TestSuspectProbeRecovery(t *testing.T) {
+	w1, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w1.Close() })
+	w2, err := remote.NewWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w2.Close() })
+	proxy := newFlakyProxy(t, w2.Addr())
+
+	co, err := remote.NewCoordinatorConfig(testConfig(), []string{w1.Addr(), proxy.Addr()}, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+
+	e0 := co.ClusterEpoch()
+	proxy.DropAll()
+	// The next heartbeat fails, suspects the worker, probes through the
+	// still-accepting proxy, and recovers it: two transitions, net state
+	// active.
+	deadline := time.Now().Add(10 * time.Second)
+	for co.ClusterEpoch() < e0+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitForState(t, co, 1, membership.Active)
+	if alive := co.AliveWorkers(); alive != 2 {
+		t.Errorf("AliveWorkers = %d, want 2 after recovery", alive)
+	}
+
+	// The recovered cluster still computes.
+	inputs, decls := testInputs(t, testConfig().BlockSize)
+	g, err := lang.Parse(`O = X * 2 + W`, decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.Run(core.FuseME{}, g, co, inputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeathRoutesThroughSuspect kills a worker process outright: the
+// heartbeat suspects it, the probe fails, and the member lands in dead —
+// with the epoch recording both transitions.
+func TestDeathRoutesThroughSuspect(t *testing.T) {
+	co, workers, _ := startElasticCluster(t, 2, fastConfig())
+	e0 := co.ClusterEpoch()
+	workers[0].Close()
+	waitForState(t, co, 0, membership.Dead)
+	if got := co.ClusterEpoch(); got < e0+2 {
+		t.Errorf("epoch advanced %d -> %d; want >= +2 (suspect then dead)", e0, got)
+	}
+	if alive := co.AliveWorkers(); alive != 1 {
+		t.Errorf("AliveWorkers = %d, want 1", alive)
+	}
+}
+
+// TestReplicationWarmFailover is the replicated-block-placement
+// differential: with CacheReplicas=2 on a two-worker cluster, losing one
+// worker between iterations must leave the survivor's cache warm for the
+// re-homed tasks, shipping strictly fewer input bytes than the same failure
+// under CacheReplicas=1.
+func TestReplicationWarmFailover(t *testing.T) {
+	run := func(replicas int) (replicaBytes, reFetchBytes, hits int64) {
+		workers := make([]*remote.Worker, 2)
+		addrs := make([]string, 2)
+		for i := range workers {
+			w, err := remote.NewWorker("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { w.Close() })
+			w.SetCacheBytes(testCacheBudget)
+			workers[i] = w
+			addrs[i] = w.Addr()
+		}
+		cfg := testConfig()
+		cfg.CacheBytes = testCacheBudget
+		rcfg := fastConfig()
+		rcfg.CacheReplicas = replicas
+		co, err := remote.NewCoordinatorConfig(cfg, addrs, rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { co.Close() })
+
+		bs := cfg.BlockSize
+		x, u, v := gnmfInputs(bs)
+		if _, err := workloads.RunGNMF(core.FuseME{}, co, x, u.Clone(), v.Clone(), 1); err != nil {
+			t.Fatal(err)
+		}
+		replicaBytes = co.ReplicaBytes()
+
+		// Kill worker 0; its primaries are gone, and every task re-homes to
+		// worker 1 — which holds replicas of worker 0's blocks iff k=2.
+		workers[0].Close()
+		waitForState(t, co, 0, membership.Dead)
+		co.ResetStats()
+		if _, err := workloads.RunGNMF(core.FuseME{}, co, x, u.Clone(), v.Clone(), 1); err != nil {
+			t.Fatal(err)
+		}
+		st := co.Stats()
+		return replicaBytes, st.ConsolidationBytes, st.CacheHits
+	}
+
+	rb1, refetch1, _ := run(1)
+	rb2, refetch2, hits2 := run(2)
+	if rb1 != 0 {
+		t.Errorf("CacheReplicas=1 pushed %d replica bytes, want 0", rb1)
+	}
+	if rb2 == 0 {
+		t.Error("CacheReplicas=2 pushed no replica bytes")
+	}
+	if hits2 == 0 {
+		t.Error("no cache hits after failover with replicas")
+	}
+	if refetch2 >= refetch1 {
+		t.Errorf("post-failure input fetches with replicas (%d bytes) not below without (%d bytes)",
+			refetch2, refetch1)
+	}
+}

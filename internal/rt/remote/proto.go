@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"fuseme/internal/blockcache"
 	"fuseme/internal/rt/spec"
 )
 
@@ -30,8 +31,12 @@ import (
 // msgCacheInval) and the stage generation in taskAssign. Version 3 added
 // distributed tracing: the Trace flag in taskAssign, worker span batches in
 // taskDone, and the worker-clock timestamp in the pong payload that the
-// coordinator's skew estimator consumes.
-const protoVersion = 3
+// coordinator's skew estimator consumes. Version 4 added elastic
+// membership: msgJoin/msgLeave on the coordinator's join listener so
+// workers register (and drain away) at any time, msgMemberUpdate pushing
+// the membership table to workers, and msgCachePut carrying replicated
+// cache blocks to secondary holders.
+const protoVersion = 4
 
 // Frame types.
 const (
@@ -46,6 +51,12 @@ const (
 	msgFail     = byte(9)  // worker → coordinator: gob(taskFail)
 	msgCacheAd  = byte(10) // worker → coordinator: spec.EncodeCacheAdvert, on task conn before msgDone
 	msgCacheInv = byte(11) // coordinator → worker: spec.EncodeCacheInvalidate, on control conn, no reply
+
+	// Elastic-membership frames (proto v4).
+	msgJoin         = byte(12) // worker → coordinator: gob(joinReq), on join listener
+	msgLeave        = byte(13) // worker → coordinator: gob(leaveReq), on join listener
+	msgMemberUpdate = byte(14) // coordinator → worker: gob(memberUpdate); join/leave ack and control-conn push
+	msgCachePut     = byte(15) // coordinator → worker: gob(cachePut), on control conn, no reply
 )
 
 // Block payload status bytes (first byte of a msgBlock payload).
@@ -116,6 +127,50 @@ type pong struct {
 // worker re-runs the same deterministic computation.
 type taskFail struct {
 	Err string
+}
+
+// joinReq asks the coordinator to admit a worker listening on Addr. Sent on
+// a short-lived connection to the coordinator's join listener; the reply is
+// msgMemberUpdate (admitted — the payload is the current membership view)
+// or msgFail.
+type joinReq struct {
+	Proto int
+	Addr  string
+}
+
+// leaveReq announces a voluntary departure of the worker listening on Addr
+// (the drain path). The coordinator stops dispatching to it immediately;
+// in-flight tasks finish on their private task connections.
+type leaveReq struct {
+	Addr string
+}
+
+// MemberInfo is one worker's row in a membership update, mirroring
+// membership.Member without importing it into the wire format.
+type MemberInfo struct {
+	ID    int
+	Addr  string
+	State string
+	Epoch uint64
+}
+
+// memberUpdate carries the coordinator's membership table: the cluster
+// epoch and every member row. Pushed on control connections after each
+// membership change and returned as the join/leave acknowledgement.
+type memberUpdate struct {
+	Epoch   uint64
+	Members []MemberInfo
+}
+
+// cachePut replicates one cached block to a secondary holder: the worker
+// stores Data (FME1 bytes; empty = all-zero block) under Key at generation
+// Gen, exactly as if its own task had cached it. No reply — the coordinator
+// records the placement in its residency ledger optimistically and any loss
+// shows up as a miss, never as corruption.
+type cachePut struct {
+	Key  blockcache.Key
+	Gen  uint64
+	Data []byte
 }
 
 // writeFrame writes one framed message.

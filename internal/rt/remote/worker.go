@@ -31,14 +31,27 @@ type Worker struct {
 
 	// Coordinator-departure tracking: ctrlActive counts open control
 	// (heartbeat) connections; when the count returns to zero after at least
-	// one coordinator connected, gone is closed exactly once. Worker
-	// processes started with -exit-on-disconnect use this to terminate
-	// cleanly when their coordinator shuts down instead of lingering.
+	// one coordinator connected, gone is closed exactly once and drop
+	// receives a (non-blocking) signal every time it happens. Worker
+	// processes started with -exit-on-disconnect use gone to terminate
+	// cleanly when their coordinator shuts down; -join reconnect loops use
+	// drop to re-register after every loss.
 	ctrlMu     sync.Mutex
 	ctrlActive int
 	ctrlSeen   bool
 	gone       chan struct{}
 	goneOnce   sync.Once
+	drop       chan struct{}
+
+	// activeTasks counts in-flight task executions; Drain waits for it to
+	// reach zero so a SIGTERM'd worker finishes its work before leaving.
+	activeTasks atomic.Int64
+
+	// view is the latest membership table pushed by the coordinator
+	// (msgMemberUpdate), nil before the first push.
+	viewMu sync.Mutex
+	view   []MemberInfo
+	epoch  uint64
 
 	// killAfter, when positive, makes the worker die (close its listener and
 	// every connection) as the (killAfter+1)-th task arrives. Fault-injection
@@ -80,7 +93,7 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{ln: ln, gone: make(chan struct{})}
+	w := &Worker{ln: ln, gone: make(chan struct{}), drop: make(chan struct{}, 1)}
 	w.killAfter.Store(-1)
 	w.kernelOverride.Store(-1)
 	w.wg.Add(1)
@@ -196,6 +209,40 @@ func (w *Worker) Wait() { w.wg.Wait() }
 // cleanly — no retry loops, no error spam — when the coordinator shuts down.
 func (w *Worker) CoordinatorGone() <-chan struct{} { return w.gone }
 
+// ControlDrop returns a channel that receives one signal each time the
+// worker's control-connection count returns to zero — unlike
+// CoordinatorGone it keeps firing across reconnects, which is what
+// fuseme-worker's -join backoff loop waits on to re-register.
+func (w *Worker) ControlDrop() <-chan struct{} { return w.drop }
+
+// ActiveTasks returns the number of task executions currently in flight.
+func (w *Worker) ActiveTasks() int { return int(w.activeTasks.Load()) }
+
+// Drain waits until the worker has no in-flight tasks, polling, up to
+// timeout. It does not refuse new tasks by itself — the departing worker is
+// expected to have sent msgLeave first, which stops the coordinator's
+// dispatch. Returns true when the worker drained within the deadline.
+func (w *Worker) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for w.activeTasks.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
+}
+
+// ClusterView returns the latest membership table the coordinator pushed
+// (msgMemberUpdate) and its cluster epoch; nil before the first push.
+func (w *Worker) ClusterView() ([]MemberInfo, uint64) {
+	w.viewMu.Lock()
+	defer w.viewMu.Unlock()
+	out := make([]MemberInfo, len(w.view))
+	copy(out, w.view)
+	return out, w.epoch
+}
+
 func (w *Worker) acceptLoop() {
 	defer w.wg.Done()
 	for {
@@ -241,6 +288,10 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.ctrlMu.Unlock()
 		if lastGone {
 			w.goneOnce.Do(func() { close(w.gone) })
+			select {
+			case w.drop <- struct{}{}:
+			default:
+			}
 		}
 	case msgTask:
 		var assign taskAssign
@@ -275,6 +326,36 @@ func (w *Worker) controlLoop(conn net.Conn) {
 				return
 			}
 			w.cache.Load().InvalidateStale(inv.Node, inv.Epoch)
+		case msgMemberUpdate:
+			// Coordinator push after a membership change: remember the
+			// table so operators (and the reconnect loop) can inspect the
+			// worker's view of the cluster. No reply.
+			var upd memberUpdate
+			if err := decodeGob(payload, &upd); err != nil {
+				return
+			}
+			w.viewMu.Lock()
+			if upd.Epoch >= w.epoch {
+				w.view, w.epoch = upd.Members, upd.Epoch
+			}
+			w.viewMu.Unlock()
+		case msgCachePut:
+			// Replica push: store the block exactly as if one of this
+			// worker's own tasks had cached it at generation Gen. No reply;
+			// a dropped put surfaces as a later miss, never as corruption.
+			var p cachePut
+			if err := decodeGob(payload, &p); err != nil {
+				return
+			}
+			cache := w.cache.Load()
+			if cache == nil || len(p.Data) == 0 {
+				break
+			}
+			blk, err := spec.DecodeBlock(p.Data)
+			if err != nil || blk == nil {
+				break
+			}
+			cache.Put(p.Key, blk, blk.SizeBytes(), p.Gen)
 		}
 	}
 }
@@ -287,6 +368,8 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		w.Close()
 		return
 	}
+	w.activeTasks.Add(1)
+	defer w.activeTasks.Add(-1)
 	task := &cluster.Task{ID: assign.TaskID}
 	task.SetPool(w.kernelPool(assign))
 	var tt *cluster.TaskTrace

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestResizeGrowWakesWaiters: tasks queued beyond the old slot count start
+// as soon as Resize grows the scheduler.
+func TestResizeGrowWakesWaiters(t *testing.T) {
+	s := New(1)
+	first := s.Acquire("t", 1)
+	started := make(chan struct{})
+	go func() {
+		r := s.Acquire("t", 1)
+		close(started)
+		r()
+	}()
+	select {
+	case <-started:
+		t.Fatal("second task started with one slot occupied")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Resize(2)
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Resize(2) did not wake the queued waiter")
+	}
+	first()
+}
+
+// TestResizeShrinkIsGraceful: shrinking below the running count never
+// interrupts running tasks and simply stops granting until enough release.
+func TestResizeShrinkIsGraceful(t *testing.T) {
+	s := New(4)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		releases = append(releases, s.Acquire("t", 1))
+	}
+	s.Resize(1)
+	if got := s.Slots(); got != 1 {
+		t.Fatalf("Slots() = %d after Resize(1)", got)
+	}
+	started := make(chan struct{})
+	go func() {
+		r := s.Acquire("t", 1)
+		close(started)
+		r()
+	}()
+	// Releasing three of four still leaves running == 1 == slots: no grant.
+	for _, r := range releases[:3] {
+		r()
+	}
+	select {
+	case <-started:
+		t.Fatal("grant above the shrunken ceiling")
+	case <-time.After(20 * time.Millisecond):
+	}
+	releases[3]()
+	select {
+	case <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter starved after running sank below the new ceiling")
+	}
+}
+
+func TestResizeClamps(t *testing.T) {
+	s := New(3)
+	s.Resize(0)
+	if got := s.Slots(); got != 1 {
+		t.Fatalf("Resize(0) left slots = %d, want 1", got)
+	}
+	s.Resize(-5)
+	if got := s.Slots(); got != 1 {
+		t.Fatalf("Resize(-5) left slots = %d, want 1", got)
+	}
+}
+
+// TestResizeConcurrent hammers Acquire/Resize from many goroutines under
+// -race and checks the ceiling is respected at every instant for the
+// smallest concurrently configured size.
+func TestResizeConcurrent(t *testing.T) {
+	s := New(2)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				release := s.Acquire("t", 1)
+				if r := running.Add(1); r > peak.Load() {
+					peak.Store(r)
+				}
+				running.Add(-1)
+				release()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Resize(1 + i%4)
+		}
+	}()
+	wg.Wait()
+	if p := peak.Load(); p > 5 {
+		t.Fatalf("peak concurrency %d exceeds any configured ceiling (max 5)", p)
+	}
+}

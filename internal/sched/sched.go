@@ -22,9 +22,8 @@ import (
 // Scheduler is a weighted-fair slot gate. The zero value is not usable; use
 // New. All methods are safe for concurrent use.
 type Scheduler struct {
-	slots int
-
 	mu      sync.Mutex
+	slots   int
 	running int
 	tenants map[string]*tenantQ
 	ring    []*tenantQ // tenants with at least one waiter, in arrival order
@@ -51,7 +50,26 @@ func New(slots int) *Scheduler {
 }
 
 // Slots returns the scheduler's slot count.
-func (s *Scheduler) Slots() int { return s.slots }
+func (s *Scheduler) Slots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots
+}
+
+// Resize changes the slot count — the elastic-membership rebalance hook,
+// called by the TCP coordinator with alive-workers x tasks-per-node on every
+// membership change. Growing wakes queued waiters immediately; shrinking
+// never interrupts running tasks, it just stops granting until the running
+// count sinks below the new ceiling. Counts below one are clamped to one.
+func (s *Scheduler) Resize(slots int) {
+	if slots < 1 {
+		slots = 1
+	}
+	s.mu.Lock()
+	s.slots = slots
+	s.grantLocked()
+	s.mu.Unlock()
+}
 
 // Acquire blocks until a task slot is granted to tenant and returns the
 // release function for it. The empty tenant name is a valid (default)
@@ -145,7 +163,7 @@ func (s *Scheduler) RunTasks(tenant string, weight, numTasks int, fn func(i int)
 	if numTasks <= 0 {
 		return nil
 	}
-	workers := s.slots
+	workers := s.Slots()
 	if workers > numTasks {
 		workers = numTasks
 	}
@@ -224,5 +242,5 @@ func sortSnapshots(ts []TenantSnapshot) {
 // String describes the scheduler for debug output.
 func (s *Scheduler) String() string {
 	ts, running := s.Snapshot()
-	return fmt.Sprintf("sched{slots=%d running=%d tenants=%d}", s.slots, running, len(ts))
+	return fmt.Sprintf("sched{slots=%d running=%d tenants=%d}", s.Slots(), running, len(ts))
 }

@@ -454,6 +454,10 @@ type Status struct {
 	Tenants      []TenantStatus            `json:"tenants"`
 	Scheduler    []fuseme.TenantSchedStats `json:"scheduler"`
 	RunningTasks int                       `json:"running_tasks"`
+	// Workers is the TCP runtime's membership table (state, epoch per
+	// worker); empty under the simulated runtime. Dead and departed
+	// workers stay listed — slots are never reused.
+	Workers []fuseme.WorkerStatus `json:"workers,omitempty"`
 }
 
 func (s *Server) status() Status {
@@ -480,6 +484,15 @@ func (s *Server) status() Status {
 		st.Tenants = append(st.Tenants, row)
 	}
 	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Name < st.Tenants[j].Name })
+	s.sessMu.Lock()
+	pool := append([]*fuseme.Session(nil), s.sessions...)
+	s.sessMu.Unlock()
+	for _, sess := range pool {
+		if ws := sess.Workers(); ws != nil {
+			st.Workers = ws
+			break
+		}
+	}
 	return st
 }
 

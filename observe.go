@@ -162,6 +162,22 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithCacheReplicas sets how many workers hold each hot cached block on the
+// TCP runtime, including the primary. The default 1 disables replication
+// (and keeps cache-hit accounting identical to the simulated backend);
+// k > 1 pushes each newly cached loop-invariant block to k-1 secondary
+// holders so a single worker loss no longer cold-starts the next iteration.
+// Environment override: FUSEME_CACHE_REPLICAS.
+func WithCacheReplicas(k int) Option {
+	return func(s *Session) error {
+		if k < 1 {
+			return fmt.Errorf("fuseme: CacheReplicas = %d, must be >= 1", k)
+		}
+		s.rcfg.CacheReplicas = k
+		return s.rcfg.Validate()
+	}
+}
+
 // maxTaskRetries resolves the retry budget: option > environment > default.
 func (s *Session) maxTaskRetries() (int, error) {
 	if s.retries >= 0 {
@@ -223,6 +239,9 @@ func (s *Session) remoteConfig() (remote.Config, error) {
 	}
 	if s.rcfg.DialTimeout != 0 {
 		cfg.DialTimeout = s.rcfg.DialTimeout
+	}
+	if s.rcfg.CacheReplicas != 0 {
+		cfg.CacheReplicas = s.rcfg.CacheReplicas
 	}
 	return cfg, cfg.Validate()
 }

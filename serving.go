@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fuseme/internal/membership"
 	"fuseme/internal/obs"
 	"fuseme/internal/plancache"
 	"fuseme/internal/sched"
@@ -155,10 +156,85 @@ type schedSetter interface{ SetScheduler(s *sched.Scheduler) }
 // cluster parameters to the canonical DAG key, so plans compiled under
 // different configurations never collide in a shared cache. Engine structs
 // print deterministically (Go formats map fields in sorted key order).
+// Elastic backends contribute their membership fingerprint, so a plan
+// compiled against one active worker set is never replayed against another:
+// every accepted join/leave/death bumps the cluster epoch and therefore
+// re-keys the cache.
 func (s *Session) planFingerprint() string {
 	cc := s.cfg
-	return fmt.Sprintf("eng=%T%+v|cl=N%d,T%d,M%d,B%d,net%g,comp%g,kt%d,rt=%s",
+	fp := fmt.Sprintf("eng=%T%+v|cl=N%d,T%d,M%d,B%d,net%g,comp%g,kt%d,rt=%s",
 		s.engine, s.engine,
 		cc.Nodes, cc.TasksPerNode, cc.TaskMemBytes, cc.BlockSize,
 		cc.NetBandwidth, cc.CompBandwidth, cc.KernelThreads, cc.Runtime)
+	s.rtMu.Lock()
+	rtm := s.rtm
+	s.rtMu.Unlock()
+	if cf, ok := rtm.(interface{ ClusterFingerprint() string }); ok {
+		fp += "|mem=" + cf.ClusterFingerprint()
+	}
+	return fp
+}
+
+// ServeJoin starts the TCP runtime's join listener on addr (host:port; ":0"
+// picks an ephemeral port) and returns the bound address. Workers register
+// with it at any time — `fuseme-worker -join <addr>` — and announce
+// voluntary departure when draining; every accepted change rebalances
+// scheduling, reconciles cache residency and re-keys cached plans. The
+// backend is constructed on demand, so the configured seed workers must be
+// reachable. Errors under the simulated runtime, whose workers are implicit.
+func (s *Session) ServeJoin(addr string) (string, error) {
+	rtm, err := s.runtime()
+	if err != nil {
+		return "", err
+	}
+	js, ok := rtm.(interface{ ServeJoin(string) (string, error) })
+	if !ok {
+		return "", errors.New("fuseme: join listener requires the tcp runtime")
+	}
+	bound, err := js.ServeJoin(addr)
+	if err != nil {
+		return "", fmt.Errorf("fuseme: %w", err)
+	}
+	return bound, nil
+}
+
+// JoinAddr returns the join listener's bound address, or "" when ServeJoin
+// has not been called (or the backend has been closed since).
+func (s *Session) JoinAddr() string {
+	s.rtMu.Lock()
+	rtm := s.rtm
+	s.rtMu.Unlock()
+	if ja, ok := rtm.(interface{ JoinAddr() string }); ok {
+		return ja.JoinAddr()
+	}
+	return ""
+}
+
+// WorkerStatus describes one worker in the TCP runtime's membership table.
+// Dead and departed workers stay listed (their slots are never reused), so
+// the table doubles as an incident log.
+type WorkerStatus struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Epoch uint64 `json:"epoch"` // cluster epoch at this member's last transition
+}
+
+// Workers returns the TCP runtime's membership table, or nil under the
+// simulated runtime (whose workers are implicit) and before the backend's
+// first use.
+func (s *Session) Workers() []WorkerStatus {
+	s.rtMu.Lock()
+	rtm := s.rtm
+	s.rtMu.Unlock()
+	mp, ok := rtm.(interface{ Members() []membership.Member })
+	if !ok {
+		return nil
+	}
+	ms := mp.Members()
+	out := make([]WorkerStatus, len(ms))
+	for i, m := range ms {
+		out[i] = WorkerStatus{ID: m.ID, Addr: m.Addr, State: m.State.String(), Epoch: m.Epoch}
+	}
+	return out
 }
