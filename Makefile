@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck benchdiff
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck pipelinecheck deflakecheck covercheck benchdiff
 
-## check: full verification gate — gofmt, vet, docs lint, build, race-enabled tests
-check: fmtcheck vet docscheck build race
+## check: full verification gate — gofmt, vet, docs lint, build, race-enabled
+## tests with a coverage profile, and the ratcheted coverage gate
+check: fmtcheck vet docscheck build race covercheck
 
 ## docscheck: every package must carry a package-level doc comment
 docscheck:
@@ -23,7 +24,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 -coverprofile=coverage.out -covermode=atomic ./...
+
+## covercheck: parse coverage.out (written by `make race`), print the
+## per-package statement-coverage table, and fail when total coverage drops
+## below the checked-in baseline (tools/covercheck/baseline.txt). The
+## baseline only ratchets up: PRs that add coverage bump it.
+covercheck:
+	$(GO) run ./tools/covercheck coverage.out
 
 bench:
 	$(GO) test -bench=. -benchmem -run NONE ./...
@@ -66,6 +74,25 @@ chaoscheck:
 	$(GO) test -race -count=1 -run 'Elastic|Suspect|DeathRoutes|Replication|Resize' ./internal/rt/remote/ ./internal/sched/
 	$(GO) run ./cmd/fuseme-bench -exp chaos -scale 0.25 -out BENCH_chaos.json
 
+## pipelinecheck: pipelined-execution suites under the race detector — the
+## ordered stage reducer, the steal-protocol property tests, prefetch
+## admission, differential bit-identity (pipelined vs barrier, sim vs TCP),
+## prefetch/steal counter conformance, and the overlap regression gate —
+## plus the bench that records barrier-vs-pipelined overlap accounting in
+## BENCH_pipeline.json
+pipelinecheck:
+	$(GO) test -race -count=1 ./internal/prefetch/
+	$(GO) test -race -count=1 -run 'Pipeline|Steal|StageReducer|Prefetch|Straggler' ./internal/exec/ ./internal/rt/ ./internal/rt/remote/ ./internal/experiments/
+	$(GO) run ./cmd/fuseme-bench -exp pipeline -out BENCH_pipeline.json
+
+## deflakecheck: the membership/chaos suites that used to sleep-poll now
+## block on watch channels; run them 10x under the race detector to prove
+## they are event-driven, not timing-lucky
+deflakecheck:
+	$(GO) test -race -count=10 ./internal/membership/
+	$(GO) test -race -count=10 -run 'Elastic|Suspect|DeathRoutes|Membership' ./internal/rt/remote/
+	$(GO) test -race -count=2 ./internal/chaos/
+
 ## benchdiff: regenerate the bench documents into /tmp and diff them against
 ## the checked-in BENCH_*.json (non-blocking: timings vary across machines)
 benchdiff:
@@ -73,10 +100,12 @@ benchdiff:
 	$(GO) run ./cmd/fuseme-bench -exp kernels -out /tmp/BENCH_kernels.json
 	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out /tmp/BENCH_serve.json
 	$(GO) run ./cmd/fuseme-bench -exp chaos -scale 0.25 -out /tmp/BENCH_chaos.json
+	$(GO) run ./cmd/fuseme-bench -exp pipeline -out /tmp/BENCH_pipeline.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_cache.json /tmp/BENCH_cache.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_kernels.json /tmp/BENCH_kernels.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_serve.json /tmp/BENCH_serve.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_chaos.json /tmp/BENCH_chaos.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_pipeline.json /tmp/BENCH_pipeline.json
 
 ## bins: build the command-line binaries into ./bin
 bins:
@@ -84,4 +113,4 @@ bins:
 	$(GO) build -o bin/ ./cmd/...
 
 clean:
-	rm -rf bin
+	rm -rf bin coverage.out

@@ -62,6 +62,31 @@ type ClusterConfig struct {
 	// WithKernelThreads option and FUSEME_KERNEL_THREADS override this field.
 	KernelThreads int
 
+	// Pipelined stage execution (on by default): while one task's kernel
+	// runs, its worker prefetches the next queued task's recorded input
+	// blocks (bounded by PrefetchBytes), partial aggregates fold as tasks
+	// complete instead of at a stage barrier, and — on the TCP runtime —
+	// idle workers steal queued tasks from stragglers. Results are
+	// bit-identical with pipelining on or off (the driver folds partials in
+	// task-index order either way). DisablePipelining turns all three off;
+	// DisableStealing keeps prefetch and streamed aggregation but pins
+	// every task to its home worker (exact per-worker cache-hit accounting
+	// needs this). PrefetchBytes is the per-task prefetch admission budget:
+	// 0 means the 64 MiB default, clamped to TaskMemBytes. The
+	// WithPipelining / WithPrefetchBytes options and FUSEME_PREFETCH_BYTES
+	// override these fields.
+	DisablePipelining bool
+	DisableStealing   bool
+	PrefetchBytes     int64
+
+	// Oversubscribe is how many waves of tasks per slot the planner targets
+	// per stage. Zero or one (the default) sizes stages to the slot count.
+	// Larger values over-decompose each stage into Oversubscribe x more,
+	// smaller tasks, which is what gives pipelining queue depth: a worker
+	// always has a next task to prefetch for, and a straggler's backlog is
+	// stealable.
+	Oversubscribe int
+
 	// Runtime selects the execution backend: "sim" (default) runs stages
 	// in-process on the simulated cluster; "tcp" distributes them over
 	// fuseme-worker processes.
@@ -93,29 +118,37 @@ func LocalClusterConfig() ClusterConfig {
 
 func fromInternal(c cluster.Config) ClusterConfig {
 	return ClusterConfig{
-		Nodes:         c.Nodes,
-		TasksPerNode:  c.TasksPerNode,
-		TaskMemBytes:  c.TaskMemBytes,
-		NetBandwidth:  c.NetBandwidth,
-		CompBandwidth: c.CompBandwidth,
-		BlockSize:     c.BlockSize,
-		SimTimeLimit:  c.SimTimeLimit,
-		KernelThreads: c.KernelThreads,
+		Nodes:             c.Nodes,
+		TasksPerNode:      c.TasksPerNode,
+		TaskMemBytes:      c.TaskMemBytes,
+		NetBandwidth:      c.NetBandwidth,
+		CompBandwidth:     c.CompBandwidth,
+		BlockSize:         c.BlockSize,
+		SimTimeLimit:      c.SimTimeLimit,
+		KernelThreads:     c.KernelThreads,
+		DisablePipelining: c.DisablePipelining,
+		DisableStealing:   c.DisableStealing,
+		PrefetchBytes:     c.PrefetchBytes,
+		Oversubscribe:     c.Oversubscribe,
 	}
 }
 
 func (c ClusterConfig) internal() cluster.Config {
 	return cluster.Config{
-		Nodes:          c.Nodes,
-		TasksPerNode:   c.TasksPerNode,
-		TaskMemBytes:   c.TaskMemBytes,
-		NetBandwidth:   c.NetBandwidth,
-		CompBandwidth:  c.CompBandwidth,
-		BlockSize:      c.BlockSize,
-		SimTimeLimit:   c.SimTimeLimit,
-		KernelThreads:  c.KernelThreads,
-		TaskOverhead:   0.005,
-		MaxTaskRetries: defaultMaxTaskRetries,
+		Nodes:             c.Nodes,
+		TasksPerNode:      c.TasksPerNode,
+		TaskMemBytes:      c.TaskMemBytes,
+		NetBandwidth:      c.NetBandwidth,
+		CompBandwidth:     c.CompBandwidth,
+		BlockSize:         c.BlockSize,
+		SimTimeLimit:      c.SimTimeLimit,
+		KernelThreads:     c.KernelThreads,
+		DisablePipelining: c.DisablePipelining,
+		DisableStealing:   c.DisableStealing,
+		PrefetchBytes:     c.PrefetchBytes,
+		Oversubscribe:     c.Oversubscribe,
+		TaskOverhead:      0.005,
+		MaxTaskRetries:    defaultMaxTaskRetries,
 	}
 }
 
@@ -192,6 +225,27 @@ type Stats struct {
 	CacheMisses     int64 // cacheable fetches that had to ship
 	CacheEvictions  int64 // blocks dropped to respect the byte budget
 	CacheSavedBytes int64 // wire bytes avoided by cache hits
+
+	// Pipelined-execution counters (zero with pipelining disabled; the
+	// seconds and steal counters are TCP-runtime measurements and stay zero
+	// under simulation, whose clock is modelled).
+	PrefetchBlocks  int64   // blocks pulled ahead of their task
+	PrefetchBytes   int64   // in-memory bytes of those blocks
+	StealTasks      int64   // tasks idle workers stole from stragglers
+	FetchSeconds    float64 // wire wait inside task bodies
+	PrefetchSeconds float64 // wire time hidden under running kernels
+	TaskSeconds     float64 // total task wall time on workers
+}
+
+// OverlapRatio is the share of wire time hidden under kernels:
+// PrefetchSeconds / (PrefetchSeconds + FetchSeconds). 1 means every
+// transferred byte was prefetched while compute ran; 0 means barrier-like
+// behaviour (or no measurements, as under simulation).
+func (s Stats) OverlapRatio() float64 {
+	if s.PrefetchSeconds+s.FetchSeconds <= 0 {
+		return 0
+	}
+	return s.PrefetchSeconds / (s.PrefetchSeconds + s.FetchSeconds)
 }
 
 // TotalCommBytes is consolidation plus aggregation traffic — the
@@ -220,6 +274,12 @@ func statsFrom(c cluster.Stats) Stats {
 		CacheMisses:        c.CacheMisses,
 		CacheEvictions:     c.CacheEvictions,
 		CacheSavedBytes:    c.CacheSavedBytes,
+		PrefetchBlocks:     c.PrefetchBlocks,
+		PrefetchBytes:      c.PrefetchBytes,
+		StealTasks:         c.StealTasks,
+		FetchSeconds:       c.FetchSeconds,
+		PrefetchSeconds:    c.PrefetchSeconds,
+		TaskSeconds:        c.TaskSeconds,
 	}
 }
 
@@ -323,6 +383,8 @@ type Session struct {
 	retries       int           // WithMaxTaskRetries; -1 = env/default
 	cacheBytes    int64         // WithBlockCache; -1 = env/default
 	kernelThreads int           // WithKernelThreads; -1 = env/config/default
+	pipelining    int           // WithPipelining; -1 = config field, 0 = off, 1 = on
+	prefetchBytes int64         // WithPrefetchBytes; 0 = env/config/default
 
 	planCache   *PlanCache // WithPlanCache; nil = compile every query
 	sched       *Scheduler // WithScheduler; nil = backend-private dispatch
@@ -351,6 +413,7 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		retries:       -1,
 		cacheBytes:    -1,
 		kernelThreads: -1,
+		pipelining:    -1,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -364,6 +427,9 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	if _, err := s.kernelThreadsSetting(); err != nil {
+		return nil, err
+	}
+	if _, err := s.prefetchBytesSetting(); err != nil {
 		return nil, err
 	}
 	if _, err := s.remoteConfig(); err != nil {
@@ -484,6 +550,17 @@ func (s *Session) clusterConfig() (cluster.Config, error) {
 		return cc, err
 	}
 	cc.KernelThreads = kernelThreads
+	prefetchBytes, err := s.prefetchBytesSetting()
+	if err != nil {
+		return cc, err
+	}
+	cc.PrefetchBytes = prefetchBytes
+	switch s.pipelining {
+	case 0:
+		cc.DisablePipelining = true
+	case 1:
+		cc.DisablePipelining = false
+	}
 	return cc, nil
 }
 

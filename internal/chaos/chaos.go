@@ -292,12 +292,15 @@ func (h *harness) apply(ev Event) (desc string, recovery time.Duration, err erro
 	}
 }
 
-// waitState polls the membership table until the newest member at addr
-// reaches the wanted state (rejoined addresses create new rows; the latest
-// row is the live one).
+// waitState blocks until the newest member at addr reaches the wanted state
+// (rejoined addresses create new rows; the latest row is the live one),
+// waking on membership change events instead of sleep-polling. The watch
+// channel is snapshotted before each table inspection, so a transition
+// racing the check still wakes the waiter.
 func (h *harness) waitState(addr string, want membership.State) error {
-	deadline := time.Now().Add(15 * time.Second)
+	deadline := time.After(15 * time.Second)
 	for {
+		changed := h.co.MembershipWatch()
 		var st membership.State = membership.None
 		for _, m := range h.co.Members() {
 			if m.Addr == addr {
@@ -307,10 +310,11 @@ func (h *harness) waitState(addr string, want membership.State) error {
 		if st == want {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-changed:
+		case <-deadline:
 			return fmt.Errorf("worker %s never reached %v (stuck at %v)", addr, want, st)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -339,6 +343,12 @@ func diffStats(cur, prev cluster.Stats) cluster.Stats {
 		CacheMisses:        cur.CacheMisses - prev.CacheMisses,
 		CacheEvictions:     cur.CacheEvictions - prev.CacheEvictions,
 		CacheSavedBytes:    cur.CacheSavedBytes - prev.CacheSavedBytes,
+		PrefetchBlocks:     cur.PrefetchBlocks - prev.PrefetchBlocks,
+		PrefetchBytes:      cur.PrefetchBytes - prev.PrefetchBytes,
+		StealTasks:         cur.StealTasks - prev.StealTasks,
+		FetchSeconds:       cur.FetchSeconds - prev.FetchSeconds,
+		PrefetchSeconds:    cur.PrefetchSeconds - prev.PrefetchSeconds,
+		TaskSeconds:        cur.TaskSeconds - prev.TaskSeconds,
 	}
 }
 

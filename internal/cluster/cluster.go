@@ -23,6 +23,7 @@ import (
 	"fuseme/internal/blockcache"
 	"fuseme/internal/matrix"
 	"fuseme/internal/parallel"
+	"fuseme/internal/prefetch"
 	"fuseme/internal/sched"
 )
 
@@ -63,6 +64,32 @@ type Config struct {
 	// KernelThreads x TasksPerNode at or below the node's core count:
 	// oversubscribed kernel threads only add scheduler churn.
 	KernelThreads int
+
+	// Pipelined stage execution (on by default; see internal/prefetch and
+	// the coordinator's task queues). DisablePipelining restores the strict
+	// fetch → kernel → send barrier per task: no next-task prefetch, no
+	// streamed result folding, no work-stealing. DisableStealing keeps
+	// prefetch and streaming but pins every task to its home worker —
+	// deterministic placement, which tests asserting exact per-worker cache
+	// counts rely on. PrefetchBytes bounds how many input bytes a worker may
+	// pull ahead for its next task: zero means the 64 MiB default, negative
+	// disables prefetch alone; the effective budget is clamped to
+	// TaskMemBytes so prefetched blocks respect θt like any task memory.
+	DisablePipelining bool
+	DisableStealing   bool
+	PrefetchBytes     int64
+
+	// Oversubscribe is how many waves of tasks per slot the planner targets
+	// when sizing a stage. Zero or one (the default) sizes stages to the
+	// slot count — every task in a stage starts at once, and plans are
+	// identical to builds without the knob. Larger values over-decompose
+	// each stage into Oversubscribe× more, smaller tasks, which is what
+	// gives the pipelined runtime queue depth: a worker always has a "next
+	// task" whose inputs it can prefetch behind the running kernel, and a
+	// straggler's backlog is stealable. The cuboid parallelism floor
+	// (P*Q*R >= N*Tc*waves) and the grid executors scale together so sim
+	// and TCP runs decompose identically.
+	Oversubscribe int
 
 	// MaxTaskRetries is how many times a failed task is re-attempted before
 	// the stage fails (Spark's task retry). Zero means no retries.
@@ -108,12 +135,48 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: BlockSize = %d, must be positive", c.BlockSize)
 	case c.KernelThreads < 0:
 		return fmt.Errorf("cluster: KernelThreads = %d, must be >= 0", c.KernelThreads)
+	case c.Oversubscribe < 0:
+		return fmt.Errorf("cluster: Oversubscribe = %d, must be >= 0", c.Oversubscribe)
 	}
 	return nil
 }
 
 // TotalSlots returns N * Tc, the maximum parallelism of the cluster.
 func (c Config) TotalSlots() int { return c.Nodes * c.TasksPerNode }
+
+// Waves returns the effective over-decomposition factor (>= 1).
+func (c Config) Waves() int {
+	if c.Oversubscribe > 1 {
+		return c.Oversubscribe
+	}
+	return 1
+}
+
+// PlanSlots returns the task count the planner targets per stage:
+// TotalSlots() times the over-decomposition factor.
+func (c Config) PlanSlots() int { return c.TotalSlots() * c.Waves() }
+
+// DefaultPrefetchBytes is the per-worker prefetch budget when
+// Config.PrefetchBytes is zero.
+const DefaultPrefetchBytes = 64 << 20
+
+// EffectivePrefetchBytes resolves the prefetch byte budget: zero when
+// pipelining (or prefetch alone) is disabled, otherwise PrefetchBytes —
+// defaulted to DefaultPrefetchBytes — clamped to the per-task memory
+// budget θt.
+func (c Config) EffectivePrefetchBytes() int64 {
+	if c.DisablePipelining || c.PrefetchBytes < 0 {
+		return 0
+	}
+	b := c.PrefetchBytes
+	if b == 0 {
+		b = DefaultPrefetchBytes
+	}
+	if b > c.TaskMemBytes {
+		b = c.TaskMemBytes
+	}
+	return b
+}
 
 // EffectiveCompBandwidth returns the modelled per-node compute bandwidth:
 // B̂c scaled by the explicit kernel thread count. With KernelThreads zero
@@ -155,6 +218,33 @@ type Stats struct {
 	CacheMisses     int64
 	CacheEvictions  int64
 	CacheSavedBytes int64
+
+	// Pipelined-execution counters (zero with DisablePipelining). A
+	// prefetch is an input block pulled for a task's queue successor while
+	// the current kernel runs; a steal is a queued task executed by a
+	// worker other than its home. The seconds counters decompose task time:
+	// FetchSeconds is wire-wait inside task bodies, PrefetchSeconds is wire
+	// time hidden under kernels, TaskSeconds total task wall time. The
+	// simulated backend models prefetch counts (identically to TCP) but
+	// reports no seconds — its clock is the Eq. 2 model, not wall time.
+	PrefetchBlocks  int64
+	PrefetchBytes   int64
+	StealTasks      int64
+	FetchSeconds    float64
+	PrefetchSeconds float64
+	TaskSeconds     float64
+}
+
+// OverlapRatio is the fraction of block-transfer time hidden under kernel
+// execution by prefetching: PrefetchSeconds / (PrefetchSeconds +
+// FetchSeconds). Zero when nothing transferred (or under simulation, which
+// reports no wall-clock phase times).
+func (s Stats) OverlapRatio() float64 {
+	total := s.PrefetchSeconds + s.FetchSeconds
+	if total <= 0 {
+		return 0
+	}
+	return s.PrefetchSeconds / total
 }
 
 // TotalCommBytes is consolidation plus aggregation traffic.
@@ -187,6 +277,15 @@ type StatsView struct {
 		Evictions  int64 `json:"evictions"`
 		SavedBytes int64 `json:"saved_bytes"`
 	} `json:"cache"`
+	Pipeline struct {
+		PrefetchBlocks  int64   `json:"prefetch_blocks"`
+		PrefetchBytes   int64   `json:"prefetch_bytes"`
+		StealTasks      int64   `json:"steal_tasks"`
+		FetchSeconds    float64 `json:"fetch_seconds"`
+		PrefetchSeconds float64 `json:"prefetch_seconds"`
+		TaskSeconds     float64 `json:"task_seconds"`
+		OverlapRatio    float64 `json:"overlap_ratio"`
+	} `json:"pipeline"`
 	Time struct {
 		SimSeconds  float64 `json:"sim_seconds"`
 		WallSeconds float64 `json:"wall_seconds"`
@@ -210,6 +309,13 @@ func (s Stats) View() StatsView {
 	v.Cache.Misses = s.CacheMisses
 	v.Cache.Evictions = s.CacheEvictions
 	v.Cache.SavedBytes = s.CacheSavedBytes
+	v.Pipeline.PrefetchBlocks = s.PrefetchBlocks
+	v.Pipeline.PrefetchBytes = s.PrefetchBytes
+	v.Pipeline.StealTasks = s.StealTasks
+	v.Pipeline.FetchSeconds = s.FetchSeconds
+	v.Pipeline.PrefetchSeconds = s.PrefetchSeconds
+	v.Pipeline.TaskSeconds = s.TaskSeconds
+	v.Pipeline.OverlapRatio = s.OverlapRatio()
 	v.Time.SimSeconds = s.SimSeconds
 	v.Time.WallSeconds = s.WallSeconds
 	return v
@@ -229,6 +335,12 @@ func (s *Stats) Add(other Stats) {
 	s.CacheMisses += other.CacheMisses
 	s.CacheEvictions += other.CacheEvictions
 	s.CacheSavedBytes += other.CacheSavedBytes
+	s.PrefetchBlocks += other.PrefetchBlocks
+	s.PrefetchBytes += other.PrefetchBytes
+	s.StealTasks += other.StealTasks
+	s.FetchSeconds += other.FetchSeconds
+	s.PrefetchSeconds += other.PrefetchSeconds
+	s.TaskSeconds += other.TaskSeconds
 	if other.PeakTaskMemBytes > s.PeakTaskMemBytes {
 		s.PeakTaskMemBytes = other.PeakTaskMemBytes
 	}
@@ -271,6 +383,11 @@ type Cluster struct {
 	// making hit counts independent of in-stage scheduling order. It is
 	// never reset (ResetStats keeps it), so caching works across queries.
 	stageSeq atomic.Uint64
+
+	// hist is the prefetch fetch-history for pipelined execution: each
+	// stage's first run records per-task fetch lists, re-runs replay them as
+	// prefetch hints. Persistent across queries, like the caches.
+	hist *prefetch.History
 }
 
 // New creates a cluster from cfg.
@@ -278,7 +395,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, hist: prefetch.NewHistory()}
 	localSlots := cfg.TotalSlots()
 	if n := runtime.GOMAXPROCS(0); n < localSlots {
 		localSlots = n
@@ -343,6 +460,11 @@ func (c *Cluster) StageCacheGen() uint64 { return c.stageSeq.Load() + 1 }
 // going through RunStage (the TCP coordinator) call it per spec stage.
 func (c *Cluster) NextStageGen() uint64 { return c.stageSeq.Add(1) }
 
+// PrefetchHistory returns the cluster's prefetch fetch-history. The
+// executor's simulated prefetch model records into and replays from it;
+// the TCP coordinator keeps its own (fed from worker fetch reports).
+func (c *Cluster) PrefetchHistory() *prefetch.History { return c.hist }
+
 // TaskCache returns the block cache of the node that task taskID runs on,
 // or nil when caching is disabled.
 func (c *Cluster) TaskCache(taskID int) *blockcache.Cache {
@@ -404,6 +526,9 @@ type Task struct {
 	cacheMisses     int64
 	cacheEvictions  int64
 	cacheSavedBytes int64
+
+	prefetchBlocks int64
+	prefetchBytes  int64
 }
 
 // SetPool hands the task a kernel pool for intra-task parallelism. Backends
@@ -474,6 +599,19 @@ func (t *Task) CacheMiss() { t.cacheMisses++ }
 
 // AddCacheEvictions meters entries the task's insertions evicted.
 func (t *Task) AddCacheEvictions(n int) { t.cacheEvictions += int64(n) }
+
+// AddPrefetch meters input blocks pulled ahead for this task's queue
+// successor while its own kernel ran (or, under simulation, blocks the
+// model determined would have been pulled ahead).
+func (t *Task) AddPrefetch(blocks, bytes int64) {
+	t.prefetchBlocks += blocks
+	t.prefetchBytes += bytes
+}
+
+// PrefetchCounters returns the task's prefetch metering.
+func (t *Task) PrefetchCounters() (blocks, bytes int64) {
+	return t.prefetchBlocks, t.prefetchBytes
+}
 
 // Counters returns the task's accumulated metering, for backends that fold
 // task metrics into stage statistics outside RunStage (the remote runtime's
@@ -567,6 +705,8 @@ func (c *Cluster) RunStage(name string, numTasks int, fn func(t *Task) error) er
 		stage.CacheMisses += tasks[i].cacheMisses
 		stage.CacheEvictions += tasks[i].cacheEvictions
 		stage.CacheSavedBytes += tasks[i].cacheSavedBytes
+		stage.PrefetchBlocks += tasks[i].prefetchBlocks
+		stage.PrefetchBytes += tasks[i].prefetchBytes
 		if tasks[i].memPeak > stage.PeakTaskMemBytes {
 			stage.PeakTaskMemBytes = tasks[i].memPeak
 		}

@@ -24,14 +24,14 @@ func modelFor(cc cluster.Config) cost.Model {
 		NetBW:        c.NetBandwidth,
 		CompBW:       c.EffectiveCompBandwidth(),
 		TaskMemBytes: c.TaskMemBytes,
-		MinTasks:     c.TotalSlots(),
+		MinTasks:     c.PlanSlots(),
 	}
 }
 
 // gridOp builds the physical operator for a plan without matrix
 // multiplication (or any plan executed as a partitioned map).
 func gridOp(p *fusion.Plan, cc cluster.Config, kind string) *PhysOp {
-	net, com, mem := cost.ElementwiseEstimates(p, cc.TotalSlots())
+	net, com, mem := cost.ElementwiseEstimates(p, cc.PlanSlots())
 	return &PhysOp{Plan: p, Strategy: exec.Cuboid, Kind: kind,
 		EstNetBytes: net, EstComFlops: com, EstMemPerTask: mem}
 }

@@ -70,7 +70,7 @@ func (op *MultiAggOp) Execute(rtm rt.Runtime, bind Bindings) ([]*block.Matrix, e
 	gi := (child.Rows + bs - 1) / bs
 	gj := (child.Cols + bs - 1) / bs
 	totalBlocks := gi * gj
-	numTasks := min(rtm.Config().TotalSlots(), totalBlocks)
+	numTasks := min(rtm.Config().PlanSlots(), totalBlocks)
 	if numTasks < 1 {
 		numTasks = 1
 	}

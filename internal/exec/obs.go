@@ -75,6 +75,26 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	o.Counter(obs.MCacheEvictions).Add(after.CacheEvictions - before.CacheEvictions)
 	o.Gauge(obs.MCacheSavedBytes).Set(float64(after.CacheSavedBytes))
 
+	// Pipelined-execution diff. The TCP coordinator already bumps the
+	// fuseme_prefetch_*/fuseme_steal_* counters as it serves pulls; the
+	// simulated backend only folds its modelled admissions into Stats, so
+	// the counters are caught up from the stats diff here. Phase seconds
+	// feed the flight record's overlap ratio below.
+	pfBlocks := after.PrefetchBlocks - before.PrefetchBlocks
+	pfBytes := after.PrefetchBytes - before.PrefetchBytes
+	steals := after.StealTasks - before.StealTasks
+	if _, sim := rtm.(prefetchHistorian); sim {
+		o.Counter(obs.MPrefetchBlocks).Add(pfBlocks)
+		o.Counter(obs.MPrefetchBytes).Add(pfBytes)
+	}
+	dFetch := after.FetchSeconds - before.FetchSeconds
+	dPrefetch := after.PrefetchSeconds - before.PrefetchSeconds
+	dTask := after.TaskSeconds - before.TaskSeconds
+	overlap := 0.0
+	if dFetch+dPrefetch > 0 {
+		overlap = dPrefetch / (dPrefetch + dFetch)
+	}
+
 	// Flight recorder: one black-box line per stage execution, joining the
 	// operator's prediction (when the planner recorded one) to this stage's
 	// stats diff.
@@ -101,6 +121,14 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 		CacheHits:              after.CacheHits - before.CacheHits,
 		CacheMisses:            after.CacheMisses - before.CacheMisses,
 		CacheSavedBytes:        after.CacheSavedBytes - before.CacheSavedBytes,
+
+		PrefetchBlocks:      pfBlocks,
+		PrefetchBytes:       pfBytes,
+		StealTasks:          steals,
+		MeasFetchSeconds:    dFetch,
+		MeasPrefetchSeconds: dPrefetch,
+		MeasTaskSeconds:     dTask,
+		OverlapRatio:        overlap,
 	})
 	if hasPool {
 		pool := pooled.KernelPool()

@@ -30,9 +30,11 @@ func runTask(fn func() error) (err error) {
 
 // dispatch hands one stage to the runtime: the closure runs runStageTask
 // in-process; descriptor-capable runtimes ship the spec to workers and feed
-// results back through Collect. Both paths route results the same way, and
-// both are wrapped in the operator's observability (spans, metrics,
-// calibration measurement) when enabled.
+// results back through Collect. Both paths route results through a
+// task-index-ordered stage reducer, so streamed (pipelined) and barrier
+// execution fold floating-point results in the same order and stay
+// bit-identical. Both are wrapped in the operator's observability (spans,
+// metrics, calibration measurement) when enabled.
 func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route emitFn) error {
 	var cacher rt.BlockCacher
 	var gen uint64
@@ -47,7 +49,26 @@ func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route
 			cacher.InvalidateStaleEpochs(ne.Node, ne.Epoch)
 		}
 	}
-	return runObservedStage(rtm, ctx.op.Obs, ctx.op.opKey(), &rt.Stage{
+	cfg := rtm.Config()
+	red := newStageReducer(ctx.sp.NumTasks, route, !cfg.DisablePipelining)
+	// The simulated prefetch model runs only on runtimes exposing a fetch
+	// history in-process (the sim cluster); the TCP coordinator prefetches
+	// for real, worker-side, and meters through the same admission loop.
+	var pf *simPrefetcher
+	if ph, ok := rtm.(prefetchHistorian); ok {
+		if budget := cfg.EffectivePrefetchBytes(); budget > 0 {
+			pf = &simPrefetcher{
+				hist:   ph.PrefetchHistory(),
+				budget: budget,
+				stride: cfg.Nodes * cfg.TasksPerNode,
+				sp:     ctx.sp,
+				src:    src,
+				cacher: cacher,
+				gen:    gen,
+			}
+		}
+	}
+	err := runObservedStage(rtm, ctx.op.Obs, ctx.op.opKey(), &rt.Stage{
 		Name:     name,
 		NumTasks: ctx.sp.NumTasks,
 		Fn: func(task *cluster.Task) error {
@@ -57,21 +78,44 @@ func dispatch(rtm rt.Runtime, name string, ctx *stageCtx, src blockSource, route
 					cc = &CacheCtx{Cache: cache, Gen: gen}
 				}
 			}
-			return runStageTask(ctx, task.ID, task, src, route, cc)
+			red.reset(task.ID)
+			taskSrc := src
+			var rec *fetchRecorder
+			if pf != nil {
+				pf.model(task)
+				rec = &fetchRecorder{src: src}
+				taskSrc = rec
+			}
+			if err := runStageTask(ctx, task.ID, task, taskSrc, red.emitFor(task.ID), cc); err != nil {
+				return err
+			}
+			if pf != nil {
+				pf.hist.Record(ctx.sp.Name, ctx.sp.NumTasks, task.ID, rec.refs)
+			}
+			red.complete(task.ID)
+			return nil
 		},
 		Spec:  ctx.sp,
 		Fetch: src.fetch,
 		Collect: func(taskID int, blocks []spec.OutBlock) error {
+			red.reset(taskID)
+			emit := red.emitFor(taskID)
 			for _, ob := range blocks {
 				blk, err := spec.DecodeBlock(ob.Data)
 				if err != nil {
 					return fmt.Errorf("exec: decoding task %d result block (%d,%d): %w", taskID, ob.BI, ob.BJ, err)
 				}
-				route(ob.Kind, ob.BI, ob.BJ, blk)
+				emit(ob.Kind, ob.BI, ob.BJ, blk)
 			}
+			red.complete(taskID)
 			return nil
 		},
 	})
+	if err != nil {
+		return err
+	}
+	red.finish()
+	return nil
 }
 
 // executeCuboid runs the plan under (P,Q,R) cuboid partitioning: the CFO
@@ -172,7 +216,7 @@ func (op *FusedOp) executeGrid(rtm rt.Runtime, bind Bindings) (*block.Matrix, er
 	gi := (root.Rows + bs - 1) / bs
 	gj := (root.Cols + bs - 1) / bs
 	totalBlocks := gi * gj
-	numTasks := min(rtm.Config().TotalSlots(), totalBlocks)
+	numTasks := min(rtm.Config().PlanSlots(), totalBlocks)
 	if numTasks < 1 {
 		numTasks = 1
 	}

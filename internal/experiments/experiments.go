@@ -123,6 +123,7 @@ var registry = map[string]Runner{
 	"cache":    Cache,
 	"chaos":    Chaos,
 	"kernels":  Kernels,
+	"pipeline": Pipeline,
 	"serve":    Serve,
 }
 

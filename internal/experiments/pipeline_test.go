@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPipelineBenchOverlap is the overlap regression gate: on a real
+// two-worker TCP run, pipelined execution must actually prefetch (hidden
+// wire time > 0) and its wall time must land at least as close to the cost
+// model's max(net, comp) prediction as the barrier run does, within a small
+// timing-noise allowance. A regression that silently turns prefetch off, or
+// that makes pipelining slower than the barrier, fails here.
+func TestPipelineBenchOverlap(t *testing.T) {
+	rep, tables, err := PipelineBench(Options{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("want one table with two rows, got %+v", tables)
+	}
+
+	p, b := rep.Pipelined, rep.Barrier
+	if p.PrefetchBlocks == 0 || p.PrefetchBytes == 0 {
+		t.Errorf("pipelined run prefetched nothing (blocks=%d bytes=%d)",
+			p.PrefetchBlocks, p.PrefetchBytes)
+	}
+	if p.OverlapRatio <= 0 {
+		t.Errorf("pipelined overlap ratio = %v, want > 0", p.OverlapRatio)
+	}
+	if b.PrefetchBlocks != 0 || b.OverlapRatio != 0 {
+		t.Errorf("barrier run reported prefetch (blocks=%d overlap=%v), want none",
+			b.PrefetchBlocks, b.OverlapRatio)
+	}
+	if b.StealTasks != 0 {
+		t.Errorf("barrier run stole %d tasks, want 0", b.StealTasks)
+	}
+	if p.Tasks != b.Tasks {
+		t.Errorf("task counts differ: pipelined %d vs barrier %d", p.Tasks, b.Tasks)
+	}
+
+	// Wall-clock assertions are loose on purpose: the win at smoke scale is
+	// a few percent, which is smaller than scheduler noise on a loaded CI
+	// machine. The gate only rules out gross regressions — pipelining much
+	// slower than the barrier, or drifting further from the prediction.
+	const slack = 0.10 // seconds
+	if p.WallSeconds > b.WallSeconds*1.25+slack {
+		t.Errorf("pipelined wall %.3fs much slower than barrier %.3fs",
+			p.WallSeconds, b.WallSeconds)
+	}
+	if p.DistanceSeconds > b.DistanceSeconds+slack {
+		t.Errorf("pipelined distance to max(net, comp) %.3fs exceeds barrier's %.3fs",
+			p.DistanceSeconds, b.DistanceSeconds)
+	}
+}
+
+// TestPipelineReportOut: the registered runner writes the JSON document and
+// it round-trips with the measured report fields populated.
+func TestPipelineReportOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if _, err := Run("pipeline", Options{Scale: 0.5, ReportOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PipelineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 || rep.Iterations == 0 || rep.Pipelined.Tasks == 0 {
+		t.Fatalf("report missing fields: %+v", rep)
+	}
+	if rep.Pipelined.PrefetchBlocks == 0 {
+		t.Error("written report shows no prefetch")
+	}
+}

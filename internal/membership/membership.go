@@ -121,10 +121,33 @@ type Table struct {
 	epoch    uint64
 	changes  int64
 	onChange func(Event)
+	watch    chan struct{}
 }
 
 // NewTable returns an empty table at epoch 0.
 func NewTable() *Table { return &Table{} }
+
+// Watch returns a channel closed at the next accepted membership change.
+// Waiters snapshot the channel BEFORE inspecting the table, check their
+// condition, and block on the channel only if it does not hold yet — the
+// close wakes them to re-check, so no caller needs to sleep-poll. Each
+// accepted change closes the current channel and installs a fresh one.
+func (t *Table) Watch() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.watch == nil {
+		t.watch = make(chan struct{})
+	}
+	return t.watch
+}
+
+// notifyLocked wakes Watch waiters; the caller holds t.mu.
+func (t *Table) notifyLocked() {
+	if t.watch != nil {
+		close(t.watch)
+		t.watch = nil
+	}
+}
 
 // OnChange installs the callback invoked (synchronously, outside the table
 // lock) after every accepted change. Install it before the first Join; a
@@ -145,6 +168,7 @@ func (t *Table) Join(addr string) Member {
 	t.members = append(t.members, m)
 	ev := Event{Member: m, From: None, To: Joining, Epoch: t.epoch}
 	fn := t.onChange
+	t.notifyLocked()
 	t.mu.Unlock()
 	if fn != nil {
 		fn(ev)
@@ -174,6 +198,7 @@ func (t *Table) Transition(id int, to State) (Member, error) {
 	m := t.members[id]
 	ev := Event{Member: m, From: from, To: to, Epoch: t.epoch}
 	fn := t.onChange
+	t.notifyLocked()
 	t.mu.Unlock()
 	if fn != nil {
 		fn(ev)

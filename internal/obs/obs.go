@@ -165,6 +165,15 @@ const (
 	MKernelSerialCalls   = "fuseme_kernel_serial_calls_total"
 	MKernelHelperRuns    = "fuseme_kernel_helper_runs_total"
 
+	// Pipelined-execution metrics. MPrefetchBlocks/MPrefetchBytes count
+	// blocks pulled ahead of their task (bytes are in-memory block sizes,
+	// the same accounting on both runtimes); MStealTasks counts tasks an
+	// idle worker stole from a straggler's queue (always 0 under
+	// simulation, whose global slot pool never idles a worker).
+	MPrefetchBlocks = "fuseme_prefetch_blocks_total"
+	MPrefetchBytes  = "fuseme_prefetch_bytes_total"
+	MStealTasks     = "fuseme_steal_tasks_total"
+
 	// Plan-cache metrics (compiled-plan reuse across repeat queries).
 	MPlanCacheHits    = "fuseme_plancache_hits_total"
 	MPlanCacheMisses  = "fuseme_plancache_misses_total"

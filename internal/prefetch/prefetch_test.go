@@ -1,0 +1,134 @@
+package prefetch
+
+import (
+	"fmt"
+	"testing"
+
+	"fuseme/internal/rt/spec"
+)
+
+func ref(node, bi, bj int) spec.BlockRef {
+	return spec.BlockRef{Kind: spec.RefInput, Node: node, BI: bi, BJ: bj}
+}
+
+func TestHistoryRecordLookup(t *testing.T) {
+	h := NewHistory()
+	if got := h.Lookup("s", 4, 1); got != nil {
+		t.Fatalf("empty history returned %v", got)
+	}
+	refs := []spec.BlockRef{ref(1, 0, 0), ref(2, 0, 1)}
+	h.Record("s", 4, 1, refs)
+	got := h.Lookup("s", 4, 1)
+	if len(got) != 2 || got[0] != refs[0] || got[1] != refs[1] {
+		t.Fatalf("Lookup = %v, want %v", got, refs)
+	}
+	// Other tasks of the stage are still unrecorded.
+	if got := h.Lookup("s", 4, 0); got != nil {
+		t.Fatalf("unrecorded task returned %v", got)
+	}
+	// Same name with a different task count is a different stage shape.
+	if got := h.Lookup("s", 8, 1); got != nil {
+		t.Fatalf("different shape returned %v", got)
+	}
+	// Re-recording replaces.
+	h.Record("s", 4, 1, []spec.BlockRef{ref(9, 9, 9)})
+	if got := h.Lookup("s", 4, 1); len(got) != 1 || got[0] != ref(9, 9, 9) {
+		t.Fatalf("re-record not applied: %v", got)
+	}
+	// Out-of-range records are ignored.
+	h.Record("s", 4, 7, refs)
+	h.Record("s", 4, -1, refs)
+	if got := h.Lookup("s", 4, 7); got != nil {
+		t.Fatalf("out-of-range record stored: %v", got)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	h := NewHistory()
+	for i := 0; i < maxStages+10; i++ {
+		h.Record(fmt.Sprintf("stage-%d", i), 1, 0, []spec.BlockRef{ref(i, 0, 0)})
+	}
+	if got := h.Stages(); got != maxStages {
+		t.Fatalf("history retains %d stages, want %d", got, maxStages)
+	}
+	if got := h.Lookup("stage-0", 1, 0); got != nil {
+		t.Fatalf("oldest stage survived eviction: %v", got)
+	}
+	if got := h.Lookup(fmt.Sprintf("stage-%d", maxStages+9), 1, 0); got == nil {
+		t.Fatal("newest stage missing after eviction")
+	}
+}
+
+func TestHistoryNilReceiver(t *testing.T) {
+	var h *History
+	h.Record("s", 1, 0, nil)
+	if got := h.Lookup("s", 1, 0); got != nil {
+		t.Fatalf("nil history returned %v", got)
+	}
+	if got := h.Stages(); got != 0 {
+		t.Fatalf("nil history has %d stages", got)
+	}
+}
+
+func TestAdmitBudget(t *testing.T) {
+	refs := []spec.BlockRef{ref(1, 0, 0), ref(1, 0, 1), ref(1, 0, 2), ref(1, 0, 3)}
+	var fetched []spec.BlockRef
+	fetch := func(r spec.BlockRef) (int64, bool) {
+		fetched = append(fetched, r)
+		return 100, true
+	}
+	// Budget 250: first two admitted at cum 0 and 100, third at cum 200
+	// (still < 250, one overflow allowed), fourth blocked at cum 300.
+	blocks, bytes := Admit(refs, 250, nil, fetch)
+	if blocks != 3 || bytes != 300 {
+		t.Fatalf("Admit = (%d blocks, %d bytes), want (3, 300)", blocks, bytes)
+	}
+	if len(fetched) != 3 {
+		t.Fatalf("fetched %v", fetched)
+	}
+}
+
+func TestAdmitResidentSkips(t *testing.T) {
+	refs := []spec.BlockRef{ref(1, 0, 0), ref(1, 0, 1), ref(1, 0, 2)}
+	resident := func(r spec.BlockRef) bool { return r.BJ == 1 }
+	var fetched []spec.BlockRef
+	blocks, bytes := Admit(refs, 1<<20, resident, func(r spec.BlockRef) (int64, bool) {
+		fetched = append(fetched, r)
+		return 8, true
+	})
+	if blocks != 2 || bytes != 16 {
+		t.Fatalf("Admit = (%d, %d), want (2, 16)", blocks, bytes)
+	}
+	if len(fetched) != 2 || fetched[0].BJ != 0 || fetched[1].BJ != 2 {
+		t.Fatalf("fetched %v", fetched)
+	}
+	// Resident blocks do not consume budget: with budget 8, the resident
+	// skip still lets the later ref through (cum 8 is not < 8, so only the
+	// first non-resident ref is admitted).
+	blocks, bytes = Admit(refs, 8, resident, func(r spec.BlockRef) (int64, bool) { return 8, true })
+	if blocks != 1 || bytes != 8 {
+		t.Fatalf("tight budget Admit = (%d, %d), want (1, 8)", blocks, bytes)
+	}
+}
+
+func TestAdmitFetchFailureStops(t *testing.T) {
+	refs := []spec.BlockRef{ref(1, 0, 0), ref(1, 0, 1), ref(1, 0, 2)}
+	calls := 0
+	blocks, bytes := Admit(refs, 1<<20, nil, func(r spec.BlockRef) (int64, bool) {
+		calls++
+		return 8, calls < 2 // second fetch fails
+	})
+	if blocks != 1 || bytes != 8 || calls != 2 {
+		t.Fatalf("Admit = (%d, %d) after %d calls; want (1, 8) after 2", blocks, bytes, calls)
+	}
+}
+
+func TestAdmitZeroBudget(t *testing.T) {
+	blocks, bytes := Admit([]spec.BlockRef{ref(1, 0, 0)}, 0, nil, func(r spec.BlockRef) (int64, bool) {
+		t.Fatal("fetch called with zero budget")
+		return 0, false
+	})
+	if blocks != 0 || bytes != 0 {
+		t.Fatalf("Admit = (%d, %d), want (0, 0)", blocks, bytes)
+	}
+}

@@ -164,17 +164,22 @@ func TestRuntimeConformancePlan(t *testing.T) {
 
 // cacheBackends returns the runtime constructors with the loop-invariant
 // block cache enabled on both sides (worker budgets and coordinator config).
+// Work-stealing is pinned off: stolen tasks run away from their cache homes,
+// which is legal for results but perturbs the exact per-worker hit counts
+// this suite compares.
 func cacheBackends() map[string]func(t *testing.T) rt.Runtime {
 	const budget = 64 << 20
 	return map[string]func(t *testing.T) rt.Runtime{
 		"sim": func(t *testing.T) rt.Runtime {
 			cfg := conformanceConfig()
 			cfg.CacheBytes = budget
+			cfg.DisableStealing = true
 			return cluster.MustNew(cfg)
 		},
 		"tcp": func(t *testing.T) rt.Runtime {
 			cfg := conformanceConfig()
 			cfg.CacheBytes = budget
+			cfg.DisableStealing = true
 			addrs := make([]string, cfg.Nodes)
 			for i := range addrs {
 				w, err := remote.NewWorker("127.0.0.1:0")
@@ -279,6 +284,99 @@ func TestRuntimeConformanceBlockCache(t *testing.T) {
 			if second.ConsolidationBytes >= first.ConsolidationBytes {
 				t.Errorf("warm consolidation %d not below cold %d",
 					second.ConsolidationBytes, first.ConsolidationBytes)
+			}
+		})
+	}
+}
+
+// pipelineBackends returns the runtime constructors with pipelining in its
+// default-on state but stealing pinned off, the configuration under which
+// prefetch counters must conform exactly: both backends admit prefetches
+// through the same budget loop (prefetch.Admit) against the same recorded
+// fetch history, counting in-memory block bytes on both sides.
+// pipelineConformanceConfig narrows conformanceConfig to one lane per
+// worker with four waves of over-decomposition: every worker runs its
+// stage share sequentially, so the prefetcher has recorded successors to
+// pull ahead for (prefetch targets task t + lanes, which with a single
+// full-width wave is always past the stage). Stealing is pinned off —
+// counter parity needs home placement.
+func pipelineConformanceConfig() cluster.Config {
+	cfg := conformanceConfig()
+	cfg.TasksPerNode = 1
+	cfg.Oversubscribe = 4
+	cfg.DisableStealing = true
+	return cfg
+}
+
+func pipelineBackends() map[string]func(t *testing.T) rt.Runtime {
+	return map[string]func(t *testing.T) rt.Runtime{
+		"sim": func(t *testing.T) rt.Runtime {
+			return cluster.MustNew(pipelineConformanceConfig())
+		},
+		"tcp": func(t *testing.T) rt.Runtime {
+			cfg := pipelineConformanceConfig()
+			addrs := make([]string, cfg.Nodes)
+			for i := range addrs {
+				w, err := remote.NewWorker("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { w.Close() })
+				addrs[i] = w.Addr()
+			}
+			co, err := remote.NewCoordinatorConfig(cfg, addrs, remote.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { co.Close() })
+			return co
+		},
+	}
+}
+
+// TestRuntimeConformancePipeline requires the simulated cluster and the TCP
+// backend to agree exactly on pipelined-execution counters for the same plan
+// run twice: the first run of a stage shape has no recorded fetch history and
+// must prefetch nothing (it seeds the history instead), the second run must
+// prefetch the same block count and byte volume on both backends, and with
+// stealing pinned off neither backend may report a stolen task. The sim
+// reports zero steals unconditionally — it schedules from a global slot pool
+// and has no per-worker queues to steal from.
+func TestRuntimeConformancePipeline(t *testing.T) {
+	ctors := pipelineBackends()
+	simFirst, simSecond := runPlanTwice(t, ctors["sim"](t))
+
+	if simFirst.PrefetchBlocks != 0 || simFirst.PrefetchBytes != 0 {
+		t.Errorf("sim first run prefetched %d blocks / %d bytes with no history, want 0/0",
+			simFirst.PrefetchBlocks, simFirst.PrefetchBytes)
+	}
+	if simSecond.PrefetchBlocks == 0 || simSecond.PrefetchBytes == 0 {
+		t.Errorf("sim second run prefetched %d blocks / %d bytes, want both nonzero",
+			simSecond.PrefetchBlocks, simSecond.PrefetchBytes)
+	}
+
+	for name, open := range ctors {
+		if name == "sim" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			first, second := runPlanTwice(t, open(t))
+			for _, run := range []struct {
+				name     string
+				ref, got cluster.Stats
+			}{{"first", simFirst, first}, {"second", simSecond, second}} {
+				if run.got.PrefetchBlocks != run.ref.PrefetchBlocks {
+					t.Errorf("%s run: prefetched %d blocks, sim %d",
+						run.name, run.got.PrefetchBlocks, run.ref.PrefetchBlocks)
+				}
+				if run.got.PrefetchBytes != run.ref.PrefetchBytes {
+					t.Errorf("%s run: prefetched %d bytes, sim %d",
+						run.name, run.got.PrefetchBytes, run.ref.PrefetchBytes)
+				}
+				if run.got.StealTasks != 0 || run.ref.StealTasks != 0 {
+					t.Errorf("%s run: steals %d (sim %d) with stealing disabled, want 0",
+						run.name, run.got.StealTasks, run.ref.StealTasks)
+				}
 			}
 		})
 	}

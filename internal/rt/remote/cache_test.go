@@ -17,7 +17,7 @@ const testCacheBudget = 64 << 20
 // startCachedCluster is startCluster with the block cache enabled on both
 // sides: each worker gets a budget, and the coordinator's configuration
 // carries the same budget so planners attach stage epochs.
-func startCachedCluster(t *testing.T, n int) (*remote.Coordinator, []*remote.Worker) {
+func startCachedCluster(t *testing.T, n int, muts ...func(*cluster.Config)) (*remote.Coordinator, []*remote.Worker) {
 	t.Helper()
 	workers := make([]*remote.Worker, n)
 	addrs := make([]string, n)
@@ -33,6 +33,9 @@ func startCachedCluster(t *testing.T, n int) (*remote.Coordinator, []*remote.Wor
 	}
 	cfg := testConfig()
 	cfg.CacheBytes = testCacheBudget
+	for _, mut := range muts {
+		mut(&cfg)
+	}
 	co, err := remote.NewCoordinator(cfg, addrs)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +115,11 @@ func TestRemoteCacheConformsToSim(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	co, _ := startCachedCluster(t, 2)
+	// Work-stealing moves tasks off their cache homes, which is fine for
+	// results (the ordered reducer keeps them placement-independent) but
+	// perturbs per-worker hit counts; exact-count conformance pins tasks to
+	// their homes. Prefetch and streamed aggregation stay on.
+	co, _ := startCachedCluster(t, 2, func(c *cluster.Config) { c.DisableStealing = true })
 	x2, u2, v2 := gnmfInputs(bs)
 	rem, err := workloads.RunGNMF(core.FuseME{}, co, x2, u2, v2, iters)
 	if err != nil {
@@ -196,15 +203,23 @@ func TestRemoteCacheInvalidationOnRebind(t *testing.T) {
 		t.Fatal("rebinding X did not change the result — stale blocks were served")
 	}
 
-	// The invalidation push is applied by the worker's control loop
+	// The invalidation push is applied by the workers' control loops
 	// asynchronously; X's old and new blocks are the same size, so residency
-	// must settle back to the first run's level.
-	deadline := time.Now().Add(5 * time.Second)
-	for resident() != resident1 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if got := resident(); got != resident1 {
-		t.Errorf("resident bytes after rebind = %d, want %d (stale blocks not reclaimed)", got, resident1)
+	// must settle back to the first run's level. Wake on each worker's
+	// control-push events rather than sleep-polling.
+	deadline := time.After(5 * time.Second)
+	for {
+		applied0, applied1 := workers[0].ControlWatch(), workers[1].ControlWatch()
+		if resident() == resident1 {
+			break
+		}
+		select {
+		case <-applied0:
+		case <-applied1:
+		case <-deadline:
+			t.Fatalf("resident bytes after rebind = %d, want %d (stale blocks not reclaimed)",
+				resident(), resident1)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fuseme/internal/cluster"
 	"fuseme/internal/membership"
 	"fuseme/internal/obs"
+	"fuseme/internal/prefetch"
 	"fuseme/internal/rt"
 	"fuseme/internal/rt/spec"
 	"fuseme/internal/sched"
@@ -60,6 +61,12 @@ type Coordinator struct {
 	// change).
 	mem    *membership.Table
 	ledger *membership.Ledger[blockcache.Key]
+
+	// hist records each task's fetch-path refs (reported in taskDone.Fetched)
+	// keyed by stage shape; the next execution of the same shape ships them
+	// as prefetch hints. Mirrors the simulated cluster's history, but fed by
+	// the workers' reports rather than an in-process recorder.
+	hist *prefetch.History
 
 	// addMu serializes membership-mutating operations (AddWorker, leave) so
 	// member IDs always equal their slot in the workers slice.
@@ -174,6 +181,13 @@ type workerConn struct {
 	// probeMu serializes suspect-state probes for this worker.
 	probeMu sync.Mutex
 
+	// stealOK records whether the worker volunteers for work-stealing.
+	// Defaults true; learned from the task connection — a pipelined task
+	// that completes WITHOUT a msgTaskSteal frame means the worker runs
+	// with -steal=false, and the flag flips off. Best-effort: a worker that
+	// never ran a task keeps the default.
+	stealOK atomic.Bool
+
 	// Clock-skew estimate for this worker, fed by ping/pong samples. The
 	// lowest-RTT sample wins (see skew.go); sampled guards the first write.
 	clockMu  sync.Mutex
@@ -253,6 +267,7 @@ func NewCoordinatorConfig(cfg cluster.Config, addrs []string, rcfg Config) (*Coo
 		rcfg:          rcfg,
 		mem:           membership.NewTable(),
 		ledger:        membership.NewLedger[blockcache.Key](),
+		hist:          prefetch.NewHistory(),
 		hbStop:        make(chan struct{}),
 		kernelThreads: cfg.KernelThreads,
 		taskSlots:     cfg.TasksPerNode,
@@ -319,6 +334,7 @@ func (c *Coordinator) AddWorker(addr string) (int, error) {
 	}
 	m := c.mem.Join(addr)
 	w := &workerConn{id: m.ID, addr: addr, ctrl: conn}
+	w.stealOK.Store(true)
 	c.wmu.Lock()
 	c.workers = append(c.workers, w)
 	c.wmu.Unlock()
@@ -578,6 +594,20 @@ func (c *Coordinator) sendCachePut(w *workerConn, p cachePut) error {
 	return writeGob(cn, msgCachePut, p)
 }
 
+// sendTaskRelease tells a worker that a task it may have prefetched for was
+// stolen. Best-effort: the buffer is an optimisation, so the caller ignores
+// failures.
+func (c *Coordinator) sendTaskRelease(w *workerConn, rel taskRelease) error {
+	w.ctrlMu.Lock()
+	defer w.ctrlMu.Unlock()
+	cn := w.conn()
+	if cn == nil {
+		return errors.New("remote: no control connection")
+	}
+	cn.SetDeadline(time.Now().Add(c.rcfg.HeartbeatTimeout))
+	return writeGob(cn, msgTaskRelease, rel)
+}
+
 // replicateAdvert pushes each block a task newly cached to
 // Config.CacheReplicas-1 secondary holders: the workers at home id + 1,
 // home id + 2, ... (mod cluster size), which is exactly where
@@ -652,6 +682,12 @@ func (c *Coordinator) Members() []membership.Member { return c.mem.Members() }
 
 // ClusterEpoch returns the membership table's change counter.
 func (c *Coordinator) ClusterEpoch() uint64 { return c.mem.Epoch() }
+
+// MembershipWatch returns a channel closed at the next membership change.
+// Snapshot the channel, inspect Members()/ClusterEpoch(), and block on the
+// channel only if the awaited condition does not hold yet — the event-driven
+// replacement for sleep-polling the table.
+func (c *Coordinator) MembershipWatch() <-chan struct{} { return c.mem.Watch() }
 
 // ClusterFingerprint identifies the current dispatchable worker set.
 // Compiled-plan cache keys embed it, so a membership change re-derives
@@ -740,6 +776,15 @@ type wireMeter struct {
 	consolidation atomic.Int64 // non-colocated input fetches
 	aggregation   atomic.Int64 // partial/aggregate result uploads
 	extra         atomic.Int64 // traffic the simulation does not model
+
+	// Prefetch admissions served this stage (msgPrefetch pulls). Bytes are
+	// the in-memory SizeBytes of the served blocks — the same accounting the
+	// simulated prefetch model uses, so the two backends' fuseme_prefetch_*
+	// counters are comparable. The wire bytes of those pulls land in the
+	// classified counters above exactly as a direct fetch would; prefetch
+	// moves traffic earlier, it never adds any.
+	pfBlocks atomic.Int64
+	pfBytes  atomic.Int64
 }
 
 func (m *wireMeter) countFetch(ref spec.BlockRef, n int64, colocated map[int]bool) {
@@ -782,6 +827,7 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 
 	var (
 		wire       wireMeter
+		stealTasks atomic.Int64
 		mu         sync.Mutex
 		firstErr   error
 		flops      int64
@@ -791,6 +837,9 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		cacheMiss  int64
 		cacheEvict int64
 		cacheSaved int64
+		fetchSecs  float64
+		pfSecs     float64
+		taskSecs   float64
 	)
 	aborted := func() bool {
 		mu.Lock()
@@ -816,74 +865,183 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		}
 	}
 	scheduler, tenant, weight := c.schedulerTag()
-	var wg sync.WaitGroup
+
+	// Per-worker FIFO queues under home placement (taskID mod workers, the
+	// same homes the simulated backend's task caches use), dead homes
+	// falling forward to the next alive slot. Each alive worker gets
+	// TasksPerNode dispatch lanes draining its own queue; with pipelining,
+	// a lane whose queue runs dry steals from the longest queue — the
+	// work-stealing half of the pipelined execution model.
+	ws := c.snapshotWorkers()
+	anyAlive := false
+	for _, w := range ws {
+		if w.alive.Load() {
+			anyAlive = true
+			break
+		}
+	}
+	if !anyAlive {
+		return errors.New("remote: no live workers")
+	}
+	cfg := c.local.Config()
+	budget := cfg.EffectivePrefetchBytes()
+	stealing := budget > 0 && !cfg.DisableStealing
+	queues := newTaskQueues(len(ws))
 	for id := 0; id < sp.NumTasks; id++ {
-		wg.Add(1)
-		go func(taskID int) {
-			defer wg.Done()
-			release := scheduler.Acquire(tenant, weight)
-			defer release()
+		home := id % len(ws)
+		for !ws[home].alive.Load() {
+			home = (home + 1) % len(ws)
+		}
+		queues.push(home, id)
+	}
+
+	// preferFor biases a thief toward queued tasks whose recorded inputs it
+	// already holds cached (per the residency ledger): scanning from the
+	// tail, the first task with an affinity wins; otherwise the default
+	// tail-steal stands.
+	preferFor := func(thief int) func(victim int, tasks []int) int {
+		return func(victim int, tasks []int) int {
+			for i := len(tasks) - 1; i >= 0; i-- {
+				for _, ref := range c.hist.Lookup(sp.Name, sp.NumTasks, tasks[i]) {
+					if ref.Kind != spec.RefInput {
+						continue
+					}
+					ep, ok := sp.EpochOf(ref.Node)
+					if !ok {
+						continue
+					}
+					if c.ledger.Holds(thief, blockcache.Key{Node: ref.Node, Epoch: ep, BI: ref.BI, BJ: ref.BJ}) {
+						return i
+					}
+				}
+			}
+			return -1
+		}
+	}
+
+	runOne := func(w *workerConn, taskID int) {
+		// The executor's per-task wrapper only fires for in-process
+		// closures, so remote task telemetry is emitted here. The
+		// coordinator's own span is the scheduling view (cat "sched");
+		// the execution view (cat "task" with its sub-spans) arrives
+		// worker-side in done.Spans and merges onto the worker's track.
+		var span *obs.Span
+		var taskStart time.Time
+		if perTask {
+			taskStart = time.Now()
+			o.Histogram(obs.MQueueSeconds).Observe(taskStart.Sub(start).Seconds())
+			span = o.StartSpan(fmt.Sprintf("task %d", taskID), "sched", 1+taskID%64)
+		}
+		// Prefetch hint: the recorded transfer set of the next task this
+		// worker has not yet started — taskID + workers*lanes under home
+		// placement, since anything nearer is already running on a sibling
+		// lane. The formula is deterministic (it matches the simulated
+		// model's stride), so the admitted set never depends on scheduling.
+		// Empty history (first run of a shape) ships no hints but the
+		// positive budget still asks the worker for its fetch report, which
+		// seeds the history.
+		pf := pfAssign{task: -1, budget: budget}
+		if budget > 0 {
+			if next := taskID + len(ws)*c.taskSlots; next < sp.NumTasks {
+				if refs := c.hist.Lookup(sp.Name, sp.NumTasks, next); len(refs) > 0 {
+					pf.task, pf.refs = next, refs
+				}
+			}
+		}
+		done, dw, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated, w, pf)
+		if perTask {
+			o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
+			o.Counter(obs.MTasksTotal).Inc()
+			o.Counter(obs.MRemoteTasksTotal).Inc()
+			span.Arg("flops", done.Metrics.Flops).
+				Arg("peak_mem_bytes", done.Metrics.MemPeakBytes)
+			if err != nil {
+				span.Arg("error", err.Error())
+			}
+			span.End()
+		}
+		if len(done.Spans) > 0 && dw != nil && o.Tracing() {
+			// Skew-correct the worker's span batch into the coordinator
+			// clock and clamp it into the dispatch window this goroutine
+			// observed, then merge onto the worker's process track.
+			aligned := AlignSpans(done.Spans, dw.clockOffset(), taskStart, time.Now())
+			pid := obs.PIDWorkerBase + dw.id
+			for _, s := range aligned {
+				o.Trace.AddSpanAt(s.Name, s.Cat, pid, 1+taskID%64,
+					time.Unix(0, s.StartUnixNano), time.Duration(s.DurNanos), nil)
+			}
+		}
+		if err != nil {
+			setErr(fmt.Errorf("stage %q task %d: %w", sp.Name, taskID, err))
+			return
+		}
+		mu.Lock()
+		flops += done.Metrics.Flops
+		if done.Metrics.Flops > maxFlops {
+			maxFlops = done.Metrics.Flops
+		}
+		if done.Metrics.MemPeakBytes > peakMem {
+			peakMem = done.Metrics.MemPeakBytes
+		}
+		cacheHits += done.Metrics.CacheHits
+		cacheMiss += done.Metrics.CacheMisses
+		cacheEvict += done.Metrics.CacheEvictions
+		cacheSaved += done.Metrics.CacheSavedBytes
+		fetchSecs += done.Metrics.FetchSeconds
+		pfSecs += done.Metrics.PrefetchSeconds
+		taskSecs += done.Metrics.TaskSeconds
+		mu.Unlock()
+		if err := st.Collect(taskID, done.Blocks); err != nil {
+			setErr(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	lane := func(w *workerConn) {
+		defer wg.Done()
+		for {
 			if aborted() {
 				return
 			}
-			// The executor's per-task wrapper only fires for in-process
-			// closures, so remote task telemetry is emitted here. The
-			// coordinator's own span is the scheduling view (cat "sched");
-			// the execution view (cat "task" with its sub-spans) arrives
-			// worker-side in done.Spans and merges onto the worker's track.
-			var span *obs.Span
-			var taskStart time.Time
-			if perTask {
-				taskStart = time.Now()
-				o.Histogram(obs.MQueueSeconds).Observe(taskStart.Sub(start).Seconds())
-				span = o.StartSpan(fmt.Sprintf("task %d", taskID), "sched", 1+taskID%64)
-			}
-			done, w, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated)
-			if perTask {
-				o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
-				o.Counter(obs.MTasksTotal).Inc()
-				o.Counter(obs.MRemoteTasksTotal).Inc()
-				span.Arg("flops", done.Metrics.Flops).
-					Arg("peak_mem_bytes", done.Metrics.MemPeakBytes)
-				if err != nil {
-					span.Arg("error", err.Error())
-				}
-				span.End()
-			}
-			if len(done.Spans) > 0 && w != nil && o.Tracing() {
-				// Skew-correct the worker's span batch into the coordinator
-				// clock and clamp it into the dispatch window this goroutine
-				// observed, then merge onto the worker's process track.
-				aligned := AlignSpans(done.Spans, w.clockOffset(), taskStart, time.Now())
-				pid := obs.PIDWorkerBase + w.id
-				for _, s := range aligned {
-					o.Trace.AddSpanAt(s.Name, s.Cat, pid, 1+taskID%64,
-						time.Unix(0, s.StartUnixNano), time.Duration(s.DurNanos), nil)
-				}
-			}
-			if err != nil {
-				setErr(fmt.Errorf("stage %q task %d: %w", sp.Name, taskID, err))
+			release := scheduler.Acquire(tenant, weight)
+			if aborted() {
+				release()
 				return
 			}
-			mu.Lock()
-			flops += done.Metrics.Flops
-			if done.Metrics.Flops > maxFlops {
-				maxFlops = done.Metrics.Flops
+			taskID, ok := queues.popOwn(w.id)
+			if !ok && stealing && w.stealOK.Load() {
+				var victim int
+				taskID, victim, ok = queues.steal(w.id, preferFor(w.id))
+				if ok {
+					stealTasks.Add(1)
+					c.getObs().Counter(obs.MStealTasks).Inc()
+					// Tell the victim to drop anything it prefetched for
+					// the stolen task; best-effort.
+					if vw := c.workerByID(victim); vw != nil && vw.alive.Load() {
+						c.sendTaskRelease(vw, taskRelease{Gen: gen, TaskID: taskID})
+					}
+				}
 			}
-			if done.Metrics.MemPeakBytes > peakMem {
-				peakMem = done.Metrics.MemPeakBytes
+			if !ok {
+				release()
+				return
 			}
-			cacheHits += done.Metrics.CacheHits
-			cacheMiss += done.Metrics.CacheMisses
-			cacheEvict += done.Metrics.CacheEvictions
-			cacheSaved += done.Metrics.CacheSavedBytes
-			mu.Unlock()
-			if err := st.Collect(taskID, done.Blocks); err != nil {
-				setErr(err)
-			}
-		}(id)
+			runOne(w, taskID)
+			release()
+		}
+	}
+	for _, w := range ws {
+		if !w.alive.Load() {
+			continue
+		}
+		for l := 0; l < c.taskSlots; l++ {
+			wg.Add(1)
+			go lane(w)
+		}
 	}
 	wg.Wait()
+	// A stage abort can leave tasks queued; they were never run, which is
+	// fine — the stage already failed.
 	if firstErr != nil {
 		return firstErr
 	}
@@ -904,6 +1062,12 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		CacheMisses:        cacheMiss,
 		CacheEvictions:     cacheEvict,
 		CacheSavedBytes:    cacheSaved,
+		PrefetchBlocks:     wire.pfBlocks.Load(),
+		PrefetchBytes:      wire.pfBytes.Load(),
+		StealTasks:         stealTasks.Load(),
+		FetchSeconds:       fetchSecs,
+		PrefetchSeconds:    pfSecs,
+		TaskSeconds:        taskSecs,
 	})
 	return nil
 }
@@ -911,8 +1075,11 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 // runTaskWithRetry runs one task, retrying on another live worker when the
 // assigned worker dies mid-task, up to MaxTaskRetries re-attempts.
 //
-// Attempt r goes to worker (taskID + r) mod len(workers) when that worker
-// is alive, falling back to round-robin otherwise. Attempt 0 is therefore
+// Attempt 0 goes to first — the dispatching lane's worker, which is the
+// home placement for a task popped from the lane's own queue and the thief
+// for a stolen one. Attempt r then goes to worker (taskID + r) mod
+// len(workers) when that worker is alive, falling back to round-robin
+// otherwise. The home formula ((taskID + 0) mod workers) is therefore
 // the same home placement the simulated backend uses for its task caches
 // (so a recurring task lands on the worker that cached its inputs and the
 // two backends agree on hit counts), and attempts 1..k-1 land exactly on
@@ -920,7 +1087,7 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 // replicas instead of cold-starting. It also returns the worker that
 // completed the task, so the caller can merge the returned span batch with
 // that worker's clock offset.
-func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, *workerConn, error) {
+func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool, first *workerConn, pf pfAssign) (taskDone, *workerConn, error) {
 	retries := c.local.Config().MaxTaskRetries
 	ws := c.snapshotWorkers()
 	var lastErr error
@@ -929,7 +1096,12 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 			c.getObs().Counter(obs.MRetriesTotal).Inc()
 		}
 		var w *workerConn
-		if len(ws) > 0 {
+		if attempt == 0 && first != nil && first.alive.Load() {
+			// The dispatching lane's worker: the home placement, or the
+			// thief for a stolen task.
+			w = first
+		}
+		if w == nil && len(ws) > 0 {
 			if cand := ws[(taskID+attempt)%len(ws)]; cand.alive.Load() {
 				w = cand
 			}
@@ -940,7 +1112,7 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 		if w == nil {
 			return taskDone{}, nil, errors.New("remote: no live workers")
 		}
-		done, err := c.runTaskOn(w, st, taskID, gen, wire, colocated)
+		done, err := c.runTaskOn(w, st, taskID, gen, wire, colocated, pf)
 		if err == nil {
 			return done, w, nil
 		}
@@ -953,41 +1125,67 @@ func (c *Coordinator) runTaskWithRetry(st *rt.Stage, taskID int, gen uint64, wir
 	return taskDone{}, nil, lastErr
 }
 
+// pfAssign carries one task's prefetch hint into the assignment: the queue
+// successor it should pull ahead for (-1 = none), that task's recorded
+// transfer set, and the admission byte budget. A zero budget disables
+// pipelining for the task.
+type pfAssign struct {
+	task   int
+	refs   []spec.BlockRef
+	budget int64
+}
+
 // runTaskOn ships one task to worker w over a fresh connection and serves
-// its block fetches until it reports done or failed.
-func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool) (taskDone, error) {
+// its block fetches — and its prefetch pulls for the next queued task —
+// until it reports done or failed.
+func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uint64, wire *wireMeter, colocated map[int]bool, pf pfAssign) (taskDone, error) {
 	conn, err := net.DialTimeout("tcp", w.addr, c.rcfg.DialTimeout)
 	if err != nil {
 		return taskDone{}, transportError{err}
 	}
 	defer conn.Close()
 	assign := taskAssign{
-		Stage:         *st.Spec,
-		TaskID:        taskID,
-		Gen:           gen,
-		KernelThreads: c.kernelThreads,
-		TaskSlots:     c.taskSlots,
-		Trace:         c.getObs().Tracing(),
+		Stage:          *st.Spec,
+		TaskID:         taskID,
+		Gen:            gen,
+		KernelThreads:  c.kernelThreads,
+		TaskSlots:      c.taskSlots,
+		Trace:          c.getObs().Tracing(),
+		PrefetchTask:   pf.task,
+		PrefetchRefs:   pf.refs,
+		PrefetchBudget: pf.budget,
 	}
 	if err := writeGob(conn, msgTask, assign); err != nil {
 		return taskDone{}, transportError{err}
 	}
+	sawSteal := false
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return taskDone{}, transportError{err}
 		}
 		switch typ {
-		case msgFetch:
+		case msgFetch, msgPrefetch:
 			var ref spec.BlockRef
 			if err := decodeGob(payload, &ref); err != nil {
 				return taskDone{}, err
 			}
-			reply := serveFetch(st, ref)
+			reply, size := serveFetch(st, ref)
 			if err := writeFrame(conn, msgBlock, reply); err != nil {
 				return taskDone{}, transportError{err}
 			}
+			// Prefetch pulls are metered exactly like direct fetches (the
+			// traffic is the same bytes, just earlier) plus the prefetch
+			// counters the simulated model also keeps.
 			wire.countFetch(ref, int64(len(reply)-1), colocated)
+			if typ == msgPrefetch && reply[0] != blockError {
+				wire.pfBlocks.Add(1)
+				wire.pfBytes.Add(size)
+				if o := c.getObs(); o.Enabled() {
+					o.Counter(obs.MPrefetchBlocks).Inc()
+					o.Counter(obs.MPrefetchBytes).Add(size)
+				}
+			}
 		case msgCacheAd:
 			ad, err := spec.DecodeCacheAdvert(payload)
 			if err != nil {
@@ -995,12 +1193,21 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uin
 			}
 			c.ledger.Record(w.id, ad.Added, ad.Evicted)
 			c.replicateAdvert(st, w, ad, gen, wire)
+		case msgTaskSteal:
+			sawSteal = true
 		case msgDone:
 			var done taskDone
 			if err := decodeGob(payload, &done); err != nil {
 				return taskDone{}, err
 			}
 			wire.countResults(done.Blocks)
+			if pf.budget > 0 {
+				// Learn the worker's steal preference and fold its fetch
+				// report into the prefetch history for the next execution
+				// of this stage shape.
+				w.stealOK.Store(sawSteal)
+				c.hist.Record(st.Spec.Name, st.Spec.NumTasks, taskID, done.Fetched)
+			}
 			return done, nil
 		case msgFail:
 			var fail taskFail
@@ -1014,18 +1221,21 @@ func (c *Coordinator) runTaskOn(w *workerConn, st *rt.Stage, taskID int, gen uin
 	}
 }
 
-// serveFetch resolves one block request into a msgBlock payload.
-func serveFetch(st *rt.Stage, ref spec.BlockRef) []byte {
+// serveFetch resolves one block request into a msgBlock payload. size is
+// the served block's in-memory SizeBytes (0 for nil blocks and errors) —
+// the prefetch counters use it, because that is what the simulated model
+// meters.
+func serveFetch(st *rt.Stage, ref spec.BlockRef) (payload []byte, size int64) {
 	m, err := st.Fetch(ref)
 	if err != nil {
-		return append([]byte{blockError}, err.Error()...)
+		return append([]byte{blockError}, err.Error()...), 0
 	}
 	if m == nil {
-		return []byte{blockNil}
+		return []byte{blockNil}, 0
 	}
 	data, err := spec.EncodeBlock(m)
 	if err != nil {
-		return append([]byte{blockError}, err.Error()...)
+		return append([]byte{blockError}, err.Error()...), 0
 	}
-	return append([]byte{blockData}, data...)
+	return append([]byte{blockData}, data...), m.SizeBytes()
 }

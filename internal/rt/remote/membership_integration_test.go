@@ -51,19 +51,26 @@ func startElasticCluster(t *testing.T, n int, rcfg remote.Config) (*remote.Coord
 	return co, workers, joinAddr
 }
 
-// waitForState polls the membership table until member id reaches state.
+// waitForState blocks until member id reaches state, waking on membership
+// change events rather than sleep-polling: the watch channel is snapshotted
+// before each table inspection, so a transition between check and wait still
+// wakes the waiter.
 func waitForState(t *testing.T, co *remote.Coordinator, id int, want membership.State) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.After(10 * time.Second)
+	for {
+		changed := co.MembershipWatch()
 		for _, m := range co.Members() {
 			if m.ID == id && m.State == want {
 				return
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-changed:
+		case <-deadline:
+			t.Fatalf("member %d never reached %v; table: %+v", id, want, co.Members())
+		}
 	}
-	t.Fatalf("member %d never reached %v; table: %+v", id, want, co.Members())
 }
 
 // TestElasticJoinAndLeave grows a two-worker cluster to three through the
@@ -103,18 +110,21 @@ func TestElasticJoinAndLeave(t *testing.T) {
 		t.Errorf("re-registering a live member bumped the epoch %d -> %d", eBefore, got)
 	}
 
-	// The membership broadcast reaches the joined worker's control loop.
-	deadline := time.Now().Add(5 * time.Second)
+	// The membership broadcast reaches the joined worker's control loop;
+	// wake on the worker's control-push events instead of polling its view.
+	deadline := time.After(5 * time.Second)
 	for {
+		applied := w3.ControlWatch()
 		members, epoch := w3.ClusterView()
 		if epoch == co.ClusterEpoch() && len(members) == 3 {
 			break
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-applied:
+		case <-deadline:
 			t.Fatalf("worker view never converged: members=%+v epoch=%d (coordinator epoch %d)",
 				members, epoch, co.ClusterEpoch())
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 
 	// The grown cluster computes correctly (tasks round-robin over 3 workers).
@@ -245,9 +255,17 @@ func TestSuspectProbeRecovery(t *testing.T) {
 	// The next heartbeat fails, suspects the worker, probes through the
 	// still-accepting proxy, and recovers it: two transitions, net state
 	// active.
-	deadline := time.Now().Add(10 * time.Second)
-	for co.ClusterEpoch() < e0+2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+	deadline := time.After(10 * time.Second)
+	for {
+		changed := co.MembershipWatch()
+		if co.ClusterEpoch() >= e0+2 {
+			break
+		}
+		select {
+		case <-changed:
+		case <-deadline:
+			t.Fatalf("epoch stuck at %d, want >= %d (suspect + recover)", co.ClusterEpoch(), e0+2)
+		}
 	}
 	waitForState(t, co, 1, membership.Active)
 	if alive := co.AliveWorkers(); alive != 2 {

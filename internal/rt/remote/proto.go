@@ -35,8 +35,12 @@ import (
 // membership: msgJoin/msgLeave on the coordinator's join listener so
 // workers register (and drain away) at any time, msgMemberUpdate pushing
 // the membership table to workers, and msgCachePut carrying replicated
-// cache blocks to secondary holders.
-const protoVersion = 4
+// cache blocks to secondary holders. Version 5 added pipelined stage
+// execution: prefetch hints in taskAssign with msgPrefetch pulls on the
+// task connection, the worker's fetch report (taskDone.Fetched) feeding the
+// coordinator's prefetch history, and the work-stealing pair
+// msgTaskSteal/msgTaskRelease.
+const protoVersion = 5
 
 // Frame types.
 const (
@@ -57,6 +61,11 @@ const (
 	msgLeave        = byte(13) // worker → coordinator: gob(leaveReq), on join listener
 	msgMemberUpdate = byte(14) // coordinator → worker: gob(memberUpdate); join/leave ack and control-conn push
 	msgCachePut     = byte(15) // coordinator → worker: gob(cachePut), on control conn, no reply
+
+	// Pipelined-execution frames (proto v5).
+	msgPrefetch    = byte(16) // worker → coordinator: gob(spec.BlockRef), on task conn; reply msgBlock. A pull for the NEXT task's input.
+	msgTaskSteal   = byte(17) // worker → coordinator: empty, on task conn before msgDone; the worker volunteers for steals
+	msgTaskRelease = byte(18) // coordinator → worker: gob(taskRelease), on control conn, no reply; drop prefetched state for a stolen task
 )
 
 // Block payload status bytes (first byte of a msgBlock payload).
@@ -103,6 +112,17 @@ type taskAssign struct {
 	// propagation is this one bit plus the task identity already in the
 	// assignment — the coordinator rebuilds the global timeline from those.
 	Trace bool
+
+	// Pipelined execution (proto v5). PrefetchTask (-1 = none) is the
+	// worker's next queued task of this stage; PrefetchRefs the ordered
+	// blocks that task pulled on its last run (the coordinator's recorded
+	// history); PrefetchBudget the admission byte budget. While this task's
+	// kernel runs, the worker pulls those blocks over the same connection
+	// (msgPrefetch) into a buffer the next assignment consumes. A zero
+	// budget disables prefetch and the worker's fetch report alike.
+	PrefetchTask   int
+	PrefetchRefs   []spec.BlockRef
+	PrefetchBudget int64
 }
 
 // taskDone reports a completed task: its result blocks and the metering the
@@ -113,6 +133,22 @@ type taskDone struct {
 	Metrics spec.TaskMetrics
 	Blocks  []spec.OutBlock
 	Spans   []spec.SpanRec
+
+	// Fetched is the ordered list of refs the task pulled through its fetch
+	// path (wire fetches plus buffered prefetch hits; cache hits never reach
+	// it). The coordinator records it as the task's prefetch hint for the
+	// next execution of the same stage shape. Only populated when the
+	// assignment carried a positive PrefetchBudget.
+	Fetched []spec.BlockRef
+}
+
+// taskRelease tells a worker that a task it may have prefetched for was
+// stolen by another worker: drop any buffered blocks for (Gen, TaskID).
+// Pushed on the control connection; no reply (the buffer is an optimisation,
+// a missed release only wastes memory until the stage's buffers collect).
+type taskRelease struct {
+	Gen    uint64
+	TaskID int
 }
 
 // pong is the heartbeat reply. UnixNano is the worker's wall clock at reply

@@ -1,0 +1,88 @@
+package remote
+
+import "sync"
+
+// taskQueues holds one stage's per-worker task queues for pipelined
+// dispatch. Tasks are pushed at stage start under home placement
+// (taskID mod workers, matching the simulated backend's cache homes); each
+// worker's lanes pop their own queue front-to-back, and an idle lane may
+// steal from the longest other queue. All mutation is under one mutex —
+// queues hold ints and a stage has at most a few thousand tasks, so
+// fine-grained locking would buy nothing.
+//
+// Stealing takes from the TAIL of the victim's queue: the task farthest
+// from running there, which maximises the useful life of whatever the
+// victim has already prefetched for its queue head. A prefer callback can
+// override the choice (the coordinator passes a residency-ledger check so a
+// thief grabs a task whose cached inputs it already holds, when one is
+// queued).
+type taskQueues struct {
+	mu     sync.Mutex
+	queues [][]int
+}
+
+func newTaskQueues(workers int) *taskQueues {
+	return &taskQueues{queues: make([][]int, workers)}
+}
+
+// push appends a task to worker w's queue.
+func (q *taskQueues) push(w, task int) {
+	q.mu.Lock()
+	q.queues[w] = append(q.queues[w], task)
+	q.mu.Unlock()
+}
+
+// popOwn removes and returns the head of worker w's own queue.
+func (q *taskQueues) popOwn(w int) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.queues[w]) == 0 {
+		return 0, false
+	}
+	task := q.queues[w][0]
+	q.queues[w] = q.queues[w][1:]
+	return task, true
+}
+
+// steal removes one task from the longest non-empty queue other than the
+// thief's (ties break to the lowest worker ID, so victim choice is
+// deterministic given queue state). prefer, when non-nil, picks the index
+// to take from the victim's queue; by default the tail is taken. Returns
+// the task, the victim's worker ID, and whether a steal happened.
+func (q *taskQueues) steal(thief int, prefer func(victim int, tasks []int) int) (int, int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	victim, best := -1, 0
+	for w, tasks := range q.queues {
+		if w == thief {
+			continue
+		}
+		if len(tasks) > best {
+			victim, best = w, len(tasks)
+		}
+	}
+	if victim < 0 {
+		return 0, 0, false
+	}
+	tasks := q.queues[victim]
+	idx := len(tasks) - 1
+	if prefer != nil {
+		if i := prefer(victim, tasks); i >= 0 && i < len(tasks) {
+			idx = i
+		}
+	}
+	task := tasks[idx]
+	q.queues[victim] = append(tasks[:idx:idx], tasks[idx+1:]...)
+	return task, victim, true
+}
+
+// remaining returns the number of still-queued tasks.
+func (q *taskQueues) remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, tasks := range q.queues {
+		n += len(tasks)
+	}
+	return n
+}

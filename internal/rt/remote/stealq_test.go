@@ -1,0 +1,251 @@
+package remote
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// dispatchLog records which tasks came out of a taskQueues and how.
+type dispatchLog struct {
+	popped, stolen []int
+}
+
+// checkStealInterleaving drives one seeded random interleaving of the steal
+// protocol over the queue model — popOwn, steal, and worker-kill in random
+// order — and checks the exactly-once property: every task pushed under home
+// placement is dispatched exactly once, no task is lost when its home dies,
+// and no task is dispatched twice however pops and steals interleave.
+func checkStealInterleaving(seed int64, workers, numTasks int) error {
+	rng := rand.New(rand.NewSource(seed))
+	q := newTaskQueues(workers)
+	for task := 0; task < numTasks; task++ {
+		q.push(task%workers, task)
+	}
+	alive := make([]bool, workers)
+	for w := range alive {
+		alive[w] = true
+	}
+	aliveCount := workers
+
+	var log dispatchLog
+	seen := make(map[int]string, numTasks)
+	record := func(task int, how string) error {
+		if prev, dup := seen[task]; dup {
+			return fmt.Errorf("task %d dispatched twice (%s then %s)", task, prev, how)
+		}
+		seen[task] = how
+		if how == "pop" {
+			log.popped = append(log.popped, task)
+		} else {
+			log.stolen = append(log.stolen, task)
+		}
+		return nil
+	}
+
+	for q.remaining() > 0 {
+		// Occasionally kill a worker: its lanes stop dispatching but its
+		// queue stays — survivors must drain it by stealing.
+		if aliveCount > 1 && rng.Intn(10) == 0 {
+			w := rng.Intn(workers)
+			if alive[w] {
+				alive[w] = false
+				aliveCount--
+			}
+		}
+		w := rng.Intn(workers)
+		if !alive[w] {
+			continue
+		}
+		// A live lane pops its own queue first and falls back to stealing,
+		// like the coordinator's lane loop; sometimes it volunteers to
+		// steal even with own work queued, which the protocol must survive.
+		stealFirst := rng.Intn(4) == 0
+		if stealFirst {
+			if task, _, ok := q.steal(w, nil); ok {
+				if err := record(task, "steal"); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if task, ok := q.popOwn(w); ok {
+			if err := record(task, "pop"); err != nil {
+				return err
+			}
+			continue
+		}
+		if task, _, ok := q.steal(w, nil); ok {
+			if err := record(task, "steal"); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(seen) != numTasks {
+		missing := []int{}
+		for task := 0; task < numTasks; task++ {
+			if _, ok := seen[task]; !ok {
+				missing = append(missing, task)
+			}
+		}
+		return fmt.Errorf("%d of %d tasks never dispatched: %v", len(missing), numTasks, missing)
+	}
+	return nil
+}
+
+// TestStealQueueExactlyOnceProperty runs many seeded interleavings; on
+// failure it shrinks the scenario to the smallest worker/task count that
+// still fails under the same seed and reports both, so the failure replays
+// deterministically.
+func TestStealQueueExactlyOnceProperty(t *testing.T) {
+	const (
+		seeds    = 300
+		workers  = 5
+		numTasks = 37
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		err := checkStealInterleaving(seed, workers, numTasks)
+		if err == nil {
+			continue
+		}
+		// Shrink: smallest (workers, tasks) lexicographically that still
+		// fails with this seed.
+		sw, st, serr := workers, numTasks, err
+		for w := 2; w <= workers; w++ {
+			for n := 1; n <= numTasks; n++ {
+				if e := checkStealInterleaving(seed, w, n); e != nil {
+					sw, st, serr = w, n, e
+					goto shrunk
+				}
+			}
+		}
+	shrunk:
+		t.Fatalf("seed=%d workers=%d tasks=%d: %v (replay with checkStealInterleaving(%d, %d, %d))",
+			seed, sw, st, serr, seed, sw, st)
+	}
+}
+
+// TestStealQueueConcurrentDrain hammers one taskQueues from real goroutine
+// lanes — the shape the coordinator runs — and checks exactly-once under the
+// race detector: each lane pops its own queue dry then steals until nothing
+// is left anywhere.
+func TestStealQueueConcurrentDrain(t *testing.T) {
+	const (
+		workers  = 4
+		lanes    = 3 // lanes per worker, like TasksPerNode
+		numTasks = 400
+	)
+	q := newTaskQueues(workers)
+	for task := 0; task < numTasks; task++ {
+		q.push(task%workers, task)
+	}
+	got := make(chan int, numTasks)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		for lane := 0; lane < lanes; lane++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					task, ok := q.popOwn(w)
+					if !ok {
+						task, _, ok = q.steal(w, nil)
+					}
+					if !ok {
+						return
+					}
+					got <- task
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	close(got)
+	var tasks []int
+	for task := range got {
+		tasks = append(tasks, task)
+	}
+	if len(tasks) != numTasks {
+		t.Fatalf("dispatched %d tasks, want %d", len(tasks), numTasks)
+	}
+	sort.Ints(tasks)
+	for i, task := range tasks {
+		if task != i {
+			t.Fatalf("task %d dispatched %s", i, map[bool]string{true: "twice", false: "never"}[task < i])
+		}
+	}
+}
+
+// TestStealQueueVictimChoice pins the deterministic parts of victim
+// selection: longest queue wins, ties break to the lowest worker ID, and the
+// default take is the victim's tail (the task farthest from running there).
+func TestStealQueueVictimChoice(t *testing.T) {
+	q := newTaskQueues(4)
+	q.push(1, 10)
+	q.push(1, 11)
+	q.push(2, 20)
+	q.push(2, 21)
+	q.push(2, 22)
+	q.push(3, 30)
+
+	task, victim, ok := q.steal(0, nil)
+	if !ok || victim != 2 || task != 22 {
+		t.Fatalf("steal from longest queue: got task %d from worker %d (ok=%v), want 22 from 2", task, victim, ok)
+	}
+	// Queues 1 and 2 now tie at two tasks; the lower ID wins.
+	task, victim, ok = q.steal(0, nil)
+	if !ok || victim != 1 || task != 11 {
+		t.Fatalf("tie break: got task %d from worker %d (ok=%v), want 11 from 1", task, victim, ok)
+	}
+	// The thief's own queue is never a victim, even when longest.
+	q.push(0, 1)
+	q.push(0, 2)
+	q.push(0, 3)
+	if _, victim, ok = q.steal(0, nil); !ok || victim == 0 {
+		t.Fatalf("thief stole from itself (victim=%d ok=%v)", victim, ok)
+	}
+}
+
+// TestStealQueuePreferLedger checks retry homing through the prefer
+// callback: when the residency ledger says the thief already holds the
+// cached inputs of some queued task, the steal takes that task instead of
+// the victim's tail; an out-of-range preference falls back to the tail.
+func TestStealQueuePreferLedger(t *testing.T) {
+	holds := map[int]bool{41: true} // thief's resident inputs, by task
+	prefer := func(victim int, tasks []int) int {
+		for i, task := range tasks {
+			if holds[task] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	q := newTaskQueues(2)
+	for _, task := range []int{40, 41, 42, 43} {
+		q.push(1, task)
+	}
+	task, victim, ok := q.steal(0, prefer)
+	if !ok || victim != 1 || task != 41 {
+		t.Fatalf("ledger-preferred steal: got task %d from worker %d (ok=%v), want 41 from 1", task, victim, ok)
+	}
+	// Remaining queue must be intact minus the stolen middle element.
+	want := []int{40, 42, 43}
+	for i, w := range want {
+		got, ok := q.popOwn(1)
+		if !ok || got != w {
+			t.Fatalf("queue after middle steal: pop %d = %d (ok=%v), want %d", i, got, ok, w)
+		}
+	}
+
+	// No held task queued: default tail take.
+	for _, task := range []int{50, 51} {
+		q.push(1, task)
+	}
+	if task, _, ok = q.steal(0, prefer); !ok || task != 51 {
+		t.Fatalf("fallback steal: got %d (ok=%v), want tail 51", task, ok)
+	}
+}

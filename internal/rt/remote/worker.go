@@ -15,6 +15,7 @@ import (
 	"fuseme/internal/matrix"
 	"fuseme/internal/obs"
 	"fuseme/internal/parallel"
+	"fuseme/internal/prefetch"
 	"fuseme/internal/rt/spec"
 )
 
@@ -48,10 +49,14 @@ type Worker struct {
 	activeTasks atomic.Int64
 
 	// view is the latest membership table pushed by the coordinator
-	// (msgMemberUpdate), nil before the first push.
-	viewMu sync.Mutex
-	view   []MemberInfo
-	epoch  uint64
+	// (msgMemberUpdate), nil before the first push. ctrlWatch (same lock) is
+	// closed whenever the control loop applies a coordinator push — a
+	// membership update, cache invalidation, or replica put — so waiters can
+	// block for control-plane convergence instead of sleep-polling.
+	viewMu    sync.Mutex
+	view      []MemberInfo
+	epoch     uint64
+	ctrlWatch chan struct{}
 
 	// killAfter, when positive, makes the worker die (close its listener and
 	// every connection) as the (killAfter+1)-th task arrives. Fault-injection
@@ -65,6 +70,25 @@ type Worker struct {
 	// nil (the default) disables caching. Set with SetCacheBytes before the
 	// worker serves tasks.
 	cache atomic.Pointer[blockcache.Cache]
+
+	// steal, when true (the default), makes the worker volunteer for
+	// work-stealing: each task connection sends msgTaskSteal before msgDone,
+	// telling the coordinator this worker's idle lanes may pull queued tasks
+	// from stragglers. -steal=false opts a worker out.
+	steal atomic.Bool
+
+	// Prefetch buffer: blocks pulled ahead for a next-task assignment
+	// (msgPrefetch), keyed by (stage generation, task). The next task's
+	// fetch path consumes entries; msgTaskRelease and generation turnover
+	// drop them. A present nil block is a legitimate all-zero block.
+	pfMu  sync.Mutex
+	pfBuf map[pfKey]map[spec.BlockRef]matrix.Mat
+
+	// taskDelay, when positive, stalls every task body by that duration at
+	// the start of the timed task section, like a long kernel the prefetcher
+	// overlaps — a hook that turns this worker into a straggler (steal
+	// tests) or pads compute against wire time (the pipeline bench).
+	taskDelay atomic.Int64
 
 	// Kernel-pool state. The pool is built lazily from the first taskAssign
 	// (its KernelThreads/TaskSlots fields) and rebuilt only when those
@@ -93,9 +117,15 @@ func NewWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Worker{ln: ln, gone: make(chan struct{}), drop: make(chan struct{}, 1)}
+	w := &Worker{
+		ln:    ln,
+		gone:  make(chan struct{}),
+		drop:  make(chan struct{}, 1),
+		pfBuf: make(map[pfKey]map[spec.BlockRef]matrix.Mat),
+	}
 	w.killAfter.Store(-1)
 	w.kernelOverride.Store(-1)
+	w.steal.Store(true)
 	w.wg.Add(1)
 	go w.acceptLoop()
 	return w, nil
@@ -121,6 +151,90 @@ func (w *Worker) SetCacheBytes(n int64) {
 
 // CacheStats returns the worker cache's counters; zeroes with no cache.
 func (w *Worker) CacheStats() blockcache.Stats { return w.cache.Load().Snapshot() }
+
+// SetSteal sets whether the worker volunteers for work-stealing (the
+// -steal flag; default true).
+func (w *Worker) SetSteal(on bool) { w.steal.Store(on) }
+
+// SetTaskDelay stalls every subsequent task body by d inside the timed task
+// section, behaving like a long kernel the prefetcher overlaps — a hook
+// that makes this worker a straggler (forcing the coordinator's steal path
+// deterministically) or pads compute against wire time. Zero disables.
+func (w *Worker) SetTaskDelay(d time.Duration) { w.taskDelay.Store(int64(d)) }
+
+// pfKey identifies one task's prefetch buffer.
+type pfKey struct {
+	gen  uint64
+	task int
+}
+
+// pfStore buffers one prefetched block for (gen, task). Entries of other
+// generations are dropped on the way in: stages are serialized, so a
+// different generation is always stale.
+func (w *Worker) pfStore(gen uint64, task int, ref spec.BlockRef, blk matrix.Mat) {
+	w.pfMu.Lock()
+	defer w.pfMu.Unlock()
+	for k := range w.pfBuf {
+		if k.gen != gen {
+			delete(w.pfBuf, k)
+		}
+	}
+	k := pfKey{gen: gen, task: task}
+	m, ok := w.pfBuf[k]
+	if !ok {
+		m = make(map[spec.BlockRef]matrix.Mat)
+		w.pfBuf[k] = m
+	}
+	m[ref] = blk
+}
+
+// pfTake consumes a buffered block, reporting whether it was present (a
+// present nil is a legitimate all-zero block).
+func (w *Worker) pfTake(gen uint64, task int, ref spec.BlockRef) (matrix.Mat, bool) {
+	w.pfMu.Lock()
+	defer w.pfMu.Unlock()
+	m, ok := w.pfBuf[pfKey{gen: gen, task: task}]
+	if !ok {
+		return nil, false
+	}
+	blk, ok := m[ref]
+	if ok {
+		delete(m, ref)
+	}
+	return blk, ok
+}
+
+// pfHas reports whether a block is already buffered (without consuming it).
+func (w *Worker) pfHas(gen uint64, task int, ref spec.BlockRef) bool {
+	w.pfMu.Lock()
+	defer w.pfMu.Unlock()
+	m, ok := w.pfBuf[pfKey{gen: gen, task: task}]
+	if !ok {
+		return false
+	}
+	_, ok = m[ref]
+	return ok
+}
+
+// pfDrop discards one task's buffered blocks (task completed elsewhere, or
+// finished consuming).
+func (w *Worker) pfDrop(gen uint64, task int) {
+	w.pfMu.Lock()
+	delete(w.pfBuf, pfKey{gen: gen, task: task})
+	w.pfMu.Unlock()
+}
+
+// PrefetchBuffered returns how many blocks the prefetch buffer currently
+// holds, across tasks. Tests assert it drains back to zero.
+func (w *Worker) PrefetchBuffered() int {
+	w.pfMu.Lock()
+	defer w.pfMu.Unlock()
+	n := 0
+	for _, m := range w.pfBuf {
+		n += len(m)
+	}
+	return n
+}
 
 // SetKernelThreads pins this worker's intra-task kernel thread count,
 // overriding whatever each taskAssign ships: n > 0 is an explicit count,
@@ -243,6 +357,29 @@ func (w *Worker) ClusterView() ([]MemberInfo, uint64) {
 	return out, w.epoch
 }
 
+// ControlWatch returns a channel closed the next time the control loop
+// applies a coordinator push (membership update, cache invalidation, replica
+// put). Snapshot the channel, check the awaited state (ClusterView,
+// CacheStats), and block on the channel only if it does not hold yet.
+func (w *Worker) ControlWatch() <-chan struct{} {
+	w.viewMu.Lock()
+	defer w.viewMu.Unlock()
+	if w.ctrlWatch == nil {
+		w.ctrlWatch = make(chan struct{})
+	}
+	return w.ctrlWatch
+}
+
+// ctrlNotify wakes ControlWatch waiters after an applied control push.
+func (w *Worker) ctrlNotify() {
+	w.viewMu.Lock()
+	if w.ctrlWatch != nil {
+		close(w.ctrlWatch)
+		w.ctrlWatch = nil
+	}
+	w.viewMu.Unlock()
+}
+
 func (w *Worker) acceptLoop() {
 	defer w.wg.Done()
 	for {
@@ -326,6 +463,7 @@ func (w *Worker) controlLoop(conn net.Conn) {
 				return
 			}
 			w.cache.Load().InvalidateStale(inv.Node, inv.Epoch)
+			w.ctrlNotify()
 		case msgMemberUpdate:
 			// Coordinator push after a membership change: remember the
 			// table so operators (and the reconnect loop) can inspect the
@@ -339,6 +477,16 @@ func (w *Worker) controlLoop(conn net.Conn) {
 				w.view, w.epoch = upd.Members, upd.Epoch
 			}
 			w.viewMu.Unlock()
+			w.ctrlNotify()
+		case msgTaskRelease:
+			// A task this worker prefetched for was stolen: drop its
+			// buffered blocks. No reply — the buffer is an optimisation and
+			// generation turnover collects anything a lost release leaves.
+			var rel taskRelease
+			if err := decodeGob(payload, &rel); err != nil {
+				return
+			}
+			w.pfDrop(rel.Gen, rel.TaskID)
 		case msgCachePut:
 			// Replica push: store the block exactly as if one of this
 			// worker's own tasks had cached it at generation Gen. No reply;
@@ -356,6 +504,7 @@ func (w *Worker) controlLoop(conn net.Conn) {
 				break
 			}
 			cache.Put(p.Key, blk, blk.SizeBytes(), p.Gen)
+			w.ctrlNotify()
 		}
 	}
 }
@@ -377,12 +526,37 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		tt = &cluster.TaskTrace{}
 		task.SetTrace(tt)
 	}
-	var blocks []spec.OutBlock
-	fetch := func(ref spec.BlockRef) (matrix.Mat, error) {
-		if err := writeGob(conn, msgFetch, ref); err != nil {
+	cache := w.cache.Load()
+
+	// connMu serializes request/response pairs on the task connection: the
+	// task body's own fetches interleave with the prefetcher's pulls for the
+	// next task, and each pair must stay atomic for the framing to hold.
+	var connMu sync.Mutex
+	wireFetch := func(typ byte, ref spec.BlockRef) ([]byte, error) {
+		connMu.Lock()
+		defer connMu.Unlock()
+		if err := writeGob(conn, typ, ref); err != nil {
 			return nil, err
 		}
-		payload, err := expectFrame(conn, msgBlock)
+		return expectFrame(conn, msgBlock)
+	}
+
+	pipelined := assign.PrefetchBudget > 0
+	var fetched []spec.BlockRef // this task's fetch-path refs, reported in taskDone
+	var fetchSecs float64       // wire wait inside the task body
+	var blocks []spec.OutBlock
+	fetch := func(ref spec.BlockRef) (matrix.Mat, error) {
+		if pipelined {
+			fetched = append(fetched, ref)
+			if blk, ok := w.pfTake(assign.Gen, assign.TaskID, ref); ok {
+				// Served from the prefetch buffer: the wire transfer already
+				// happened under a previous task's kernel. No wire wait.
+				return blk, nil
+			}
+		}
+		fetchStart := time.Now()
+		payload, err := wireFetch(msgFetch, ref)
+		fetchSecs += time.Since(fetchStart).Seconds()
 		if err != nil {
 			return nil, err
 		}
@@ -399,16 +573,78 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 		}
 		return nil, fmt.Errorf("remote: unknown block status %d", payload[0])
 	}
+
+	// Prefetcher: while this task's kernel runs, pull the next queued
+	// task's recorded inputs into the buffer, bounded by the admission
+	// budget. The full hint list is always processed (the task's completion
+	// report waits for it), so the admitted set — and the coordinator's
+	// prefetch counters — depend only on the hints and cache state, never
+	// on kernel timing.
+	var pfWG sync.WaitGroup
+	var pfSecs float64
+	if pipelined && assign.PrefetchTask >= 0 && len(assign.PrefetchRefs) > 0 {
+		next := assign.PrefetchTask
+		pfWG.Add(1)
+		go func() {
+			defer pfWG.Done()
+			resident := func(ref spec.BlockRef) bool {
+				if w.pfHas(assign.Gen, next, ref) {
+					return true
+				}
+				if ref.Kind != spec.RefInput || cache == nil {
+					return false
+				}
+				ep, ok := assign.Stage.EpochOf(ref.Node)
+				if !ok {
+					return false
+				}
+				return cache.Contains(blockcache.Key{Node: ref.Node, Epoch: ep, BI: ref.BI, BJ: ref.BJ}, assign.Gen)
+			}
+			pull := func(ref spec.BlockRef) (int64, bool) {
+				start := time.Now()
+				payload, err := wireFetch(msgPrefetch, ref)
+				pfSecs += time.Since(start).Seconds()
+				if err != nil || len(payload) == 0 {
+					return 0, false
+				}
+				switch payload[0] {
+				case blockNil:
+					w.pfStore(assign.Gen, next, ref, nil)
+					return 0, true
+				case blockData:
+					blk, err := spec.DecodeBlock(payload[1:])
+					if err != nil {
+						return 0, false
+					}
+					w.pfStore(assign.Gen, next, ref, blk)
+					return blk.SizeBytes(), true
+				}
+				return 0, false
+			}
+			prefetch.Admit(assign.PrefetchRefs, assign.PrefetchBudget, resident, pull)
+		}()
+	}
+
 	var cc *exec.CacheCtx
-	cache := w.cache.Load()
 	if cache != nil && len(assign.Stage.Epochs) > 0 {
 		cc = &exec.CacheCtx{Cache: cache, Gen: assign.Gen, Advert: &spec.CacheAdvert{}}
 	}
 	start := time.Now()
+	if d := w.taskDelay.Load(); d > 0 {
+		// The injected stall behaves like a long kernel: it counts as task
+		// time and the prefetcher (already launched) overlaps it, exactly as
+		// it would a real computation.
+		time.Sleep(time.Duration(d))
+	}
 	err := exec.ExecuteSpecTask(&assign.Stage, assign.TaskID, task, cc, fetch, func(ob spec.OutBlock) {
 		blocks = append(blocks, ob)
 	})
 	taskDur := time.Since(start)
+	// The prefetcher must finish before any completion frame: msgDone ends
+	// the coordinator's serve loop, and a partial hint list would make the
+	// admitted set timing-dependent.
+	pfWG.Wait()
+	w.pfDrop(assign.Gen, assign.TaskID)
 	if o := w.obs.Load(); o.Enabled() {
 		o.Counter(obs.MWorkerTasksTotal).Inc()
 		o.Histogram(obs.MWorkerTaskSeconds).Observe(taskDur.Seconds())
@@ -460,6 +696,13 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 			})
 		}
 	}
+	if pipelined && w.steal.Load() {
+		// Volunteer this worker's lanes for work-stealing. Sent before
+		// msgDone so the coordinator sees the flag before it frees the slot.
+		if writeFrame(conn, msgTaskSteal, nil) != nil {
+			return
+		}
+	}
 	con, agg, flops, mem := task.Counters()
 	hits, misses, evs, saved := task.CacheCounters()
 	writeGob(conn, msgDone, taskDone{
@@ -472,8 +715,12 @@ func (w *Worker) runTask(conn net.Conn, assign *taskAssign) {
 			CacheMisses:        misses,
 			CacheEvictions:     evs,
 			CacheSavedBytes:    saved,
+			FetchSeconds:       fetchSecs,
+			PrefetchSeconds:    pfSecs,
+			TaskSeconds:        taskDur.Seconds(),
 		},
-		Blocks: blocks,
-		Spans:  spans,
+		Blocks:  blocks,
+		Spans:   spans,
+		Fetched: fetched,
 	})
 }

@@ -231,6 +231,15 @@ type TaskMetrics struct {
 	CacheMisses     int64
 	CacheEvictions  int64
 	CacheSavedBytes int64
+
+	// Pipelined-execution metering (proto v5). FetchSeconds is the wire
+	// wait inside the task body (time blocked on msgFetch round-trips,
+	// excluding buffered prefetch hits); PrefetchSeconds the wire time the
+	// worker spent pulling the next task's blocks while this task's kernel
+	// ran; TaskSeconds the task's wall time on the worker.
+	FetchSeconds    float64
+	PrefetchSeconds float64
+	TaskSeconds     float64
 }
 
 // EncodeBlock serialises a block in the FME1 format. Encoding nil (an

@@ -58,6 +58,12 @@ func diffStats(cur, prev cluster.Stats) cluster.Stats {
 		CacheMisses:        cur.CacheMisses - prev.CacheMisses,
 		CacheEvictions:     cur.CacheEvictions - prev.CacheEvictions,
 		CacheSavedBytes:    cur.CacheSavedBytes - prev.CacheSavedBytes,
+		PrefetchBlocks:     cur.PrefetchBlocks - prev.PrefetchBlocks,
+		PrefetchBytes:      cur.PrefetchBytes - prev.PrefetchBytes,
+		StealTasks:         cur.StealTasks - prev.StealTasks,
+		FetchSeconds:       cur.FetchSeconds - prev.FetchSeconds,
+		PrefetchSeconds:    cur.PrefetchSeconds - prev.PrefetchSeconds,
+		TaskSeconds:        cur.TaskSeconds - prev.TaskSeconds,
 	}
 }
 

@@ -30,6 +30,12 @@ const EnvCacheBytes = "FUSEME_CACHE_BYTES"
 // WithKernelThreads). Zero means auto-size against the machine's cores.
 const EnvKernelThreads = "FUSEME_KERNEL_THREADS"
 
+// EnvPrefetchBytes overrides the per-task prefetch admission budget in
+// bytes (see WithPrefetchBytes). Zero or unset means the 64 MiB default; a
+// negative value disables prefetching while leaving streamed aggregation
+// and work-stealing on.
+const EnvPrefetchBytes = "FUSEME_PREFETCH_BYTES"
+
 // WithTracing enables the span recorder: plan, stage and task spans are
 // collected and can be exported with Session.WriteTrace. Without this option
 // the recorder is nil and the instrumentation reduces to pointer checks.
@@ -140,6 +146,41 @@ func WithKernelThreads(n int) Option {
 	}
 }
 
+// WithPipelining turns pipelined stage execution on or off (default on, or
+// the ClusterConfig.DisablePipelining field). Pipelining overlaps each
+// task's input transfer with the previous task's kernel (prefetch), folds
+// partial aggregates as tasks complete instead of at a stage barrier, and
+// lets idle TCP workers steal queued tasks from stragglers. Results are
+// bit-identical either way — the driver folds partials in task-index order
+// regardless — so turning it off only changes when bytes move, never what
+// is computed.
+func WithPipelining(on bool) Option {
+	return func(s *Session) error {
+		if on {
+			s.pipelining = 1
+		} else {
+			s.pipelining = 0
+		}
+		return nil
+	}
+}
+
+// WithPrefetchBytes sets the per-task prefetch admission budget: how many
+// bytes of the next task's recorded inputs a worker may pull ahead while
+// the current kernel runs. The budget is clamped to the per-task memory
+// budget θt so prefetching never violates admission control. Must be
+// positive — use WithPipelining(false) to disable pipelining wholesale.
+// Default 64 MiB, or FUSEME_PREFETCH_BYTES.
+func WithPrefetchBytes(bytes int64) Option {
+	return func(s *Session) error {
+		if bytes <= 0 {
+			return fmt.Errorf("fuseme: PrefetchBytes = %d, must be positive", bytes)
+		}
+		s.prefetchBytes = bytes
+		return nil
+	}
+}
+
 // WithHeartbeat overrides the TCP runtime's worker heartbeat: how often the
 // coordinator pings each worker and how long it waits for the reply. The
 // timeout must exceed the interval. Defaults: 500ms / 2s, or the
@@ -206,6 +247,22 @@ func (s *Session) blockCacheBytes() (int64, error) {
 		return n, nil
 	}
 	return 0, nil
+}
+
+// prefetchBytesSetting resolves the prefetch budget: option > environment >
+// ClusterConfig field (whose zero means the built-in default).
+func (s *Session) prefetchBytesSetting() (int64, error) {
+	if s.prefetchBytes > 0 {
+		return s.prefetchBytes, nil
+	}
+	if env := os.Getenv(EnvPrefetchBytes); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fuseme: %s=%q: want a byte count (negative disables prefetch)", EnvPrefetchBytes, env)
+		}
+		return n, nil
+	}
+	return s.cfg.PrefetchBytes, nil
 }
 
 // kernelThreadsSetting resolves the intra-task thread count: option >

@@ -1,0 +1,168 @@
+// Command covercheck is the `make check` coverage gate. It parses a Go
+// coverage profile (written by `make race` via -coverprofile), prints a
+// per-package statement-coverage table, and fails when total coverage falls
+// below the checked-in baseline in tools/covercheck/baseline.txt.
+//
+// Usage (from the repository root):
+//
+//	go run ./tools/covercheck coverage.out
+//
+// The baseline is a ratchet, not a target: it only moves up. A PR that adds
+// well-tested code should bump baseline.txt to just under the new total; a
+// PR that drops total coverage below the baseline fails CI. The baseline
+// carries a little slack under the measured total because a handful of
+// blocks (steal paths, retry paths) only execute on some schedules.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const baselineFile = "tools/covercheck/baseline.txt"
+
+// blockCov is one profile block's statement count and execution count.
+type blockCov struct {
+	stmts, count int
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: covercheck <coverage.out>")
+		os.Exit(2)
+	}
+	blocks, err := parseProfile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	baseline, err := readBaseline()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+
+	type pkgCov struct{ covered, total int }
+	perPkg := map[string]*pkgCov{}
+	var covered, total int
+	for key, b := range blocks {
+		pkg := path.Dir(strings.SplitN(key, ":", 2)[0])
+		pc := perPkg[pkg]
+		if pc == nil {
+			pc = &pkgCov{}
+			perPkg[pkg] = pc
+		}
+		pc.total += b.stmts
+		total += b.stmts
+		if b.count > 0 {
+			pc.covered += b.stmts
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: profile has no statements")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(perPkg))
+	width := len("TOTAL")
+	for pkg := range perPkg {
+		names = append(names, pkg)
+		if len(pkg) > width {
+			width = len(pkg)
+		}
+	}
+	sort.Strings(names)
+	for _, pkg := range names {
+		pc := perPkg[pkg]
+		fmt.Printf("%-*s  %6.1f%%  (%d/%d statements)\n",
+			width, pkg, pct(pc.covered, pc.total), pc.covered, pc.total)
+	}
+	totalPct := pct(covered, total)
+	fmt.Printf("%-*s  %6.1f%%  (%d/%d statements; baseline %.1f%%)\n",
+		width, "TOTAL", totalPct, covered, total, baseline)
+
+	if totalPct < baseline {
+		fmt.Fprintf(os.Stderr,
+			"covercheck: total coverage %.1f%% is below the baseline %.1f%% — add tests or justify lowering %s\n",
+			totalPct, baseline, baselineFile)
+		os.Exit(1)
+	}
+	if totalPct > baseline+3 {
+		fmt.Printf("covercheck: total %.1f%% is well above the baseline %.1f%% — consider ratcheting %s up\n",
+			totalPct, baseline, baselineFile)
+	}
+}
+
+func pct(covered, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(total)
+}
+
+// parseProfile reads a coverage profile, deduplicating repeated blocks by
+// keeping the largest execution count (profiles merged across test binaries
+// can list a block more than once).
+func parseProfile(name string) (map[string]blockCov, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("open profile (run `make race` first): %w", err)
+	}
+	defer f.Close()
+	blocks := map[string]blockCov{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("malformed execution count in %q", line)
+		}
+		key := fields[0]
+		if prev, ok := blocks[key]; !ok || count > prev.count {
+			blocks[key] = blockCov{stmts: stmts, count: count}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return blocks, nil
+}
+
+func readBaseline() (float64, error) {
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return 0, fmt.Errorf("read baseline: %w", err)
+	}
+	// Strip comment lines so the baseline file can document itself.
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return 0, fmt.Errorf("baseline %q is not a number", line)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s contains no baseline value", baselineFile)
+}
