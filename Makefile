@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck pipelinecheck deflakecheck covercheck benchdiff
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck pipelinecheck replancheck deflakecheck covercheck benchdiff
 
 ## check: full verification gate — gofmt, vet, docs lint, build, race-enabled
 ## tests with a coverage profile, and the ratcheted coverage gate
@@ -85,6 +85,18 @@ pipelinecheck:
 	$(GO) test -race -count=1 -run 'Pipeline|Steal|StageReducer|Prefetch|Straggler' ./internal/exec/ ./internal/rt/ ./internal/rt/remote/ ./internal/experiments/
 	$(GO) run ./cmd/fuseme-bench -exp pipeline -out BENCH_pipeline.json
 
+## replancheck: feedback-loop suites under the race detector — calibration
+## store round-trip/lookup-fallback/convergence, divergence windows and the
+## bit-safe re-cost (R pinned, aggregation-rooted operators untouched),
+## replan-on/off bit-identity for GNMF and the AutoEncoder over sim and TCP,
+## plan-cache invalidation on calibration-generation bumps, and the replan
+## regression gate (iterations 2+ must cost no more than iteration 1 and the
+## steady-state plan must differ and improve) — plus the bench that records
+## per-iteration plans, costs and learned bandwidths in BENCH_replan.json
+replancheck:
+	$(GO) test -race -count=1 -run 'Calib|Replan|Adaptive|Resident' ./internal/obs/ ./internal/core/ ./internal/workloads/ ./internal/experiments/ .
+	$(GO) run ./cmd/fuseme-bench -exp replan -out BENCH_replan.json
+
 ## deflakecheck: the membership/chaos suites that used to sleep-poll now
 ## block on watch channels; run them 10x under the race detector to prove
 ## they are event-driven, not timing-lucky
@@ -101,11 +113,13 @@ benchdiff:
 	$(GO) run ./cmd/fuseme-bench -exp serve -scale 0.5 -out /tmp/BENCH_serve.json
 	$(GO) run ./cmd/fuseme-bench -exp chaos -scale 0.25 -out /tmp/BENCH_chaos.json
 	$(GO) run ./cmd/fuseme-bench -exp pipeline -out /tmp/BENCH_pipeline.json
+	$(GO) run ./cmd/fuseme-bench -exp replan -out /tmp/BENCH_replan.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_cache.json /tmp/BENCH_cache.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_kernels.json /tmp/BENCH_kernels.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_serve.json /tmp/BENCH_serve.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_chaos.json /tmp/BENCH_chaos.json
 	-$(GO) run ./tools/benchdiff -quiet BENCH_pipeline.json /tmp/BENCH_pipeline.json
+	-$(GO) run ./tools/benchdiff -quiet BENCH_replan.json /tmp/BENCH_replan.json
 
 ## bins: build the command-line binaries into ./bin
 bins:

@@ -70,6 +70,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight plans on shutdown")
 	tenants := flag.String("tenants", "", "tenant table name:token:weight[:quotaMB],... (default "+EnvTenants+", or a single open tenant)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the shared compiled-plan cache")
+	calib := flag.String("calib", "", "calibration-store file shared across tenants: learned effective bandwidths consulted at plan time, updated online, saved on shutdown")
 	cacheBytes := flag.Int64("cache-bytes", 0, "per-worker block-cache budget for loop-invariant inputs (0 disables)")
 	cacheReplicas := flag.Int("cache-replicas", 2, "workers holding each hot cached block under -runtime tcp, primary included (1 disables replication)")
 	var datasets stringsFlag
@@ -135,6 +136,7 @@ func main() {
 	if *noPlanCache {
 		scfg.PlanCacheEntries = -1
 	}
+	scfg.CalibPath = *calib
 	if *cacheBytes > 0 {
 		scfg.SessionOptions = append(scfg.SessionOptions, fuseme.WithBlockCache(*cacheBytes))
 	}

@@ -62,6 +62,8 @@ func run() error {
 	flightOut := flag.String("flight-out", "", "write a JSONL flight record (one line per stage: predicted vs measured) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address during the run")
 	report := flag.Bool("report", false, "print the cost-model calibration report (predicted vs measured, back-solved bandwidths) after executing")
+	calib := flag.String("calib", "", "calibration-store file: learned effective bandwidths consulted at plan time, updated by this run, saved on exit (default: $FUSEME_CALIB)")
+	replan := flag.Bool("replan", false, "re-pick cuboid partitioning between queries when measured stage times diverge from predictions (bit-identical results)")
 	flag.Var(&inputs, "in", "input declaration name:ROWSxCOLS[:density]; repeatable")
 	flag.Parse()
 
@@ -96,6 +98,12 @@ func run() error {
 	}
 	if *metricsAddr != "" {
 		opts = append(opts, fuseme.WithMetricsAddr(*metricsAddr))
+	}
+	if *calib != "" {
+		opts = append(opts, fuseme.WithCalibration(*calib))
+	}
+	if *replan {
+		opts = append(opts, fuseme.WithReplan(true))
 	}
 	sess, err := fuseme.NewSession(cfg, opts...)
 	if err != nil {

@@ -124,8 +124,9 @@ func declaredNames(t *testing.T, frag string) []string {
 	return names
 }
 
-// TestDocDriftGoSnippets compiles every ```go block in README.md and
-// docs/OPERATIONS.md. Blocks that begin with a package clause build as-is;
+// TestDocDriftGoSnippets compiles every ```go block in README.md,
+// docs/OPERATIONS.md and docs/TUNING.md. Blocks that begin with a package
+// clause build as-is;
 // statement fragments are wrapped in a function that predeclares the
 // conventional free variable `cfg` (a ClusterConfig) and blank-assigns
 // whatever the fragment declares.
@@ -134,7 +135,7 @@ func TestDocDriftGoSnippets(t *testing.T) {
 		t.Skip("spawns the go tool")
 	}
 	total := 0
-	for _, doc := range []string{"README.md", "docs/OPERATIONS.md"} {
+	for _, doc := range []string{"README.md", "docs/OPERATIONS.md", "docs/TUNING.md"} {
 		n := 0
 		for _, blk := range extractFenced(t, doc) {
 			if blk.tag != "go" {

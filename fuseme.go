@@ -390,6 +390,12 @@ type Session struct {
 	sched       *Scheduler // WithScheduler; nil = backend-private dispatch
 	lastPlanHit bool       // most recent compile came from the plan cache
 
+	calibStore *obs.CalibStore // WithCalibration/WithCalibrationStore/FUSEME_CALIB
+	calibOwned bool            // session opened the store and saves it on Close
+	replan     int             // WithReplan; -1 = off (default), 0 = off, 1 = on
+	replanner  *core.Replanner // live when replan == 1
+	lastEpochs map[uint64]bool // input content epochs fed to the previous Query
+
 	tenantMu     sync.Mutex
 	tenant       string // SetTenant tag for the shared scheduler
 	tenantWeight int
@@ -414,11 +420,15 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 		cacheBytes:    -1,
 		kernelThreads: -1,
 		pipelining:    -1,
+		replan:        -1,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
 			return nil, err
 		}
+	}
+	if err := s.resolveCalibration(); err != nil {
+		return nil, err
 	}
 	if _, err := s.maxTaskRetries(); err != nil {
 		return nil, err
@@ -641,6 +651,15 @@ func (s *Session) Close() error {
 	if cerr := s.obs.Flight.Close(); err == nil {
 		err = cerr
 	}
+	// A session-owned calibration store (WithCalibration / FUSEME_CALIB)
+	// persists what this session learned; shared stores are saved by their
+	// owner. Close is idempotent and Save is concurrency-safe, so repeated
+	// Closes just rewrite the same state.
+	if s.calibOwned {
+		if cerr := s.calibStore.Save(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -690,8 +709,13 @@ func (s *Session) compile(script string) (*compiled, error) {
 		return nil, err
 	}
 	s.lastPlanHit = false
+	// Learned bandwidths from the calibration store override the cost
+	// model's constants at compile time; execution (and the sim clock) still
+	// runs on the configured values.
+	cc := rtm.Config()
+	cc.LearnedNetBandwidth, cc.LearnedCompBandwidth = s.learnedBandwidths()
 	if s.planCache == nil {
-		pp, err := s.engine.Compile(g, rtm.Config())
+		pp, err := s.engine.Compile(g, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -704,7 +728,7 @@ func (s *Session) compile(script string) (*compiled, error) {
 		s.obs.Counter(obs.MPlanCacheHits).Inc()
 		return &compiled{pp: hit.PP, rtm: rtm, inNames: hit.InputNames, outNames: hit.OutputNames, cacheHit: true}, nil
 	}
-	pp, err := s.engine.Compile(g, rtm.Config())
+	pp, err := s.engine.Compile(g, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -736,9 +760,20 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 		}
 		needed[in.Name] = b
 	}
+	// Feedback-directed re-planning (WithReplan): before executing, check the
+	// previous query's measured stage times against their predictions and,
+	// on divergence, re-pick eligible operators' (P,Q) on a copy of the plan
+	// — cached plans stay untouched — with learned bandwidths and the inputs
+	// still cache-resident since the last query.
+	if s.replanner != nil {
+		pp := cq.pp.Clone()
+		s.replanner.MaybeReplan(pp, cq.rtm.Config(), s.residentNames(cq.rtm, needed))
+		cq.pp = pp
+	}
 	cq.rtm.ResetStats()
 	out, err := core.ExecuteObs(cq.pp, cq.rtm, needed, s.obs)
 	s.last = statsFrom(cq.rtm.Stats())
+	s.snapshotEpochs(needed)
 	if err != nil {
 		return nil, err
 	}

@@ -75,19 +75,29 @@ func (pp *PhysPlan) Describe() string {
 // DescribeCosts renders the plan's per-operator cost predictions: each fused
 // operator's chosen (P,Q,R) with its predicted network, computation and
 // per-task memory terms and the Eq. 2 time decomposition under cfg's cluster
-// constants. This is what `fuseme -explain` prints before execution.
+// constants — calibration-learned bandwidths when set (marked "learned",
+// matching what the compile actually priced with), the configured constants
+// otherwise. This is what `fuseme -explain` prints before execution.
 func (pp *PhysPlan) DescribeCosts(cfg cluster.Config) string {
 	n := float64(cfg.Nodes)
+	netBW, netSrc := cfg.NetBandwidth, ""
+	if cfg.LearnedNetBandwidth > 0 {
+		netBW, netSrc = cfg.LearnedNetBandwidth, " learned"
+	}
+	compBW, compSrc := cfg.EffectiveCompBandwidth(), ""
+	if cfg.LearnedCompBandwidth > 0 {
+		compBW, compSrc = cfg.LearnedCompBandwidth, " learned"
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "predicted costs (N=%d, B̂n=%.3g B/s, B̂c=%.3g flop/s, θt=%s):\n",
-		cfg.Nodes, cfg.NetBandwidth, cfg.EffectiveCompBandwidth(), cluster.FormatBytes(cfg.TaskMemBytes))
+	fmt.Fprintf(&b, "predicted costs (N=%d, B̂n=%.3g B/s%s, B̂c=%.3g flop/s%s, θt=%s):\n",
+		cfg.Nodes, netBW, netSrc, compBW, compSrc, cluster.FormatBytes(cfg.TaskMemBytes))
 	for i, op := range pp.Ops {
 		pqr := "-"
 		if op.Strategy == exec.Cuboid && op.Plan.MainMM != nil {
 			pqr = fmt.Sprintf("(%d,%d,%d)", op.P, op.Q, op.R)
 		}
-		netSec := float64(op.EstNetBytes) / (n * cfg.NetBandwidth)
-		comSec := float64(op.EstComFlops) / (n * cfg.EffectiveCompBandwidth())
+		netSec := float64(op.EstNetBytes) / (n * netBW)
+		comSec := float64(op.EstComFlops) / (n * compBW)
 		bound, total := "net", netSec
 		if comSec > netSec {
 			bound, total = "comp", comSec

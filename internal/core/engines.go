@@ -16,13 +16,24 @@ import (
 // modelFor derives the cost-model constants from the cluster configuration.
 // CompBW uses the kernel-thread-scaled compute bandwidth so plan costs (and
 // the chosen (P,Q,R)) reflect intra-task parallelism when it is configured
-// explicitly.
+// explicitly. Calibration-store overrides (LearnedNetBandwidth /
+// LearnedCompBandwidth) replace the configured constants when set; the
+// learned compute rate is already effective per-node, so the kernel-thread
+// multiplier does not reapply to it.
 func modelFor(cc cluster.Config) cost.Model {
 	c := cc
+	netBW := c.NetBandwidth
+	if c.LearnedNetBandwidth > 0 {
+		netBW = c.LearnedNetBandwidth
+	}
+	compBW := c.EffectiveCompBandwidth()
+	if c.LearnedCompBandwidth > 0 {
+		compBW = c.LearnedCompBandwidth
+	}
 	return cost.Model{
 		Nodes:        c.Nodes,
-		NetBW:        c.NetBandwidth,
-		CompBW:       c.EffectiveCompBandwidth(),
+		NetBW:        netBW,
+		CompBW:       compBW,
 		TaskMemBytes: c.TaskMemBytes,
 		MinTasks:     c.PlanSlots(),
 	}

@@ -64,6 +64,8 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 		WallSeconds:        after.SimSeconds - before.SimSeconds,
 	}
 	o.Measure(meas)
+	pred, _ := o.Prediction(opKey)
+	o.LearnStage(pred, meas)
 
 	o.Counter(obs.MStagesTotal).Inc()
 	o.Counter(obs.MConsolidationBytes).Add(meas.ConsolidationBytes)
@@ -98,7 +100,6 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 	// Flight recorder: one black-box line per stage execution, joining the
 	// operator's prediction (when the planner recorded one) to this stage's
 	// stats diff.
-	pred, _ := o.Prediction(opKey)
 	o.RecordFlight(obs.FlightRecord{
 		Stage: st.Name,
 		Op:    opKey,

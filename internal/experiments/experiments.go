@@ -124,6 +124,7 @@ var registry = map[string]Runner{
 	"chaos":    Chaos,
 	"kernels":  Kernels,
 	"pipeline": Pipeline,
+	"replan":   Replan,
 	"serve":    Serve,
 }
 

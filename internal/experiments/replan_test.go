@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReplanBenchGate is the feedback-loop regression gate: on a real
+// two-worker TCP run with online calibration, the partitioning must actually
+// move once X is cache-resident, and every later iteration's plan must cost
+// no more than iteration 1's under the learned model. Plan cost — not wall
+// clock — is the gated quantity: it is deterministic on a loaded CI machine,
+// and the FixedR search space always contains iteration 1's point, so a
+// regression here means the re-cost picked something worse than doing
+// nothing.
+func TestReplanBenchGate(t *testing.T) {
+	rep, tables, err := ReplanBench(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != rep.Iterations {
+		t.Fatalf("want one table with %d rows, got %+v", rep.Iterations, tables)
+	}
+	if len(rep.Rows) != rep.Iterations {
+		t.Fatalf("report has %d rows, want %d", len(rep.Rows), rep.Iterations)
+	}
+
+	if !rep.PlanChanged {
+		t.Error("iterations 2..N never picked a different plan than iteration 1")
+	}
+	if rep.Replans == 0 {
+		t.Error("no boundary check swapped a plan")
+	}
+	if rep.LearnedNetBW <= 0 {
+		t.Error("calibration learned no net bandwidth")
+	}
+	if rep.LearnedNetBW >= rep.ConfiguredNetBW {
+		t.Errorf("learned net bandwidth %g not below the configured %g on loopback",
+			rep.LearnedNetBW, rep.ConfiguredNetBW)
+	}
+
+	first := rep.Rows[0].PlanCostSeconds
+	if first <= 0 {
+		t.Fatalf("iteration 1 plan cost = %g, want > 0", first)
+	}
+	for _, row := range rep.Rows[1:] {
+		if row.PlanCostSeconds > first*(1+1e-9) {
+			t.Errorf("iteration %d plan cost %g exceeds iteration 1's %g",
+				row.Iteration, row.PlanCostSeconds, first)
+		}
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.PlanCostSeconds >= first {
+		t.Errorf("steady-state plan cost %g did not improve on iteration 1's %g",
+			last.PlanCostSeconds, first)
+	}
+	if last.Plan == rep.Rows[0].Plan {
+		t.Error("steady-state iteration still runs iteration 1's partitioning")
+	}
+}
+
+// TestReplanReportOut: the registered runner writes the JSON document and it
+// round-trips with the gate-relevant fields populated.
+func TestReplanReportOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_replan.json")
+	if _, err := Replan(Options{ReportOut: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ReplanReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 || rep.Iterations == 0 || len(rep.Rows) != rep.Iterations {
+		t.Errorf("report shape off: %+v", rep)
+	}
+	if rep.Checks == 0 || rep.LearnedNetBW == 0 {
+		t.Errorf("calibration fields empty: checks=%d learned_net_bw=%g", rep.Checks, rep.LearnedNetBW)
+	}
+}

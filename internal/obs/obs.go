@@ -20,6 +20,7 @@ type Obs struct {
 	Metrics *Registry       // metrics registry; nil disables metrics
 	Calib   *Calibration    // prediction/measurement join; nil disables calibration
 	Flight  *FlightRecorder // per-stage JSONL flight recorder; nil disables it
+	Learn   *Learner        // online calibration-store updater; nil disables learning
 }
 
 // Enabled reports whether any component is active (stage-level hooks run).
@@ -94,6 +95,19 @@ func (o *Obs) Prediction(op string) (StagePred, bool) {
 		return StagePred{}, false
 	}
 	return o.Calib.Prediction(op)
+}
+
+// LearnStage streams one completed stage's (prediction, measurement) pair
+// into the attached calibration-store learner, bumping the update counter
+// when a sample was folded in. A nil Obs or nil Learner absorbs the call.
+func (o *Obs) LearnStage(pred StagePred, meas StageMeas) {
+	if o == nil || o.Learn == nil {
+		return
+	}
+	if o.Learn.Observe(pred, meas) {
+		o.Counter(MCalibUpdates).Inc()
+		o.Gauge(MCalibGeneration).Set(float64(o.Learn.Store.Generation()))
+	}
 }
 
 // RecordFlight appends one stage record to the flight recorder.
@@ -173,6 +187,18 @@ const (
 	MPrefetchBlocks = "fuseme_prefetch_blocks_total"
 	MPrefetchBytes  = "fuseme_prefetch_bytes_total"
 	MStealTasks     = "fuseme_steal_tasks_total"
+
+	// Calibration / feedback-loop metrics. MCalibUpdates counts stage
+	// samples folded into the calibration store; MCalibGeneration mirrors
+	// the store's generation counter (bumped on material learned-value
+	// movement or rotation). MReplanChecks counts iteration-boundary
+	// divergence checks, MReplans counts checks that actually swapped a
+	// plan, and MReplanDivergence holds the last measured divergence ratio.
+	MCalibUpdates     = "fuseme_calibration_updates_total"
+	MCalibGeneration  = "fuseme_calibration_generation"
+	MReplanChecks     = "fuseme_replan_checks_total"
+	MReplans          = "fuseme_replans_total"
+	MReplanDivergence = "fuseme_replan_divergence"
 
 	// Plan-cache metrics (compiled-plan reuse across repeat queries).
 	MPlanCacheHits    = "fuseme_plancache_hits_total"

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+var calibTestModel = ClusterModel{Nodes: 2, NetBandwidth: 1e9, CompBandwidth: 50e9}
+
+// netStage returns a (pred, meas) pair the model classifies as net-bound,
+// whose back-solved bandwidth is exactly bw bytes/s per node.
+func netStage(bw float64, wall float64, nodes int) (StagePred, StageMeas) {
+	pred := StagePred{Op: "CFO mul#1", NetBytes: 1 << 30, ComFlops: 1}
+	meas := StageMeas{
+		Op:                 "CFO mul#1",
+		ConsolidationBytes: int64(bw * float64(nodes) * wall),
+		WallSeconds:        wall,
+	}
+	return pred, meas
+}
+
+// compStage returns a pair the model classifies as comp-bound with
+// back-solved flop rate bw.
+func compStage(bw float64, wall float64, nodes int) (StagePred, StageMeas) {
+	pred := StagePred{Op: "CFO mul#2", NetBytes: 1, ComFlops: 1 << 40}
+	meas := StageMeas{
+		Op:          "CFO mul#2",
+		Flops:       int64(bw * float64(nodes) * wall),
+		WallSeconds: wall,
+	}
+	return pred, meas
+}
+
+func TestCalibStoreObserveClassifiesStages(t *testing.T) {
+	s := NewCalibStore()
+	key := CalibKey{Workers: 2, BlockSize: 64}
+
+	pred, meas := netStage(8e6, 0.25, 2)
+	if !s.Observe(key, calibTestModel, pred, meas) {
+		t.Fatal("net-bound stage not folded in")
+	}
+	pred, meas = compStage(3e9, 0.5, 2)
+	if !s.Observe(key, calibTestModel, pred, meas) {
+		t.Fatal("comp-bound stage not folded in")
+	}
+
+	l, ok := s.Lookup(key)
+	if !ok || !l.Exact {
+		t.Fatalf("Lookup(%v) = %v, %v, want exact hit", key, l, ok)
+	}
+	if math.Abs(l.NetBW-8e6)/8e6 > 1e-9 {
+		t.Errorf("learned NetBW = %g, want 8e6", l.NetBW)
+	}
+	if math.Abs(l.CompBW-3e9)/3e9 > 1e-9 {
+		t.Errorf("learned CompBW = %g, want 3e9", l.CompBW)
+	}
+
+	// Stages with no wall time or no prediction contribute nothing.
+	if s.Observe(key, calibTestModel, pred, StageMeas{Op: "x"}) {
+		t.Error("zero-wall stage was folded in")
+	}
+	if s.Observe(key, calibTestModel, StagePred{}, StageMeas{WallSeconds: 1}) {
+		t.Error("prediction-free stage was folded in")
+	}
+}
+
+func TestCalibStoreConvergence(t *testing.T) {
+	// Start from a badly wrong first observation and stream stages measured
+	// at the true bandwidth: the EWMA must converge well within 30 stages.
+	s := NewCalibStore()
+	key := CalibKey{Workers: 2, BlockSize: 64}
+	const trueBW = 12e6
+
+	pred, meas := netStage(trueBW*40, 0.1, 2)
+	s.Observe(key, calibTestModel, pred, meas)
+	for i := 0; i < 30; i++ {
+		pred, meas = netStage(trueBW, 0.1, 2)
+		s.Observe(key, calibTestModel, pred, meas)
+	}
+	l, _ := s.Lookup(key)
+	if math.Abs(l.NetBW-trueBW)/trueBW > 0.01 {
+		t.Errorf("after 30 stages NetBW = %g, want within 1%% of %g", l.NetBW, trueBW)
+	}
+}
+
+func TestCalibStoreUpdateFromFlight(t *testing.T) {
+	s := NewCalibStore()
+	key := CalibKey{Workers: 2, BlockSize: 64}
+	recs := []FlightRecord{
+		// Net-bound: 4e6 B/s per node over 2 nodes for 0.5s.
+		{Op: "CFO mul#1", PredNetBytes: 1 << 30, PredComFlops: 1,
+			MeasConsolidationBytes: 4e6, MeasWallSeconds: 0.5},
+		// Bookkeeping stage with no prediction: skipped.
+		{Op: "bind", MeasWallSeconds: 0.1},
+	}
+	if folded := s.UpdateFromFlight(key, calibTestModel, recs); folded != 1 {
+		t.Fatalf("UpdateFromFlight folded %d records, want 1", folded)
+	}
+	l, ok := s.Lookup(key)
+	if !ok || math.Abs(l.NetBW-4e6)/4e6 > 1e-9 {
+		t.Errorf("Lookup = %v, %v; want NetBW 4e6", l, ok)
+	}
+}
+
+func TestCalibStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "calib.json")
+	s, err := OpenCalibStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 4}
+	pred, meas := netStage(8e6, 0.25, 2)
+	s.Observe(key, calibTestModel, pred, meas)
+	pred, meas = compStage(3e9, 0.5, 2)
+	s.Observe(key, calibTestModel, pred, meas)
+	gen := s.Generation()
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCalibStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Generation() != gen {
+		t.Errorf("reloaded generation = %d, want %d", re.Generation(), gen)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reloaded Len = %d, want 1", re.Len())
+	}
+	want := s.Entries()[0]
+	got := re.Entries()[0]
+	if got != want {
+		t.Errorf("reloaded entry = %+v, want %+v", got, want)
+	}
+
+	// A missing file opens an empty store rather than failing.
+	empty, err := OpenCalibStore(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("OpenCalibStore(absent) = len %d, err %v; want empty, nil", empty.Len(), err)
+	}
+}
+
+func TestCalibStoreLookupFallbackOrder(t *testing.T) {
+	s := NewCalibStore()
+	add := func(key CalibKey, bw float64) {
+		pred, meas := netStage(bw, 0.25, 2)
+		s.Observe(key, calibTestModel, pred, meas)
+	}
+	add(CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 4}, 1e6)
+	add(CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 1}, 2e6)
+	add(CalibKey{Workers: 2, BlockSize: 32, KernelThreads: 8}, 3e6)
+	add(CalibKey{Workers: 4, BlockSize: 64, KernelThreads: 4}, 4e6)
+
+	cases := []struct {
+		name   string
+		want   CalibKey
+		wantBW float64
+		exact  bool
+		miss   bool
+		key    CalibKey
+	}{
+		{name: "exact", key: CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 4},
+			wantBW: 1e6, exact: true},
+		{name: "same workers+block size, closest kernel threads",
+			key: CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 2}, wantBW: 2e6},
+		{name: "smaller kernel-thread distance wins",
+			// kt=4 sits at distance 1 from the request, kt=1 at distance 2.
+			key: CalibKey{Workers: 2, BlockSize: 64, KernelThreads: 3}, wantBW: 1e6},
+		{name: "same workers, any block size",
+			key: CalibKey{Workers: 2, BlockSize: 128, KernelThreads: 8}, wantBW: 3e6},
+		{name: "different worker count never substitutes",
+			key: CalibKey{Workers: 8, BlockSize: 64, KernelThreads: 4}, miss: true},
+	}
+	for _, tc := range cases {
+		l, ok := s.Lookup(tc.key)
+		if tc.miss {
+			if ok {
+				t.Errorf("%s: Lookup(%v) hit %v, want miss", tc.name, tc.key, l)
+			}
+			continue
+		}
+		if !ok || l.NetBW != tc.wantBW || l.Exact != tc.exact {
+			t.Errorf("%s: Lookup(%v) = %+v, %v; want NetBW %g exact=%v",
+				tc.name, tc.key, l, ok, tc.wantBW, tc.exact)
+		}
+	}
+}
+
+func TestCalibStoreGenerationHysteresis(t *testing.T) {
+	s := NewCalibStore()
+	key := CalibKey{Workers: 2, BlockSize: 64}
+
+	pred, meas := netStage(10e6, 0.25, 2)
+	s.Observe(key, calibTestModel, pred, meas)
+	gen := s.Generation()
+	if gen == 0 {
+		t.Fatal("first sample did not publish a generation")
+	}
+
+	// Identical samples refine silently: no churn for plan caches.
+	for i := 0; i < 20; i++ {
+		pred, meas = netStage(10e6, 0.25, 2)
+		s.Observe(key, calibTestModel, pred, meas)
+	}
+	if g := s.Generation(); g != gen {
+		t.Errorf("stable samples advanced generation %d -> %d", gen, g)
+	}
+
+	// A 10x shift must eventually re-key: the EWMA crosses the drift band.
+	for i := 0; i < 20; i++ {
+		pred, meas = netStage(100e6, 0.25, 2)
+		s.Observe(key, calibTestModel, pred, meas)
+	}
+	if g := s.Generation(); g <= gen {
+		t.Errorf("10x bandwidth shift left generation at %d", g)
+	}
+}
+
+func TestCalibStoreMerge(t *testing.T) {
+	a, b := NewCalibStore(), NewCalibStore()
+	shared := CalibKey{Workers: 2, BlockSize: 64}
+	only := CalibKey{Workers: 4, BlockSize: 64}
+
+	pred, meas := netStage(10e6, 0.25, 2)
+	a.Observe(shared, calibTestModel, pred, meas)
+	for i := 0; i < 3; i++ { // 3 samples at 20e6 in b: outweighs a's single sample
+		pred, meas = netStage(20e6, 0.25, 2)
+		b.Observe(shared, calibTestModel, pred, meas)
+	}
+	pred, meas = compStage(3e9, 0.5, 4)
+	b.Observe(only, ClusterModel{Nodes: 4, NetBandwidth: 1e9, CompBandwidth: 50e9}, pred, meas)
+
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+	l, _ := a.Lookup(shared)
+	want := (10e6*1 + 20e6*3) / 4
+	if math.Abs(l.NetBW-want)/want > 1e-9 {
+		t.Errorf("merged NetBW = %g, want sample-weighted %g", l.NetBW, want)
+	}
+	if l, _ := a.Lookup(only); l.CompBW != 3e9 {
+		t.Errorf("copied entry CompBW = %g, want 3e9", l.CompBW)
+	}
+}
+
+func TestCalibStoreRotate(t *testing.T) {
+	s := NewCalibStore()
+	key := CalibKey{Workers: 2, BlockSize: 64}
+	pred, meas := netStage(10e6, 0.25, 2)
+	s.Observe(key, calibTestModel, pred, meas)
+	gen := s.Generation()
+
+	s.Rotate()
+	if s.Len() != 0 {
+		t.Errorf("Rotate left %d entries", s.Len())
+	}
+	if _, ok := s.Lookup(key); ok {
+		t.Error("Lookup hit after Rotate")
+	}
+	if g := s.Generation(); g <= gen {
+		t.Errorf("Rotate did not advance generation: %d -> %d", gen, g)
+	}
+}
+
+func TestCalibStoreNilSafe(t *testing.T) {
+	var s *CalibStore
+	if s.Observe(CalibKey{}, calibTestModel, StagePred{}, StageMeas{WallSeconds: 1}) {
+		t.Error("nil store folded a sample")
+	}
+	if _, ok := s.Lookup(CalibKey{}); ok {
+		t.Error("nil store returned a hit")
+	}
+	if s.Generation() != 0 || s.Len() != 0 || s.Entries() != nil {
+		t.Error("nil store reported state")
+	}
+	if err := s.Save(); err != nil {
+		t.Errorf("nil Save = %v", err)
+	}
+	s.Rotate()
+	s.Merge(NewCalibStore())
+
+	var l *Learner
+	if l.Observe(StagePred{}, StageMeas{WallSeconds: 1}) {
+		t.Error("nil learner folded a sample")
+	}
+}

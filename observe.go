@@ -398,11 +398,16 @@ func (s *Session) ResetObservations() { s.obs.Reset() }
 // ExplainCosts compiles a script and returns the physical plan description
 // followed by each fused operator's predicted cost breakdown — the chosen
 // (P,Q,R) with its network, computation and per-task memory terms under the
-// session's cluster constants. This is what `fuseme -explain` prints.
+// same constants the compile priced with: calibration-learned bandwidths
+// when a store covers the session's cluster shape (marked "learned" in the
+// header), the configured constants otherwise. This is what
+// `fuseme -explain` prints.
 func (s *Session) ExplainCosts(script string) (string, error) {
 	cq, err := s.compile(script)
 	if err != nil {
 		return "", err
 	}
-	return cq.pp.Describe() + cq.pp.DescribeCosts(cq.rtm.Config()), nil
+	cc := cq.rtm.Config()
+	cc.LearnedNetBandwidth, cc.LearnedCompBandwidth = s.learnedBandwidths()
+	return cq.pp.Describe() + cq.pp.DescribeCosts(cc), nil
 }

@@ -172,6 +172,12 @@ func (s *Session) planFingerprint() string {
 	if cf, ok := rtm.(interface{ ClusterFingerprint() string }); ok {
 		fp += "|mem=" + cf.ClusterFingerprint()
 	}
+	// Calibration-attached sessions stamp the store generation: when a
+	// learned bandwidth moves materially (or the store is rotated), cached
+	// plans costed under the old model stop matching and re-cost.
+	if s.calibStore != nil {
+		fp += fmt.Sprintf("|calib=%d", s.calibStore.Generation())
+	}
 	return fp
 }
 
