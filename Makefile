@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck pipelinecheck replancheck deflakecheck covercheck benchdiff
+.PHONY: check fmtcheck vet build test race bench bins clean cachecheck docscheck kernelcheck tracecheck servecheck chaoscheck pipelinecheck replancheck deflakecheck obscheck covercheck benchdiff
 
 ## check: full verification gate — gofmt, vet, docs lint, build, race-enabled
 ## tests with a coverage profile, and the ratcheted coverage gate
@@ -104,6 +104,21 @@ deflakecheck:
 	$(GO) test -race -count=10 ./internal/membership/
 	$(GO) test -race -count=10 -run 'Elastic|Suspect|DeathRoutes|Membership' ./internal/rt/remote/
 	$(GO) test -race -count=2 ./internal/chaos/
+
+## obscheck: per-query observability battery under the race detector — the
+## journal/skew-detector/quantile unit suites, the sim-vs-TCP journal
+## conformance test (same GNMF run, identical normalized event sequences),
+## the /v1/queries introspection endpoints (served flights must equal the
+## flight recorder's records exactly) with the concurrent-status soak, the
+## session journal lifecycle + overhead gate, the injected-straggler chaos
+## test, and the fuseme-top dashboard client
+obscheck:
+	$(GO) test -race -count=1 -run 'Journal|Skew|Slowdown|Quantile|Snapshot|ServeMetrics|DebugStats|Pprof' ./internal/obs/
+	$(GO) test -race -count=1 -run TestRuntimeConformanceJournal ./internal/rt/
+	$(GO) test -race -count=1 -run 'TestQueryIntrospection|TestQueriesEndpointErrors|TestStatusUnderConcurrentQueries' ./internal/serve/
+	$(GO) test -race -count=1 -run TestStragglerDetection ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestSessionJournal|TestSetQueryLog|TestSessionSkewDetector|TestJournalOverheadGate' .
+	$(GO) test -race -count=1 ./cmd/fuseme-top/
 
 ## benchdiff: regenerate the bench documents into /tmp and diff them against
 ## the checked-in BENCH_*.json (non-blocking: timings vary across machines)

@@ -10,6 +10,7 @@
 package fuseme_test
 
 import (
+	"io"
 	"testing"
 
 	"fuseme"
@@ -208,6 +209,64 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			sess.ResetObservations() // keep the span buffer from growing unboundedly
 		}
 	})
+}
+
+// BenchmarkJournalOverhead quantifies the event journal and skew detector on
+// the same GNMF iteration as BenchmarkTraceOverhead. "off" is the default
+// uninstrumented path, "journal" adds lifecycle events (planned, stage
+// start/end, done — a handful of appends per query, no per-task work), and
+// "journal+skew" additionally enables the metrics registry, which arms the
+// per-task path (latency histogram + skew detector). Compare with benchstat;
+// the journal+skew delta over off must stay under 2% wall.
+func BenchmarkJournalOverhead(b *testing.B) {
+	const (
+		users, items, k = 1200, 800, 16
+		updateU         = `U2 = U * (t(V) %*% X) / (t(V) %*% V %*% U)`
+		updateV         = `V2 = V * (X %*% t(U)) / (V %*% (U %*% t(U)))`
+	)
+	newGNMFSession := func(b *testing.B, opts ...fuseme.Option) *fuseme.Session {
+		b.Helper()
+		sess, err := fuseme.NewSession(fuseme.LocalClusterConfig(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.RandomDense("X", users, items, 1, 5, 1)
+		sess.RandomDense("U", k, items, 0.1, 0.9, 2)
+		sess.RandomDense("V", users, k, 0.1, 0.9, 3)
+		return sess
+	}
+	iteration := func(b *testing.B, sess *fuseme.Session) {
+		b.Helper()
+		out, err := sess.Query(updateU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Bind("U", out["U2"])
+		if _, err := sess.Query(updateV); err != nil {
+			b.Fatal(err)
+		}
+	}
+	variants := []struct {
+		name string
+		opts func() []fuseme.Option
+	}{
+		{"off", func() []fuseme.Option { return nil }},
+		{"journal", func() []fuseme.Option {
+			return []fuseme.Option{fuseme.WithJournalWriter(io.Discard)}
+		}},
+		{"journal+skew", func() []fuseme.Option {
+			return []fuseme.Option{fuseme.WithJournalWriter(io.Discard), fuseme.WithMetrics()}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			sess := newGNMFSession(b, v.opts()...)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				iteration(b, sess)
+			}
+		})
+	}
 }
 
 // BenchmarkCompileGNMF isolates planning cost (CFG exploration +

@@ -16,9 +16,11 @@
 //	    -tenants 'acme:s3cret:2,beta:hunter2:1' \
 //	    -dataset 'X=sparse:4000x4000:0.01:1:5:42'
 //
-// Endpoints: POST /v1/query, GET /v1/status, GET /metrics (Prometheus), GET
-// /debug/stats (JSON). SIGINT/SIGTERM drains in-flight plans (rejecting new
-// submissions with 503) before exiting; -drain-timeout bounds the wait.
+// Endpoints: POST /v1/query, GET /v1/queries (live + recent queries), GET
+// /v1/queries/{id} (EXPLAIN ANALYZE-style per-stage introspection), GET
+// /v1/status, GET /metrics (Prometheus), GET /debug/stats (JSON).
+// SIGINT/SIGTERM drains in-flight plans (rejecting new submissions with 503)
+// before exiting; -drain-timeout bounds the wait.
 package main
 
 import (
@@ -71,6 +73,7 @@ func main() {
 	tenants := flag.String("tenants", "", "tenant table name:token:weight[:quotaMB],... (default "+EnvTenants+", or a single open tenant)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the shared compiled-plan cache")
 	calib := flag.String("calib", "", "calibration-store file shared across tenants: learned effective bandwidths consulted at plan time, updated online, saved on shutdown")
+	journal := flag.String("journal", "", "sink the query event journal to this JSONL file (the in-memory ring behind /v1/queries is always on)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "per-worker block-cache budget for loop-invariant inputs (0 disables)")
 	cacheReplicas := flag.Int("cache-replicas", 2, "workers holding each hot cached block under -runtime tcp, primary included (1 disables replication)")
 	var datasets stringsFlag
@@ -137,6 +140,7 @@ func main() {
 		scfg.PlanCacheEntries = -1
 	}
 	scfg.CalibPath = *calib
+	scfg.JournalPath = *journal
 	if *cacheBytes > 0 {
 		scfg.SessionOptions = append(scfg.SessionOptions, fuseme.WithBlockCache(*cacheBytes))
 	}

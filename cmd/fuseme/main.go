@@ -60,6 +60,7 @@ func run() error {
 	explain := flag.Bool("explain", false, "print each operator's (P,Q,R) and predicted memory/net/comp terms before executing")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the execution (load in chrome://tracing)")
 	flightOut := flag.String("flight-out", "", "write a JSONL flight record (one line per stage: predicted vs measured) to this file")
+	journalOut := flag.String("journal-out", "", "write the query event journal (planned/stage/done lifecycle, JSONL) to this file (default: $FUSEME_JOURNAL)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/stats on this address during the run")
 	report := flag.Bool("report", false, "print the cost-model calibration report (predicted vs measured, back-solved bandwidths) after executing")
 	calib := flag.String("calib", "", "calibration-store file: learned effective bandwidths consulted at plan time, updated by this run, saved on exit (default: $FUSEME_CALIB)")
@@ -95,6 +96,9 @@ func run() error {
 	}
 	if *flightOut != "" {
 		opts = append(opts, fuseme.WithFlightRecorder(*flightOut))
+	}
+	if *journalOut != "" {
+		opts = append(opts, fuseme.WithJournalFile(*journalOut))
 	}
 	if *metricsAddr != "" {
 		opts = append(opts, fuseme.WithMetricsAddr(*metricsAddr))
@@ -182,11 +186,16 @@ func run() error {
 		}
 		fmt.Println("trace:", *traceOut)
 	}
-	if *flightOut != "" {
+	if *flightOut != "" || *journalOut != "" {
 		if err := sess.Close(); err != nil {
 			return err
 		}
-		fmt.Println("flight:", *flightOut)
+		if *flightOut != "" {
+			fmt.Println("flight:", *flightOut)
+		}
+		if *journalOut != "" {
+			fmt.Println("journal:", *journalOut)
+		}
 	}
 	return nil
 }

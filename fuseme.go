@@ -28,9 +28,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"fuseme/internal/block"
 	"fuseme/internal/cluster"
@@ -396,6 +398,11 @@ type Session struct {
 	replanner  *core.Replanner // live when replan == 1
 	lastEpochs map[uint64]bool // input content epochs fed to the previous Query
 
+	journal      *obs.Journal  // WithJournal/WithJournalFile/FUSEME_JOURNAL; nil = off
+	journalOwned bool          // session opened the file sink and closes it
+	pendingQLog  *obs.QueryLog // SetQueryLog target consumed by the next Query
+	queryCount   int64         // auto-assigned query ids (q1, q2, ...)
+
 	tenantMu     sync.Mutex
 	tenant       string // SetTenant tag for the shared scheduler
 	tenantWeight int
@@ -429,6 +436,15 @@ func NewSession(cfg ClusterConfig, opts ...Option) (*Session, error) {
 	}
 	if err := s.resolveCalibration(); err != nil {
 		return nil, err
+	}
+	if err := s.resolveJournal(); err != nil {
+		return nil, err
+	}
+	// The straggler/skew detector rides on the metrics registry: its output
+	// (stage imbalance, per-worker slowdown scores) is gauge series, and the
+	// registry being on already means per-task instrumentation runs.
+	if s.obs.Metrics != nil {
+		s.obs.Skew = obs.NewSkewDetector()
 	}
 	if _, err := s.maxTaskRetries(); err != nil {
 		return nil, err
@@ -651,6 +667,13 @@ func (s *Session) Close() error {
 	if cerr := s.obs.Flight.Close(); err == nil {
 		err = cerr
 	}
+	// A session-owned journal (WithJournalFile / FUSEME_JOURNAL) flushes its
+	// file sink; shared journals (WithJournal) are closed by their owner.
+	if s.journalOwned {
+		if cerr := s.journal.Close(); err == nil {
+			err = cerr
+		}
+	}
 	// A session-owned calibration store (WithCalibration / FUSEME_CALIB)
 	// persists what this session learned; shared stores are saved by their
 	// owner. Close is idempotent and Save is concurrency-safe, so repeated
@@ -747,16 +770,30 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 		return nil, ErrSessionBusy
 	}
 	defer s.queryMu.Unlock()
+	// Event journal: the current query's log rides on s.obs for the duration
+	// of the execution so executor stages emit into it; queryMu serialises
+	// access. A failed query still reports its lifecycle.
+	qlog := s.beginQueryLog()
+	s.obs.QLog = qlog
+	defer func() { s.obs.QLog = nil }()
+	queryStart := time.Now()
+	fail := func(err error) (map[string]*Matrix, error) {
+		if qlog != nil {
+			qlog.Emit(obs.Event{Type: obs.EvFailed,
+				Seconds: time.Since(queryStart).Seconds(), Error: err.Error()})
+		}
+		return nil, err
+	}
 	cq, err := s.compile(script)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	needed := map[string]*block.Matrix{}
 	for _, in := range cq.pp.Graph.InputNodes() {
 		bound := cq.bindingName(in.Name)
 		b, ok := s.inputs[bound]
 		if !ok {
-			return nil, fmt.Errorf("fuseme: input %q is not bound", bound)
+			return fail(fmt.Errorf("fuseme: input %q is not bound", bound))
 		}
 		needed[in.Name] = b
 	}
@@ -765,23 +802,91 @@ func (s *Session) Query(script string) (map[string]*Matrix, error) {
 	// on divergence, re-pick eligible operators' (P,Q) on a copy of the plan
 	// — cached plans stay untouched — with learned bandwidths and the inputs
 	// still cache-resident since the last query.
+	replanned := false
 	if s.replanner != nil {
 		pp := cq.pp.Clone()
-		s.replanner.MaybeReplan(pp, cq.rtm.Config(), s.residentNames(cq.rtm, needed))
+		replanned = s.replanner.MaybeReplan(pp, cq.rtm.Config(), s.residentNames(cq.rtm, needed))
 		cq.pp = pp
+	}
+	if qlog != nil {
+		cc := cq.rtm.Config()
+		cc.LearnedNetBandwidth, cc.LearnedCompBandwidth = s.learnedBandwidths()
+		qlog.Emit(obs.Event{Type: obs.EvPlanned,
+			Engine:       s.engine.Name(),
+			Plan:         cq.pp.Describe(),
+			PlanCacheHit: s.lastPlanHit,
+			Operators:    len(cq.pp.Ops),
+			PredSeconds:  predictedSeconds(cq.pp, cc)})
+		if replanned {
+			qlog.Emit(obs.Event{Type: obs.EvReplanned,
+				Plan:       cq.pp.Describe(),
+				Operators:  len(cq.pp.Ops),
+				Divergence: s.replanner.LastDivergence})
+		}
 	}
 	cq.rtm.ResetStats()
 	out, err := core.ExecuteObs(cq.pp, cq.rtm, needed, s.obs)
 	s.last = statsFrom(cq.rtm.Stats())
 	s.snapshotEpochs(needed)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if qlog != nil {
+		qlog.Emit(obs.Event{Type: obs.EvDone,
+			Seconds: time.Since(queryStart).Seconds(), Tasks: s.last.Tasks})
 	}
 	res := make(map[string]*Matrix, len(out))
 	for name, b := range out {
 		res[cq.outputName(name)] = &Matrix{b: b}
 	}
 	return res, nil
+}
+
+// beginQueryLog resolves the event-journal log for one Query call: the
+// pending SetQueryLog target when a front-end (the serve daemon) opened one,
+// otherwise a fresh auto-numbered log on the session's journal. Nil when
+// journaling is off. Called under queryMu.
+func (s *Session) beginQueryLog() *obs.QueryLog {
+	if q := s.pendingQLog; q != nil {
+		s.pendingQLog = nil
+		return q
+	}
+	if s.journal == nil {
+		return nil
+	}
+	s.queryCount++
+	name, _ := s.tenantTag()
+	return s.journal.Begin(fmt.Sprintf("q%d", s.queryCount), name)
+}
+
+// predictedSeconds is the plan's predicted Eq. 2 wall time: each operator's
+// max(net, comp) term under the config's bandwidths (learned when set),
+// summed across operators.
+func predictedSeconds(pp *core.PhysPlan, cc cluster.Config) float64 {
+	n := float64(cc.Nodes)
+	if n <= 0 {
+		n = 1
+	}
+	netBW := cc.NetBandwidth
+	if cc.LearnedNetBandwidth > 0 {
+		netBW = cc.LearnedNetBandwidth
+	}
+	compBW := cc.EffectiveCompBandwidth()
+	if cc.LearnedCompBandwidth > 0 {
+		compBW = cc.LearnedCompBandwidth
+	}
+	var total float64
+	for _, op := range pp.Ops {
+		var netSec, comSec float64
+		if netBW > 0 {
+			netSec = float64(op.EstNetBytes) / (n * netBW)
+		}
+		if compBW > 0 {
+			comSec = float64(op.EstComFlops) / (n * compBW)
+		}
+		total += math.Max(netSec, comSec)
+	}
+	return total
 }
 
 // Explain compiles a script and returns the physical plan description —

@@ -35,7 +35,10 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 		}
 	}
 	if o.PerTask() && st.Fn != nil {
-		st.Fn = wrapTaskFn(o, st.Fn, time.Now())
+		st.Fn = wrapTaskFn(o, st.Fn, time.Now(), rtm.Config().Nodes)
+	}
+	if o.QLog != nil {
+		o.Emit(obs.Event{Type: obs.EvStageStart, Stage: st.Name, Op: opKey, Tasks: st.NumTasks})
 	}
 
 	// Stats-diff measurement: the runtime folds every task's metering (and,
@@ -97,10 +100,25 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 		overlap = dPrefetch / (dPrefetch + dFetch)
 	}
 
+	// Straggler/skew: fold the stage's per-task samples into the detector,
+	// publish the stage imbalance and refreshed per-worker slowdown scores.
+	var skew *obs.StageSkew
+	if o.Skew != nil {
+		sk := o.Skew.FinishStage(st.Name)
+		if sk.Tasks > 0 {
+			skew = &sk
+			o.Gauge(obs.MStageSkew).Set(sk.Imbalance)
+			for worker, score := range o.Skew.Slowdowns() {
+				o.Gauge(obs.WorkerSlowdownGauge(worker)).Set(score)
+			}
+		}
+	}
+
 	// Flight recorder: one black-box line per stage execution, joining the
 	// operator's prediction (when the planner recorded one) to this stage's
-	// stats diff.
-	o.RecordFlight(obs.FlightRecord{
+	// stats diff. The stage_end journal event embeds the identical record, so
+	// query introspection and the flight file can never disagree.
+	rec := obs.FlightRecord{
 		Stage: st.Name,
 		Op:    opKey,
 		Kind:  pred.Kind,
@@ -130,7 +148,16 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 		MeasPrefetchSeconds: dPrefetch,
 		MeasTaskSeconds:     dTask,
 		OverlapRatio:        overlap,
-	})
+	}
+	o.RecordFlight(rec)
+	if o.QLog != nil {
+		end := obs.Event{Type: obs.EvStageEnd, Stage: st.Name, Op: opKey,
+			Tasks: st.NumTasks, Seconds: meas.WallSeconds, Flight: &rec, Skew: skew}
+		if err != nil {
+			end.Error = err.Error()
+		}
+		o.Emit(end)
+	}
 	if hasPool {
 		pool := pooled.KernelPool()
 		poolAfter := pool.Stats()
@@ -154,13 +181,17 @@ func runObservedStage(rtm rt.Runtime, o *obs.Obs, opKey string, st *rt.Stage) er
 }
 
 // wrapTaskFn instruments the in-process task body with a span per task plus
-// latency and queue-wait observations. Only the sim backend executes Fn; the
-// TCP coordinator emits its own task telemetry worker-side and through its
-// SetObs hook.
-func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Time) func(*cluster.Task) error {
+// latency, queue-wait and skew observations; nodes is the simulated worker
+// count, attributing task ID to its home node the same way the sim cluster
+// places tasks. Only the sim backend executes Fn; the TCP coordinator emits
+// its own task telemetry worker-side and through its SetObs hook.
+func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Time, nodes int) func(*cluster.Task) error {
 	tasks := o.Counter(obs.MTasksTotal)
 	latency := o.Histogram(obs.MTaskSeconds)
 	queued := o.Histogram(obs.MQueueSeconds)
+	if nodes <= 0 {
+		nodes = 1
+	}
 	return func(task *cluster.Task) error {
 		start := time.Now()
 		queued.Observe(start.Sub(stageStart).Seconds())
@@ -172,7 +203,9 @@ func wrapTaskFn(o *obs.Obs, inner func(*cluster.Task) error, stageStart time.Tim
 			task.SetTrace(tt)
 		}
 		err := inner(task)
-		latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		latency.Observe(elapsed)
+		o.ObserveTask(task.ID%nodes, elapsed)
 		tasks.Inc()
 		if span != nil {
 			cons, agg, flops, memPeak := task.Counters()

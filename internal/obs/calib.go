@@ -178,6 +178,12 @@ type Report struct {
 	// positive wall time.
 	EffNetBW  float64
 	EffCompBW float64
+
+	// TaskLatency, when set, is the per-task latency distribution
+	// (fuseme_task_seconds) captured alongside the calibration — the SLO
+	// quantiles an operator reads off the report. Nil when per-task metrics
+	// were off.
+	TaskLatency *HistogramSnapshot
 }
 
 // Report joins predictions and measurements. Operators appear in first-seen
@@ -326,6 +332,10 @@ func (r *Report) String() string {
 		b.WriteString("\n")
 		fmt.Fprintf(&b, "feed back with: ClusterConfig{NetBandwidth: %.3g, CompBandwidth: %.3g}\n",
 			nonZero(r.EffNetBW, r.Model.NetBandwidth), nonZero(r.EffCompBW, r.Model.CompBandwidth))
+	}
+	if tl := r.TaskLatency; tl != nil && tl.Count > 0 {
+		fmt.Fprintf(&b, "task latency: n=%d p50=%.3gs p95=%.3gs p99=%.3gs max=%.3gs\n",
+			tl.Count, tl.P50, tl.P95, tl.P99, tl.Max)
 	}
 	return b.String()
 }

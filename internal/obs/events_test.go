@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRingBounds(t *testing.T) {
+	j := NewJournal(4)
+	for i := 1; i <= 10; i++ {
+		j.append(Event{Query: fmt.Sprintf("q%d", i), Type: EvDone})
+	}
+	if got := j.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	all := j.Recent(0)
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(all))
+	}
+	// Oldest-first: the ring retains the last four appends in order.
+	for i, e := range all {
+		if want := fmt.Sprintf("q%d", 7+i); e.Query != want {
+			t.Errorf("ring[%d].Query = %q, want %q", i, e.Query, want)
+		}
+	}
+	if got := j.Recent(2); len(got) != 2 || got[1].Query != "q10" {
+		t.Fatalf("Recent(2) = %+v, want last two ending at q10", got)
+	}
+}
+
+func TestJournalEventsFiltersByQuery(t *testing.T) {
+	j := NewJournal(16)
+	a := j.Begin("qa", "acme")
+	b := j.Begin("qb", "beta")
+	a.Emit(Event{Type: EvPlanned})
+	b.Emit(Event{Type: EvPlanned})
+	a.Emit(Event{Type: EvStageStart, Stage: "s0"})
+	a.Emit(Event{Type: EvDone})
+
+	got := j.Events("qa")
+	if len(got) != 3 {
+		t.Fatalf("Events(qa) has %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Query != "qa" || e.Tenant != "acme" {
+			t.Errorf("event %d: query=%q tenant=%q", i, e.Query, e.Tenant)
+		}
+		if e.Seq != int64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.UnixNano == 0 {
+			t.Errorf("event %d: missing timestamp", i)
+		}
+	}
+	if types := []EventType{got[0].Type, got[1].Type, got[2].Type}; types[0] != EvPlanned || types[1] != EvStageStart || types[2] != EvDone {
+		t.Fatalf("event order = %v", types)
+	}
+	if got := j.Events("nope"); got != nil {
+		t.Fatalf("Events(nope) = %+v, want nil", got)
+	}
+}
+
+func TestJournalSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournalWriter(&buf, 8)
+	q := j.Begin("q1", "acme")
+	q.Emit(Event{Type: EvPlanned, Plan: "CFO", PredSeconds: 1.5})
+	q.Emit(Event{Type: EvStageEnd, Stage: "s0", Flight: &FlightRecord{Stage: "s0", PredNetBytes: 64}})
+	q.Emit(Event{Type: EvDone, Seconds: 2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events, want 3", len(got))
+	}
+	if got[0].Plan != "CFO" || got[0].PredSeconds != 1.5 {
+		t.Fatalf("planned event round-trip: %+v", got[0])
+	}
+	if got[1].Flight == nil || got[1].Flight.PredNetBytes != 64 {
+		t.Fatalf("stage_end flight round-trip: %+v", got[1])
+	}
+	if got[2].Seconds != 2 {
+		t.Fatalf("done event round-trip: %+v", got[2])
+	}
+}
+
+func TestOpenJournalWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.now = func() time.Time { return time.Unix(0, 42) }
+	j.Begin("q1", "").Emit(Event{Type: EvDone})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Query != "q1" || got[0].UnixNano != 42 {
+		t.Fatalf("file round-trip = %+v", got)
+	}
+}
+
+func TestJournalSinkLatchesError(t *testing.T) {
+	j := NewJournalWriter(failWriter{}, 2)
+	j.append(Event{Query: "q1", Type: EvDone})
+	if err := j.Flush(); err == nil {
+		t.Fatal("Flush on a failing sink should latch an error")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err should report the latched sink error")
+	}
+	// The ring keeps working regardless.
+	if got := j.Recent(0); len(got) != 1 {
+		t.Fatalf("ring lost events after sink failure: %+v", got)
+	}
+}
+
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	j.append(Event{})
+	if j.Events("q") != nil || j.Recent(1) != nil || j.Total() != 0 || j.Err() != nil {
+		t.Fatal("nil journal should absorb reads")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := j.Begin("q", "")
+	if q != nil {
+		t.Fatal("Begin on nil journal should return nil")
+	}
+	q.Emit(Event{Type: EvDone}) // must not panic
+	if q.Query() != "" {
+		t.Fatal("nil QueryLog should have no query id")
+	}
+}
+
+func TestQueryLogConcurrentEmit(t *testing.T) {
+	j := NewJournal(1024)
+	q := j.Begin("q1", "t")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q.Emit(Event{Type: EvStageStart})
+			}
+		}()
+	}
+	wg.Wait()
+	got := j.Events("q1")
+	if len(got) != 400 {
+		t.Fatalf("got %d events, want 400", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, e := range got {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestReadEventsSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
+	got, err := ReadEvents(strings.NewReader("\n{\"query\":\"q1\",\"seq\":1,\"type\":\"done\"}\n\n"))
+	if err != nil || len(got) != 1 || got[0].Type != EvDone {
+		t.Fatalf("ReadEvents = %+v, %v", got, err)
+	}
+	if _, err := ReadEvents(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line should error")
+	}
+}
+
+// failWriter always fails, to exercise the latched sink error.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("sink broken") }

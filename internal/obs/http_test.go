@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// startServer runs ServeMetrics on an ephemeral port with a populated
+// registry.
+func startServer(t *testing.T, stats func() any) (*Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("fuseme_tasks_total").Add(7)
+	reg.Gauge(MStageSkew).Set(1.25)
+	reg.Histogram(MTaskSeconds).Observe(0.05)
+	s, err := ServeMetrics("127.0.0.1:0", reg, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, reg
+}
+
+func get(t *testing.T, url string, accept string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+func TestServeMetricsPrometheusText(t *testing.T) {
+	s, _ := startServer(t, nil)
+	code, ctype, body := get(t, "http://"+s.Addr()+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type %q, want Prometheus text", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE fuseme_tasks_total counter",
+		"fuseme_tasks_total 7",
+		"fuseme_stage_skew 1.25",
+		MTaskSeconds + "_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+}
+
+func TestServeMetricsJSONNegotiation(t *testing.T) {
+	s, _ := startServer(t, nil)
+	code, ctype, body := get(t, "http://"+s.Addr()+"/metrics", "application/json")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("status %d, content type %q", code, ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("decoding JSON snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["fuseme_tasks_total"] != 7 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	h := snap.Histograms[MTaskSeconds]
+	if h.Count != 1 || h.P50 <= 0 {
+		t.Fatalf("histogram snapshot missing quantiles: %+v", h)
+	}
+}
+
+func TestDebugStatsEmbedsCallerView(t *testing.T) {
+	s, _ := startServer(t, func() any { return map[string]int{"workers": 3} })
+	code, _, body := get(t, "http://"+s.Addr()+"/debug/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc struct {
+		Metrics Snapshot       `json:"metrics"`
+		Stats   map[string]int `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats["workers"] != 3 {
+		t.Fatalf("stats view = %+v", doc.Stats)
+	}
+	if doc.Metrics.Gauges[MStageSkew] != 1.25 {
+		t.Fatalf("metrics missing in /debug/stats: %+v", doc.Metrics.Gauges)
+	}
+}
+
+func TestDebugStatsWithoutStatsClosure(t *testing.T) {
+	s, _ := startServer(t, nil)
+	_, _, body := get(t, "http://"+s.Addr()+"/debug/stats", "")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["stats"]; ok {
+		t.Fatal("/debug/stats should omit the stats key when no closure is set")
+	}
+	if _, ok := doc["metrics"]; !ok {
+		t.Fatal("/debug/stats must always carry metrics")
+	}
+}
+
+func TestPprofIndexServed(t *testing.T) {
+	s, _ := startServer(t, nil)
+	code, _, body := get(t, "http://"+s.Addr()+"/debug/pprof/", "")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d\n%.200s", code, body)
+	}
+	code, _, _ = get(t, "http://"+s.Addr()+"/debug/pprof/cmdline", "")
+	if code != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", code)
+	}
+}
+
+func TestServerAddrAndCloseNilSafety(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil server Addr should be empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := startServer(t, nil)
+	addr := live.Addr()
+	if addr == "" || !strings.Contains(addr, ":") {
+		t.Fatalf("Addr = %q", addr)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritePrometheusLabeledHistogram pins the exposition format for labeled
+// histogram series (the per-tenant SLO histograms): the _bucket/_sum/_count
+// suffixes must splice before the label set — base_bucket{tenant="x",le="..."}
+// — with one # TYPE line per base family, never base{labels}_bucket{...}.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram(TenantSeries(MTenantQuerySeconds, "acme")).Observe(0.05)
+	reg.Histogram(TenantSeries(MTenantQuerySeconds, "beta")).Observe(0.2)
+	reg.Histogram(MTaskSeconds).Observe(0.01)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE " + MTenantQuerySeconds + " histogram\n",
+		MTenantQuerySeconds + `_bucket{tenant="acme",le="+Inf"} 1`,
+		MTenantQuerySeconds + `_sum{tenant="beta"} 0.2`,
+		MTenantQuerySeconds + `_count{tenant="acme"} 1`,
+		MTaskSeconds + `_bucket{le="+Inf"} 1`,
+		MTaskSeconds + "_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE "+MTenantQuerySeconds+" histogram"); n != 1 {
+		t.Errorf("%d TYPE lines for %s, want 1", n, MTenantQuerySeconds)
+	}
+	if strings.Contains(text, `"}_`) {
+		t.Errorf("suffix appended after a label set:\n%s", text)
+	}
+}

@@ -109,12 +109,74 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
-// HistogramSnapshot summarises a histogram for the JSON endpoint.
+// HistogramSnapshot summarises a histogram for the JSON endpoint, including
+// estimated p50/p95/p99 quantiles (linear interpolation within buckets).
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed values by
+// linear interpolation within the bucket containing the target rank,
+// Prometheus histogram_quantile-style. Observations falling in the +Inf
+// bucket resolve to the observed max; every estimate is clamped to the max
+// so sparse tails can't report a bucket bound no observation reached.
+// Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) { // +Inf bucket
+			return h.max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		v := lo + (h.bounds[i]-lo)*(rank-float64(prev))/float64(c)
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
+// Snapshot summarises the histogram: count, sum, mean, max and estimated
+// p50/p95/p99. The zero snapshot is returned on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -123,6 +185,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
+		s.P50 = h.quantileLocked(0.50)
+		s.P95 = h.quantileLocked(0.95)
+		s.P99 = h.quantileLocked(0.99)
 	}
 	return s
 }
@@ -270,16 +335,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(hists) {
 		h := hists[name]
+		// A labeled series ("base{tenant=\"x\"}") renders with the suffix
+		// spliced before the label set: base_bucket{tenant="x",le="..."}.
+		base, labels := baseName(name), ""
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labels = strings.TrimSuffix(name[i+1:], "}")
+		}
+		series := func(suffix, extra string) string {
+			switch {
+			case labels == "" && extra == "":
+				return base + suffix
+			case labels == "":
+				return base + suffix + "{" + extra + "}"
+			case extra == "":
+				return base + suffix + "{" + labels + "}"
+			default:
+				return base + suffix + "{" + labels + "," + extra + "}"
+			}
+		}
 		h.mu.Lock()
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		if !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			typed[base] = true
+		}
 		var cum int64
 		for i, bound := range h.bounds {
 			cum += h.counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+			fmt.Fprintf(&b, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", fmt.Sprintf("%g", bound))), cum)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
-		fmt.Fprintf(&b, "%s_sum %g\n", name, h.sum)
-		fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
+		fmt.Fprintf(&b, "%s %d\n", series("_bucket", `le="+Inf"`), h.count)
+		fmt.Fprintf(&b, "%s %g\n", series("_sum", ""), h.sum)
+		fmt.Fprintf(&b, "%s %d\n", series("_count", ""), h.count)
 		h.mu.Unlock()
 	}
 	_, err := io.WriteString(w, b.String())

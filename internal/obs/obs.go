@@ -21,11 +21,14 @@ type Obs struct {
 	Calib   *Calibration    // prediction/measurement join; nil disables calibration
 	Flight  *FlightRecorder // per-stage JSONL flight recorder; nil disables it
 	Learn   *Learner        // online calibration-store updater; nil disables learning
+	QLog    *QueryLog       // current query's event-journal log; nil disables journaling
+	Skew    *SkewDetector   // straggler/skew detector; nil disables it
 }
 
 // Enabled reports whether any component is active (stage-level hooks run).
 func (o *Obs) Enabled() bool {
-	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Calib != nil || o.Flight != nil)
+	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Calib != nil ||
+		o.Flight != nil || o.QLog != nil || o.Skew != nil)
 }
 
 // Tracing reports whether the span recorder is active — the signal backends
@@ -35,10 +38,10 @@ func (o *Obs) Tracing() bool {
 }
 
 // PerTask reports whether per-task instrumentation (spans, latency
-// histograms) should run. Calibration alone is stage-level and does not
-// require the per-task wrapper.
+// histograms, skew samples) should run. Calibration alone is stage-level and
+// does not require the per-task wrapper.
 func (o *Obs) PerTask() bool {
-	return o != nil && (o.Trace != nil || o.Metrics != nil)
+	return o != nil && (o.Trace != nil || o.Metrics != nil || o.Skew != nil)
 }
 
 // StartSpan opens a span on the recorder; nil when tracing is off.
@@ -116,6 +119,23 @@ func (o *Obs) RecordFlight(rec FlightRecord) {
 		return
 	}
 	o.Flight.Record(rec)
+}
+
+// Emit appends one event to the current query's journal log.
+func (o *Obs) Emit(e Event) {
+	if o == nil {
+		return
+	}
+	o.QLog.Emit(e)
+}
+
+// ObserveTask feeds one completed task's (worker, duration) sample to the
+// skew detector.
+func (o *Obs) ObserveTask(worker int, seconds float64) {
+	if o == nil {
+		return
+	}
+	o.Skew.ObserveTask(worker, seconds)
 }
 
 // Reset clears accumulated spans, calibration records and metric values
@@ -218,6 +238,19 @@ const (
 	MTenantQueueDepth   = "fuseme_tenant_queue_depth"
 	MTenantReservedByte = "fuseme_tenant_reserved_bytes"
 	MTenantPlanHits     = "fuseme_tenant_plancache_hits_total"
+
+	// Per-tenant SLO histograms (label with TenantSeries): admission
+	// queue-wait and end-to-end query latency, so one tenant's p99
+	// regression is visible even when global latency looks healthy.
+	MTenantQueueSeconds = "fuseme_tenant_queue_seconds"
+	MTenantQuerySeconds = "fuseme_tenant_query_seconds"
+
+	// Straggler/skew metrics. MStageSkew holds the last finished stage's
+	// max/median task-duration imbalance; MWorkerSlowdown is a per-worker
+	// gauge series (label with WorkerSlowdownGauge) holding each worker's
+	// EWMA slowdown score relative to the fleet median (healthy ≈ 1.0).
+	MStageSkew      = "fuseme_stage_skew"
+	MWorkerSlowdown = "fuseme_worker_slowdown"
 )
 
 // TenantSeries names one tenant's series of a per-tenant metric family,
@@ -236,4 +269,10 @@ func WorkerRTTGauge(workerID int) string {
 // `fuseme_cluster_workers{state="active"}`.
 func ClusterWorkersGauge(state string) string {
 	return fmt.Sprintf(`%s{state=%q}`, MClusterWorkers, state)
+}
+
+// WorkerSlowdownGauge names the per-worker slowdown gauge series, e.g.
+// `fuseme_worker_slowdown{worker="1"}`.
+func WorkerSlowdownGauge(workerID int) string {
+	return fmt.Sprintf(`%s{worker="%d"}`, MWorkerSlowdown, workerID)
 }

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileLinearInterpolation(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Ten observations spread across the (1,2] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// Rank q*10 lands inside the single occupied bucket: interpolation walks
+	// the bucket's width linearly, clamped to the observed max.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 1.5 (bucket midpoint)", got)
+	}
+	if got := h.Quantile(1); got != 1.5 {
+		t.Fatalf("p100 = %g, want clamp to max 1.5", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 50 observations <= 1, 50 in (1,2]: p50 sits at the first bucket's
+	// upper bound, p75 halfway into the second.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(2.0)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p50 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p75 = %g, want 1.5", got)
+	}
+}
+
+func TestQuantileInfBucketResolvesToMax(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	h.Observe(99) // lands in +Inf
+	if got := h.Quantile(0.99); got != 99 {
+		t.Fatalf("p99 = %g, want observed max 99", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %g", got)
+	}
+	h := newHistogram([]float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q=0 quantile = %g", got)
+	}
+	if got := h.Quantile(2); got != 0.5 {
+		t.Fatalf("q>1 clamps to 1: got %g", got)
+	}
+}
+
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	h := newHistogram(durationBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 <= 0 || s.P50 > 0.01 {
+		t.Fatalf("p50 = %g, want in (0, 0.01]", s.P50)
+	}
+	if s.P99 < s.P50 || s.P99 > s.Max {
+		t.Fatalf("p99 = %g out of order (p50 %g, max %g)", s.P99, s.P50, s.Max)
+	}
+	var nilH *Histogram
+	if got := nilH.Snapshot(); got != (HistogramSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", got)
+	}
+}

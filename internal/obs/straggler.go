@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// WorkerLoad is one worker's contribution to a stage: how many tasks it ran
+// and the total seconds it spent on them.
+type WorkerLoad struct {
+	Worker  int     `json:"worker"`
+	Tasks   int     `json:"tasks"`
+	Seconds float64 `json:"seconds"`
+}
+
+// StageSkew summarises task-duration imbalance within one stage. Imbalance
+// is max/median task duration — 1.0 means perfectly balanced, large values
+// mean one task (a straggler or a skewed partition) dominated the stage's
+// critical path. ROADMAP items 3 (sparse skew) and 5 (autoscaling) consume
+// this signal.
+type StageSkew struct {
+	Stage         string       `json:"stage,omitempty"`
+	Tasks         int          `json:"tasks"`
+	MaxSeconds    float64      `json:"max_seconds"`
+	MedianSeconds float64      `json:"median_seconds"`
+	Imbalance     float64      `json:"imbalance"`
+	Workers       []WorkerLoad `json:"workers,omitempty"`
+}
+
+// slowdownAlpha is the EWMA smoothing factor for per-worker mean task
+// duration: heavy enough smoothing to survive one noisy stage, light enough
+// that a worker turning slow is flagged within a few stages.
+const slowdownAlpha = 0.3
+
+// SkewDetector accumulates per-task durations during a stage and, at stage
+// end, computes the stage's duration imbalance plus per-worker slowdown
+// scores (each worker's EWMA mean task duration relative to the fleet
+// median EWMA — a healthy worker sits near 1.0, a straggler drifts above).
+// Safe for concurrent use by task goroutines; a nil detector absorbs every
+// call, keeping the executor's hot path a pointer check.
+type SkewDetector struct {
+	mu      sync.Mutex
+	samples []float64           // current stage's task durations
+	byWkr   map[int]*WorkerLoad // current stage's per-worker tallies
+	ewma    map[int]float64     // per-worker EWMA mean task seconds
+}
+
+// NewSkewDetector returns an empty detector.
+func NewSkewDetector() *SkewDetector {
+	return &SkewDetector{byWkr: map[int]*WorkerLoad{}, ewma: map[int]float64{}}
+}
+
+// ObserveTask records one completed task: which worker ran it and how long
+// it took. Called from task goroutines on both runtimes.
+func (d *SkewDetector) ObserveTask(worker int, seconds float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.samples = append(d.samples, seconds)
+	w := d.byWkr[worker]
+	if w == nil {
+		w = &WorkerLoad{Worker: worker}
+		d.byWkr[worker] = w
+	}
+	w.Tasks++
+	w.Seconds += seconds
+}
+
+// FinishStage folds the stage's samples into a StageSkew, updates each
+// participating worker's EWMA, and resets for the next stage. The zero
+// StageSkew (Tasks == 0) is returned when nothing was observed — e.g. local
+// stages that never went per-task.
+func (d *SkewDetector) FinishStage(stage string) StageSkew {
+	if d == nil {
+		return StageSkew{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sk := StageSkew{Stage: stage, Tasks: len(d.samples)}
+	if len(d.samples) == 0 {
+		return sk
+	}
+	sort.Float64s(d.samples)
+	sk.MaxSeconds = d.samples[len(d.samples)-1]
+	sk.MedianSeconds = d.samples[len(d.samples)/2]
+	if len(d.samples)%2 == 0 {
+		sk.MedianSeconds = (d.samples[len(d.samples)/2-1] + d.samples[len(d.samples)/2]) / 2
+	}
+	if sk.MedianSeconds > 0 {
+		sk.Imbalance = sk.MaxSeconds / sk.MedianSeconds
+	} else if sk.MaxSeconds > 0 {
+		sk.Imbalance = 1
+	}
+	workers := make([]int, 0, len(d.byWkr))
+	for id := range d.byWkr {
+		workers = append(workers, id)
+	}
+	sort.Ints(workers)
+	for _, id := range workers {
+		w := d.byWkr[id]
+		sk.Workers = append(sk.Workers, *w)
+		mean := w.Seconds / float64(w.Tasks)
+		if prev, ok := d.ewma[id]; ok {
+			d.ewma[id] = prev + slowdownAlpha*(mean-prev)
+		} else {
+			d.ewma[id] = mean
+		}
+	}
+	d.samples = d.samples[:0]
+	d.byWkr = map[int]*WorkerLoad{}
+	return sk
+}
+
+// Slowdowns returns each worker's slowdown score: its EWMA mean task
+// duration divided by the fleet's median EWMA. Scores near 1.0 are healthy;
+// a worker consistently above (say ≥1.5) is a straggler. Empty until a
+// per-task stage has finished.
+func (d *SkewDetector) Slowdowns() map[int]float64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ewma) == 0 {
+		return nil
+	}
+	means := make([]float64, 0, len(d.ewma))
+	for _, m := range d.ewma {
+		means = append(means, m)
+	}
+	sort.Float64s(means)
+	median := means[len(means)/2]
+	if len(means)%2 == 0 {
+		median = (means[len(means)/2-1] + means[len(means)/2]) / 2
+	}
+	out := make(map[int]float64, len(d.ewma))
+	for id, m := range d.ewma {
+		if median > 0 {
+			out[id] = m / median
+		} else {
+			out[id] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package rt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fuseme/internal/block"
+	"fuseme/internal/cluster"
+	"fuseme/internal/core"
+	"fuseme/internal/obs"
+	"fuseme/internal/rt"
+	"fuseme/internal/rt/remote"
+	"fuseme/internal/workloads"
+)
+
+// normFlight is the deterministic slice of a stage_end's flight record: the
+// planner's choices and predictions plus the execution counters both backends
+// must agree on exactly. Timings, wire-byte volumes (metered vs encoded) and
+// steal counts are legitimately backend-specific and excluded.
+type normFlight struct {
+	Stage, Op, Kind string
+	P, Q, R, Tasks  int
+	PredNetBytes    int64
+	PredComFlops    int64
+	PredMemBytes    int64
+	MeasFlops       int64
+	CacheHits       int64
+	CacheMisses     int64
+	PrefetchBlocks  int64
+	PrefetchBytes   int64
+}
+
+// normEvent is one journal event with every timing-, worker- and
+// volume-dependent field dropped: what remains is the lifecycle sequence the
+// conformance contract covers.
+type normEvent struct {
+	Type      obs.EventType
+	Stage, Op string
+	Tasks     int
+	Error     string
+	Flight    *normFlight
+}
+
+// normalize reduces a journal to its backend-independent shape.
+func normalize(events []obs.Event) []normEvent {
+	out := make([]normEvent, 0, len(events))
+	for _, e := range events {
+		n := normEvent{Type: e.Type, Stage: e.Stage, Op: e.Op, Tasks: e.Tasks, Error: e.Error}
+		if f := e.Flight; f != nil {
+			n.Flight = &normFlight{
+				Stage: f.Stage, Op: f.Op, Kind: f.Kind,
+				P: f.P, Q: f.Q, R: f.R, Tasks: f.Tasks,
+				PredNetBytes: f.PredNetBytes, PredComFlops: f.PredComFlops,
+				PredMemBytes: f.PredMemBytes, MeasFlops: f.MeasFlops,
+				CacheHits: f.CacheHits, CacheMisses: f.CacheMisses,
+				PrefetchBlocks: f.PrefetchBlocks, PrefetchBytes: f.PrefetchBytes,
+			}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// runJournaledGNMF executes the GNMF update graph twice on one backend (the
+// second run sees the first's prefetch history), journaling both runs, and
+// returns each run's normalized event sequence.
+func runJournaledGNMF(t *testing.T, rtm rt.Runtime) (first, second []normEvent) {
+	t.Helper()
+	const users, items, k = 96, 80, 8
+	inputs := map[string]*block.Matrix{
+		"X": block.RandomSparse(users, items, 16, 0.05, 1, 5, 1),
+		"U": block.RandomDense(k, items, 16, 0.5, 1.5, 2),
+		"V": block.RandomDense(users, k, 16, 0.5, 1.5, 3),
+	}
+	g := workloads.GNMF(users, items, k, inputs["X"].Density())
+	j := obs.NewJournal(0)
+	o := &obs.Obs{Skew: obs.NewSkewDetector()}
+	if co, ok := rtm.(*remote.Coordinator); ok {
+		co.SetObs(o)
+	}
+	for run, query := range []string{"q1", "q2"} {
+		o.QLog = j.Begin(query, "")
+		if _, _, err := core.RunObs(core.FuseME{}, g, rtm, inputs, o); err != nil {
+			t.Fatalf("run %d: %v", run+1, err)
+		}
+	}
+	return normalize(j.Events("q1")), normalize(j.Events("q2"))
+}
+
+// journalBackends pins the configuration under which the journal must
+// conform exactly: stealing off (steal-displaced tasks would perturb nothing
+// in the normalized view, but the pipeline counters embedded in stage_end
+// flights need home placement) and one lane per worker with over-decomposed
+// stages so the prefetcher has recorded successors on both backends.
+func journalBackends() map[string]func(t *testing.T) rt.Runtime {
+	return map[string]func(t *testing.T) rt.Runtime{
+		"sim": func(t *testing.T) rt.Runtime {
+			return cluster.MustNew(pipelineConformanceConfig())
+		},
+		"tcp": func(t *testing.T) rt.Runtime {
+			cfg := pipelineConformanceConfig()
+			addrs := make([]string, cfg.Nodes)
+			for i := range addrs {
+				w, err := remote.NewWorker("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { w.Close() })
+				addrs[i] = w.Addr()
+			}
+			co, err := remote.NewCoordinatorConfig(cfg, addrs, remote.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { co.Close() })
+			return co
+		},
+	}
+}
+
+// TestRuntimeConformanceJournal requires the simulated cluster and the TCP
+// backend to journal the same GNMF run as the same event sequence — same
+// stage_start/stage_end alternation, same stage names, operators and task
+// counts, and stage_end flight records whose deterministic fields (chosen
+// (P,Q,R), predicted costs, flops, cache and prefetch counters) match
+// exactly. Only timestamps, wall times, wire-byte volumes and worker
+// attribution may differ between backends.
+func TestRuntimeConformanceJournal(t *testing.T) {
+	ctors := journalBackends()
+	simFirst, simSecond := runJournaledGNMF(t, ctors["sim"](t))
+	if len(simFirst) == 0 {
+		t.Fatal("sim journaled no events")
+	}
+
+	// Sanity on the sim sequence itself: strict start/end alternation and a
+	// flight on every stage_end.
+	depth := 0
+	for i, e := range simFirst {
+		switch e.Type {
+		case obs.EvStageStart:
+			depth++
+		case obs.EvStageEnd:
+			depth--
+			if e.Flight == nil {
+				t.Fatalf("event %d: stage_end without flight: %+v", i, e)
+			}
+		default:
+			t.Fatalf("event %d: unexpected type %q at the runtime layer", i, e.Type)
+		}
+		if depth < 0 || depth > 1 {
+			t.Fatalf("event %d: stage nesting depth %d", i, depth)
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced stage events (depth %d at end)", depth)
+	}
+
+	for name, open := range ctors {
+		if name == "sim" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			first, second := runJournaledGNMF(t, open(t))
+			if !reflect.DeepEqual(first, simFirst) {
+				t.Errorf("first run journals diverge:\n tcp %+v\n sim %+v", first, simFirst)
+			}
+			if !reflect.DeepEqual(second, simSecond) {
+				t.Errorf("second run journals diverge:\n tcp %+v\n sim %+v", second, simSecond)
+			}
+		})
+	}
+}

@@ -206,8 +206,10 @@ func TestRemoteCacheInvalidationOnRebind(t *testing.T) {
 	// The invalidation push is applied by the workers' control loops
 	// asynchronously; X's old and new blocks are the same size, so residency
 	// must settle back to the first run's level. Wake on each worker's
-	// control-push events rather than sleep-polling.
-	deadline := time.After(5 * time.Second)
+	// control-push events rather than sleep-polling. The deadline is generous
+	// because the full -race suite saturates the machine and control loops
+	// can be descheduled for seconds.
+	deadline := time.After(15 * time.Second)
 	for {
 		applied0, applied1 := workers[0].ControlWatch(), workers[1].ControlWatch()
 		if resident() == resident1 {

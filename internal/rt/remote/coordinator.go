@@ -950,7 +950,14 @@ func (c *Coordinator) RunSpecStage(st *rt.Stage) error {
 		}
 		done, dw, err := c.runTaskWithRetry(st, taskID, gen, &wire, colocated, w, pf)
 		if perTask {
-			o.Histogram(obs.MTaskSeconds).Observe(time.Since(taskStart).Seconds())
+			elapsed := time.Since(taskStart).Seconds()
+			o.Histogram(obs.MTaskSeconds).Observe(elapsed)
+			if err == nil && dw != nil {
+				// Attribute the dispatch-to-done latency to the worker that
+				// actually ran the task (the thief under work-stealing, the
+				// retry target after a death) for straggler detection.
+				o.ObserveTask(dw.id, elapsed)
+			}
 			o.Counter(obs.MTasksTotal).Inc()
 			o.Counter(obs.MRemoteTasksTotal).Inc()
 			span.Arg("flops", done.Metrics.Flops).

@@ -157,9 +157,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Register the query and open its event log: every lifecycle step from
+	// here on lands in the journal under one query id, queryable from
+	// GET /v1/queries/{id} while the query runs and after it finishes.
+	demand := s.demand(&req, inputs)
+	rec := s.queries.begin(tenant.Name, req.Script, demand)
+	qlog := s.journal.Begin(rec.ID, tenant.Name)
+	qlog.Emit(obs.Event{Type: obs.EvReceived})
+
 	// Admission: reserve the submission's memory demand out of the tenant's
 	// carve-out, queueing bounded-FIFO when exhausted.
-	demand := s.demand(&req, inputs)
+	if used, depth := s.adm.Usage(tenant.Name); used+demand > tenant.QuotaBytes || depth > 0 {
+		qlog.Emit(obs.Event{Type: obs.EvQueued, Cause: "memory"})
+	}
 	queueStart := time.Now()
 	release, err := s.adm.Acquire(tenant.Name, demand, s.cfg.QueueDepth, s.cfg.QueueWait)
 	s.reg.Gauge(obs.TenantSeries(obs.MTenantQueueDepth, tenant.Name)).Set(func() float64 {
@@ -172,6 +182,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.tmu.Lock()
 		c.rejects++
 		s.tmu.Unlock()
+		qlog.Emit(obs.Event{Type: obs.EvFailed, Cause: "admission", Error: err.Error()})
+		s.queries.finish(rec, "rejected", func(r *QueryRecord) { r.Error = err.Error() })
 		code := http.StatusTooManyRequests
 		if errors.Is(err, ErrTooLarge) {
 			code = http.StatusRequestEntityTooLarge
@@ -183,15 +195,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	queued := time.Since(queueStart)
+	qlog.Emit(obs.Event{Type: obs.EvAdmitted, Seconds: queued.Seconds()})
+	s.reg.Histogram(obs.TenantSeries(obs.MTenantQueueSeconds, tenant.Name)).Observe(queued.Seconds())
+	s.queries.update(rec, func(r *QueryRecord) {
+		r.State = "running"
+		r.QueueMillis = float64(queued.Nanoseconds()) / 1e6
+	})
 
 	sess, err := s.acquireSession()
 	if err != nil {
+		s.queries.finish(rec, "failed", func(r *QueryRecord) { r.Error = err.Error() })
 		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
 		return
 	}
 	defer s.releaseSession(sess)
 
 	sess.SetTenant(tenant.Name, tenant.Weight)
+	sess.SetQueryLog(qlog)
 	for name, m := range inputs {
 		sess.Bind(name, m)
 	}
@@ -208,6 +228,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge(obs.MServeActive).Set(float64(s.active.Add(-1)))
 	s.reg.Counter(obs.MServeQueries).Inc()
 	s.reg.Histogram(obs.MServeQuerySeconds).Observe(execDur.Seconds())
+	s.reg.Histogram(obs.TenantSeries(obs.MTenantQuerySeconds, tenant.Name)).Observe(queued.Seconds() + execDur.Seconds())
 	s.reg.Counter(obs.TenantSeries(obs.MTenantQueries, tenant.Name)).Inc()
 
 	c := s.counters(tenant.Name)
@@ -217,6 +238,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		c.queries++
 		c.errors++
 		s.tmu.Unlock()
+		s.queries.finish(rec, "failed", func(r *QueryRecord) {
+			r.ExecMillis = float64(execDur.Nanoseconds()) / 1e6
+			r.Error = err.Error()
+		})
 		code := http.StatusUnprocessableEntity
 		if errors.Is(err, fuseme.ErrOutOfMemory) || errors.Is(err, fuseme.ErrTimeout) {
 			code = http.StatusInsufficientStorage
@@ -227,6 +252,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	stats := sess.LastStats()
 	hit := sess.LastPlanCacheHit()
+	s.queries.finish(rec, "done", func(r *QueryRecord) {
+		r.ExecMillis = float64(execDur.Nanoseconds()) / 1e6
+		r.PlanCacheHit = hit
+	})
 	s.reg.Counter(obs.TenantSeries(obs.MTenantTasks, tenant.Name)).Add(int64(stats.Tasks))
 	s.reg.Counter(obs.TenantSeries(obs.MTenantBytes, tenant.Name)).Add(stats.TotalCommBytes() + stats.ExtraWireBytes)
 	if hit {

@@ -95,6 +95,15 @@ type Config struct {
 	// SessionOptions are applied to every pooled session (e.g.
 	// fuseme.WithBlockCache).
 	SessionOptions []fuseme.Option
+	// Journal, when non-nil, is the shared query event journal (the caller
+	// owns its lifetime). Nil creates one sized JournalRing (default 4096).
+	Journal *obs.Journal
+	// JournalRing sizes the in-memory event ring of a server-created journal.
+	JournalRing int
+	// JournalPath, when non-empty, makes the server-created journal also sink
+	// events to a JSONL file at this path (flushed on Shutdown). Ignored when
+	// Journal is set.
+	JournalPath string
 }
 
 // Server is the multi-tenant query service.
@@ -136,6 +145,12 @@ type Server struct {
 
 	tmu          sync.Mutex
 	tenantCounts map[string]*tenantCounters
+
+	// Per-query observability: the shared event journal every lifecycle
+	// event lands in, and the registry backing GET /v1/queries.
+	journal      *obs.Journal
+	journalOwned bool // server created it (and flushes any file sink)
+	queries      *queryRegistry
 }
 
 // tenantCounters mirrors the per-tenant metric families for /v1/status.
@@ -171,9 +186,23 @@ func New(cfg Config) (*Server, error) {
 		datasets:     map[string]*fuseme.Matrix{},
 		tenantCounts: map[string]*tenantCounters{},
 		free:         make(chan *fuseme.Session, cfg.Sessions),
+		queries:      newQueryRegistry(),
 	}
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
+	}
+	switch {
+	case cfg.Journal != nil:
+		s.journal = cfg.Journal
+	case cfg.JournalPath != "":
+		j, err := obs.OpenJournal(cfg.JournalPath, cfg.JournalRing)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.journal, s.journalOwned = j, true
+	default:
+		s.journal = obs.NewJournal(cfg.JournalRing)
+		s.journalOwned = true
 	}
 	if cfg.PlanCacheEntries >= 0 {
 		s.pc = fuseme.NewPlanCache(cfg.PlanCacheEntries)
@@ -239,6 +268,8 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/queries", s.handleQueries)
+	s.mux.HandleFunc("/v1/queries/", s.handleQueries)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -259,6 +290,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry returns the shared metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Journal returns the shared query event journal.
+func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // PlanCacheStats returns the shared plan cache's counters (zero when plan
 // caching is disabled).
@@ -392,6 +426,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.calibOwned {
 		if cerr := s.calib.Save(); err == nil {
+			err = cerr
+		}
+	}
+	if s.journalOwned {
+		if cerr := s.journal.Close(); err == nil {
 			err = cerr
 		}
 	}

@@ -1,0 +1,230 @@
+package fuseme
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fuseme/internal/obs"
+)
+
+// journalSession builds a small sim session with the given options and the
+// standard NMF test inputs bound.
+func journalSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	cfg := LocalClusterConfig()
+	cfg.BlockSize = 16
+	sess, err := NewSession(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	bindTestInputs(sess)
+	return sess
+}
+
+// TestSessionJournalLifecycle checks the events a library session (no serve
+// daemon in front) emits per query: auto-numbered query ids, a planned event
+// carrying the chosen plan and its predicted cost, balanced stage pairs with
+// flight records, and a terminal done with the task count.
+func TestSessionJournalLifecycle(t *testing.T) {
+	j := NewJournal(0)
+	sess := journalSession(t, WithJournal(j), WithPlanCache(NewPlanCache(0)))
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Query(obsTestScript); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, query := range []string{"q1", "q2"} {
+		events := j.Events(query)
+		if len(events) == 0 {
+			t.Fatalf("no events for %s", query)
+		}
+		if events[0].Type != obs.EvPlanned {
+			t.Fatalf("%s: first event %q, want planned", query, events[0].Type)
+		}
+		p := events[0]
+		if p.Plan == "" || p.Engine == "" || p.Operators == 0 || p.PredSeconds <= 0 {
+			t.Fatalf("%s: planned event incomplete: %+v", query, p)
+		}
+		last := events[len(events)-1]
+		if last.Type != obs.EvDone || last.Seconds <= 0 || last.Tasks == 0 {
+			t.Fatalf("%s: terminal event = %+v, want done with wall time and tasks", query, last)
+		}
+		starts, ends := 0, 0
+		for _, e := range events {
+			switch e.Type {
+			case obs.EvStageStart:
+				starts++
+			case obs.EvStageEnd:
+				ends++
+				if e.Flight == nil || e.Flight.Stage != e.Stage {
+					t.Fatalf("%s: stage_end without matching flight: %+v", query, e)
+				}
+			}
+		}
+		if starts == 0 || starts != ends {
+			t.Fatalf("%s: %d stage starts / %d ends", query, starts, ends)
+		}
+	}
+	// The second query hit the plan cache and says so.
+	if p := j.Events("q2")[0]; !p.PlanCacheHit {
+		t.Errorf("q2 planned event not marked as a plan-cache hit: %+v", p)
+	}
+
+	// A failing query still reports its lifecycle.
+	sess.Unbind("V")
+	if _, err := sess.Query(obsTestScript); err == nil {
+		t.Fatal("query with unbound input should fail")
+	}
+	events := j.Events("q3")
+	if len(events) == 0 || events[len(events)-1].Type != obs.EvFailed {
+		t.Fatalf("q3 events = %+v, want a terminal failed event", events)
+	}
+	if events[len(events)-1].Error == "" {
+		t.Fatal("failed event carries no error")
+	}
+}
+
+// TestSessionJournalFileSink round-trips the JSONL sink through Close and the
+// FUSEME_JOURNAL environment fallback.
+func TestSessionJournalFileSink(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	sess := journalSession(t, WithJournalFile(path))
+	if sess.Journal() == nil {
+		t.Fatal("Journal() = nil with WithJournalFile")
+	}
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 || events[0].Type != obs.EvPlanned || events[len(events)-1].Type != obs.EvDone {
+		t.Fatalf("file sink events = %+v", events)
+	}
+
+	envPath := filepath.Join(dir, "env.jsonl")
+	t.Setenv(EnvJournal, envPath)
+	envSess := journalSession(t)
+	if envSess.Journal() == nil {
+		t.Fatalf("%s fallback did not open a journal", EnvJournal)
+	}
+	if _, err := envSess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	if err := envSess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(envPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("env journal file: %v (size %v)", err, fi)
+	}
+}
+
+// TestSetQueryLogConsumedOnce: a pending query log (the serve handoff) names
+// exactly one Query; the next query falls back to auto-numbering.
+func TestSetQueryLogConsumedOnce(t *testing.T) {
+	j := NewJournal(0)
+	sess := journalSession(t, WithJournal(j))
+	sess.SetQueryLog(j.Begin("custom-id", "acme"))
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	events := j.Events("custom-id")
+	if len(events) == 0 || events[0].Tenant != "acme" {
+		t.Fatalf("custom-id events = %+v", events)
+	}
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Events("q1"); len(got) == 0 {
+		t.Fatal("second query did not auto-number q1")
+	}
+}
+
+// TestSessionSkewDetectorWithMetrics: enabling the metrics registry arms the
+// skew detector — stage_end events carry a StageSkew and the registry gains
+// the imbalance gauge and per-worker slowdown series.
+func TestSessionSkewDetectorWithMetrics(t *testing.T) {
+	j := NewJournal(0)
+	sess := journalSession(t, WithJournal(j), WithMetrics())
+	if _, err := sess.Query(obsTestScript); err != nil {
+		t.Fatal(err)
+	}
+	var sawSkew bool
+	for _, e := range j.Events("q1") {
+		if e.Type == obs.EvStageEnd && e.Skew != nil {
+			sawSkew = true
+			if e.Skew.Tasks == 0 || e.Skew.Imbalance < 1 {
+				t.Fatalf("stage skew = %+v", e.Skew)
+			}
+			if len(e.Skew.Workers) == 0 {
+				t.Fatalf("stage skew has no worker placement: %+v", e.Skew)
+			}
+		}
+	}
+	if !sawSkew {
+		t.Fatal("no stage_end carried a skew summary")
+	}
+	snap, err := sess.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges[obs.MStageSkew] < 1 {
+		t.Errorf("stage skew gauge = %g, want >= 1", snap.Gauges[obs.MStageSkew])
+	}
+	slowdowns := 0
+	for name, v := range snap.Gauges {
+		if len(name) > len(obs.MWorkerSlowdown) && name[:len(obs.MWorkerSlowdown)] == obs.MWorkerSlowdown {
+			slowdowns++
+			if v <= 0 {
+				t.Errorf("slowdown series %s = %g, want > 0", name, v)
+			}
+		}
+	}
+	if slowdowns == 0 {
+		t.Error("no per-worker slowdown series in the registry")
+	}
+}
+
+// TestJournalOverheadGate bounds the cost of full per-query observability
+// (journal + metrics + skew detection) against an uninstrumented session on
+// the same workload. Wall-clock comparison is loose on purpose — the precise
+// <2% bound is measured with benchstat on BenchmarkJournalOverhead; this
+// gate only rules out gross regressions (an accidental per-task allocation,
+// a lock on the hot path).
+func TestJournalOverheadGate(t *testing.T) {
+	const iters = 20
+	run := func(opts ...Option) time.Duration {
+		sess := journalSession(t, opts...)
+		// One warmup query outside the timed window (plan cache, allocator).
+		if _, err := sess.Query(obsTestScript); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := sess.Query(obsTestScript); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	off := run()
+	on := run(WithJournal(NewJournal(0)), WithMetrics())
+	const slack = 150 * time.Millisecond
+	if on > off*5/4+slack {
+		t.Errorf("observed wall with journal+skew %v vs %v off: more than 25%%+%v slower", on, off, slack)
+	}
+}

@@ -36,6 +36,10 @@ const EnvKernelThreads = "FUSEME_KERNEL_THREADS"
 // and work-stealing on.
 const EnvPrefetchBytes = "FUSEME_PREFETCH_BYTES"
 
+// EnvJournal names a JSONL file to sink the query event journal to (see
+// WithJournalFile). Unset leaves journaling off.
+const EnvJournal = "FUSEME_JOURNAL"
+
 // WithTracing enables the span recorder: plan, stage and task spans are
 // collected and can be exported with Session.WriteTrace. Without this option
 // the recorder is nil and the instrumentation reduces to pointer checks.
@@ -71,6 +75,80 @@ func WithFlightWriter(w io.Writer) Option {
 		return nil
 	}
 }
+
+// WithJournal attaches an existing event journal (see NewJournal): every
+// Query appends its lifecycle — planned (chosen plan + predicted cost),
+// replans, stage start/end with predicted-vs-measured costs, completion — as
+// structured events. Share one journal across sessions (the serve daemon
+// does) to get a single queryable stream; the caller owns the journal's
+// lifetime.
+func WithJournal(j *obs.Journal) Option {
+	return func(s *Session) error {
+		if j == nil {
+			return errors.New("fuseme: WithJournal(nil)")
+		}
+		s.journal = j
+		return nil
+	}
+}
+
+// WithJournalFile enables the event journal with a JSONL file sink at path
+// (created or truncated immediately, flushed on Session.Close). Read it back
+// with obs.ReadEvents. Environment equivalent: FUSEME_JOURNAL.
+func WithJournalFile(path string) Option {
+	return func(s *Session) error {
+		j, err := obs.OpenJournal(path, 0)
+		if err != nil {
+			return err
+		}
+		s.journal = j
+		s.journalOwned = true
+		return nil
+	}
+}
+
+// WithJournalWriter is WithJournalFile onto an arbitrary writer (tests,
+// in-memory buffers). The writer is flushed on Session.Close but not closed.
+func WithJournalWriter(w io.Writer) Option {
+	return func(s *Session) error {
+		s.journal = obs.NewJournalWriter(w, 0)
+		s.journalOwned = true
+		return nil
+	}
+}
+
+// NewJournal creates a standalone event journal holding the last ring events
+// in memory (non-positive selects the 4096 default), for sharing across
+// sessions via WithJournal.
+func NewJournal(ring int) *obs.Journal { return obs.NewJournal(ring) }
+
+// resolveJournal falls back to the FUSEME_JOURNAL file sink when no journal
+// option was given.
+func (s *Session) resolveJournal() error {
+	if s.journal != nil {
+		return nil
+	}
+	if path := os.Getenv(EnvJournal); path != "" {
+		j, err := obs.OpenJournal(path, 0)
+		if err != nil {
+			return err
+		}
+		s.journal = j
+		s.journalOwned = true
+	}
+	return nil
+}
+
+// Journal returns the session's event journal, or nil when journaling is
+// off.
+func (s *Session) Journal() *obs.Journal { return s.journal }
+
+// SetQueryLog routes the next Query call's lifecycle events into q instead
+// of auto-numbering a log on the session's journal — the serve daemon uses
+// this to interleave its admission events (received/queued/admitted) with
+// the session's planning and stage events under one query id. Consumed by
+// exactly one Query; like Bind, not safe concurrently with Query.
+func (s *Session) SetQueryLog(q *obs.QueryLog) { s.pendingQLog = q }
 
 // WithMetrics enables the in-process metrics registry without serving it
 // over HTTP; read it with Session.MetricsSnapshot.
@@ -368,12 +446,20 @@ func (s *Session) WriteTraceFile(path string) error {
 // back-solved from the measurements. Accumulates across queries (iterative
 // workloads aggregate per operator) until ResetObservations.
 func (s *Session) Report() string {
-	return s.obs.Calib.Report(s.calibModel()).String()
+	return s.CalibrationReport().String()
 }
 
-// CalibrationReport returns the structured form of Report.
+// CalibrationReport returns the structured form of Report. When the metrics
+// registry is on, the report also carries the per-task latency distribution
+// (count, p50/p95/p99, max) under TaskLatency.
 func (s *Session) CalibrationReport() *obs.Report {
-	return s.obs.Calib.Report(s.calibModel())
+	rep := s.obs.Calib.Report(s.calibModel())
+	if s.obs.Metrics != nil {
+		if snap := s.obs.Metrics.Histogram(obs.MTaskSeconds).Snapshot(); snap.Count > 0 {
+			rep.TaskLatency = &snap
+		}
+	}
+	return rep
 }
 
 // calibModel is the cluster model calibration measurements are judged
